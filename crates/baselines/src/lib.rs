@@ -1,0 +1,31 @@
+//! Baseline PGEMM algorithms the paper compares against.
+//!
+//! Every baseline provides the same three things the `ca3dmm` crate
+//! provides for CA3DMM: a real distributed executor on the `msgpass`
+//! runtime (validated against the serial reference), native layouts, and a
+//! [`netmodel::Schedule`] builder for paper-scale cost evaluation.
+//!
+//! * [`cosma::CosmaLike`] — COSMA *as its source code actually behaves*,
+//!   which the paper reverse-describes in §III-C: an unconstrained grid
+//!   search, then "replicate A and/or B in one or multiple steps using
+//!   all-gather operations, then calculate one local matrix multiplication
+//!   …, and finally reduce the partial C results".
+//! * [`summa::SummaPgemm`] — the ScaLAPACK-style 2D SUMMA baseline
+//!   (stationary C, panel broadcasts).
+//! * [`orig3d::Orig3d`] — the original 3D algorithm (Agarwal et al. \[15\]):
+//!   cube grid, broadcast replication, reduction along the third axis.
+//! * [`c25d::C25d`] — the 2.5D algorithm \[16\] as deployed in CTF \[24\]:
+//!   `c` replicated layers, per-layer Cannon on a k-slice, inter-layer
+//!   reduction; its cost model includes the internal cyclic-layout
+//!   conversion CTF always performs (the paper's explanation for CTF's
+//!   weaker results in §IV-A).
+
+pub mod c25d;
+pub mod cosma;
+pub mod orig3d;
+pub mod summa;
+
+pub use c25d::C25d;
+pub use cosma::CosmaLike;
+pub use orig3d::Orig3d;
+pub use summa::SummaPgemm;

@@ -1,0 +1,62 @@
+//! Layout-conversion (redistribution) throughput — Algorithm 1 steps 4/8,
+//! the subject of Fig. 3's "custom layout" series and the paper's §V open
+//! problem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dense::gemm::GemmOp;
+use dense::random::random_mat;
+use layout::{redistribute, Layout};
+use msgpass::{Comm, World};
+
+fn bench_redistribute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("redistribute_p8");
+    group.sample_size(10);
+    let p = 8usize;
+    let (rows, cols) = (1024usize, 1024usize);
+    let global = random_mat::<f64>(rows, cols, 7);
+
+    let cases: Vec<(&str, Layout, Layout)> = vec![
+        (
+            "col_to_2d",
+            Layout::one_d_col(rows, cols, p),
+            Layout::two_d_block(rows, cols, 2, 4),
+        ),
+        (
+            "2d_to_cyclic",
+            Layout::two_d_block(rows, cols, 2, 4),
+            Layout::block_cyclic(rows, cols, 2, 4, 64, 64),
+        ),
+        (
+            "identity",
+            Layout::one_d_col(rows, cols, p),
+            Layout::one_d_col(rows, cols, p),
+        ),
+    ];
+    for (name, src, dst) in cases {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                World::run(p, |ctx| {
+                    let comm = Comm::world(ctx);
+                    let mine = src.extract(&global, comm.rank());
+                    redistribute(&comm, ctx, &src, &mine, &dst, GemmOp::NoTrans)
+                })
+            })
+        });
+    }
+    // transpose fold
+    group.bench_function(BenchmarkId::from_parameter("col_to_col_transposed"), |b| {
+        let src = Layout::one_d_col(rows, cols, p);
+        let dst = Layout::one_d_col(cols, rows, p);
+        b.iter(|| {
+            World::run(p, |ctx| {
+                let comm = Comm::world(ctx);
+                let mine = src.extract(&global, comm.rank());
+                redistribute(&comm, ctx, &src, &mine, &dst, GemmOp::Trans)
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_redistribute);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Ablations of CA3DMM's remaining design choices (DESIGN.md §4):
+//!
+//! * **dual-buffer overlap** (§III-F) — schedule with and without the
+//!   communication/computation overlap in Cannon;
+//! * **constraint (7)** — the communication-volume price CA3DMM pays for
+//!   restricting grids to `mod(max(pm,pn), min(pm,pn)) = 0` so Cannon
+//!   groups exist, versus the unconstrained (COSMA) grid;
+//! * **memory/communication trade** (§V future work) — reducing the number
+//!   of k-task groups moves CA3DMM toward a 2D algorithm: less memory
+//!   (eq. 11), more volume (eq. 4).
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablation_design
+//! ```
+
+use bench::CPU_CLASSES;
+use ca3dmm::{ca3dmm_schedule, memory_elements_per_rank, ModelConfig};
+use gridopt::{ca3dmm_grid, cosma_grid, Grid, Problem};
+use netmodel::eval::evaluate;
+use netmodel::Machine;
+
+fn main() {
+    let machine = Machine::phoenix_cpu();
+    let placement = machine.pure_mpi();
+    let base = ModelConfig {
+        placement,
+        elem_bytes: 8.0,
+        overlap: true,
+        include_redist: false,
+    };
+
+    println!("Ablation 1: dual-buffer overlap in Cannon (§III-F)\n");
+    println!(
+        "{:<22} {:>10} {:>12} {:>8}",
+        "class", "overlap(s)", "no-overlap(s)", "speedup"
+    );
+    for (name, m, n, k) in CPU_CLASSES {
+        let prob = Problem::new(m, n, k, 2048);
+        let grid = ca3dmm_grid(&prob, 0.95).grid;
+        let with = evaluate(&machine, placement.flops_per_rank, &ca3dmm_schedule(&prob, &grid, &base));
+        let without = evaluate(
+            &machine,
+            placement.flops_per_rank,
+            &ca3dmm_schedule(&prob, &grid, &ModelConfig { overlap: false, ..base }),
+        );
+        println!(
+            "{:<22} {:>10.2} {:>12.2} {:>7.2}x",
+            name,
+            with.total_s,
+            without.total_s,
+            without.total_s / with.total_s
+        );
+        assert!(with.total_s <= without.total_s + 1e-12);
+    }
+
+    println!("\nAblation 2: the eq. 7 grid constraint (volume premium vs COSMA grid)\n");
+    println!(
+        "{:<22} {:>6} | {:>14} {:>14} {:>9}",
+        "class", "P", "CA3DMM grid", "free grid", "S ratio"
+    );
+    for (name, m, n, k) in CPU_CLASSES {
+        for p in [768usize, 2048, 3072] {
+            let prob = Problem::new(m, n, k, p);
+            let with = ca3dmm_grid(&prob, 0.95);
+            let free = cosma_grid(&prob, 0.95);
+            println!(
+                "{:<22} {:>6} | {:>4},{:>4},{:>4} {:>4},{:>4},{:>4} {:>9.4}",
+                name,
+                p,
+                with.grid.pm,
+                with.grid.pn,
+                with.grid.pk,
+                free.grid.pm,
+                free.grid.pn,
+                free.grid.pk,
+                with.s_total as f64 / free.s_total as f64
+            );
+        }
+    }
+    println!("(S ratio = eq. 4 surface with constraint / without; 1.0 = free.)");
+
+    println!("\nAblation 3: trading k-task groups for memory (§V)\n");
+    let (m, n, k) = (50_000, 50_000, 50_000);
+    let p = 3072;
+    println!(
+        "{:>14} | {:>12} {:>12} {:>10}",
+        "grid", "mem MB/rank", "volume MB", "time (s)"
+    );
+    for pk in [12usize, 6, 3, 1] {
+        // keep pm*pn*pk <= p with pm = pn
+        let side = ((p / pk) as f64).sqrt().floor() as usize;
+        let grid = Grid::new(side, side, pk);
+        let prob = Problem::new(m, n, k, p);
+        let sched = ca3dmm_schedule(&prob, &grid, &base);
+        let cost = evaluate(&machine, placement.flops_per_rank, &sched);
+        println!(
+            "{:>4},{:>4},{:>4} | {:>12.0} {:>12.0} {:>10.2}",
+            grid.pm,
+            grid.pn,
+            grid.pk,
+            memory_elements_per_rank(&prob, &grid) * 8.0 / 1048576.0,
+            cost.sent_bytes / 1048576.0,
+            cost.total_s
+        );
+    }
+    println!("(fewer k-task groups -> toward 2D: less memory, more volume.)");
+}

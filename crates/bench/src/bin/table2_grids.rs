@@ -1,0 +1,97 @@
+//! Table II: COSMA and CA3DMM runtime for different problem dimensions and
+//! *process grid dimensions*, at 2048 and 3072 cores. At 2048 both
+//! libraries use the (same) optimal grid; at 3072 the paper additionally
+//! forces the near-optimal grids shown in italics. Also demonstrates the
+//! paper's large-K observation that the theoretically optimal grid
+//! `3×3×341` loses to the sub-optimal `4×2×384` because `pk = 341` is
+//! unfavourable for the reduce-scatter.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table2_grids
+//! ```
+
+use bench::{default_grid, predict_with_grid, Algo, RunConfig};
+use gridopt::{Grid, Problem};
+use netmodel::Machine;
+
+fn main() {
+    let machine = Machine::phoenix_cpu();
+    let cfg = RunConfig {
+        placement: machine.pure_mpi(),
+        custom_layout: false,
+    };
+    // (cores, class, m, n, k, forced grids to evaluate: None = default)
+    let cases: [(usize, &str, usize, usize, usize, &[Option<Grid>]); 8] = [
+        (2048, "50,50,50", 50_000, 50_000, 50_000, &[None]),
+        (2048, "6,6,1200", 6_000, 6_000, 1_200_000, &[None]),
+        (2048, "1200,6,6", 1_200_000, 6_000, 6_000, &[None]),
+        (2048, "100,100,5", 100_000, 100_000, 5_000, &[None]),
+        (
+            3072,
+            "50,50,50",
+            50_000,
+            50_000,
+            50_000,
+            &[None, Some(Grid::new(12, 16, 16)), Some(Grid::new(16, 16, 12))],
+        ),
+        (
+            3072,
+            "6,6,1200",
+            6_000,
+            6_000,
+            1_200_000,
+            &[None, Some(Grid::new(3, 3, 341)), Some(Grid::new(4, 2, 384))],
+        ),
+        (
+            3072,
+            "1200,6,6",
+            1_200_000,
+            6_000,
+            6_000,
+            &[None, Some(Grid::new(341, 3, 3)), Some(Grid::new(384, 4, 2))],
+        ),
+        (
+            3072,
+            "100,100,5",
+            100_000,
+            100_000,
+            5_000,
+            &[None, Some(Grid::new(32, 32, 3)), Some(Grid::new(39, 39, 2))],
+        ),
+    ];
+    println!("Table II: runtimes (s) for chosen vs forced process grids\n");
+    println!(
+        "{:>6} {:<10} | {:>14} {:>10} {:>10}",
+        "cores", "m,n,k(e3)", "grid pm,pn,pk", "COSMA", "CA3DMM"
+    );
+    for (p, name, m, n, k, grids) in cases {
+        let prob = Problem::new(m, n, k, p);
+        for g in grids {
+            let grid = g.unwrap_or_else(|| default_grid(Algo::Ca3dmm, &prob));
+            // COSMA can run any grid; CA3DMM needs eq. 7. The paper's table
+            // uses grids valid for both except where noted.
+            let cosma_t = predict_with_grid(&machine, Algo::Cosma, &prob, &cfg, Some(grid)).total_s;
+            let ca_t = if grid.cannon_compatible() {
+                format!(
+                    "{:>10.2}",
+                    predict_with_grid(&machine, Algo::Ca3dmm, &prob, &cfg, Some(grid)).total_s
+                )
+            } else {
+                format!("{:>10}", "(eq.7 n/a)")
+            };
+            let mark = if g.is_none() { "*" } else { " " };
+            println!(
+                "{:>6} {:<10} | {:>4},{:>4},{:>4}{} {:>9.2} {}",
+                p, name, grid.pm, grid.pn, grid.pk, mark, cosma_t, ca_t
+            );
+        }
+        println!();
+    }
+    println!("* = the library's default grid choice.");
+    println!("Paper shape checks (Table II / §IV-B):");
+    println!(" * with the SAME grid, CA3DMM <= COSMA (up to ~20% faster):");
+    println!("   the Cannon shifts pipeline under the GEMM while COSMA's");
+    println!("   allgathers are exposed;");
+    println!(" * large-K: the 'optimal' 3x3x341 grid loses to 4x2x384 —");
+    println!("   pk = 341 is unfavourable for the reduce-scatter.");
+}

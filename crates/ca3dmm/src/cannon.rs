@@ -1,0 +1,433 @@
+//! Cannon's algorithm on one `s × s` Cannon group (Algorithm 1 step 6).
+//!
+//! The classic algorithm (paper reference \[19\]) with two generalizations the
+//! paper's setting needs:
+//!
+//! * **uneven blocks** — matrix dimensions need not divide `s`; blocks carry
+//!   their shape with them ([`crate::msg::BlockMsg`]) and the k-sub-ranges
+//!   circulate consistently between `A` and `B`, so inner dimensions always
+//!   agree;
+//! * **degenerate grids** — `s = 1` reduces to one local GEMM, which is how
+//!   CA3DMM falls back to 1D algorithms for tall-and-skinny problems.
+//!
+//! The group communicator indexes ranks in column-major order,
+//! `idx = i + j·s`.
+
+use crate::msg::{from_msg, to_msg};
+use dense::gemm::{gemm, GemmOp};
+use dense::{Mat, Scalar};
+use msgpass::{Comm, RankCtx};
+
+/// Message tag for A-block movement.
+const TAG_A: u64 = 101;
+/// Message tag for B-block movement.
+const TAG_B: u64 = 102;
+
+/// Runs Cannon's algorithm. `a0`/`b0` are this rank's *natural* (skew-free)
+/// blocks — `A(i, j)` and `B(i, j)` in block coordinates; the initial skew
+/// is performed here, as in the original algorithm (the paper's latency
+/// analysis eq. 10 counts it: `p_s` rounds = 1 skew + `s−1` shifts).
+///
+/// `c_out` must be the `(rows of A-block) × (cols of B-block)` local result
+/// block; the product is accumulated into it.
+pub fn cannon<T: Scalar>(
+    ctx: &RankCtx,
+    group: &Comm,
+    s: usize,
+    i: usize,
+    j: usize,
+    a0: Mat<T>,
+    b0: Mat<T>,
+    c_out: &mut Mat<T>,
+) {
+    assert_eq!(group.size(), s * s, "Cannon group must have s^2 ranks");
+    assert_eq!(group.rank(), i + j * s, "rank/index mismatch");
+    if s == 1 {
+        gemm(GemmOp::NoTrans, GemmOp::NoTrans, T::ONE, &a0, &b0, T::ONE, c_out);
+        return;
+    }
+    let idx = |ii: usize, jj: usize| ii + jj * s;
+    let (mut a_cur, mut b_cur) = skew(ctx, group, s, i, j, a0, b0);
+    for t in 0..s {
+        gemm(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            T::ONE,
+            &a_cur,
+            &b_cur,
+            T::ONE,
+            c_out,
+        );
+        if t + 1 < s {
+            // circular shift: A left by one, B up by one
+            let a_dst = idx(i, (j + s - 1) % s);
+            let a_src = idx(i, (j + 1) % s);
+            a_cur = from_msg(group.sendrecv(ctx, a_dst, a_src, TAG_A, to_msg(a_cur)));
+            let b_dst = idx((i + s - 1) % s, j);
+            let b_src = idx((i + 1) % s, j);
+            b_cur = from_msg(group.sendrecv(ctx, b_dst, b_src, TAG_B, to_msg(b_cur)));
+        }
+    }
+}
+
+/// The initial skew: A(i, j) moves left by `i`, B(i, j) up by `j`.
+fn skew<T: Scalar>(
+    ctx: &RankCtx,
+    group: &Comm,
+    s: usize,
+    i: usize,
+    j: usize,
+    a0: Mat<T>,
+    b0: Mat<T>,
+) -> (Mat<T>, Mat<T>) {
+    let idx = |ii: usize, jj: usize| ii + jj * s;
+    let a = if i == 0 {
+        a0
+    } else {
+        let dst = idx(i, (j + s - i) % s);
+        let src = idx(i, (j + i) % s);
+        from_msg(group.sendrecv(ctx, dst, src, TAG_A, to_msg(a0)))
+    };
+    let b = if j == 0 {
+        b0
+    } else {
+        let dst = idx((i + s - j) % s, j);
+        let src = idx((i + j) % s, j);
+        from_msg(group.sendrecv(ctx, dst, src, TAG_B, to_msg(b0)))
+    };
+    (a, b)
+}
+
+/// [`cannon`] with the §III-F multi-shift optimization: "to maintain the
+/// efficiency of local matrix multiplication, we perform multiple shifts
+/// for one local matrix multiplication if A and B blocks … do not have a
+/// large enough k-dimension size."
+///
+/// When a received block's k-extent is below `min_k_per_gemm`, consecutive
+/// blocks are accumulated (A blocks concatenated column-wise, B blocks
+/// row-wise — the k-sub-ranges circulate in matching order, so the
+/// concatenations stay aligned) and multiplied in one larger GEMM.
+/// `min_k_per_gemm = 0` disables batching. Communication is unchanged —
+/// the same `s` rounds move the same bytes; only the GEMM granularity
+/// changes.
+#[allow(clippy::too_many_arguments)]
+pub fn cannon_multi_shift<T: Scalar>(
+    ctx: &RankCtx,
+    group: &Comm,
+    s: usize,
+    i: usize,
+    j: usize,
+    a0: Mat<T>,
+    b0: Mat<T>,
+    c_out: &mut Mat<T>,
+    min_k_per_gemm: usize,
+) {
+    if min_k_per_gemm == 0 {
+        return cannon(ctx, group, s, i, j, a0, b0, c_out);
+    }
+    assert_eq!(group.size(), s * s, "Cannon group must have s^2 ranks");
+    assert_eq!(group.rank(), i + j * s, "rank/index mismatch");
+    if s == 1 {
+        gemm(GemmOp::NoTrans, GemmOp::NoTrans, T::ONE, &a0, &b0, T::ONE, c_out);
+        return;
+    }
+    let idx = |ii: usize, jj: usize| ii + jj * s;
+    let (mut a_cur, mut b_cur) = skew(ctx, group, s, i, j, a0, b0);
+
+    let mut batch: Vec<(Mat<T>, Mat<T>)> = Vec::new();
+    let mut batched_k = 0usize;
+    for t in 0..s {
+        let last = t + 1 == s;
+        // Forward the current blocks first (communication is identical to
+        // plain Cannon — batching only changes GEMM granularity), keeping
+        // a copy in the batch.
+        let next = if last {
+            None
+        } else {
+            let a_dst = idx(i, (j + s - 1) % s);
+            let a_src = idx(i, (j + 1) % s);
+            let b_dst = idx((i + s - 1) % s, j);
+            let b_src = idx((i + 1) % s, j);
+            let a_next = from_msg(group.sendrecv(ctx, a_dst, a_src, TAG_A, to_msg(a_cur.clone())));
+            let b_next = from_msg(group.sendrecv(ctx, b_dst, b_src, TAG_B, to_msg(b_cur.clone())));
+            Some((a_next, b_next))
+        };
+        batched_k += a_cur.cols();
+        batch.push((a_cur, b_cur));
+        if batched_k >= min_k_per_gemm || last {
+            flush_batch(&mut batch, c_out);
+            batched_k = 0;
+        }
+        match next {
+            Some((a, b)) => {
+                a_cur = a;
+                b_cur = b;
+            }
+            None => break,
+        }
+    }
+    debug_assert!(batch.is_empty(), "all batched blocks multiplied");
+}
+
+/// Multiplies the batched `(A, B)` block pairs into `c_out` with one GEMM
+/// (concatenating along k) when there is more than one pair.
+fn flush_batch<T: Scalar>(batch: &mut Vec<(Mat<T>, Mat<T>)>, c_out: &mut Mat<T>) {
+    match batch.len() {
+        0 => {}
+        1 => {
+            let (a, b) = &batch[0];
+            gemm(GemmOp::NoTrans, GemmOp::NoTrans, T::ONE, a, b, T::ONE, c_out);
+        }
+        _ => {
+            let rows = batch[0].0.rows();
+            let cols = batch[0].1.cols();
+            let k_total: usize = batch.iter().map(|(a, _)| a.cols()).sum();
+            // A blocks concatenate column-wise …
+            let mut a_cat = Mat::zeros(rows, k_total);
+            // … and B blocks row-wise; their k-sub-ranges arrive in the
+            // same circulation order, so offsets line up.
+            let mut b_cat = Mat::zeros(k_total, cols);
+            let mut off = 0usize;
+            for (a, b) in batch.iter() {
+                debug_assert_eq!(a.cols(), b.rows(), "batched pair k mismatch");
+                if !a.is_empty() {
+                    a_cat.set_block(dense::Rect::new(0, off, rows, a.cols()), a);
+                }
+                if !b.is_empty() {
+                    b_cat.set_block(dense::Rect::new(off, 0, b.rows(), cols), b);
+                }
+                off += a.cols();
+            }
+            gemm(
+                GemmOp::NoTrans,
+                GemmOp::NoTrans,
+                T::ONE,
+                &a_cat,
+                &b_cat,
+                T::ONE,
+                c_out,
+            );
+        }
+    }
+    batch.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::gemm::gemm_naive;
+    use dense::part::{even_range, Rect};
+    use dense::random::global_block;
+    use dense::testing::assert_gemm_close;
+    use msgpass::World;
+
+    /// Full end-to-end Cannon check on an s×s grid with arbitrary m, n, k.
+    fn check_cannon(m: usize, n: usize, k: usize, s: usize) {
+        let results = World::run(s * s, |ctx| {
+            let comm = Comm::world(ctx);
+            let me = comm.rank();
+            let (i, j) = (me % s, me / s);
+            let (r0, r1) = even_range(m, s, i);
+            let (c0, c1) = even_range(n, s, j);
+            // natural blocks: A(i, j) uses k-part j; B(i, j) uses k-part i
+            let (ka0, ka1) = even_range(k, s, j);
+            let (kb0, kb1) = even_range(k, s, i);
+            let a = global_block::<f64>(1, Rect::new(r0, ka0, r1 - r0, ka1 - ka0));
+            let b = global_block::<f64>(2, Rect::new(kb0, c0, kb1 - kb0, c1 - c0));
+            let mut c = Mat::zeros(r1 - r0, c1 - c0);
+            cannon(ctx, &comm, s, i, j, a, b, &mut c);
+            (i, j, c)
+        });
+        // serial reference
+        let a_full = global_block::<f64>(1, Rect::new(0, 0, m, k));
+        let b_full = global_block::<f64>(2, Rect::new(0, 0, k, n));
+        let mut c_full = Mat::zeros(m, n);
+        gemm_naive(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            1.0,
+            &a_full,
+            &b_full,
+            0.0,
+            &mut c_full,
+        );
+        for (i, j, c) in results {
+            let (r0, r1) = even_range(m, s, i);
+            let (c0, c1) = even_range(n, s, j);
+            let want = c_full.block(Rect::new(r0, c0, r1 - r0, c1 - c0));
+            assert_gemm_close(&c, &want, k, &format!("cannon block ({i},{j})"));
+        }
+    }
+
+    #[test]
+    fn single_process() {
+        check_cannon(7, 5, 9, 1);
+    }
+
+    #[test]
+    fn two_by_two_even() {
+        check_cannon(8, 8, 8, 2);
+    }
+
+    #[test]
+    fn three_by_three_uneven() {
+        check_cannon(10, 11, 13, 3);
+    }
+
+    #[test]
+    fn four_by_four() {
+        check_cannon(16, 12, 20, 4);
+    }
+
+    #[test]
+    fn dimensions_smaller_than_grid() {
+        // k=2 over s=3: one k-part is empty
+        check_cannon(6, 6, 2, 3);
+        // m=1: most row parts empty
+        check_cannon(1, 9, 9, 3);
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        // C starts at ones; after cannon it must be ones + A*B.
+        let m = 6;
+        let results = World::run(4, |ctx| {
+            let comm = Comm::world(ctx);
+            let me = comm.rank();
+            let (i, j) = (me % 2, me / 2);
+            let (r0, r1) = even_range(m, 2, i);
+            let (c0, c1) = even_range(m, 2, j);
+            let (ka0, ka1) = even_range(m, 2, j);
+            let (kb0, kb1) = even_range(m, 2, i);
+            let a = global_block::<f64>(1, Rect::new(r0, ka0, r1 - r0, ka1 - ka0));
+            let b = global_block::<f64>(2, Rect::new(kb0, c0, kb1 - kb0, c1 - c0));
+            let mut c = Mat::from_fn(r1 - r0, c1 - c0, |_, _| 1.0);
+            cannon(ctx, &comm, 2, i, j, a, b, &mut c);
+            (i, j, c)
+        });
+        let a_full = global_block::<f64>(1, Rect::new(0, 0, m, m));
+        let b_full = global_block::<f64>(2, Rect::new(0, 0, m, m));
+        let mut c_full = Mat::from_fn(m, m, |_, _| 1.0);
+        gemm_naive(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            1.0,
+            &a_full,
+            &b_full,
+            1.0,
+            &mut c_full,
+        );
+        for (i, j, c) in results {
+            let (r0, r1) = even_range(m, 2, i);
+            let (c0, c1) = even_range(m, 2, j);
+            let want = c_full.block(Rect::new(r0, c0, r1 - r0, c1 - c0));
+            assert_gemm_close(&c, &want, m, "accumulate");
+        }
+    }
+
+    /// Multi-shift batching must give bit-compatible results to plain
+    /// Cannon up to summation-order rounding, for every threshold.
+    fn check_multi_shift(m: usize, n: usize, k: usize, s: usize, min_k: usize) {
+        let results = World::run(s * s, |ctx| {
+            let comm = Comm::world(ctx);
+            let me = comm.rank();
+            let (i, j) = (me % s, me / s);
+            let (r0, r1) = even_range(m, s, i);
+            let (c0, c1) = even_range(n, s, j);
+            let (ka0, ka1) = even_range(k, s, j);
+            let (kb0, kb1) = even_range(k, s, i);
+            let a = global_block::<f64>(1, Rect::new(r0, ka0, r1 - r0, ka1 - ka0));
+            let b = global_block::<f64>(2, Rect::new(kb0, c0, kb1 - kb0, c1 - c0));
+            let mut c = Mat::zeros(r1 - r0, c1 - c0);
+            cannon_multi_shift(ctx, &comm, s, i, j, a, b, &mut c, min_k);
+            (i, j, c)
+        });
+        let a_full = global_block::<f64>(1, Rect::new(0, 0, m, k));
+        let b_full = global_block::<f64>(2, Rect::new(0, 0, k, n));
+        let mut c_full = Mat::zeros(m, n);
+        gemm_naive(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            1.0,
+            &a_full,
+            &b_full,
+            0.0,
+            &mut c_full,
+        );
+        for (i, j, c) in results {
+            let (r0, r1) = even_range(m, s, i);
+            let (c0, c1) = even_range(n, s, j);
+            let want = c_full.block(Rect::new(r0, c0, r1 - r0, c1 - c0));
+            assert_gemm_close(&c, &want, k, &format!("multi-shift min_k={min_k} ({i},{j})"));
+        }
+    }
+
+    #[test]
+    fn multi_shift_thresholds() {
+        // thin k per block (12/3 = 4): batch 2 blocks (min_k 8), all blocks
+        // (min_k 100), or none (min_k 1, flushes every block)
+        for min_k in [1usize, 4, 8, 100] {
+            check_multi_shift(9, 9, 12, 3, min_k);
+        }
+    }
+
+    #[test]
+    fn multi_shift_uneven_blocks() {
+        for min_k in [5usize, 64] {
+            check_multi_shift(10, 11, 13, 3, min_k);
+            check_multi_shift(7, 9, 17, 4, min_k);
+        }
+    }
+
+    #[test]
+    fn multi_shift_traffic_equals_plain_cannon() {
+        // Batching must not change the bytes on the wire.
+        let s = 3;
+        let m = 9;
+        let run = |min_k: usize| {
+            let (_, report) = World::run_traced(s * s, |ctx| {
+                let comm = Comm::world(ctx);
+                ctx.set_phase("cannon_shift");
+                let me = comm.rank();
+                let (i, j) = (me % s, me / s);
+                let (r0, r1) = even_range(m, s, i);
+                let (c0, c1) = even_range(m, s, j);
+                let (ka0, ka1) = even_range(m, s, j);
+                let (kb0, kb1) = even_range(m, s, i);
+                let a = global_block::<f64>(1, Rect::new(r0, ka0, r1 - r0, ka1 - ka0));
+                let b = global_block::<f64>(2, Rect::new(kb0, c0, kb1 - kb0, c1 - c0));
+                let mut c = Mat::zeros(r1 - r0, c1 - c0);
+                cannon_multi_shift(ctx, &comm, s, i, j, a, b, &mut c, min_k);
+            });
+            report.max_rank_bytes()
+        };
+        assert_eq!(run(0), run(1000));
+    }
+
+    #[test]
+    fn shift_traffic_is_s_rounds() {
+        // Each rank sends exactly s sendrecv rounds for A and s for B
+        // (1 skew + s-1 shifts), except ranks whose skew is a no-op.
+        let s = 3;
+        let m = 9;
+        let (_, report) = World::run_traced(s * s, |ctx| {
+            let comm = Comm::world(ctx);
+            ctx.set_phase("cannon_shift");
+            let me = comm.rank();
+            let (i, j) = (me % s, me / s);
+            let (r0, r1) = even_range(m, s, i);
+            let (c0, c1) = even_range(m, s, j);
+            let (ka0, ka1) = even_range(m, s, j);
+            let (kb0, kb1) = even_range(m, s, i);
+            let a = global_block::<f64>(1, Rect::new(r0, ka0, r1 - r0, ka1 - ka0));
+            let b = global_block::<f64>(2, Rect::new(kb0, c0, kb1 - kb0, c1 - c0));
+            let mut c = Mat::zeros(r1 - r0, c1 - c0);
+            cannon(ctx, &comm, s, i, j, a, b, &mut c);
+        });
+        // rank at (1,1): skew A + skew B + 2 shifts each = 6 messages
+        let r11 = 1 + 1 * s;
+        assert_eq!(report.phase(r11, "cannon_shift").msgs, 6);
+        // rank at (0,0): no skew, 2 shifts each = 4 messages
+        assert_eq!(report.phase(0, "cannon_shift").msgs, 4);
+    }
+}

@@ -1,0 +1,496 @@
+//! The CA3DMM executor: Algorithm 1, steps 1–8, on the `msgpass` runtime.
+
+use crate::cannon::cannon_multi_shift;
+use crate::grid_ctx::GridContext;
+use crate::reduce::reduce_partial_c;
+use crate::replicate::{replicate_block, slice_widths};
+use dense::gemm::GemmOp;
+use dense::{Mat, Scalar};
+use gridopt::{ca3dmm_grid, Grid, Problem};
+use layout::{redistribute, Layout};
+use msgpass::{Comm, RankCtx};
+
+/// Tuning knobs of a CA3DMM run.
+#[derive(Clone, Copy, Debug)]
+pub struct Ca3dmmOptions {
+    /// Force a specific process grid (the artifact CLI's optional
+    /// `mp np kp` arguments, used by Table II); `None` runs the step-1
+    /// search.
+    pub grid_override: Option<Grid>,
+    /// The utilization floor `l` of eq. 5.
+    pub utilization_floor: f64,
+    /// §III-F multi-shift batching: when the Cannon blocks' k-extent is
+    /// below this, several shifts feed one local GEMM. 0 disables.
+    pub multi_shift_min_k: usize,
+}
+
+impl Default for Ca3dmmOptions {
+    fn default() -> Self {
+        Ca3dmmOptions {
+            grid_override: None,
+            utilization_floor: gridopt::DEFAULT_UTILIZATION_FLOOR,
+            multi_shift_min_k: 0,
+        }
+    }
+}
+
+/// Summary of a configured CA3DMM run (the artifact's "CA3DMM partition
+/// info" report).
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// The chosen (or forced) grid.
+    pub grid: Grid,
+    /// Active fraction of the `P` ranks.
+    pub utilization: f64,
+    /// Per-process communication volume over the eq. 9 lower bound.
+    pub volume_ratio: f64,
+    /// Work cuboid block sizes `⌈m/pm⌉ × ⌈n/pn⌉ × ⌈k/pk⌉`.
+    pub cuboid: (usize, usize, usize),
+}
+
+/// A configured CA3DMM multiplication `C = op(A) × op(B)` on `P` ranks.
+///
+/// Construction (grid search + geometry) is pure arithmetic and identical
+/// on every rank, so a `Ca3dmm` can be built either once outside
+/// [`msgpass::World::run`] and shared, or independently inside each rank.
+pub struct Ca3dmm {
+    gc: GridContext,
+    multi_shift_min_k: usize,
+}
+
+impl Ca3dmm {
+    /// Chooses the process grid for `prob` (Algorithm 1 step 1) and builds
+    /// the geometry.
+    ///
+    /// # Panics
+    /// If a forced grid violates eq. 7 or exceeds `P`.
+    pub fn new(prob: Problem, opts: &Ca3dmmOptions) -> Self {
+        let grid = match opts.grid_override {
+            Some(g) => g,
+            None => ca3dmm_grid(&prob, opts.utilization_floor).grid,
+        };
+        Ca3dmm {
+            gc: GridContext::new(prob, grid),
+            multi_shift_min_k: opts.multi_shift_min_k,
+        }
+    }
+
+    /// The geometry of this run.
+    pub fn grid_context(&self) -> &GridContext {
+        &self.gc
+    }
+
+    /// The partition-info summary.
+    pub fn stats(&self) -> RunStats {
+        let prob = *self.gc.problem();
+        let grid = *self.gc.grid();
+        let choice = gridopt::GridChoice {
+            grid,
+            s_total: grid.surface(prob.m, prob.n, prob.k),
+        };
+        RunStats {
+            grid,
+            utilization: choice.utilization(prob.p),
+            volume_ratio: choice.volume_ratio(&prob),
+            cuboid: (
+                prob.m.div_ceil(grid.pm),
+                prob.n.div_ceil(grid.pn),
+                prob.k.div_ceil(grid.pk),
+            ),
+        }
+    }
+
+    /// The full Algorithm 1: redistributes `A` and `B` from the caller's
+    /// layouts into the native distributions (applying `op_a`/`op_b` on the
+    /// way), multiplies, and redistributes `C` into `c_layout`. Collective
+    /// over `world` (which must have `P` ranks); idle ranks participate in
+    /// the redistribution steps only, as in the paper.
+    ///
+    /// `a_layout` describes the *stored* `A` (shape `k×m` when
+    /// `op_a == Trans`), and `a_blocks` are this rank's local blocks in
+    /// that layout; likewise for `B`. Returns this rank's blocks of `C` in
+    /// `c_layout`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn multiply<T: Scalar>(
+        &self,
+        ctx: &RankCtx,
+        world: &Comm,
+        op_a: GemmOp,
+        a_layout: &Layout,
+        a_blocks: &[Mat<T>],
+        op_b: GemmOp,
+        b_layout: &Layout,
+        b_blocks: &[Mat<T>],
+        c_layout: &Layout,
+    ) -> Vec<Mat<T>> {
+        let prob = self.gc.problem();
+        assert_eq!(world.size(), prob.p, "world size must equal the problem's P");
+        assert_eq!(
+            c_layout.shape(),
+            (prob.m, prob.n),
+            "C layout shape mismatch"
+        );
+
+        // Step 4: redistribute inputs into the native layouts.
+        ctx.set_phase("redist");
+        let la = self.gc.layout_a();
+        let lb = self.gc.layout_b();
+        let a_local = redistribute(world, ctx, a_layout, a_blocks, &la, op_a);
+        let b_local = redistribute(world, ctx, b_layout, b_blocks, &lb, op_b);
+
+        // Steps 5–7 on the active ranks.
+        let c_strip = self.multiply_native(
+            ctx,
+            world,
+            a_local.into_iter().next(),
+            b_local.into_iter().next(),
+        );
+
+        // Step 8: redistribute C to the caller's layout.
+        ctx.set_phase("redist");
+        let lc = self.gc.layout_c();
+        let c_blocks: Vec<Mat<T>> = c_strip.into_iter().filter(|m| !m.is_empty()).collect();
+        redistribute(world, ctx, &lc, &c_blocks, c_layout, GemmOp::NoTrans)
+    }
+
+    /// Steps 5–7 only: inputs already in the native layouts
+    /// ([`GridContext::layout_a`] / [`GridContext::layout_b`]), output left
+    /// in the native C layout. This is the configuration §III-D analyses
+    /// (steps 4/8 skipped) and the one the strong-scaling figures call
+    /// "library-native partitioning".
+    ///
+    /// Collective over `world`. Active ranks pass their initial block
+    /// (`None` if their native rectangle is empty) and receive their final
+    /// C strip; idle ranks pass `None` and receive `None`.
+    pub fn multiply_native<T: Scalar>(
+        &self,
+        ctx: &RankCtx,
+        world: &Comm,
+        a_init: Option<Mat<T>>,
+        b_init: Option<Mat<T>>,
+    ) -> Option<Mat<T>> {
+        let gc = &self.gc;
+        let grid = gc.grid();
+        let (pk, c, s) = (grid.pk, gc.c, gc.s);
+
+        // Sub-communicators; the group lists are pure arithmetic, identical
+        // on every rank.
+        let cannon_groups: Vec<Vec<usize>> = (0..pk)
+            .flat_map(|kt| (0..c).map(move |cg| gc.cannon_group(kt, cg)))
+            .collect();
+        let cannon_comm = world.subgroup(ctx, &cannon_groups);
+
+        let repl_groups: Vec<Vec<usize>> = (0..pk)
+            .flat_map(|kt| {
+                (0..s * s).map(move |idx| {
+                    gc.replication_group(&crate::grid_ctx::RankCoord {
+                        i: idx % s,
+                        j: idx / s,
+                        cg: 0,
+                        kt,
+                    })
+                })
+            })
+            .collect();
+        let repl_comm = world.subgroup(ctx, &repl_groups);
+
+        let reduce_groups: Vec<Vec<usize>> = (0..c)
+            .flat_map(|cg| {
+                (0..s * s).map(move |idx| {
+                    gc.reduce_group(&crate::grid_ctx::RankCoord {
+                        i: idx % s,
+                        j: idx / s,
+                        cg,
+                        kt: 0,
+                    })
+                })
+            })
+            .collect();
+        let reduce_comm = world.subgroup(ctx, &reduce_groups);
+
+        if !gc.is_active(world.rank()) {
+            return None;
+        }
+        let coord = gc.coord_of(world.rank());
+
+        let a_init_rect = gc.a_init(&coord);
+        let a_blk =
+            a_init.unwrap_or_else(|| Mat::zeros(a_init_rect.rows, a_init_rect.cols));
+        assert_eq!(
+            a_blk.shape(),
+            (a_init_rect.rows, a_init_rect.cols),
+            "A block shape disagrees with the native layout"
+        );
+        let b_init_rect = gc.b_init(&coord);
+        let b_blk =
+            b_init.unwrap_or_else(|| Mat::zeros(b_init_rect.rows, b_init_rect.cols));
+        assert_eq!(
+            b_blk.shape(),
+            (b_init_rect.rows, b_init_rect.cols),
+            "B block shape disagrees with the native layout"
+        );
+
+        // Step 5: replicate A or B across the Cannon groups.
+        ctx.set_phase("replicate_ab");
+        let (a_full, b_full) = if c > 1 {
+            let rc = repl_comm.as_ref().expect("active rank has a replication group");
+            if gc.a_replicated {
+                let blk = gc.a_block(&coord);
+                let a = replicate_block(ctx, rc, a_blk, blk.rows, &slice_widths(blk.cols, c));
+                (a, b_blk)
+            } else {
+                let blk = gc.b_block(&coord);
+                let b = replicate_block(ctx, rc, b_blk, blk.rows, &slice_widths(blk.cols, c));
+                (a_blk, b)
+            }
+        } else {
+            (a_blk, b_blk)
+        };
+
+        // Step 6: Cannon within the group.
+        ctx.set_phase("cannon_shift");
+        let c_rect = gc.c_block(&coord);
+        let mut c_partial = Mat::zeros(c_rect.rows, c_rect.cols);
+        cannon_multi_shift(
+            ctx,
+            cannon_comm.as_ref().expect("active rank has a Cannon group"),
+            s,
+            coord.i,
+            coord.j,
+            a_full,
+            b_full,
+            &mut c_partial,
+            self.multi_shift_min_k,
+        );
+
+        // Step 7: reduce the pk partial results.
+        ctx.set_phase("reduce_c");
+        let strip = reduce_partial_c(
+            ctx,
+            reduce_comm.as_ref().expect("active rank has a reduce group"),
+            c_partial,
+        );
+        Some(strip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::gemm::gemm_naive;
+    use dense::part::Rect;
+    use dense::random::global_block;
+    use dense::testing::assert_gemm_close;
+    use msgpass::World;
+
+    /// End-to-end CA3DMM vs serial reference, with 1D-column user layouts
+    /// (the artifact example program's configuration).
+    fn check(m: usize, n: usize, k: usize, p: usize, op_a: GemmOp, op_b: GemmOp) {
+        check_opts(m, n, k, p, op_a, op_b, &Ca3dmmOptions::default());
+    }
+
+    fn check_opts(
+        m: usize,
+        n: usize,
+        k: usize,
+        p: usize,
+        op_a: GemmOp,
+        op_b: GemmOp,
+        opts: &Ca3dmmOptions,
+    ) {
+        // stored shapes
+        let (ar, ac) = match op_a {
+            GemmOp::NoTrans => (m, k),
+            GemmOp::Trans => (k, m),
+        };
+        let (br, bc) = match op_b {
+            GemmOp::NoTrans => (k, n),
+            GemmOp::Trans => (n, k),
+        };
+        let a_stored = global_block::<f64>(11, Rect::new(0, 0, ar, ac));
+        let b_stored = global_block::<f64>(22, Rect::new(0, 0, br, bc));
+        let a_layout = Layout::one_d_col(ar, ac, p);
+        let b_layout = Layout::one_d_col(br, bc, p);
+        let c_layout = Layout::one_d_col(m, n, p);
+
+        let mm = Ca3dmm::new(Problem::new(m, n, k, p), opts);
+        let parts = World::run(p, |ctx| {
+            let world = Comm::world(ctx);
+            let me = world.rank();
+            let a_blocks = a_layout.extract(&a_stored, me);
+            let b_blocks = b_layout.extract(&b_stored, me);
+            mm.multiply(
+                ctx, &world, op_a, &a_layout, &a_blocks, op_b, &b_layout, &b_blocks, &c_layout,
+            )
+        });
+
+        let mut c_ref = Mat::zeros(m, n);
+        gemm_naive(op_a, op_b, 1.0, &a_stored, &b_stored, 0.0, &mut c_ref);
+        let c_got = c_layout.assemble(&parts);
+        assert_gemm_close(
+            &c_got,
+            &c_ref,
+            k,
+            &format!("ca3dmm m={m} n={n} k={k} p={p} {op_a:?}{op_b:?}"),
+        );
+    }
+
+    #[test]
+    fn paper_example_1_shape() {
+        check(32, 64, 16, 8, GemmOp::NoTrans, GemmOp::NoTrans);
+    }
+
+    #[test]
+    fn paper_example_2_shape() {
+        check(32, 32, 64, 16, GemmOp::NoTrans, GemmOp::NoTrans);
+    }
+
+    #[test]
+    fn paper_example_3_idle_rank() {
+        check(32, 32, 64, 17, GemmOp::NoTrans, GemmOp::NoTrans);
+    }
+
+    #[test]
+    fn uneven_dimensions() {
+        check(33, 65, 17, 8, GemmOp::NoTrans, GemmOp::NoTrans);
+        check(29, 31, 37, 12, GemmOp::NoTrans, GemmOp::NoTrans);
+    }
+
+    #[test]
+    fn transposes() {
+        check(20, 24, 28, 8, GemmOp::Trans, GemmOp::NoTrans);
+        check(20, 24, 28, 8, GemmOp::NoTrans, GemmOp::Trans);
+        check(20, 24, 28, 8, GemmOp::Trans, GemmOp::Trans);
+    }
+
+    #[test]
+    fn single_process() {
+        check(9, 7, 5, 1, GemmOp::NoTrans, GemmOp::NoTrans);
+    }
+
+    #[test]
+    fn prime_process_count() {
+        check(24, 24, 24, 7, GemmOp::NoTrans, GemmOp::NoTrans);
+        check(24, 24, 24, 13, GemmOp::NoTrans, GemmOp::NoTrans);
+    }
+
+    #[test]
+    fn degenerate_problems() {
+        // rank-1 update
+        check(16, 16, 1, 8, GemmOp::NoTrans, GemmOp::NoTrans);
+        // matrix-vector
+        check(32, 1, 32, 8, GemmOp::NoTrans, GemmOp::NoTrans);
+        // inner product
+        check(1, 1, 64, 8, GemmOp::NoTrans, GemmOp::NoTrans);
+    }
+
+    #[test]
+    fn tall_skinny_classes() {
+        // large-K
+        check(6, 6, 240, 12, GemmOp::NoTrans, GemmOp::NoTrans);
+        // large-M
+        check(240, 6, 6, 12, GemmOp::NoTrans, GemmOp::NoTrans);
+        // flat
+        check(48, 48, 4, 12, GemmOp::NoTrans, GemmOp::NoTrans);
+    }
+
+    #[test]
+    fn forced_grids() {
+        // Table II scenario: run the same problem under several explicit
+        // grids, all must be correct.
+        for grid in [
+            Grid::new(2, 2, 4),
+            Grid::new(4, 2, 2),
+            Grid::new(2, 4, 2),
+            Grid::new(4, 4, 1),
+            Grid::new(1, 1, 16),
+            Grid::new(16, 1, 1),
+        ] {
+            check_opts(
+                24,
+                20,
+                28,
+                16,
+                GemmOp::NoTrans,
+                GemmOp::NoTrans,
+                &Ca3dmmOptions {
+                    grid_override: Some(grid),
+                    ..Default::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn f32_end_to_end() {
+        let p = 8;
+        let (m, n, k) = (16, 20, 24);
+        let a = global_block::<f32>(1, Rect::new(0, 0, m, k));
+        let b = global_block::<f32>(2, Rect::new(0, 0, k, n));
+        let la = Layout::one_d_col(m, k, p);
+        let lb = Layout::one_d_col(k, n, p);
+        let lc = Layout::one_d_col(m, n, p);
+        let mm = Ca3dmm::new(Problem::new(m, n, k, p), &Ca3dmmOptions::default());
+        let parts = World::run(p, |ctx| {
+            let world = Comm::world(ctx);
+            let me = world.rank();
+            mm.multiply(
+                ctx,
+                &world,
+                GemmOp::NoTrans,
+                &la,
+                &la.extract(&a, me),
+                GemmOp::NoTrans,
+                &lb,
+                &lb.extract(&b, me),
+                &lc,
+            )
+        });
+        let mut c_ref = Mat::<f32>::zeros(m, n);
+        gemm_naive(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a, &b, 0.0, &mut c_ref);
+        assert_gemm_close(&lc.assemble(&parts), &c_ref, k, "f32");
+    }
+
+    #[test]
+    fn stats_report() {
+        let mm = Ca3dmm::new(Problem::new(32, 32, 64, 17), &Ca3dmmOptions::default());
+        let st = mm.stats();
+        assert_eq!(st.grid, Grid::new(2, 2, 4));
+        assert!(st.utilization < 1.0 && st.utilization > 0.9);
+        assert!(st.volume_ratio >= 0.99);
+        assert_eq!(st.cuboid, (16, 16, 16));
+    }
+
+    #[test]
+    fn phases_are_labelled() {
+        // traffic report must contain the paper's phase names
+        let p = 8;
+        let (m, n, k) = (32, 64, 16); // example 1: c=2 -> replication happens
+        let a = global_block::<f64>(1, Rect::new(0, 0, m, k));
+        let b = global_block::<f64>(2, Rect::new(0, 0, k, n));
+        let la = Layout::one_d_col(m, k, p);
+        let lb = Layout::one_d_col(k, n, p);
+        let lc = Layout::one_d_col(m, n, p);
+        let mm = Ca3dmm::new(Problem::new(m, n, k, p), &Ca3dmmOptions::default());
+        let (_, report) = World::run_traced(p, |ctx| {
+            let world = Comm::world(ctx);
+            let me = world.rank();
+            mm.multiply(
+                ctx,
+                &world,
+                GemmOp::NoTrans,
+                &la,
+                &la.extract(&a, me),
+                GemmOp::NoTrans,
+                &lb,
+                &lb.extract(&b, me),
+                &lc,
+            )
+        });
+        assert!(report.phase_total("redist").bytes > 0);
+        assert!(report.phase_total("replicate_ab").bytes > 0, "c=2 must replicate");
+        assert!(report.phase_total("cannon_shift").bytes > 0);
+        // pk = 1 here: no reduce traffic
+        assert_eq!(report.phase_total("reduce_c").bytes, 0);
+    }
+}

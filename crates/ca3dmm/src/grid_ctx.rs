@@ -1,0 +1,469 @@
+//! Process-grid geometry: who sits where, and which block of which matrix
+//! each rank touches (Algorithm 1 steps 2–3 and the partitionings of
+//! §III-B).
+//!
+//! Rank order is "column-major" as in the paper: all ranks of the same
+//! k-task group are contiguous, and within it all ranks of the same Cannon
+//! group are contiguous:
+//!
+//! ```text
+//! world_rank = kt·(pm·pn) + cg·s² + (i + j·s)
+//! ```
+//!
+//! with `kt` the k-task group, `cg` the Cannon group, `(i, j)` the position
+//! in the `s × s` Cannon grid (`i` along m, `j` along n). Ranks
+//! `≥ pm·pn·pk` are idle outside the redistribution steps.
+
+use dense::part::{even_range, Rect};
+use gridopt::{Grid, Problem};
+use layout::Layout;
+
+/// A rank's position in the 3D organization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankCoord {
+    /// Row in the Cannon grid (m-direction), `0..s`.
+    pub i: usize,
+    /// Column in the Cannon grid (n-direction), `0..s`.
+    pub j: usize,
+    /// Cannon group within the k-task group, `0..c`.
+    pub cg: usize,
+    /// k-task group, `0..pk`.
+    pub kt: usize,
+}
+
+/// All the geometry of one CA3DMM run: grid, group structure, and the
+/// global rectangles of every block. Everything here is pure arithmetic —
+/// every rank computes the same answers with no communication, which is why
+/// CA3DMM needs no membership negotiation.
+#[derive(Clone, Debug)]
+pub struct GridContext {
+    prob: Problem,
+    grid: Grid,
+    /// Cannon grid side `s = min(pm, pn)`.
+    pub s: usize,
+    /// Cannon groups per k-task group, `c = max(pm,pn)/min(pm,pn)` (eq. 8).
+    pub c: usize,
+    /// True when `pn > pm`: the Cannon groups partition the n-dimension and
+    /// `A` is the replicated operand; otherwise `B` is (when `c > 1`).
+    pub a_replicated: bool,
+}
+
+impl GridContext {
+    /// Builds the geometry.
+    ///
+    /// # Panics
+    /// If the grid violates eq. 7 or uses more ranks than the problem has.
+    pub fn new(prob: Problem, grid: Grid) -> Self {
+        assert!(grid.cannon_compatible(), "grid violates eq. 7: {grid:?}");
+        assert!(
+            grid.active() <= prob.p,
+            "grid {grid:?} needs more ranks than P = {}",
+            prob.p
+        );
+        GridContext {
+            prob,
+            grid,
+            s: grid.cannon_s(),
+            c: grid.cannon_c(),
+            a_replicated: grid.pn > grid.pm,
+        }
+    }
+
+    /// The problem this geometry was built for.
+    pub fn problem(&self) -> &Problem {
+        &self.prob
+    }
+
+    /// The process grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Number of active ranks `pm·pn·pk`.
+    pub fn active(&self) -> usize {
+        self.grid.active()
+    }
+
+    /// Whether a world rank participates beyond redistribution.
+    pub fn is_active(&self, world_rank: usize) -> bool {
+        world_rank < self.active()
+    }
+
+    /// Coordinates of an active world rank.
+    ///
+    /// # Panics
+    /// If the rank is idle.
+    pub fn coord_of(&self, world_rank: usize) -> RankCoord {
+        assert!(self.is_active(world_rank), "rank {world_rank} is idle");
+        let per_kt = self.grid.pm * self.grid.pn;
+        let kt = world_rank / per_kt;
+        let rem = world_rank % per_kt;
+        let cg = rem / (self.s * self.s);
+        let idx = rem % (self.s * self.s);
+        RankCoord {
+            i: idx % self.s,
+            j: idx / self.s,
+            cg,
+            kt,
+        }
+    }
+
+    /// World rank of a coordinate (inverse of [`GridContext::coord_of`]).
+    pub fn rank_of(&self, c: RankCoord) -> usize {
+        debug_assert!(c.i < self.s && c.j < self.s && c.cg < self.c && c.kt < self.grid.pk);
+        c.kt * self.grid.pm * self.grid.pn + c.cg * self.s * self.s + c.i + c.j * self.s
+    }
+
+    /// Index of this rank's row block in the global `pm`-way m-partition.
+    pub fn row_part(&self, c: &RankCoord) -> usize {
+        if self.a_replicated {
+            c.i // pm == s
+        } else {
+            c.cg * self.s + c.i
+        }
+    }
+
+    /// Index of this rank's column block in the global `pn`-way n-partition.
+    pub fn col_part(&self, c: &RankCoord) -> usize {
+        if self.a_replicated {
+            c.cg * self.s + c.j
+        } else {
+            c.j // pn == s
+        }
+    }
+
+    /// Row range `[start, end)` of m-part `idx`.
+    pub fn m_range(&self, idx: usize) -> (usize, usize) {
+        even_range(self.prob.m, self.grid.pm, idx)
+    }
+
+    /// Column range of n-part `idx`.
+    pub fn n_range(&self, idx: usize) -> (usize, usize) {
+        even_range(self.prob.n, self.grid.pn, idx)
+    }
+
+    /// The k-range `[start, end)` of k-task group `kt` (the rank-`k/pk`
+    /// update it owns).
+    pub fn k_outer(&self, kt: usize) -> (usize, usize) {
+        even_range(self.prob.k, self.grid.pk, kt)
+    }
+
+    /// The `l`-th of the `s` k-sub-ranges Cannon circulates within k-task
+    /// group `kt`, in global k coordinates.
+    pub fn k_inner(&self, kt: usize, l: usize) -> (usize, usize) {
+        let (ks, ke) = self.k_outer(kt);
+        let (a, b) = even_range(ke - ks, self.s, l);
+        (ks + a, ks + b)
+    }
+
+    /// Global rectangle of the (skew-free) Cannon block of `A` at a
+    /// coordinate: row part × k-sub-range `j`.
+    pub fn a_block(&self, c: &RankCoord) -> Rect {
+        let (r0, r1) = self.m_range(self.row_part(c));
+        let (k0, k1) = self.k_inner(c.kt, c.j);
+        Rect::new(r0, k0, r1 - r0, k1 - k0)
+    }
+
+    /// Global rectangle of the (skew-free) Cannon block of `B`:
+    /// k-sub-range `i` × column part.
+    pub fn b_block(&self, c: &RankCoord) -> Rect {
+        let (k0, k1) = self.k_inner(c.kt, c.i);
+        let (c0, c1) = self.n_range(self.col_part(c));
+        Rect::new(k0, c0, k1 - k0, c1 - c0)
+    }
+
+    /// Global rectangle of this rank's C block (the partial result its
+    /// Cannon run produces).
+    pub fn c_block(&self, c: &RankCoord) -> Rect {
+        let (r0, r1) = self.m_range(self.row_part(c));
+        let (c0, c1) = self.n_range(self.col_part(c));
+        Rect::new(r0, c0, r1 - r0, c1 - c0)
+    }
+
+    /// The initially stored slice of the A block: when `A` is replicated
+    /// (`pn > pm`, `c > 1`) each of the `c` peer ranks holds a distinct
+    /// `1/c` column-slice, completed by allgather (step 5); otherwise the
+    /// full block.
+    pub fn a_init(&self, c: &RankCoord) -> Rect {
+        let blk = self.a_block(c);
+        if self.a_replicated && self.c > 1 {
+            let (o0, o1) = even_range(blk.cols, self.c, c.cg);
+            Rect::new(blk.row0, blk.col0 + o0, blk.rows, o1 - o0)
+        } else {
+            blk
+        }
+    }
+
+    /// The initially stored slice of the B block (symmetric to
+    /// [`GridContext::a_init`]).
+    pub fn b_init(&self, c: &RankCoord) -> Rect {
+        let blk = self.b_block(c);
+        if !self.a_replicated && self.c > 1 {
+            let (o0, o1) = even_range(blk.cols, self.c, c.cg);
+            Rect::new(blk.row0, blk.col0 + o0, blk.rows, o1 - o0)
+        } else {
+            blk
+        }
+    }
+
+    /// The final C strip this rank owns after the reduce-scatter (step 7):
+    /// row-strip `kt` of its C block.
+    pub fn c_final(&self, c: &RankCoord) -> Rect {
+        let blk = self.c_block(c);
+        let (o0, o1) = even_range(blk.rows, self.grid.pk, c.kt);
+        Rect::new(blk.row0 + o0, blk.col0, o1 - o0, blk.cols)
+    }
+
+    /// World ranks holding slices of the same replicated block as `c` (the
+    /// allgather group of step 5): same `(i, j, kt)`, all Cannon groups.
+    pub fn replication_group(&self, c: &RankCoord) -> Vec<usize> {
+        (0..self.c)
+            .map(|cg| self.rank_of(RankCoord { cg, ..*c }))
+            .collect()
+    }
+
+    /// World ranks holding partial results of the same C block (the
+    /// reduce-scatter group of step 7): same `(i, j, cg)`, all k-task
+    /// groups.
+    pub fn reduce_group(&self, c: &RankCoord) -> Vec<usize> {
+        (0..self.grid.pk)
+            .map(|kt| self.rank_of(RankCoord { kt, ..*c }))
+            .collect()
+    }
+
+    /// World ranks of a Cannon group, in `idx = i + j·s` order.
+    pub fn cannon_group(&self, kt: usize, cg: usize) -> Vec<usize> {
+        (0..self.s * self.s)
+            .map(|idx| {
+                self.rank_of(RankCoord {
+                    i: idx % self.s,
+                    j: idx / self.s,
+                    cg,
+                    kt,
+                })
+            })
+            .collect()
+    }
+
+    /// Native input layout of `op(A)` (`m × k`) over all `P` world ranks
+    /// (idle ranks own nothing). This is the distribution Algorithm 1
+    /// step 4 redistributes into.
+    pub fn layout_a(&self) -> Layout {
+        self.layout_of(|ctx, coord| ctx.a_init(coord), self.prob.m, self.prob.k)
+    }
+
+    /// Native input layout of `op(B)` (`k × n`).
+    pub fn layout_b(&self) -> Layout {
+        self.layout_of(|ctx, coord| ctx.b_init(coord), self.prob.k, self.prob.n)
+    }
+
+    /// Native output layout of `C` (`m × n`) — the distribution step 8
+    /// redistributes out of.
+    pub fn layout_c(&self) -> Layout {
+        self.layout_of(|ctx, coord| ctx.c_final(coord), self.prob.m, self.prob.n)
+    }
+
+    fn layout_of(
+        &self,
+        rect_of: impl Fn(&GridContext, &RankCoord) -> Rect,
+        rows: usize,
+        cols: usize,
+    ) -> Layout {
+        let rects = (0..self.prob.p)
+            .map(|r| {
+                if self.is_active(r) {
+                    let coord = self.coord_of(r);
+                    let rect = rect_of(self, &coord);
+                    if rect.is_empty() {
+                        vec![]
+                    } else {
+                        vec![rect]
+                    }
+                } else {
+                    vec![]
+                }
+            })
+            .collect();
+        Layout::from_rects(rows, cols, rects)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(m: usize, n: usize, k: usize, p: usize, pm: usize, pn: usize, pk: usize) -> GridContext {
+        GridContext::new(Problem::new(m, n, k, p), Grid::new(pm, pn, pk))
+    }
+
+    #[test]
+    fn coord_rank_round_trip() {
+        let g = ctx(64, 64, 64, 24, 4, 2, 3);
+        for r in 0..g.active() {
+            assert_eq!(g.rank_of(g.coord_of(r)), r);
+        }
+    }
+
+    #[test]
+    fn column_major_contiguity() {
+        // Same k-task group and Cannon group => contiguous ranks.
+        let g = ctx(64, 64, 64, 24, 4, 2, 3);
+        assert_eq!(g.s, 2);
+        assert_eq!(g.c, 2);
+        for kt in 0..3 {
+            for cg in 0..2 {
+                let ranks = g.cannon_group(kt, cg);
+                for w in ranks.windows(2) {
+                    assert_eq!(w[1], w[0] + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn example1_geometry() {
+        // Paper Example 1: m=32, k=16, n=64, P=8, grid pm=2, pn=4, pk=1.
+        let g = ctx(32, 64, 16, 8, 2, 4, 1);
+        assert_eq!(g.s, 2);
+        assert_eq!(g.c, 2);
+        assert!(g.a_replicated);
+        // rank 0 = (i=0,j=0,cg=0): C block = rows 0..16, cols 0..16
+        let c0 = g.coord_of(0);
+        assert_eq!(g.c_block(&c0), Rect::new(0, 0, 16, 16));
+        // rank 4 = first rank of Cannon group 1: C cols 32..48
+        let c4 = g.coord_of(4);
+        assert_eq!(c4.cg, 1);
+        assert_eq!(g.c_block(&c4), Rect::new(0, 32, 16, 16));
+        // A block of rank 0: rows 0..16, k 0..8; its initial slice is half
+        // of that (c = 2), and rank 4 holds the other slice of ITS block.
+        assert_eq!(g.a_block(&c0), Rect::new(0, 0, 16, 8));
+        assert_eq!(g.a_init(&c0), Rect::new(0, 0, 16, 4));
+        assert_eq!(g.a_init(&c4), Rect::new(0, 4, 16, 4));
+        // replication group of rank 0 = {0, 4}
+        assert_eq!(g.replication_group(&c0), vec![0, 4]);
+    }
+
+    #[test]
+    fn example2_geometry() {
+        // Paper Example 2: m=n=32, k=64, P=16, grid 2x2x4.
+        let g = ctx(32, 32, 64, 16, 2, 2, 4);
+        assert_eq!((g.s, g.c), (2, 1));
+        // k-task group kt computes A(:, kt*16..) x B(kt*16.., :)
+        assert_eq!(g.k_outer(0), (0, 16));
+        assert_eq!(g.k_outer(3), (48, 64));
+        // ranks 0,4,8,12 share C(0..16, 0..16)
+        let c0 = g.coord_of(0);
+        assert_eq!(g.reduce_group(&c0), vec![0, 4, 8, 12]);
+        for kt in 0..4 {
+            let c = g.coord_of(kt * 4);
+            assert_eq!(g.c_block(&c), Rect::new(0, 0, 16, 16));
+            // final strip: row-partitioned into pk=4 strips of 4 rows
+            assert_eq!(g.c_final(&c), Rect::new(kt * 4, 0, 4, 16));
+        }
+    }
+
+    #[test]
+    fn example3_idle_rank() {
+        let g = ctx(32, 32, 64, 17, 2, 2, 4);
+        assert!(g.is_active(15));
+        assert!(!g.is_active(16));
+        // idle rank owns nothing in every native layout
+        assert_eq!(g.layout_a().owned(16), &[] as &[Rect]);
+        assert_eq!(g.layout_c().owned(16), &[] as &[Rect]);
+    }
+
+    #[test]
+    fn native_layouts_tile_exactly() {
+        // Layout::from_rects validates disjointness + coverage; exercising
+        // it across shapes, both replication directions, and uneven sizes
+        // is the strongest geometry test we have.
+        let cases = [
+            (32, 64, 16, 8, 2, 4, 1),   // paper ex. 1 (A replicated)
+            (64, 32, 16, 8, 4, 2, 1),   // mirrored (B replicated)
+            (32, 32, 64, 16, 2, 2, 4),  // paper ex. 2
+            (32, 32, 64, 17, 2, 2, 4),  // paper ex. 3 (idle rank)
+            (33, 65, 17, 8, 2, 4, 1),   // uneven everything
+            (7, 5, 11, 13, 2, 2, 3),    // tiny, idle rank
+            (10, 3, 40, 12, 1, 1, 12),  // pure 1D-k
+            (40, 3, 3, 12, 12, 1, 1),   // pure 1D-m
+            (3, 40, 3, 12, 1, 12, 1),   // pure 1D-n
+            (13, 17, 19, 24, 6, 2, 2),  // c = 3, B replicated
+            (17, 13, 19, 24, 2, 6, 2),  // c = 3, A replicated
+            (2, 2, 2, 30, 2, 2, 2),     // dims smaller than some splits
+        ];
+        for &(m, n, k, p, pm, pn, pk) in &cases {
+            let g = ctx(m, n, k, p, pm, pn, pk);
+            g.layout_a().validate();
+            g.layout_b().validate();
+            g.layout_c().validate();
+        }
+    }
+
+    #[test]
+    fn a_blocks_cover_a_within_ktask_group() {
+        // For a fixed kt, the union of a_block over (i, j, cg) covers
+        // m × kb with multiplicity c when A is replicated, 1 otherwise.
+        let g = ctx(33, 65, 17, 8, 2, 4, 1);
+        let mut count = vec![0u32; 33 * 17];
+        for r in 0..g.active() {
+            let coord = g.coord_of(r);
+            let blk = g.a_block(&coord);
+            for i in blk.row0..blk.row_end() {
+                for j in blk.col0..blk.col_end() {
+                    count[i * 17 + j] += 1;
+                }
+            }
+        }
+        assert!(count.iter().all(|&v| v == g.c as u32));
+    }
+
+    #[test]
+    fn replication_groups_partition_blocks() {
+        // The c members of a replication group hold disjoint slices whose
+        // union is the block.
+        let g = ctx(17, 13, 19, 24, 2, 6, 2);
+        for r in 0..g.active() {
+            let coord = g.coord_of(r);
+            let blk = g.a_block(&coord);
+            let group = g.replication_group(&coord);
+            assert_eq!(group.len(), 3);
+            let slices: Vec<Rect> = group
+                .iter()
+                .map(|&w| g.a_init(&g.coord_of(w)))
+                .collect();
+            let area: usize = slices.iter().map(Rect::area).sum();
+            assert_eq!(area, blk.area());
+            for s in &slices {
+                assert!(blk.contains(s) || s.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn k_inner_ranges_tile_k_outer() {
+        let g = ctx(10, 10, 47, 12, 2, 2, 3);
+        for kt in 0..3 {
+            let (ks, ke) = g.k_outer(kt);
+            let mut cur = ks;
+            for l in 0..g.s {
+                let (a, b) = g.k_inner(kt, l);
+                assert_eq!(a, cur);
+                cur = b;
+            }
+            assert_eq!(cur, ke);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "violates eq. 7")]
+    fn bad_grid_rejected() {
+        let _ = ctx(8, 8, 8, 6, 2, 3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "is idle")]
+    fn idle_coord_rejected() {
+        let g = ctx(32, 32, 64, 17, 2, 2, 4);
+        let _ = g.coord_of(16);
+    }
+}

@@ -1,0 +1,64 @@
+//! Message helpers: matrices on the wire.
+
+use dense::{Mat, Scalar};
+use msgpass::Payload;
+
+/// A matrix block as a message payload. Dimensions travel with the data
+/// because Cannon's shifts move blocks of varying shape when the matrix
+/// dimensions do not divide evenly.
+///
+/// Only the element data counts as payload bytes: in MPI the shape would be
+/// encoded by the datatype/count arguments, which the paper's volume
+/// analysis (and therefore our traffic accounting) does not charge.
+#[derive(Clone)]
+pub struct BlockMsg<T: Scalar> {
+    /// Rows of the block.
+    pub rows: usize,
+    /// Columns of the block.
+    pub cols: usize,
+    /// Row-major elements.
+    pub data: Vec<T>,
+}
+
+impl<T: Scalar> Payload for BlockMsg<T> {
+    fn nbytes(&self) -> usize {
+        std::mem::size_of_val(self.data.as_slice())
+    }
+}
+
+/// Wraps a matrix for sending.
+pub fn to_msg<T: Scalar>(m: Mat<T>) -> BlockMsg<T> {
+    let (rows, cols) = m.shape();
+    BlockMsg {
+        rows,
+        cols,
+        data: m.into_vec(),
+    }
+}
+
+/// Unwraps a received matrix.
+pub fn from_msg<T: Scalar>(msg: BlockMsg<T>) -> Mat<T> {
+    Mat::from_vec(msg.rows, msg.cols, msg.data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let m = Mat::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        let msg = to_msg(m.clone());
+        assert_eq!((msg.rows, msg.cols), (3, 4));
+        let back = from_msg(msg);
+        assert_eq!(back.max_abs_diff(&m), 0.0);
+    }
+
+    #[test]
+    fn payload_counts_only_elements() {
+        let m = Mat::<f64>::zeros(2, 3);
+        assert_eq!(to_msg(m).nbytes(), 6 * 8);
+        let m = Mat::<f32>::zeros(0, 5);
+        assert_eq!(to_msg(m).nbytes(), 0);
+    }
+}

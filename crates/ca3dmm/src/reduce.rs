@@ -1,0 +1,107 @@
+//! Reduce-scatter of partial C results (Algorithm 1 step 7).
+//!
+//! The `pk` ranks holding partial results of the same C block reduce-scatter
+//! them; rank `kt` keeps row-strip `kt` of the summed block. Row strips are
+//! contiguous in row-major storage, so the strip boundaries map directly to
+//! the flat `counts` of the reduce-scatter. (The paper allows row or column
+//! partitioning here; the artifact's examples show either. We use rows.)
+
+use dense::part::{even_range, split_even};
+use dense::{Mat, Scalar};
+use msgpass::collectives::reduce_scatter;
+use msgpass::{Comm, RankCtx};
+
+/// Reduces `pk` partial C blocks (one per member of `group`, all the same
+/// shape) and returns this rank's row strip of the sum. `group` orders
+/// members by k-task group index.
+pub fn reduce_partial_c<T: Scalar>(ctx: &RankCtx, group: &Comm, partial: Mat<T>) -> Mat<T> {
+    let pk = group.size();
+    if pk == 1 {
+        return partial;
+    }
+    let (rows, cols) = partial.shape();
+    let strip_rows = split_even(rows, pk);
+    let counts: Vec<usize> = strip_rows.iter().map(|r| r * cols).collect();
+    let mine = reduce_scatter(group, ctx, partial.into_vec(), &counts);
+    Mat::from_vec(strip_rows[group.rank()], cols, mine)
+}
+
+/// The row range (within the block) of the strip member `kt` keeps.
+pub fn strip_range(rows: usize, pk: usize, kt: usize) -> (usize, usize) {
+    even_range(rows, pk, kt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::part::Rect;
+    use dense::random::global_block;
+    use msgpass::World;
+
+    #[test]
+    fn strips_sum_contributions() {
+        let rows = 7;
+        let cols = 5;
+        let pk = 3;
+        // member kt contributes the global block with seed kt
+        let results = World::run(pk, |ctx| {
+            let comm = Comm::world(ctx);
+            let part = global_block::<f64>(comm.rank() as u64, Rect::new(0, 0, rows, cols));
+            reduce_partial_c(ctx, &comm, part)
+        });
+        let mut want = Mat::<f64>::zeros(rows, cols);
+        for kt in 0..pk {
+            want.add_assign(&global_block::<f64>(kt as u64, Rect::new(0, 0, rows, cols)));
+        }
+        for (kt, strip) in results.iter().enumerate() {
+            let (r0, r1) = strip_range(rows, pk, kt);
+            let expect = want.block(Rect::new(r0, 0, r1 - r0, cols));
+            assert!(strip.max_abs_diff(&expect) < 1e-12, "strip {kt}");
+        }
+    }
+
+    #[test]
+    fn single_member_keeps_everything() {
+        let results = World::run(1, |ctx| {
+            let comm = Comm::world(ctx);
+            let part = global_block::<f64>(1, Rect::new(0, 0, 4, 4));
+            reduce_partial_c(ctx, &comm, part)
+        });
+        assert_eq!(results[0].shape(), (4, 4));
+    }
+
+    #[test]
+    fn more_members_than_rows() {
+        // rows < pk: some strips are empty
+        let rows = 2;
+        let pk = 4;
+        let results = World::run(pk, |ctx| {
+            let comm = Comm::world(ctx);
+            let part = Mat::<f64>::from_fn(rows, 3, |_, _| 1.0);
+            reduce_partial_c(ctx, &comm, part)
+        });
+        assert_eq!(results[0].shape(), (1, 3));
+        assert_eq!(results[3].shape(), (0, 3));
+        assert!(results[0].as_slice().iter().all(|&v| v == pk as f64));
+    }
+
+    #[test]
+    fn reduce_volume_is_ring_bound() {
+        let rows = 8;
+        let cols = 4;
+        let pk = 4;
+        let (_, report) = World::run_traced(pk, |ctx| {
+            let comm = Comm::world(ctx);
+            ctx.set_phase("reduce_c");
+            let part = Mat::<f64>::from_fn(rows, cols, |_, _| 1.0);
+            reduce_partial_c(ctx, &comm, part)
+        });
+        // ring reduce-scatter: each rank sends (pk-1)/pk of the block
+        for r in 0..pk {
+            assert_eq!(
+                report.phase(r, "reduce_c").bytes as usize,
+                (pk - 1) * (rows / pk) * cols * 8
+            );
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Local (shared-memory) matrix multiplication.
+//!
+//! Plays the role of the OpenMP-parallel BLAS library in the paper's
+//! artifact (§III-F: "Local (shared-memory) matrix multiplications are
+//! handled by an OpenMP-parallelized BLAS library"). The implementation is a
+//! straightforward blocked kernel:
+//!
+//! * the `i–l–j` loop order streams both `C` and `B` rows through cache for
+//!   row-major storage;
+//! * `l`/`j` tiling keeps the working set of the inner kernel resident in L1/L2;
+//! * row-blocks of `C` are distributed over a rayon thread pool (each thread
+//!   owns a disjoint slice of `C`, so the kernel is data-race free by
+//!   construction);
+//! * transposed operands are materialized once up front (the classic "pack"
+//!   step) rather than strided through.
+//!
+//! This will not beat MKL, and does not need to: every algorithm in the
+//! workspace pays the same local-GEMM price, and the paper's comparisons are
+//! about communication.
+
+use crate::mat::Mat;
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// Whether an operand is used as-is or transposed (the `op()` of
+/// `C = op(A) × op(B)` in the paper, eq. after (8)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GemmOp {
+    /// Use the operand as stored.
+    NoTrans,
+    /// Use the transpose of the operand.
+    Trans,
+}
+
+impl GemmOp {
+    /// Parses the artifact CLI's `0`/`1` convention.
+    pub fn from_flag(flag: u32) -> Self {
+        if flag == 0 {
+            GemmOp::NoTrans
+        } else {
+            GemmOp::Trans
+        }
+    }
+
+    /// The shape of `op(X)` given the stored shape of `X`.
+    pub fn apply_shape(&self, rows: usize, cols: usize) -> (usize, usize) {
+        match self {
+            GemmOp::NoTrans => (rows, cols),
+            GemmOp::Trans => (cols, rows),
+        }
+    }
+}
+
+/// Number of `l` (inner dimension) steps per cache tile.
+const TILE_L: usize = 128;
+/// Number of `j` (C columns) per cache tile.
+const TILE_J: usize = 256;
+/// Rows of `C` handled per rayon task.
+const ROW_BLOCK: usize = 32;
+
+/// `C = alpha * op(A) * op(B) + beta * C`, blocked and thread-parallel.
+///
+/// Shapes after applying the ops must agree:
+/// `op(A): m×k`, `op(B): k×n`, `C: m×n`.
+///
+/// # Panics
+/// On any shape mismatch.
+pub fn gemm<T: Scalar>(
+    op_a: GemmOp,
+    op_b: GemmOp,
+    alpha: T,
+    a: &Mat<T>,
+    b: &Mat<T>,
+    beta: T,
+    c: &mut Mat<T>,
+) {
+    // Materialize transposes once; the kernel below then only ever sees
+    // row-major NoTrans operands.
+    let at;
+    let a_eff: &Mat<T> = match op_a {
+        GemmOp::NoTrans => a,
+        GemmOp::Trans => {
+            at = a.transpose();
+            &at
+        }
+    };
+    let bt;
+    let b_eff: &Mat<T> = match op_b {
+        GemmOp::NoTrans => b,
+        GemmOp::Trans => {
+            bt = b.transpose();
+            &bt
+        }
+    };
+
+    let (m, k) = a_eff.shape();
+    let (kb, n) = b_eff.shape();
+    assert_eq!(k, kb, "inner dimensions disagree: op(A) is {m}x{k}, op(B) is {kb}x{n}");
+    assert_eq!(
+        c.shape(),
+        (m, n),
+        "C is {:?}, expected {m}x{n}",
+        c.shape()
+    );
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    let a_data = a_eff.as_slice();
+    let b_data = b_eff.as_slice();
+
+    c.as_mut_slice()
+        .par_chunks_mut(ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_rows)| {
+            let i0 = blk * ROW_BLOCK;
+            let rows_here = c_rows.len() / n;
+            // beta scaling first
+            if beta != T::ONE {
+                if beta == T::ZERO {
+                    c_rows.fill(T::ZERO);
+                } else {
+                    for v in c_rows.iter_mut() {
+                        *v *= beta;
+                    }
+                }
+            }
+            if k == 0 || alpha == T::ZERO {
+                return;
+            }
+            for l0 in (0..k).step_by(TILE_L) {
+                let lmax = (l0 + TILE_L).min(k);
+                for j0 in (0..n).step_by(TILE_J) {
+                    let jmax = (j0 + TILE_J).min(n);
+                    for di in 0..rows_here {
+                        let i = i0 + di;
+                        let c_row = &mut c_rows[di * n + j0..di * n + jmax];
+                        for l in l0..lmax {
+                            let aval = alpha * a_data[i * k + l];
+                            if aval == T::ZERO {
+                                continue;
+                            }
+                            let b_row = &b_data[l * n + j0..l * n + jmax];
+                            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                                *cv += aval * *bv;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+}
+
+/// Triple-loop reference kernel, used only by tests to validate [`gemm`].
+pub fn gemm_naive<T: Scalar>(
+    op_a: GemmOp,
+    op_b: GemmOp,
+    alpha: T,
+    a: &Mat<T>,
+    b: &Mat<T>,
+    beta: T,
+    c: &mut Mat<T>,
+) {
+    let (m, k) = op_a.apply_shape(a.rows(), a.cols());
+    let (kb, n) = op_b.apply_shape(b.rows(), b.cols());
+    assert_eq!(k, kb, "inner dimensions disagree");
+    assert_eq!(c.shape(), (m, n), "C shape mismatch");
+    let av = |i: usize, l: usize| match op_a {
+        GemmOp::NoTrans => a.get(i, l),
+        GemmOp::Trans => a.get(l, i),
+    };
+    let bv = |l: usize, j: usize| match op_b {
+        GemmOp::NoTrans => b.get(l, j),
+        GemmOp::Trans => b.get(j, l),
+    };
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = T::ZERO;
+            for l in 0..k {
+                acc += av(i, l) * bv(l, j);
+            }
+            let old = c.get(i, j);
+            c.set(i, j, alpha * acc + beta * old);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::fill_random;
+
+    fn check_against_naive(
+        m: usize,
+        n: usize,
+        k: usize,
+        op_a: GemmOp,
+        op_b: GemmOp,
+        alpha: f64,
+        beta: f64,
+    ) {
+        let (ar, ac) = match op_a {
+            GemmOp::NoTrans => (m, k),
+            GemmOp::Trans => (k, m),
+        };
+        let (br, bc) = match op_b {
+            GemmOp::NoTrans => (k, n),
+            GemmOp::Trans => (n, k),
+        };
+        let mut a = Mat::<f64>::zeros(ar, ac);
+        let mut b = Mat::<f64>::zeros(br, bc);
+        let mut c = Mat::<f64>::zeros(m, n);
+        fill_random(&mut a, 1);
+        fill_random(&mut b, 2);
+        fill_random(&mut c, 3);
+        let mut c_ref = c.clone();
+
+        gemm(op_a, op_b, alpha, &a, &b, beta, &mut c);
+        gemm_naive(op_a, op_b, alpha, &a, &b, beta, &mut c_ref);
+        let tol = 1e-12 * (k.max(1) as f64);
+        assert!(
+            c.max_abs_diff(&c_ref) < tol,
+            "mismatch m={m} n={n} k={k} {op_a:?} {op_b:?}"
+        );
+    }
+
+    #[test]
+    fn matches_naive_square() {
+        check_against_naive(33, 33, 33, GemmOp::NoTrans, GemmOp::NoTrans, 1.0, 0.0);
+    }
+
+    #[test]
+    fn matches_naive_rect_all_ops() {
+        for &(op_a, op_b) in &[
+            (GemmOp::NoTrans, GemmOp::NoTrans),
+            (GemmOp::Trans, GemmOp::NoTrans),
+            (GemmOp::NoTrans, GemmOp::Trans),
+            (GemmOp::Trans, GemmOp::Trans),
+        ] {
+            check_against_naive(17, 29, 41, op_a, op_b, 1.0, 0.0);
+        }
+    }
+
+    #[test]
+    fn alpha_beta_combinations() {
+        check_against_naive(10, 12, 14, GemmOp::NoTrans, GemmOp::NoTrans, 2.5, 0.5);
+        check_against_naive(10, 12, 14, GemmOp::Trans, GemmOp::Trans, -1.0, 1.0);
+        check_against_naive(10, 12, 14, GemmOp::NoTrans, GemmOp::NoTrans, 0.0, 2.0);
+    }
+
+    #[test]
+    fn sizes_crossing_tile_boundaries() {
+        check_against_naive(65, 300, 200, GemmOp::NoTrans, GemmOp::NoTrans, 1.0, 0.0);
+        check_against_naive(1, 1, 513, GemmOp::NoTrans, GemmOp::NoTrans, 1.0, 0.0);
+        check_against_naive(513, 1, 1, GemmOp::NoTrans, GemmOp::NoTrans, 1.0, 0.0);
+    }
+
+    #[test]
+    fn degenerate_dimensions() {
+        // k = 0 with beta = 0 must zero C
+        let a = Mat::<f64>::zeros(3, 0);
+        let b = Mat::<f64>::zeros(0, 4);
+        let mut c = Mat::from_fn(3, 4, |_, _| 7.0);
+        gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a, &b, 0.0, &mut c);
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+
+        // m = 0 / n = 0 are no-ops
+        let a = Mat::<f64>::zeros(0, 5);
+        let b = Mat::<f64>::zeros(5, 4);
+        let mut c = Mat::<f64>::zeros(0, 4);
+        gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a, &b, 0.0, &mut c);
+    }
+
+    #[test]
+    fn f32_instantiation() {
+        let a = Mat::<f32>::from_fn(8, 8, |i, j| (i + j) as f32 * 0.25);
+        let b = Mat::<f32>::from_fn(8, 8, |i, j| (i as f32 - j as f32) * 0.5);
+        let mut c = Mat::<f32>::zeros(8, 8);
+        let mut c_ref = Mat::<f32>::zeros(8, 8);
+        gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a, &b, 0.0, &mut c);
+        gemm_naive(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a, &b, 0.0, &mut c_ref);
+        assert!(c.max_abs_diff(&c_ref) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn shape_mismatch_panics() {
+        let a = Mat::<f64>::zeros(2, 3);
+        let b = Mat::<f64>::zeros(4, 2);
+        let mut c = Mat::<f64>::zeros(2, 2);
+        gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a, &b, 0.0, &mut c);
+    }
+
+    #[test]
+    fn op_shape_helper() {
+        assert_eq!(GemmOp::NoTrans.apply_shape(2, 3), (2, 3));
+        assert_eq!(GemmOp::Trans.apply_shape(2, 3), (3, 2));
+        assert_eq!(GemmOp::from_flag(0), GemmOp::NoTrans);
+        assert_eq!(GemmOp::from_flag(1), GemmOp::Trans);
+    }
+}

@@ -1,0 +1,33 @@
+//! Dense matrix substrate for the CA3DMM reproduction.
+//!
+//! This crate provides everything the distributed algorithms need from a
+//! *local* linear-algebra library (the role Intel MKL plays in the paper's
+//! artifact):
+//!
+//! * [`Mat`] — an owned, row-major dense matrix over any [`Scalar`]
+//!   (`f32`/`f64`), with block read/write views;
+//! * [`gemm`](mod@gemm) — a blocked, cache-tiled, rayon-parallel local matrix
+//!   multiplication `C += alpha * op(A) * op(B)`, plus a naive reference
+//!   kernel used to validate it;
+//! * [`part`] — block-partition arithmetic: [`part::split_even`] (the
+//!   paper's ⌈d/p⌉ / ⌊d/p⌋ partitioning), [`part::Rect`] rectangle algebra
+//!   used by the redistribution subroutine;
+//! * [`linalg`] — small serial kernels (Cholesky, triangular inverse/solve)
+//!   for the driver applications;
+//! * [`random`] — seeded random fills so every distributed test is
+//!   reproducible;
+//! * [`testing`] — tolerance helpers for comparing distributed results to
+//!   serial references.
+
+pub mod gemm;
+pub mod linalg;
+pub mod mat;
+pub mod part;
+pub mod random;
+pub mod scalar;
+pub mod testing;
+
+pub use gemm::{gemm, gemm_naive, GemmOp};
+pub use mat::Mat;
+pub use part::{split_even, Rect};
+pub use scalar::Scalar;

@@ -1,0 +1,356 @@
+//! Owned row-major dense matrices with block accessors.
+
+use crate::part::Rect;
+use crate::scalar::Scalar;
+
+/// An owned, row-major, densely stored matrix.
+///
+/// `Mat` is deliberately minimal: the distributed algorithms only ever need
+/// contiguous local blocks, block copies in and out (for packing messages),
+/// transposition, and elementwise accumulation. Leading-dimension tricks are
+/// avoided — every `Mat` owns exactly `rows * cols` elements — which keeps
+/// message packing trivial and bug-resistant.
+#[derive(Clone, PartialEq)]
+pub struct Mat<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Mat<T> {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a generator `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements (any dimension is zero).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the backing row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrow the backing row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume and return the backing buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies the sub-block at `rect` (row/col offsets are in *this* matrix)
+    /// into a fresh matrix.
+    ///
+    /// # Panics
+    /// If `rect` does not fit inside the matrix.
+    pub fn block(&self, rect: Rect) -> Mat<T> {
+        assert!(
+            rect.row0 + rect.rows <= self.rows && rect.col0 + rect.cols <= self.cols,
+            "block {rect:?} outside {}x{}",
+            self.rows,
+            self.cols
+        );
+        let mut out = Vec::with_capacity(rect.rows * rect.cols);
+        for i in 0..rect.rows {
+            let src = (rect.row0 + i) * self.cols + rect.col0;
+            out.extend_from_slice(&self.data[src..src + rect.cols]);
+        }
+        Mat::from_vec(rect.rows, rect.cols, out)
+    }
+
+    /// Writes `src` over the sub-block at `rect`.
+    ///
+    /// # Panics
+    /// If shapes disagree or `rect` does not fit.
+    pub fn set_block(&mut self, rect: Rect, src: &Mat<T>) {
+        assert_eq!((rect.rows, rect.cols), src.shape(), "block shape mismatch");
+        assert!(
+            rect.row0 + rect.rows <= self.rows && rect.col0 + rect.cols <= self.cols,
+            "block {rect:?} outside {}x{}",
+            self.rows,
+            self.cols
+        );
+        for i in 0..rect.rows {
+            let dst = (rect.row0 + i) * self.cols + rect.col0;
+            self.data[dst..dst + rect.cols].copy_from_slice(src.row(i));
+        }
+    }
+
+    /// Accumulates `src` into the sub-block at `rect` (`self[rect] += src`).
+    pub fn add_block(&mut self, rect: Rect, src: &Mat<T>) {
+        assert_eq!((rect.rows, rect.cols), src.shape(), "block shape mismatch");
+        for i in 0..rect.rows {
+            let dst = (rect.row0 + i) * self.cols + rect.col0;
+            for (d, s) in self.data[dst..dst + rect.cols].iter_mut().zip(src.row(i)) {
+                *d += *s;
+            }
+        }
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Mat<T> {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        // Tiled transpose: keeps both the read and the write streams within
+        // cache lines for large matrices.
+        const TILE: usize = 32;
+        for ib in (0..self.rows).step_by(TILE) {
+            for jb in (0..self.cols).step_by(TILE) {
+                let imax = (ib + TILE).min(self.rows);
+                let jmax = (jb + TILE).min(self.cols);
+                for i in ib..imax {
+                    for j in jb..jmax {
+                        out.data[j * self.rows + i] = self.data[i * self.cols + j];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `self += other`, elementwise.
+    ///
+    /// # Panics
+    /// If shapes differ.
+    pub fn add_assign(&mut self, other: &Mat<T>) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Scales every element by `alpha`.
+    pub fn scale(&mut self, alpha: T) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Max-norm of the elementwise difference, as `f64`.
+    pub fn max_abs_diff(&self, other: &Mat<T>) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (*a - *b).abs().to_f64())
+            .fold(0.0, f64::max)
+    }
+
+    /// Max-norm of the matrix, as `f64`.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|a| a.abs().to_f64()).fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm, accumulated in f64.
+    pub fn fro_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|a| {
+                let v = a.to_f64();
+                v * v
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for Mat<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for i in 0..show_rows {
+            write!(f, "  ")?;
+            let show_cols = self.cols.min(8);
+            for j in 0..show_cols {
+                write!(f, "{:10.4} ", self.get(i, j))?;
+            }
+            if self.cols > 8 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let m = Mat::<f64>::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_fn_row_major() {
+        let m = Mat::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m.get(1, 2), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_length_checked() {
+        let _ = Mat::from_vec(2, 2, vec![1.0f64; 3]);
+    }
+
+    #[test]
+    fn block_copy_round_trip() {
+        let m = Mat::from_fn(5, 6, |i, j| (i * 6 + j) as f64);
+        let r = Rect::new(1, 2, 3, 3);
+        let b = m.block(r);
+        assert_eq!(b.shape(), (3, 3));
+        assert_eq!(b.get(0, 0), m.get(1, 2));
+        assert_eq!(b.get(2, 2), m.get(3, 4));
+
+        let mut m2 = Mat::zeros(5, 6);
+        m2.set_block(r, &b);
+        assert_eq!(m2.get(1, 2), m.get(1, 2));
+        assert_eq!(m2.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn add_block_accumulates() {
+        let mut m = Mat::from_fn(3, 3, |_, _| 1.0f64);
+        let b = Mat::from_fn(2, 2, |_, _| 2.0f64);
+        m.add_block(Rect::new(1, 1, 2, 2), &b);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 1), 3.0);
+        assert_eq!(m.get(2, 2), 3.0);
+    }
+
+    #[test]
+    fn transpose_small_and_rect() {
+        let m = Mat::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), t.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_large_tiled_matches_naive() {
+        let m = Mat::from_fn(70, 45, |i, j| (i * 1000 + j) as f64);
+        let t = m.transpose();
+        for i in 0..70 {
+            for j in 0..45 {
+                assert_eq!(m.get(i, j), t.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn norms() {
+        let a = Mat::from_vec(1, 3, vec![3.0f64, -4.0, 0.0]);
+        assert_eq!(a.max_abs(), 4.0);
+        assert!((a.fro_norm() - 5.0).abs() < 1e-12);
+        let b = Mat::from_vec(1, 3, vec![3.0f64, -4.0, 1.0]);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+
+    #[test]
+    fn scale_and_add_assign() {
+        let mut a = Mat::from_vec(1, 2, vec![1.0f32, 2.0]);
+        let b = Mat::from_vec(1, 2, vec![10.0f32, 20.0]);
+        a.scale(2.0);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[12.0, 24.0]);
+    }
+
+    #[test]
+    fn empty_matrices_are_fine() {
+        let m = Mat::<f64>::zeros(0, 5);
+        assert!(m.is_empty());
+        let t = m.transpose();
+        assert_eq!(t.shape(), (5, 0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Seeded random matrix generation.
+//!
+//! The paper's experiments "use randomly generated general non-zero
+//! matrices" (artifact appendix §2.5). Everything here is deterministic in
+//! the seed so that distributed tests can regenerate the *same* global
+//! matrix independently on every rank.
+
+use crate::mat::Mat;
+use crate::part::Rect;
+use crate::scalar::Scalar;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Fills `m` with uniform values in `(-1, 1)`, deterministically in `seed`.
+pub fn fill_random<T: Scalar>(m: &mut Mat<T>, seed: u64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for v in m.as_mut_slice() {
+        *v = T::from_f64(rng.gen_range(-1.0..1.0));
+    }
+}
+
+/// A fresh `rows × cols` matrix filled by [`fill_random`].
+pub fn random_mat<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Mat<T> {
+    let mut m = Mat::zeros(rows, cols);
+    fill_random(&mut m, seed);
+    m
+}
+
+/// The value a seeded global matrix has at `(i, j)` — *independent of any
+/// partitioning*. A hash of `(seed, i, j)` is mapped into `(-1, 1)`.
+///
+/// This is how ranks generate their local pieces of a logically shared
+/// global matrix without ever materializing it: rank r fills its owned
+/// region by evaluating `global_entry` pointwise, and a verifier can
+/// recompute any entry.
+pub fn global_entry<T: Scalar>(seed: u64, i: usize, j: usize) -> T {
+    // SplitMix64-style mix of the coordinates; cheap and statistically fine
+    // for generating test matrices.
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(1 + i as u64));
+    z ^= (j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9).wrapping_add(0xD6E8_FEB8_6659_FD93);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // map the top 53 bits to (0,1), then to (-1,1)
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+    T::from_f64(2.0 * unit - 1.0)
+}
+
+/// Materializes the `rect` region of the seeded global matrix defined by
+/// [`global_entry`].
+pub fn global_block<T: Scalar>(seed: u64, rect: Rect) -> Mat<T> {
+    Mat::from_fn(rect.rows, rect.cols, |i, j| {
+        global_entry(seed, rect.row0 + i, rect.col0 + j)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_is_deterministic() {
+        let a = random_mat::<f64>(10, 10, 42);
+        let b = random_mat::<f64>(10, 10, 42);
+        assert_eq!(a.as_slice(), b.as_slice());
+        let c = random_mat::<f64>(10, 10, 43);
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn values_in_open_interval() {
+        let a = random_mat::<f64>(50, 50, 7);
+        assert!(a.as_slice().iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn global_entry_partition_independent() {
+        let full = global_block::<f64>(99, Rect::new(0, 0, 8, 8));
+        let piece = global_block::<f64>(99, Rect::new(3, 2, 4, 5));
+        for i in 0..4 {
+            for j in 0..5 {
+                assert_eq!(piece.get(i, j), full.get(3 + i, 2 + j));
+            }
+        }
+    }
+
+    #[test]
+    fn global_entry_range_and_spread() {
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..32usize {
+            for j in 0..32usize {
+                let v: f64 = global_entry(1, i, j);
+                assert!((-1.0..1.0).contains(&v));
+                distinct.insert(v.to_bits());
+            }
+        }
+        // A decent mixer should essentially never collide on 1024 cells.
+        assert!(distinct.len() > 1000, "only {} distinct", distinct.len());
+    }
+}

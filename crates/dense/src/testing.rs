@@ -1,0 +1,75 @@
+//! Tolerance helpers for validating distributed results.
+
+use crate::mat::Mat;
+use crate::scalar::Scalar;
+
+/// The relative tolerance used when comparing a distributed product against
+/// a serial reference: floating-point summation order differs between the
+/// two, so the error grows with the inner dimension `k`.
+pub fn gemm_tolerance<T: Scalar>(k: usize) -> f64 {
+    // Each output element is a length-k dot product of values in (-1,1);
+    // worst-case forward error of recursive summation is O(k * eps) with a
+    // modest constant.
+    8.0 * (k.max(4) as f64) * T::EPSILON.to_f64()
+}
+
+/// Asserts `‖got − want‖∞ ≤ tol · max(1, ‖want‖∞)`, with a useful message.
+///
+/// # Panics
+/// When the tolerance is exceeded (that is the point).
+pub fn assert_close<T: Scalar>(got: &Mat<T>, want: &Mat<T>, tol: f64, what: &str) {
+    assert_eq!(
+        got.shape(),
+        want.shape(),
+        "{what}: shape mismatch {:?} vs {:?}",
+        got.shape(),
+        want.shape()
+    );
+    let scale = want.max_abs().max(1.0);
+    let diff = got.max_abs_diff(want);
+    assert!(
+        diff <= tol * scale,
+        "{what}: max abs diff {diff:.3e} exceeds tol {tol:.3e} * scale {scale:.3e}"
+    );
+}
+
+/// Asserts a distributed GEMM result against its serial reference with the
+/// standard [`gemm_tolerance`].
+pub fn assert_gemm_close<T: Scalar>(got: &Mat<T>, want: &Mat<T>, k: usize, what: &str) {
+    assert_close(got, want, gemm_tolerance::<T>(k), what);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_scales_with_k() {
+        assert!(gemm_tolerance::<f64>(1000) > gemm_tolerance::<f64>(10));
+        assert!(gemm_tolerance::<f32>(10) > gemm_tolerance::<f64>(10));
+    }
+
+    #[test]
+    fn close_matrices_pass() {
+        let a = Mat::from_vec(1, 2, vec![1.0f64, 2.0]);
+        let mut b = a.clone();
+        b.set(0, 0, 1.0 + 1e-14);
+        assert_close(&a, &b, 1e-12, "perturbed");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds tol")]
+    fn distant_matrices_fail() {
+        let a = Mat::from_vec(1, 1, vec![1.0f64]);
+        let b = Mat::from_vec(1, 1, vec![2.0f64]);
+        assert_close(&a, &b, 1e-6, "unit");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_fails() {
+        let a = Mat::<f64>::zeros(1, 2);
+        let b = Mat::<f64>::zeros(2, 1);
+        assert_close(&a, &b, 1.0, "shapes");
+    }
+}

@@ -1,0 +1,28 @@
+//! 3D process-grid selection for PGEMM (paper §III-A/§III-B).
+//!
+//! The paper chooses a process grid `pm × pk × pn` by enumerating all
+//! possibilities and minimizing the total surface area of the work
+//! subdomains,
+//!
+//! ```text
+//! S_total = 2 (pm·k·n + pn·m·k + pk·m·n)            (eq. 4)
+//! ```
+//!
+//! subject to the utilization constraint `l·P ≤ pm·pk·pn ≤ P` (eq. 5, with
+//! `l = 0.95` by default), the Cannon-group divisibility constraint
+//! `mod(max(pm,pn), min(pm,pn)) = 0` (eq. 7), and a lower-priority
+//! sub-target of maximizing `pm·pk·pn` (eq. 6).
+//!
+//! This crate implements that search ([`ca3dmm_grid`]) plus the grid choices
+//! of the baselines: [`cosma_grid`] (same search without eq. 7 — what the
+//! COSMA source does per §III-C), [`summa_grid`] (2D), [`cube_grid`]
+//! (original 3D algorithm), and [`grid_25d`] (2.5D / CTF-like). A
+//! brute-force reference ([`brute_force_grid`]) backs the property tests.
+
+mod baselines;
+mod grid;
+mod search;
+
+pub use baselines::{cube_grid, grid_25d, summa_grid};
+pub use grid::{Grid, GridChoice, Problem};
+pub use search::{brute_force_grid, ca3dmm_grid, cosma_grid, DEFAULT_UTILIZATION_FLOOR};

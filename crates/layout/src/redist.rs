@@ -1,0 +1,293 @@
+//! Redistribution between arbitrary layouts (Algorithm 1 steps 4 and 8).
+
+use crate::dist::Layout;
+use dense::gemm::GemmOp;
+use dense::part::Rect;
+use dense::{Mat, Scalar};
+use msgpass::collectives::alltoallv;
+use msgpass::{Comm, RankCtx};
+
+/// Moves a distributed matrix from `src` (describing `X`) to `dst`
+/// (describing `op(X)`), applying the transpose during packing when
+/// `op == Trans`. Collective over `comm`; every rank passes its local
+/// blocks (one [`Mat`] per owned rectangle of `src`, in order) and receives
+/// its local blocks of the destination layout.
+///
+/// This is the paper's pack → `MPI_Neighbor_alltoallv` → unpack subroutine
+/// (§III-F); it is deliberately unoptimized, as in the artifact.
+///
+/// # Panics
+/// On shape mismatches between the layouts, the communicator, and the local
+/// blocks.
+pub fn redistribute<T: Scalar>(
+    comm: &Comm,
+    ctx: &RankCtx,
+    src: &Layout,
+    src_blocks: &[Mat<T>],
+    dst: &Layout,
+    op: GemmOp,
+) -> Vec<Mat<T>> {
+    let p = comm.size();
+    assert_eq!(src.nranks(), p, "src layout rank count != communicator size");
+    assert_eq!(dst.nranks(), p, "dst layout rank count != communicator size");
+    let (sr, sc) = src.shape();
+    let want_dst = op.apply_shape(sr, sc);
+    assert_eq!(dst.shape(), want_dst, "dst layout shape must equal op(src) shape");
+    let me = comm.rank();
+    assert_eq!(
+        src_blocks.len(),
+        src.owned(me).len(),
+        "one local block per owned src rect required"
+    );
+    for (b, r) in src_blocks.iter().zip(src.owned(me)) {
+        assert_eq!(b.shape(), (r.rows, r.cols), "local block shape mismatch");
+    }
+
+    // Pack: for each destination rank, the intersections of my src rects
+    // with its dst rects, serialized in (dst rect index, src rect index)
+    // order, each intersection row-major in *destination* coordinates.
+    let mut sends: Vec<Vec<T>> = Vec::with_capacity(p);
+    for peer in 0..p {
+        let mut buf = Vec::new();
+        for dst_rect in dst.owned(peer) {
+            for (si, src_rect) in src.owned(me).iter().enumerate() {
+                if let Some(inter_dst) = intersect_in_dst(dst_rect, src_rect, op) {
+                    pack(&mut buf, &src_blocks[si], src_rect, &inter_dst, op);
+                }
+            }
+        }
+        sends.push(buf);
+    }
+
+    let recvs = alltoallv(comm, ctx, sends);
+
+    // Unpack: mirror of the packing order, per source rank.
+    let mut out: Vec<Mat<T>> = dst
+        .owned(me)
+        .iter()
+        .map(|r| Mat::zeros(r.rows, r.cols))
+        .collect();
+    for (peer, buf) in recvs.iter().enumerate() {
+        let mut pos = 0usize;
+        for (di, dst_rect) in dst.owned(me).iter().enumerate() {
+            for src_rect in src.owned(peer) {
+                if let Some(inter_dst) = intersect_in_dst(dst_rect, src_rect, op) {
+                    pos = unpack(&mut out[di], dst_rect, &inter_dst, buf, pos);
+                }
+            }
+        }
+        assert_eq!(pos, buf.len(), "unconsumed bytes from rank {peer}");
+    }
+    out
+}
+
+/// The overlap of a destination rectangle (in `op(X)` coordinates) with a
+/// source rectangle (in `X` coordinates), expressed in destination
+/// coordinates.
+fn intersect_in_dst(dst_rect: &Rect, src_rect: &Rect, op: GemmOp) -> Option<Rect> {
+    let src_in_dst = match op {
+        GemmOp::NoTrans => *src_rect,
+        GemmOp::Trans => src_rect.transposed(),
+    };
+    dst_rect.intersect(&src_in_dst)
+}
+
+/// Serializes `inter_dst` (destination coordinates) row-major, reading from
+/// the local block that stores `src_rect`.
+fn pack<T: Scalar>(
+    buf: &mut Vec<T>,
+    block: &Mat<T>,
+    src_rect: &Rect,
+    inter_dst: &Rect,
+    op: GemmOp,
+) {
+    buf.reserve(inter_dst.area());
+    match op {
+        GemmOp::NoTrans => {
+            for r in 0..inter_dst.rows {
+                let li = inter_dst.row0 + r - src_rect.row0;
+                let lj = inter_dst.col0 - src_rect.col0;
+                let row = &block.row(li)[lj..lj + inter_dst.cols];
+                buf.extend_from_slice(row);
+            }
+        }
+        GemmOp::Trans => {
+            // dst (r, c) = X (c, r)
+            for r in 0..inter_dst.rows {
+                for c in 0..inter_dst.cols {
+                    let xi = inter_dst.col0 + c - src_rect.row0;
+                    let xj = inter_dst.row0 + r - src_rect.col0;
+                    buf.push(block.get(xi, xj));
+                }
+            }
+        }
+    }
+}
+
+/// Deserializes one intersection back into the local destination block;
+/// returns the advanced cursor.
+fn unpack<T: Scalar>(
+    block: &mut Mat<T>,
+    dst_rect: &Rect,
+    inter_dst: &Rect,
+    buf: &[T],
+    mut pos: usize,
+) -> usize {
+    for r in 0..inter_dst.rows {
+        let li = inter_dst.row0 + r - dst_rect.row0;
+        let lj = inter_dst.col0 - dst_rect.col0;
+        let n = inter_dst.cols;
+        let dst_row_start = li * dst_rect.cols + lj;
+        block.as_mut_slice()[dst_row_start..dst_row_start + n]
+            .copy_from_slice(&buf[pos..pos + n]);
+        pos += n;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::random::random_mat;
+    use msgpass::World;
+
+    /// End-to-end check: distribute a random global matrix in `src`,
+    /// redistribute to `dst` with `op`, and compare with extracting `dst`
+    /// from the (possibly transposed) global matrix.
+    fn check(rows: usize, cols: usize, p: usize, src: Layout, dst: Layout, op: GemmOp) {
+        let global = random_mat::<f64>(rows, cols, 1234);
+        let expect_global = match op {
+            GemmOp::NoTrans => global.clone(),
+            GemmOp::Trans => global.transpose(),
+        };
+        let results = World::run(p, |ctx| {
+            let comm = Comm::world(ctx);
+            let mine = src.extract(&global, comm.rank());
+            redistribute(&comm, ctx, &src, &mine, &dst, op)
+        });
+        for (rank, got) in results.iter().enumerate() {
+            let want = dst.extract(&expect_global, rank);
+            assert_eq!(got.len(), want.len(), "rank {rank} block count");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.max_abs_diff(w), 0.0, "rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn col_to_row() {
+        check(
+            9,
+            7,
+            4,
+            Layout::one_d_col(9, 7, 4),
+            Layout::one_d_row(9, 7, 4),
+            GemmOp::NoTrans,
+        );
+    }
+
+    #[test]
+    fn col_to_two_d() {
+        check(
+            12,
+            10,
+            6,
+            Layout::one_d_col(12, 10, 6),
+            Layout::two_d_block(12, 10, 2, 3),
+            GemmOp::NoTrans,
+        );
+    }
+
+    #[test]
+    fn block_cyclic_to_block() {
+        check(
+            11,
+            13,
+            4,
+            Layout::block_cyclic(11, 13, 2, 2, 3, 2),
+            Layout::two_d_block(11, 13, 2, 2),
+            GemmOp::NoTrans,
+        );
+    }
+
+    #[test]
+    fn identity_redistribution() {
+        let l = Layout::two_d_block(8, 8, 2, 2);
+        check(8, 8, 4, l.clone(), l, GemmOp::NoTrans);
+    }
+
+    #[test]
+    fn transpose_col_to_col() {
+        check(
+            9,
+            5,
+            3,
+            Layout::one_d_col(9, 5, 3),
+            Layout::one_d_col(5, 9, 3),
+            GemmOp::Trans,
+        );
+    }
+
+    #[test]
+    fn transpose_to_two_d() {
+        check(
+            7,
+            12,
+            6,
+            Layout::one_d_row(7, 12, 6),
+            Layout::two_d_block(12, 7, 3, 2),
+            GemmOp::Trans,
+        );
+    }
+
+    #[test]
+    fn gather_to_single_rank() {
+        check(
+            6,
+            6,
+            4,
+            Layout::two_d_block(6, 6, 2, 2),
+            Layout::on_single_rank(6, 6, 4, 3),
+            GemmOp::NoTrans,
+        );
+    }
+
+    #[test]
+    fn scatter_from_single_rank_with_transpose() {
+        check(
+            6,
+            4,
+            4,
+            Layout::on_single_rank(6, 4, 4, 0),
+            Layout::one_d_col(4, 6, 4),
+            GemmOp::Trans,
+        );
+    }
+
+    #[test]
+    fn empty_ranks_participate() {
+        // 5 ranks but only 2 columns: ranks 2..4 own nothing in src
+        check(
+            4,
+            2,
+            5,
+            Layout::one_d_col(4, 2, 5),
+            Layout::one_d_row(4, 2, 5),
+            GemmOp::NoTrans,
+        );
+    }
+
+    #[test]
+    fn redistribution_traffic_excludes_local_data() {
+        // identity redistribution must move zero bytes
+        let l = Layout::one_d_col(8, 8, 4);
+        let global = random_mat::<f64>(8, 8, 7);
+        let (_, report) = World::run_traced(4, |ctx| {
+            let comm = Comm::world(ctx);
+            ctx.set_phase("redist");
+            let mine = l.extract(&global, comm.rank());
+            redistribute(&comm, ctx, &l, &mine, &l, GemmOp::NoTrans)
+        });
+        assert_eq!(report.phase_total("redist").bytes, 0);
+    }
+}

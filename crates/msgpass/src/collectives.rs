@@ -1,0 +1,552 @@
+//! Collective operations, built algorithmically on point-to-point messages.
+//!
+//! The implementations follow the MPICH designs described by Thakur,
+//! Rabenseifner & Gropp (the paper's reference \[27\]): binomial-tree
+//! broadcast, ring allgather/allgatherv, ring reduce-scatter, Rabenseifner
+//! allreduce (reduce-scatter + allgather), pairwise-exchange alltoallv, and
+//! a dissemination barrier. Ring variants are used for the bandwidth-bound
+//! collectives because their *per-rank byte volume is exactly* the
+//! `β·n·(P−1)/P` term of the paper's §III-D cost table for any group size —
+//! which is what the model-vs-measured tests assert. (Latency terms in the
+//! analytic model use the butterfly formulas regardless.)
+//!
+//! Every collective must be called by all members of the communicator in the
+//! same order, as in MPI.
+
+use crate::comm::{Comm, Payload, ReduceElem};
+use crate::world::RankCtx;
+
+/// Dissemination barrier: ⌈log₂ P⌉ rounds.
+pub fn barrier(comm: &Comm, ctx: &RankCtx) {
+    let g = comm.size();
+    if g == 1 {
+        return;
+    }
+    let tag = comm.next_coll_tag();
+    let me = comm.rank();
+    let mut dist = 1;
+    while dist < g {
+        let dst = (me + dist) % g;
+        let src = (me + g - dist) % g;
+        comm.send_internal(ctx, dst, tag, ());
+        let () = comm.recv_internal(ctx, src, tag);
+        dist *= 2;
+    }
+}
+
+/// Binomial-tree broadcast. The root passes `Some(value)`, everyone else
+/// `None`; all members return the value.
+///
+/// # Panics
+/// If the root passes `None` or a non-root passes `Some`.
+pub fn bcast<P: Payload + Clone>(comm: &Comm, ctx: &RankCtx, root: usize, mine: Option<P>) -> P {
+    let g = comm.size();
+    let me = comm.rank();
+    assert_eq!(
+        me == root,
+        mine.is_some(),
+        "exactly the root must provide the broadcast value"
+    );
+    let tag = comm.next_coll_tag();
+    if g == 1 {
+        return mine.unwrap();
+    }
+    let vr = (me + g - root) % g;
+    let mut mask = 1usize;
+    let mut value = mine;
+    while mask < g {
+        if vr & mask != 0 {
+            let src = (vr - mask + root) % g;
+            value = Some(comm.recv_internal(ctx, src, tag));
+            break;
+        }
+        mask <<= 1;
+    }
+    let value = value.expect("broadcast value must have arrived");
+    mask >>= 1;
+    while mask > 0 {
+        if vr & mask == 0 && vr + mask < g {
+            let dst = (vr + mask + root) % g;
+            comm.send_internal(ctx, dst, tag, value.clone());
+        }
+        mask >>= 1;
+    }
+    value
+}
+
+/// Large-message broadcast: scatter + ring allgather (the van de Geijn
+/// algorithm MPICH uses above its broadcast threshold, and the one whose
+/// cost is the paper's `T_broadcast = α(log₂P + P−1) + 2βn(P−1)/P`). The
+/// root linearly scatters `P` segments, then a ring allgatherv completes
+/// the buffer everywhere; per-rank sent volume is ≤ `2n(P−1)/P` (at the
+/// root), matching the formula's β term — unlike a binomial tree, whose
+/// root sends `log₂(P)·n`.
+///
+/// The root passes `Some(data)`; everyone returns the full buffer. All
+/// ranks must agree on `len` (the total element count).
+pub fn bcast_large<T: Copy + Send + 'static>(
+    comm: &Comm,
+    ctx: &RankCtx,
+    root: usize,
+    mine: Option<Vec<T>>,
+    len: usize,
+) -> Vec<T> {
+    let g = comm.size();
+    let me = comm.rank();
+    assert_eq!(
+        me == root,
+        mine.is_some(),
+        "exactly the root must provide the broadcast value"
+    );
+    if g == 1 {
+        let data = mine.unwrap();
+        assert_eq!(data.len(), len, "root data length disagrees with len");
+        return data;
+    }
+    let tag = comm.next_coll_tag();
+    let base = len / g;
+    let extra = len % g;
+    let counts: Vec<usize> = (0..g).map(|i| if i < extra { base + 1 } else { base }).collect();
+    let offsets: Vec<usize> = counts
+        .iter()
+        .scan(0, |acc, &c| {
+            let o = *acc;
+            *acc += c;
+            Some(o)
+        })
+        .collect();
+    // Scatter segments from the root.
+    let my_seg: Vec<T> = if me == root {
+        let data = mine.unwrap();
+        assert_eq!(data.len(), len, "root data length disagrees with len");
+        for r in 0..g {
+            if r != root {
+                comm.send_internal(ctx, r, tag, data[offsets[r]..offsets[r] + counts[r]].to_vec());
+            }
+        }
+        data[offsets[root]..offsets[root] + counts[root]].to_vec()
+    } else {
+        comm.recv_internal(ctx, root, tag)
+    };
+    // Complete with a ring allgatherv.
+    allgatherv(comm, ctx, my_seg, &counts)
+}
+
+/// Ring allgather with equal contribution sizes. Returns the concatenation
+/// of every member's `mine` in communicator rank order.
+///
+/// # Panics
+/// If contribution lengths differ across ranks (detected at receipt).
+pub fn allgather<T: Copy + Send + 'static>(comm: &Comm, ctx: &RankCtx, mine: Vec<T>) -> Vec<T> {
+    let n = mine.len();
+    let counts = vec![n; comm.size()];
+    allgatherv(comm, ctx, mine, &counts)
+}
+
+/// Ring allgather with per-rank contribution sizes `counts` (known to all
+/// members, as in `MPI_Allgatherv`). Returns the concatenation in rank
+/// order.
+pub fn allgatherv<T: Copy + Send + 'static>(
+    comm: &Comm,
+    ctx: &RankCtx,
+    mine: Vec<T>,
+    counts: &[usize],
+) -> Vec<T> {
+    let g = comm.size();
+    let me = comm.rank();
+    assert_eq!(counts.len(), g, "counts must have one entry per rank");
+    assert_eq!(mine.len(), counts[me], "my contribution length disagrees with counts");
+    if g == 1 {
+        return mine;
+    }
+    let tag = comm.next_coll_tag();
+    let offsets: Vec<usize> = counts
+        .iter()
+        .scan(0, |acc, &c| {
+            let o = *acc;
+            *acc += c;
+            Some(o)
+        })
+        .collect();
+    let total: usize = counts.iter().sum();
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    // Segments arrive out of offset order; stage them and concatenate once
+    // all are present.
+    let mut segments: Vec<Option<Vec<T>>> = (0..g).map(|_| None).collect();
+    segments[me] = Some(mine);
+
+    let right = (me + 1) % g;
+    let left = (me + g - 1) % g;
+    // At step t we forward the segment that originated at rank (me - t).
+    for t in 0..g - 1 {
+        let send_seg = (me + g - t) % g;
+        let recv_seg = (me + g - t - 1) % g;
+        let payload = segments[send_seg]
+            .as_ref()
+            .expect("segment to forward must be present")
+            .clone();
+        comm.send_internal(ctx, right, tag, payload);
+        let got: Vec<T> = comm.recv_internal(ctx, left, tag);
+        assert_eq!(got.len(), counts[recv_seg], "allgatherv count mismatch");
+        segments[recv_seg] = Some(got);
+    }
+    for (s, o) in segments.into_iter().zip(offsets) {
+        let s = s.expect("all segments gathered");
+        debug_assert!(out.len() == o);
+        out.extend_from_slice(&s);
+    }
+    out
+}
+
+/// Ring reduce-scatter: `data` is the full vector (length = Σ counts) of
+/// this rank's contribution; returns the elementwise sum over all ranks of
+/// segment `rank` (the segment boundaries are given by `counts`).
+///
+/// Per-rank volume: Σ_{s≠me} counts\[s\] bytes sent — the `β·n·(P−1)/P` of the
+/// paper when counts are even.
+pub fn reduce_scatter<T: ReduceElem>(
+    comm: &Comm,
+    ctx: &RankCtx,
+    data: Vec<T>,
+    counts: &[usize],
+) -> Vec<T> {
+    let g = comm.size();
+    let me = comm.rank();
+    assert_eq!(counts.len(), g, "counts must have one entry per rank");
+    let total: usize = counts.iter().sum();
+    assert_eq!(data.len(), total, "data length must equal sum of counts");
+    if g == 1 {
+        return data;
+    }
+    let tag = comm.next_coll_tag();
+    let offsets: Vec<usize> = counts
+        .iter()
+        .scan(0, |acc, &c| {
+            let o = *acc;
+            *acc += c;
+            Some(o)
+        })
+        .collect();
+    let seg = |s: usize| offsets[s]..offsets[s] + counts[s];
+
+    let right = (me + 1) % g;
+    let left = (me + g - 1) % g;
+    let acc = data;
+    // Segment s travels along the ring starting at rank s+1 and is
+    // accumulated at each hop; after g−1 steps it is complete at rank s.
+    let mut carry: Vec<T> = Vec::new();
+    for t in 0..g - 1 {
+        let send_seg = (me + 2 * g - 1 - t) % g;
+        let recv_seg = (me + 2 * g - 2 - t) % g;
+        let payload: Vec<T> = if t == 0 {
+            acc[seg(send_seg)].to_vec()
+        } else {
+            std::mem::take(&mut carry)
+        };
+        comm.send_internal(ctx, right, tag, payload);
+        let got: Vec<T> = comm.recv_internal(ctx, left, tag);
+        assert_eq!(got.len(), counts[recv_seg], "reduce_scatter count mismatch");
+        // add my contribution for that segment
+        let mut sum = got;
+        for (s, d) in sum.iter_mut().zip(&acc[seg(recv_seg)]) {
+            *s += *d;
+        }
+        carry = sum;
+    }
+    carry
+}
+
+/// Allreduce (elementwise sum) via Rabenseifner's algorithm: ring
+/// reduce-scatter over an even split, then ring allgatherv.
+pub fn allreduce<T: ReduceElem>(comm: &Comm, ctx: &RankCtx, data: Vec<T>) -> Vec<T> {
+    let g = comm.size();
+    if g == 1 {
+        return data;
+    }
+    let n = data.len();
+    let base = n / g;
+    let extra = n % g;
+    let counts: Vec<usize> = (0..g).map(|i| if i < extra { base + 1 } else { base }).collect();
+    let mine = reduce_scatter(comm, ctx, data, &counts);
+    allgatherv(comm, ctx, mine, &counts)
+}
+
+/// Pairwise-exchange all-to-all with per-destination payloads: `sends[j]`
+/// goes to communicator rank `j`; returns `recvs` where `recvs[i]` came from
+/// rank `i`. Empty vectors are exchanged too (zero-byte messages), exactly
+/// like `MPI_Alltoallv` with zero counts.
+pub fn alltoallv<T: Copy + Send + 'static>(
+    comm: &Comm,
+    ctx: &RankCtx,
+    mut sends: Vec<Vec<T>>,
+) -> Vec<Vec<T>> {
+    let g = comm.size();
+    let me = comm.rank();
+    assert_eq!(sends.len(), g, "need one send buffer per rank");
+    let tag = comm.next_coll_tag();
+    let mut recvs: Vec<Vec<T>> = (0..g).map(|_| Vec::new()).collect();
+    recvs[me] = std::mem::take(&mut sends[me]);
+    for off in 1..g {
+        let dst = (me + off) % g;
+        let src = (me + g - off) % g;
+        comm.send_internal(ctx, dst, tag, std::mem::take(&mut sends[dst]));
+        recvs[src] = comm.recv_internal(ctx, src, tag);
+    }
+    recvs
+}
+
+/// Gather with per-rank sizes: every member sends `mine` to `root`, which
+/// returns `Some(vec of contributions in rank order)`; others get `None`.
+pub fn gatherv<T: Copy + Send + 'static>(
+    comm: &Comm,
+    ctx: &RankCtx,
+    mine: Vec<T>,
+    root: usize,
+) -> Option<Vec<Vec<T>>> {
+    let g = comm.size();
+    let me = comm.rank();
+    let tag = comm.next_coll_tag();
+    if me == root {
+        let mut out: Vec<Vec<T>> = (0..g).map(|_| Vec::new()).collect();
+        out[root] = mine;
+        for r in 0..g {
+            if r != root {
+                out[r] = comm.recv_internal(ctx, r, tag);
+            }
+        }
+        Some(out)
+    } else {
+        comm.send_internal(ctx, root, tag, mine);
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn barrier_all_sizes() {
+        for p in [1usize, 2, 3, 5, 8] {
+            World::run(p, |ctx| {
+                let comm = Comm::world(ctx);
+                barrier(&comm, ctx);
+                barrier(&comm, ctx);
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        for p in [1usize, 2, 4, 7] {
+            for root in 0..p {
+                World::run(p, |ctx| {
+                    let comm = Comm::world(ctx);
+                    let mine = (comm.rank() == root).then(|| vec![root as f64, 42.0]);
+                    let got = bcast(&comm, ctx, root, mine);
+                    assert_eq!(got, vec![root as f64, 42.0]);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_large_from_each_root() {
+        for p in [1usize, 2, 3, 5, 8] {
+            for root in 0..p {
+                World::run(p, |ctx| {
+                    let comm = Comm::world(ctx);
+                    let want: Vec<u64> = (0..23).collect();
+                    let mine = (comm.rank() == root).then(|| want.clone());
+                    let got = bcast_large(&comm, ctx, root, mine, 23);
+                    assert_eq!(got, want);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_large_volume_matches_formula() {
+        // root sends at most 2n(g-1)/g elements
+        let p = 4;
+        let n = 64usize;
+        let (_, report) = World::run_traced(p, |ctx| {
+            let comm = Comm::world(ctx);
+            ctx.set_phase("bc");
+            let mine = (comm.rank() == 0).then(|| vec![1.0f64; n]);
+            let _ = bcast_large(&comm, ctx, 0, mine, n);
+        });
+        // root: scatter (n*(g-1)/g) + ring allgather ((g-1) * n/g)
+        let want = (n * (p - 1) / p + (p - 1) * (n / p)) * 8;
+        assert_eq!(report.phase(0, "bc").bytes as usize, want);
+        // non-roots only pay the allgather part
+        for r in 1..p {
+            assert_eq!(report.phase(r, "bc").bytes as usize, (p - 1) * (n / p) * 8);
+        }
+    }
+
+    #[test]
+    fn bcast_large_short_buffer() {
+        // len < g: some segments empty
+        World::run(6, |ctx| {
+            let comm = Comm::world(ctx);
+            let mine = (comm.rank() == 2).then(|| vec![7u8, 8, 9]);
+            let got = bcast_large(&comm, ctx, 2, mine, 3);
+            assert_eq!(got, vec![7, 8, 9]);
+        });
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        for p in [1usize, 3, 4, 6] {
+            World::run(p, |ctx| {
+                let comm = Comm::world(ctx);
+                let got = allgather(&comm, ctx, vec![comm.rank() as u64 * 10, 1]);
+                let want: Vec<u64> = (0..p as u64).flat_map(|r| [r * 10, 1]).collect();
+                assert_eq!(got, want);
+            });
+        }
+    }
+
+    #[test]
+    fn allgatherv_uneven() {
+        World::run(4, |ctx| {
+            let comm = Comm::world(ctx);
+            let me = comm.rank();
+            let counts = [3usize, 0, 2, 1];
+            let mine: Vec<u32> = (0..counts[me]).map(|i| (me * 100 + i) as u32).collect();
+            let got = allgatherv(&comm, ctx, mine, &counts);
+            assert_eq!(got, vec![0, 1, 2, 200, 201, 300]);
+        });
+    }
+
+    #[test]
+    fn reduce_scatter_sums_segments() {
+        for p in [2usize, 3, 5] {
+            World::run(p, |ctx| {
+                let comm = Comm::world(ctx);
+                let counts: Vec<usize> = (0..p).map(|i| i + 1).collect();
+                let total: usize = counts.iter().sum();
+                // rank r contributes value (r+1) everywhere
+                let data = vec![(comm.rank() + 1) as f64; total];
+                let got = reduce_scatter(&comm, ctx, data, &counts);
+                let expected = (p * (p + 1) / 2) as f64;
+                assert_eq!(got.len(), counts[comm.rank()]);
+                assert!(got.iter().all(|&v| v == expected));
+            });
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_distinct_segments() {
+        // Verify each rank gets *its own* segment: contribution at global
+        // index i from rank r is r * 1000 + i.
+        World::run(3, |ctx| {
+            let comm = Comm::world(ctx);
+            let counts = [2usize, 2, 2];
+            let data: Vec<f64> = (0..6).map(|i| (comm.rank() * 1000 + i) as f64).collect();
+            let got = reduce_scatter(&comm, ctx, data, &counts);
+            let me = comm.rank();
+            for (k, &v) in got.iter().enumerate() {
+                let i = me * 2 + k;
+                let want = (0 + 1000 + 2000 + 3 * i) as f64;
+                assert_eq!(v, want, "segment value at {i}");
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_matches_serial_sum() {
+        for p in [1usize, 2, 4, 5] {
+            World::run(p, |ctx| {
+                let comm = Comm::world(ctx);
+                let data: Vec<f64> = (0..7).map(|i| (comm.rank() + 1) as f64 * i as f64).collect();
+                let got = allreduce(&comm, ctx, data);
+                let scale: f64 = (1..=p).map(|r| r as f64).sum();
+                for (i, &v) in got.iter().enumerate() {
+                    assert!((v - scale * i as f64).abs() < 1e-12);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn alltoallv_permutes() {
+        World::run(4, |ctx| {
+            let comm = Comm::world(ctx);
+            let me = comm.rank();
+            // send to each rank j a vector [me, j] of length j (empty to 0)
+            let sends: Vec<Vec<u64>> = (0..4).map(|j| vec![(me * 10 + j) as u64; j]).collect();
+            let recvs = alltoallv(&comm, ctx, sends);
+            for (i, r) in recvs.iter().enumerate() {
+                assert_eq!(r.len(), me);
+                assert!(r.iter().all(|&v| v == (i * 10 + me) as u64));
+            }
+        });
+    }
+
+    #[test]
+    fn gatherv_collects_at_root() {
+        World::run(3, |ctx| {
+            let comm = Comm::world(ctx);
+            let mine = vec![comm.rank() as u8; comm.rank() + 1];
+            let got = gatherv(&comm, ctx, mine, 1);
+            if comm.rank() == 1 {
+                let got = got.unwrap();
+                assert_eq!(got, vec![vec![0], vec![1, 1], vec![2, 2, 2]]);
+            } else {
+                assert!(got.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn allgather_volume_matches_ring_formula() {
+        // Per-rank sent bytes of ring allgather = (P-1) * block_bytes.
+        let p = 5;
+        let block = 16usize; // u64 elements
+        let (_, report) = World::run_traced(p, |ctx| {
+            let comm = Comm::world(ctx);
+            ctx.set_phase("ag");
+            let _ = allgather(&comm, ctx, vec![0u64; block]);
+        });
+        for r in 0..p {
+            assert_eq!(report.phase(r, "ag").bytes as usize, (p - 1) * block * 8);
+            assert_eq!(report.phase(r, "ag").msgs as usize, p - 1);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_volume_matches_ring_formula() {
+        let p = 4;
+        let seg = 8usize;
+        let (_, report) = World::run_traced(p, |ctx| {
+            let comm = Comm::world(ctx);
+            ctx.set_phase("rs");
+            let counts = vec![seg; p];
+            let _ = reduce_scatter(&comm, ctx, vec![1.0f64; seg * p], &counts);
+        });
+        for r in 0..p {
+            assert_eq!(report.phase(r, "rs").bytes as usize, (p - 1) * seg * 8);
+        }
+    }
+
+    #[test]
+    fn collectives_on_subgroups_do_not_interfere() {
+        World::run(6, |ctx| {
+            let comm = Comm::world(ctx);
+            let groups = vec![vec![0, 1, 2], vec![3, 4, 5]];
+            let sub = comm.subgroup(ctx, &groups).unwrap();
+            // run different collectives concurrently in the two groups
+            if comm.rank() < 3 {
+                let v = allgather(&sub, ctx, vec![sub.rank() as u64]);
+                assert_eq!(v, vec![0, 1, 2]);
+            } else {
+                let v = allreduce(&sub, ctx, vec![1.0f64; 5]);
+                assert!(v.iter().all(|&x| x == 3.0));
+            }
+            barrier(&comm, ctx);
+        });
+    }
+}

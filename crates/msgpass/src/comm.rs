@@ -1,0 +1,461 @@
+//! Communicators and point-to-point messaging.
+
+use crate::world::RankCtx;
+use std::any::Any;
+use std::sync::Arc;
+
+/// Anything that can travel in a message. The only requirement beyond
+/// thread-safety is a byte size, which feeds the traffic counters (and,
+/// transitively, the model-vs-measured validation tests).
+pub trait Payload: Send + 'static {
+    /// Wire size of this value in bytes.
+    fn nbytes(&self) -> usize;
+}
+
+impl<T: Copy + Send + 'static> Payload for Vec<T> {
+    fn nbytes(&self) -> usize {
+        std::mem::size_of_val(self.as_slice())
+    }
+}
+
+macro_rules! scalar_payload {
+    ($($t:ty),*) => {$(
+        impl Payload for $t {
+            fn nbytes(&self) -> usize { std::mem::size_of::<$t>() }
+        }
+    )*};
+}
+scalar_payload!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, ());
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn nbytes(&self) -> usize {
+        self.0.nbytes() + self.1.nbytes()
+    }
+}
+
+impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
+    fn nbytes(&self) -> usize {
+        self.0.nbytes() + self.1.nbytes() + self.2.nbytes()
+    }
+}
+
+/// Element type collectives can reduce: needs `+=` and a zero. Implemented
+/// by `f32`/`f64` (and integers, used in tests).
+pub trait ReduceElem: Copy + Send + Default + std::ops::AddAssign + 'static {}
+impl<T: Copy + Send + Default + std::ops::AddAssign + 'static> ReduceElem for T {}
+
+/// An in-flight message.
+pub(crate) struct Envelope {
+    pub(crate) src_world: usize,
+    pub(crate) ctx: u64,
+    pub(crate) tag: u64,
+    pub(crate) payload: Box<dyn Any + Send>,
+}
+
+/// SplitMix64 finalizer — used to derive child communicator contexts
+/// deterministically (every member computes the same value with no
+/// communication).
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Highest tag value available to user point-to-point messages; larger tags
+/// are reserved for collectives.
+pub const MAX_USER_TAG: u64 = 1 << 40;
+
+/// A communicator: an ordered group of world ranks with an isolated tag
+/// space. Cheap to clone (the group is shared).
+///
+/// All operations take the rank's [`RankCtx`] explicitly — a rank may hold
+/// any number of communicators simultaneously (row, column, k-task group, …)
+/// exactly as an MPI process does.
+#[derive(Clone)]
+pub struct Comm {
+    /// Context id: isolates this communicator's messages from all others.
+    ctx_id: u64,
+    /// World ranks of the members, in communicator rank order.
+    ranks: Arc<Vec<usize>>,
+    /// This rank's index within `ranks`.
+    my_idx: usize,
+    /// Per-communicator collective sequence number (same on all members
+    /// because collectives are called in the same order).
+    coll_seq: std::cell::Cell<u64>,
+}
+
+impl Comm {
+    /// The communicator containing every rank of the world, in world order
+    /// (`MPI_COMM_WORLD`).
+    pub fn world(ctx: &RankCtx) -> Comm {
+        Comm {
+            ctx_id: mix(0x5EED_0001),
+            ranks: Arc::new((0..ctx.world_size()).collect()),
+            my_idx: ctx.world_rank(),
+            coll_seq: std::cell::Cell::new(0),
+        }
+    }
+
+    /// This rank's index within the communicator.
+    pub fn rank(&self) -> usize {
+        self.my_idx
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// World rank of member `idx`.
+    pub fn world_rank_of(&self, idx: usize) -> usize {
+        self.ranks[idx]
+    }
+
+    /// The members' world ranks in communicator order.
+    pub fn world_ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Internal: reserve a tag for one collective operation.
+    pub(crate) fn next_coll_tag(&self) -> u64 {
+        let s = self.coll_seq.get();
+        self.coll_seq.set(s + 1);
+        MAX_USER_TAG + s
+    }
+
+    /// Sends `payload` to communicator rank `dst` with `tag`
+    /// (eager/non-blocking: never waits for the receiver).
+    ///
+    /// # Panics
+    /// If `dst` is out of range or `tag >= MAX_USER_TAG`.
+    pub fn send<P: Payload>(&self, ctx: &RankCtx, dst: usize, tag: u64, payload: P) {
+        assert!(tag < MAX_USER_TAG, "tag {tag} reserved for collectives");
+        self.send_internal(ctx, dst, tag, payload);
+    }
+
+    pub(crate) fn send_internal<P: Payload>(
+        &self,
+        ctx: &RankCtx,
+        dst: usize,
+        tag: u64,
+        payload: P,
+    ) {
+        let dst_world = self.ranks[dst];
+        ctx.record_send(payload.nbytes() as u64);
+        let env = Envelope {
+            src_world: ctx.world_rank(),
+            ctx: self.ctx_id,
+            tag,
+            payload: Box::new(payload),
+        };
+        ctx.fabric.senders[dst_world]
+            .send(env)
+            .expect("receiving rank has exited with messages in flight");
+    }
+
+    /// Receives the message sent by communicator rank `src` with `tag`.
+    /// Blocks until it arrives; out-of-order arrivals are buffered.
+    ///
+    /// # Panics
+    /// If the matched message has a different payload type (a protocol bug).
+    pub fn recv<P: Payload>(&self, ctx: &RankCtx, src: usize, tag: u64) -> P {
+        assert!(tag < MAX_USER_TAG, "tag {tag} reserved for collectives");
+        self.recv_internal(ctx, src, tag)
+    }
+
+    pub(crate) fn recv_internal<P: Payload>(&self, ctx: &RankCtx, src: usize, tag: u64) -> P {
+        let src_world = self.ranks[src];
+        // First look in the pending buffer.
+        {
+            let mut pending = ctx.pending.borrow_mut();
+            if let Some(pos) = pending
+                .iter()
+                .position(|e| e.src_world == src_world && e.ctx == self.ctx_id && e.tag == tag)
+            {
+                // `remove`, not `swap_remove`: several messages with the
+                // same (src, ctx, tag) key can be buffered at once (e.g.
+                // ring-collective steps racing ahead of a slow rank), and
+                // they must be consumed in arrival order.
+                let env = pending.remove(pos);
+                return Self::downcast(env);
+            }
+        }
+        // Then pull from the channel, buffering mismatches.
+        loop {
+            let env = ctx
+                .rx
+                .recv()
+                .expect("all senders dropped while waiting for a message");
+            if env.src_world == src_world && env.ctx == self.ctx_id && env.tag == tag {
+                return Self::downcast(env);
+            }
+            ctx.pending.borrow_mut().push(env);
+        }
+    }
+
+    fn downcast<P: Payload>(env: Envelope) -> P {
+        match env.payload.downcast::<P>() {
+            Ok(b) => *b,
+            Err(_) => panic!(
+                "type confusion: message from world rank {} (ctx {:#x}, tag {}) is not a {}",
+                env.src_world,
+                env.ctx,
+                env.tag,
+                std::any::type_name::<P>()
+            ),
+        }
+    }
+
+    /// Simultaneous send to `dst` and receive from `src` (both communicator
+    /// ranks) — `MPI_Sendrecv`. Safe against deadlock because sends are
+    /// eager.
+    pub fn sendrecv<P: Payload>(
+        &self,
+        ctx: &RankCtx,
+        dst: usize,
+        src: usize,
+        tag: u64,
+        payload: P,
+    ) -> P {
+        self.send(ctx, dst, tag, payload);
+        self.recv(ctx, src, tag)
+    }
+
+    /// Creates sub-communicators from locally known membership: every member
+    /// of `self` must call this with the *same* `groups` (a partition or
+    /// partial partition of communicator ranks). Returns this rank's new
+    /// communicator, or `None` if it belongs to no group.
+    ///
+    /// No communication is needed because the membership is already global
+    /// knowledge — this mirrors `MPI_Comm_create_group` usage in the paper's
+    /// artifact where groups are pure rank arithmetic.
+    ///
+    /// # Panics
+    /// If a rank appears twice or is out of range.
+    pub fn subgroup(&self, ctx: &RankCtx, groups: &[Vec<usize>]) -> Option<Comm> {
+        let seq = ctx.ctx_seq.get();
+        ctx.ctx_seq.set(seq + 1);
+        let mut seen = vec![false; self.size()];
+        let mut mine = None;
+        for (gi, group) in groups.iter().enumerate() {
+            for (idx, &r) in group.iter().enumerate() {
+                assert!(r < self.size(), "subgroup rank {r} out of range");
+                assert!(!seen[r], "subgroup rank {r} appears twice");
+                seen[r] = true;
+                if r == self.my_idx {
+                    mine = Some((gi, idx));
+                }
+            }
+        }
+        mine.map(|(gi, idx)| Comm {
+            ctx_id: mix(self.ctx_id ^ mix((seq << 20) | (gi as u64 + 1))),
+            ranks: Arc::new(groups[gi].iter().map(|&r| self.ranks[r]).collect()),
+            my_idx: idx,
+            coll_seq: std::cell::Cell::new(0),
+        })
+    }
+
+    /// `MPI_Comm_split`: members pass a `color` (ranks with equal colors end
+    /// up together, `None` opts out) and a `key` that orders ranks within
+    /// each new communicator (ties broken by old rank). Collective over the
+    /// communicator; costs one allgather.
+    pub fn split(&self, ctx: &RankCtx, color: Option<u64>, key: u64) -> Option<Comm> {
+        // Gather (color, key) from everyone. Encode None as u64::MAX.
+        let mine = vec![color.unwrap_or(u64::MAX), key];
+        let all = crate::collectives::allgather(self, ctx, mine);
+        let seq = ctx.ctx_seq.get();
+        ctx.ctx_seq.set(seq + 1);
+        let my_color = color?;
+        let mut members: Vec<(u64, usize)> = (0..self.size())
+            .filter(|&r| all[2 * r] == my_color)
+            .map(|r| (all[2 * r + 1], r))
+            .collect();
+        members.sort();
+        let my_idx = members
+            .iter()
+            .position(|&(_, r)| r == self.my_idx)
+            .expect("caller must be in its own color group");
+        Some(Comm {
+            ctx_id: mix(self.ctx_id ^ mix((seq << 20) ^ my_color.wrapping_add(1))),
+            ranks: Arc::new(members.iter().map(|&(_, r)| self.ranks[r]).collect()),
+            my_idx,
+            coll_seq: std::cell::Cell::new(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn ping_pong() {
+        World::run(2, |ctx| {
+            let comm = Comm::world(ctx);
+            if comm.rank() == 0 {
+                comm.send(ctx, 1, 7, vec![1.0f64, 2.0, 3.0]);
+                let back: Vec<f64> = comm.recv(ctx, 1, 8);
+                assert_eq!(back, vec![6.0]);
+            } else {
+                let v: Vec<f64> = comm.recv(ctx, 0, 7);
+                comm.send(ctx, 0, 8, vec![v.iter().sum::<f64>()]);
+            }
+        });
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        World::run(2, |ctx| {
+            let comm = Comm::world(ctx);
+            if comm.rank() == 0 {
+                comm.send(ctx, 1, 1, 10u64);
+                comm.send(ctx, 1, 2, 20u64);
+                comm.send(ctx, 1, 3, 30u64);
+            } else {
+                // Receive in reverse order.
+                assert_eq!(comm.recv::<u64>(ctx, 0, 3), 30);
+                assert_eq!(comm.recv::<u64>(ctx, 0, 2), 20);
+                assert_eq!(comm.recv::<u64>(ctx, 0, 1), 10);
+            }
+        });
+    }
+
+    #[test]
+    fn sendrecv_ring_shift() {
+        let vals = World::run(5, |ctx| {
+            let comm = Comm::world(ctx);
+            let p = comm.size();
+            let me = comm.rank();
+            // shift left: everyone passes its rank to (me-1)
+            comm.sendrecv(
+                ctx,
+                (me + p - 1) % p,
+                (me + 1) % p,
+                0,
+                vec![me as u64],
+            )[0]
+        });
+        assert_eq!(vals, vec![1, 2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn traffic_counters_count_payload_bytes() {
+        let (_, report) = World::run_traced(2, |ctx| {
+            let comm = Comm::world(ctx);
+            ctx.set_phase("stage1");
+            if comm.rank() == 0 {
+                comm.send(ctx, 1, 0, vec![0.0f64; 100]);
+            } else {
+                let _: Vec<f64> = comm.recv(ctx, 0, 0);
+            }
+        });
+        assert_eq!(report.phase(0, "stage1").bytes, 800);
+        assert_eq!(report.phase(0, "stage1").msgs, 1);
+        assert_eq!(report.rank_total(1).bytes, 0);
+    }
+
+    #[test]
+    fn subgroup_even_odd() {
+        World::run(6, |ctx| {
+            let comm = Comm::world(ctx);
+            let groups = vec![vec![0, 2, 4], vec![1, 3, 5]];
+            let sub = comm.subgroup(ctx, &groups).unwrap();
+            assert_eq!(sub.size(), 3);
+            let expected_idx = comm.rank() / 2;
+            assert_eq!(sub.rank(), expected_idx);
+            // messages in the subgroup do not leak across groups: ring shift
+            let me = sub.rank();
+            let got = sub.sendrecv(ctx, (me + 1) % 3, (me + 2) % 3, 0, comm.rank() as u64);
+            assert_eq!(got as usize % 2, comm.rank() % 2);
+        });
+    }
+
+    #[test]
+    fn subgroup_none_for_excluded_rank() {
+        World::run(3, |ctx| {
+            let comm = Comm::world(ctx);
+            let sub = comm.subgroup(ctx, &[vec![0, 1]]);
+            if comm.rank() == 2 {
+                assert!(sub.is_none());
+            } else {
+                assert_eq!(sub.unwrap().size(), 2);
+            }
+        });
+    }
+
+    #[test]
+    fn split_by_color_and_key() {
+        World::run(6, |ctx| {
+            let comm = Comm::world(ctx);
+            // color = rank % 2; key reverses order within each group
+            let color = Some((comm.rank() % 2) as u64);
+            let key = (comm.size() - comm.rank()) as u64;
+            let sub = comm.split(ctx, color, key).unwrap();
+            assert_eq!(sub.size(), 3);
+            // rank 4 has the smallest key among evens {0,2,4} -> idx 0
+            if comm.rank() == 4 {
+                assert_eq!(sub.rank(), 0);
+            }
+            if comm.rank() == 0 {
+                assert_eq!(sub.rank(), 2);
+            }
+        });
+    }
+
+    #[test]
+    fn split_opt_out() {
+        World::run(4, |ctx| {
+            let comm = Comm::world(ctx);
+            let color = if comm.rank() == 3 { None } else { Some(0) };
+            let sub = comm.split(ctx, color, comm.rank() as u64);
+            if comm.rank() == 3 {
+                assert!(sub.is_none());
+            } else {
+                assert_eq!(sub.unwrap().size(), 3);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "type confusion")]
+    fn wrong_type_recv_panics() {
+        World::run(2, |ctx| {
+            let comm = Comm::world(ctx);
+            if comm.rank() == 0 {
+                comm.send(ctx, 1, 0, vec![1.0f64]);
+            } else {
+                let _: Vec<f32> = comm.recv(ctx, 0, 0);
+            }
+        });
+    }
+
+    #[test]
+    fn buffered_same_key_messages_stay_fifo() {
+        // Regression test: rank 1 first waits on tag 2 (which arrives
+        // last), forcing tags-1 messages into the pending buffer; they must
+        // still come out in send order.
+        World::run(2, |ctx| {
+            let comm = Comm::world(ctx);
+            if comm.rank() == 0 {
+                comm.send(ctx, 1, 1, 10u64);
+                comm.send(ctx, 1, 1, 20u64);
+                comm.send(ctx, 1, 1, 30u64);
+                comm.send(ctx, 1, 2, 99u64);
+            } else {
+                assert_eq!(comm.recv::<u64>(ctx, 0, 2), 99);
+                assert_eq!(comm.recv::<u64>(ctx, 0, 1), 10);
+                assert_eq!(comm.recv::<u64>(ctx, 0, 1), 20);
+                assert_eq!(comm.recv::<u64>(ctx, 0, 1), 30);
+            }
+        });
+    }
+
+    #[test]
+    fn payload_sizes() {
+        assert_eq!(vec![0f64; 3].nbytes(), 24);
+        assert_eq!(vec![0f32; 3].nbytes(), 12);
+        assert_eq!(7u64.nbytes(), 8);
+        assert_eq!((1usize, vec![0u8; 5]).nbytes(), 8 + 5);
+    }
+}

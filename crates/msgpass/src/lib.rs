@@ -1,0 +1,41 @@
+//! A message-passing runtime: the MPI substitute for the CA3DMM
+//! reproduction.
+//!
+//! The paper's artifact is an MPI program. This crate provides the subset of
+//! MPI the paper's Algorithm 1 needs, implemented from scratch on OS
+//! threads:
+//!
+//! * [`World::run`] spawns `P` ranks as scoped threads and runs the same
+//!   closure on each — the moral equivalent of `mpirun -np P`;
+//! * [`Comm`] is a communicator: an ordered group of world ranks with its
+//!   own isolated tag space, supporting [`Comm::split`] (like
+//!   `MPI_Comm_split`) and [`Comm::subgroup`];
+//! * point-to-point [`Comm::send`] / [`Comm::recv`] with `(source, tag)`
+//!   matching and out-of-order buffering, plus [`Comm::sendrecv`] (the
+//!   primitive behind Cannon's circular shifts);
+//! * collectives built *algorithmically* on point-to-point, the way MPICH
+//!   builds them (Thakur, Rabenseifner & Gropp — the paper's reference
+//!   \[27\]): binomial-tree broadcast, recursive-doubling / ring allgather,
+//!   ring reduce-scatter, Rabenseifner allreduce, pairwise alltoallv,
+//!   dissemination barrier;
+//! * [`traffic`]: every rank counts the bytes and messages it sends, per
+//!   named phase. This is what lets the test suite assert that the
+//!   *measured* communication volume of an algorithm equals the volume its
+//!   analytic cost model predicts — the validation that licenses using the
+//!   model at paper-scale process counts.
+//!
+//! # Semantics
+//!
+//! Sends are *eager* (buffered, never block), so `sendrecv` pairs and shift
+//! patterns cannot deadlock. Collectives must be invoked in the same order
+//! by every member of a communicator, exactly as in MPI. A panic on any rank
+//! propagates out of [`World::run`] and fails the test.
+
+pub mod collectives;
+pub mod comm;
+pub mod traffic;
+pub mod world;
+
+pub use comm::{Comm, Payload, ReduceElem};
+pub use traffic::{PhaseCounts, TrafficReport};
+pub use world::{RankCtx, World};

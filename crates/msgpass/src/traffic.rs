@@ -1,0 +1,163 @@
+//! Per-rank, per-phase traffic accounting.
+//!
+//! Algorithms label their stages with [`crate::RankCtx::set_phase`]
+//! ("replicate_ab", "cannon_shift", "reduce_c", "redist", …); every
+//! point-to-point send is attributed to the sender's current phase. The
+//! resulting [`TrafficReport`] is the measured counterpart of the analytic
+//! schedule evaluator in the `netmodel` crate.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Bytes and message count for one phase on one rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCounts {
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// Messages sent.
+    pub msgs: u64,
+}
+
+impl PhaseCounts {
+    /// Accumulate another count into this one.
+    pub fn add(&mut self, other: PhaseCounts) {
+        self.bytes += other.bytes;
+        self.msgs += other.msgs;
+    }
+}
+
+/// Accumulator owned by the fabric, one per rank. Sends are recorded by the
+/// owning thread only, but the final report is read after the threads join,
+/// so a mutex (uncontended in practice) keeps this simple and safe.
+#[derive(Default)]
+pub(crate) struct RankTraffic {
+    pub(crate) by_phase: Mutex<BTreeMap<String, PhaseCounts>>,
+}
+
+impl RankTraffic {
+    pub(crate) fn record(&self, phase: &str, bytes: u64) {
+        let mut map = self.by_phase.lock();
+        let e = map.entry(phase.to_owned()).or_default();
+        e.bytes += bytes;
+        e.msgs += 1;
+    }
+}
+
+/// Traffic measured during one [`crate::World::run_traced`], indexed by
+/// `[rank][phase]`.
+#[derive(Clone, Debug, Default)]
+pub struct TrafficReport {
+    /// `per_rank[r]` maps phase name → counts for world rank `r`.
+    pub per_rank: Vec<BTreeMap<String, PhaseCounts>>,
+    /// `secs_per_rank[r]` maps phase name → wall seconds spent in the phase
+    /// on rank `r` (communication *and* computation while the phase label
+    /// was active).
+    pub secs_per_rank: Vec<BTreeMap<String, f64>>,
+}
+
+impl TrafficReport {
+    /// Total counts for one rank across all phases.
+    pub fn rank_total(&self, rank: usize) -> PhaseCounts {
+        let mut t = PhaseCounts::default();
+        for c in self.per_rank[rank].values() {
+            t.add(*c);
+        }
+        t
+    }
+
+    /// The maximum per-rank byte count — the paper's communication size `Q`
+    /// (§III-D), in bytes.
+    pub fn max_rank_bytes(&self) -> u64 {
+        (0..self.per_rank.len())
+            .map(|r| self.rank_total(r).bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The maximum per-rank message count — the paper's latency `L`.
+    pub fn max_rank_msgs(&self) -> u64 {
+        (0..self.per_rank.len())
+            .map(|r| self.rank_total(r).msgs)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of bytes over all ranks (total data exchanged).
+    pub fn total_bytes(&self) -> u64 {
+        (0..self.per_rank.len())
+            .map(|r| self.rank_total(r).bytes)
+            .sum()
+    }
+
+    /// Counts for a single phase on one rank (zero if the phase never ran).
+    pub fn phase(&self, rank: usize, phase: &str) -> PhaseCounts {
+        self.per_rank[rank].get(phase).copied().unwrap_or_default()
+    }
+
+    /// Sums one phase across all ranks.
+    pub fn phase_total(&self, phase: &str) -> PhaseCounts {
+        let mut t = PhaseCounts::default();
+        for r in 0..self.per_rank.len() {
+            t.add(self.phase(r, phase));
+        }
+        t
+    }
+
+    /// Wall seconds one rank spent in one phase (0 if never entered).
+    pub fn phase_secs(&self, rank: usize, phase: &str) -> f64 {
+        self.secs_per_rank
+            .get(rank)
+            .and_then(|m| m.get(phase))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Maximum over ranks of the wall seconds spent in one phase — the
+    /// critical-path estimate the artifact's per-phase report prints.
+    pub fn phase_secs_max(&self, phase: &str) -> f64 {
+        (0..self.secs_per_rank.len())
+            .map(|r| self.phase_secs(r, phase))
+            .fold(0.0, f64::max)
+    }
+
+    /// All phase labels seen on any rank, sorted.
+    pub fn phases(&self) -> Vec<String> {
+        let mut set: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for m in &self.per_rank {
+            set.extend(m.keys().cloned());
+        }
+        for m in &self.secs_per_rank {
+            set.extend(m.keys().cloned());
+        }
+        set.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let rt = RankTraffic::default();
+        rt.record("a", 100);
+        rt.record("a", 50);
+        rt.record("b", 1);
+        let map = rt.by_phase.lock().clone();
+        assert_eq!(map["a"], PhaseCounts { bytes: 150, msgs: 2 });
+        assert_eq!(map["b"], PhaseCounts { bytes: 1, msgs: 1 });
+
+        let report = TrafficReport {
+            per_rank: vec![map, BTreeMap::new()],
+            secs_per_rank: vec![BTreeMap::new(), BTreeMap::new()],
+        };
+        assert_eq!(report.rank_total(0).bytes, 151);
+        assert_eq!(report.rank_total(1).msgs, 0);
+        assert_eq!(report.max_rank_bytes(), 151);
+        assert_eq!(report.max_rank_msgs(), 3);
+        assert_eq!(report.total_bytes(), 151);
+        assert_eq!(report.phase(0, "a").msgs, 2);
+        assert_eq!(report.phase(0, "missing"), PhaseCounts::default());
+        assert_eq!(report.phase_total("a").bytes, 150);
+    }
+}

@@ -1,0 +1,211 @@
+//! The world: rank spawning, mailboxes, and the shared fabric.
+
+use crate::comm::Envelope;
+use crate::traffic::{RankTraffic, TrafficReport};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared, immutable-after-construction communication fabric: one inbound
+/// channel per rank plus the traffic accumulators.
+pub(crate) struct Fabric {
+    pub(crate) senders: Vec<Sender<Envelope>>,
+    pub(crate) traffic: Vec<RankTraffic>,
+    pub(crate) times: Vec<Mutex<BTreeMap<String, f64>>>,
+}
+
+/// Everything one rank's thread needs: its identity, its mailbox, and the
+/// fabric. All communication operations take `&RankCtx`; the mutable pieces
+/// (pending-message buffer, current phase) live in cells because a rank is
+/// single-threaded by construction.
+pub struct RankCtx {
+    world_rank: usize,
+    world_size: usize,
+    pub(crate) fabric: Arc<Fabric>,
+    pub(crate) rx: Receiver<Envelope>,
+    /// Messages received but not yet matched by a `recv`.
+    pub(crate) pending: RefCell<Vec<Envelope>>,
+    /// Label attributed to outgoing traffic.
+    phase: RefCell<String>,
+    /// Wall-clock of the current phase's start (for the per-phase timing
+    /// report).
+    phase_started: Cell<Instant>,
+    /// Monotonic counter used to derive child communicator contexts.
+    pub(crate) ctx_seq: Cell<u64>,
+}
+
+impl RankCtx {
+    /// This rank's index in the world, `0..world_size`.
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// Number of ranks in the world (the paper's `P`, i.e. `mpirun -np P`).
+    pub fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    /// Sets the phase label attributed to subsequent sends (for the traffic
+    /// report) and to wall time (for the per-phase timing report). Phases
+    /// are free-form; algorithms use names like `"replicate_ab"`,
+    /// `"cannon_shift"`, `"reduce_c"`, `"redist"`.
+    pub fn set_phase(&self, phase: &str) {
+        self.flush_phase_time();
+        *self.phase.borrow_mut() = phase.to_owned();
+    }
+
+    /// Accumulates elapsed wall time into the current phase and restarts
+    /// the phase clock. Called on phase switches and at rank exit.
+    fn flush_phase_time(&self) {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.phase_started.replace(now)).as_secs_f64();
+        let label = self.phase.borrow().clone();
+        if !label.is_empty() {
+            *self.fabric.times[self.world_rank]
+                .lock()
+                .entry(label)
+                .or_insert(0.0) += elapsed;
+        }
+    }
+
+    /// The current phase label.
+    pub fn phase(&self) -> String {
+        self.phase.borrow().clone()
+    }
+
+    pub(crate) fn record_send(&self, bytes: u64) {
+        self.fabric.traffic[self.world_rank].record(&self.phase.borrow(), bytes);
+    }
+}
+
+/// The `mpirun` of this runtime.
+pub struct World;
+
+impl World {
+    /// Runs `f` on `p` ranks (threads) and returns the per-rank results in
+    /// rank order. Panics on any rank propagate.
+    pub fn run<R, F>(p: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&RankCtx) -> R + Sync,
+    {
+        Self::run_traced(p, f).0
+    }
+
+    /// Like [`World::run`] but also returns the traffic report.
+    pub fn run_traced<R, F>(p: usize, f: F) -> (Vec<R>, TrafficReport)
+    where
+        R: Send,
+        F: Fn(&RankCtx) -> R + Sync,
+    {
+        assert!(p > 0, "world size must be positive");
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let fabric = Arc::new(Fabric {
+            senders,
+            traffic: (0..p).map(|_| RankTraffic::default()).collect(),
+            times: (0..p).map(|_| Mutex::new(BTreeMap::new())).collect(),
+        });
+
+        let results: Vec<R> = std::thread::scope(|s| {
+            let handles: Vec<_> = receivers
+                .into_iter()
+                .enumerate()
+                .map(|(rank, rx)| {
+                    let fabric = Arc::clone(&fabric);
+                    let f = &f;
+                    s.spawn(move || {
+                        let ctx = RankCtx {
+                            world_rank: rank,
+                            world_size: p,
+                            fabric,
+                            rx,
+                            pending: RefCell::new(Vec::new()),
+                            phase: RefCell::new(String::new()),
+                            phase_started: Cell::new(Instant::now()),
+                            ctx_seq: Cell::new(0),
+                        };
+                        let out = f(&ctx);
+                        ctx.flush_phase_time();
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(rank, h)| match h.join() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        let msg = e
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| e.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic>");
+                        panic!("rank {rank} panicked: {msg}")
+                    }
+                })
+                .collect()
+        });
+
+        let report = TrafficReport {
+            per_rank: fabric
+                .traffic
+                .iter()
+                .map(|t| t.by_phase.lock().clone())
+                .collect(),
+            secs_per_rank: fabric.times.iter().map(|t| t.lock().clone()).collect(),
+        };
+        (results, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_identity() {
+        let ids = World::run(4, |ctx| (ctx.world_rank(), ctx.world_size()));
+        assert_eq!(ids, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::run(1, |ctx| ctx.world_rank() + 100);
+        assert_eq!(out, vec![100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked")]
+    fn rank_panic_propagates() {
+        World::run(4, |ctx| {
+            if ctx.world_rank() == 2 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "world size must be positive")]
+    fn zero_world_rejected() {
+        World::run(0, |_| ());
+    }
+
+    #[test]
+    fn phase_label_round_trip() {
+        World::run(1, |ctx| {
+            assert_eq!(ctx.phase(), "");
+            ctx.set_phase("cannon_shift");
+            assert_eq!(ctx.phase(), "cannon_shift");
+        });
+    }
+}

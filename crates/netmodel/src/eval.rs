@@ -1,0 +1,436 @@
+//! Pricing a schedule on a machine.
+
+use crate::machine::Machine;
+use crate::schedule::{NetGroup, Phase, Schedule};
+use std::collections::BTreeMap;
+
+/// Cost of one phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseCost {
+    /// Time spent communicating, seconds.
+    pub comm_s: f64,
+    /// Time spent computing, seconds.
+    pub comp_s: f64,
+}
+
+impl PhaseCost {
+    /// Total wall time of the phase.
+    pub fn total(&self) -> f64 {
+        self.comm_s + self.comp_s
+    }
+}
+
+/// Evaluated cost of a whole schedule.
+#[derive(Clone, Debug, Default)]
+pub struct CostReport {
+    /// Wall time per breakdown label, in schedule order of first appearance.
+    pub by_label: BTreeMap<String, PhaseCost>,
+    /// Total wall time, seconds.
+    pub total_s: f64,
+    /// Bytes sent by the modeled rank (matches the `msgpass` counters).
+    pub sent_bytes: f64,
+    /// Butterfly message count (the paper's `L`).
+    pub messages: f64,
+}
+
+impl CostReport {
+    /// Communication seconds across all labels.
+    pub fn comm_s(&self) -> f64 {
+        self.by_label.values().map(|c| c.comm_s).sum()
+    }
+
+    /// Computation seconds across all labels.
+    pub fn comp_s(&self) -> f64 {
+        self.by_label.values().map(|c| c.comp_s).sum()
+    }
+
+    /// Wall time of one label (0 when absent).
+    pub fn label_s(&self, label: &str) -> f64 {
+        self.by_label.get(label).map(|c| c.total()).unwrap_or(0.0)
+    }
+}
+
+/// Effective (α, β) of a group: traffic is split into the intra-node
+/// fraction (shared-memory transport) and the inter-node remainder, which
+/// shares the node's injection bandwidth with the other ranks of the node
+/// that are simultaneously sending off-node.
+fn alpha_beta(m: &Machine, grp: &NetGroup) -> (f64, f64) {
+    alpha_beta_frac(m, grp, grp.intra_fraction())
+}
+
+/// Like [`alpha_beta`] but for pairwise-exchange collectives (reduce-
+/// scatter), whose partners span all distances rather than ring
+/// neighbours.
+fn alpha_beta_pairwise(m: &Machine, grp: &NetGroup) -> (f64, f64) {
+    alpha_beta_frac(m, grp, grp.pairwise_intra_fraction())
+}
+
+fn alpha_beta_frac(m: &Machine, grp: &NetGroup, fi: f64) -> (f64, f64) {
+    if grp.size <= 1 {
+        return (m.alpha_intra, m.beta_intra);
+    }
+    let fe = 1.0 - fi;
+    if fe <= 0.0 {
+        return (m.alpha_intra, m.beta_intra);
+    }
+    // Expected concurrent off-node senders per node during this phase.
+    let concurrent = (grp.ranks_per_node as f64 * fe).max(1.0);
+    let beta_inter = m.beta_inter(concurrent);
+    let alpha = fi * m.alpha_intra + fe * m.alpha_inter;
+    let beta = fi * m.beta_intra + fe * beta_inter;
+    (alpha, beta)
+}
+
+fn frac(g: usize) -> f64 {
+    if g == 0 {
+        0.0
+    } else {
+        (g as f64 - 1.0) / g as f64
+    }
+}
+
+/// Prices one phase on `machine` given the rank's compute rate
+/// `flops_per_rank` (FLOP/s, GEMM-effective).
+pub fn phase_cost(machine: &Machine, flops_per_rank: f64, phase: &Phase) -> PhaseCost {
+    match phase {
+        Phase::Allgather { grp, total_bytes } => {
+            if grp.size <= 1 {
+                return PhaseCost::default();
+            }
+            let (a, b) = alpha_beta(machine, grp);
+            PhaseCost {
+                comm_s: a * (grp.size as f64).log2().ceil() + b * total_bytes * frac(grp.size),
+                comp_s: 0.0,
+            }
+        }
+        Phase::Bcast { grp, bytes } => {
+            if grp.size <= 1 {
+                return PhaseCost::default();
+            }
+            let (a, b) = alpha_beta(machine, grp);
+            PhaseCost {
+                comm_s: a * ((grp.size as f64).log2().ceil() + grp.size as f64 - 1.0)
+                    + 2.0 * b * bytes * frac(grp.size),
+                comp_s: 0.0,
+            }
+        }
+        Phase::ReduceScatter {
+            grp,
+            total_bytes,
+            custom_impl,
+        } => {
+            if grp.size <= 1 {
+                return PhaseCost::default();
+            }
+            let (a, mut b) = alpha_beta_pairwise(machine, grp);
+            // MPI-library pathologies (§IV-B/§IV-C) — skipped by libraries
+            // that ship their own reduction trees (COSMA):
+            if !custom_impl {
+                // MVAPICH2 degradation above the protocol threshold.
+                let block = total_bytes / grp.size as f64;
+                if block > machine.reduce_scatter_degrade_threshold {
+                    b *= machine.reduce_scatter_degrade_factor;
+                }
+                // Odd group sizes break recursive-halving pairing
+                // (pk = 341 "unfavorable").
+                if grp.size % 2 == 1 {
+                    b *= machine.reduce_scatter_odd_factor;
+                }
+            }
+            PhaseCost {
+                comm_s: a * (grp.size as f64 - 1.0) + b * total_bytes * frac(grp.size),
+                comp_s: 0.0,
+            }
+        }
+        Phase::Alltoallv {
+            grp,
+            send_bytes,
+            peers,
+        } => {
+            if grp.size <= 1 {
+                return PhaseCost::default();
+            }
+            let (a, b) = alpha_beta(machine, grp);
+            // The unoptimized redistribution subroutine pays a pack and an
+            // unpack pass over the payload at strided-copy speed (§III-F).
+            let pack_s = if machine.pack_bw.is_finite() {
+                2.0 * send_bytes / machine.pack_bw
+            } else {
+                0.0
+            };
+            PhaseCost {
+                comm_s: a * (*peers as f64) + b * send_bytes + pack_s,
+                comp_s: 0.0,
+            }
+        }
+        Phase::ShiftRounds {
+            grp,
+            rounds,
+            bytes_per_round,
+        } => {
+            if *rounds == 0 {
+                return PhaseCost::default();
+            }
+            let (a, b) = alpha_beta(machine, grp);
+            PhaseCost {
+                comm_s: *rounds as f64 * (a + b * bytes_per_round),
+                comp_s: 0.0,
+            }
+        }
+        Phase::LocalGemm { flops } => PhaseCost {
+            comm_s: 0.0,
+            comp_s: flops / flops_per_rank,
+        },
+        Phase::CannonOverlap {
+            grp,
+            rounds,
+            bytes_per_round,
+            flops,
+        } => {
+            let comp = flops / flops_per_rank;
+            if *rounds == 0 {
+                return PhaseCost {
+                    comm_s: 0.0,
+                    comp_s: comp,
+                };
+            }
+            let (a, b) = alpha_beta(machine, grp);
+            let comm_per_round = a + b * bytes_per_round;
+            let comp_per_round = comp / (*rounds as f64 + 1.0);
+            // Dual buffering (§III-F): each shift overlaps with the GEMM on
+            // the previously received blocks, so only the part of the
+            // communication exceeding the per-round GEMM is exposed; the
+            // final GEMM (on the last received blocks) is always exposed.
+            let exposed_comm = (*rounds as f64) * (comm_per_round - comp_per_round).max(0.0);
+            PhaseCost {
+                comm_s: exposed_comm,
+                comp_s: comp,
+            }
+        }
+    }
+}
+
+/// Prices a whole schedule: wall time per label, totals, traffic.
+pub fn evaluate(machine: &Machine, flops_per_rank: f64, schedule: &Schedule) -> CostReport {
+    let mut report = CostReport {
+        sent_bytes: schedule.sent_bytes(),
+        messages: schedule.message_count(),
+        ..Default::default()
+    };
+    for (label, phase) in &schedule.items {
+        let c = phase_cost(machine, flops_per_rank, phase);
+        let entry = report.by_label.entry(label.clone()).or_default();
+        entry.comm_s += c.comm_s;
+        entry.comp_s += c.comp_s;
+        report.total_s += c.total();
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(size: usize) -> NetGroup {
+        NetGroup::flat(size)
+    }
+
+    #[test]
+    fn allgather_matches_paper_formula() {
+        let m = Machine::uniform();
+        let c = phase_cost(
+            &m,
+            1e9,
+            &Phase::Allgather {
+                grp: flat(8),
+                total_bytes: 8000.0,
+            },
+        );
+        let want = m.alpha_inter * 3.0 + m.beta_inter(1.0) * 8000.0 * 7.0 / 8.0;
+        assert!((c.comm_s - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bcast_matches_paper_formula() {
+        let m = Machine::uniform();
+        let c = phase_cost(
+            &m,
+            1e9,
+            &Phase::Bcast {
+                grp: flat(4),
+                bytes: 1000.0,
+            },
+        );
+        let want = m.alpha_inter * (2.0 + 3.0) + 2.0 * m.beta_inter(1.0) * 1000.0 * 3.0 / 4.0;
+        assert!((c.comm_s - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reduce_scatter_matches_paper_formula() {
+        let m = Machine::uniform();
+        let c = phase_cost(
+            &m,
+            1e9,
+            &Phase::ReduceScatter {
+                grp: flat(4),
+                total_bytes: 1000.0,
+                custom_impl: false,
+            },
+        );
+        let want = m.alpha_inter * 3.0 + m.beta_inter(1.0) * 1000.0 * 3.0 / 4.0;
+        assert!((c.comm_s - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reduce_scatter_degrades_above_threshold() {
+        let mut m = Machine::uniform();
+        m.reduce_scatter_degrade_threshold = 100.0;
+        m.reduce_scatter_degrade_factor = 2.0;
+        let small = phase_cost(
+            &m,
+            1e9,
+            &Phase::ReduceScatter {
+                grp: flat(4),
+                total_bytes: 200.0, // 50 B/blk, under threshold
+                custom_impl: false,
+            },
+        );
+        let big = phase_cost(
+            &m,
+            1e9,
+            &Phase::ReduceScatter {
+                grp: flat(4),
+                total_bytes: 2_000_000.0, // 500 kB/blk, over threshold
+                custom_impl: false,
+            },
+        );
+        let expect_ratio = 2.0;
+        let beta_part_small = small.comm_s - m.alpha_inter * 3.0;
+        let beta_part_big = big.comm_s - m.alpha_inter * 3.0;
+        assert!(
+            (beta_part_big / (beta_part_small * 2_000_000.0 / 200.0) - expect_ratio).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn gemm_time_is_flops_over_rate() {
+        let m = Machine::uniform();
+        let c = phase_cost(&m, 2e9, &Phase::LocalGemm { flops: 4e9 });
+        assert!((c.comp_s - 2.0).abs() < 1e-12);
+        assert_eq!(c.comm_s, 0.0);
+    }
+
+    #[test]
+    fn singleton_groups_cost_nothing() {
+        let m = Machine::uniform();
+        for ph in [
+            Phase::Allgather {
+                grp: flat(1),
+                total_bytes: 1e9,
+            },
+            Phase::ReduceScatter {
+                grp: flat(1),
+                total_bytes: 1e9,
+                custom_impl: false,
+            },
+            Phase::Bcast {
+                grp: flat(1),
+                bytes: 1e9,
+            },
+        ] {
+            assert_eq!(phase_cost(&m, 1e9, &ph), PhaseCost::default());
+        }
+    }
+
+    #[test]
+    fn overlap_hides_communication_under_compute() {
+        let m = Machine::uniform();
+        // compute-dominated: total ~= comp
+        let c = phase_cost(
+            &m,
+            1e6, // slow compute
+            &Phase::CannonOverlap {
+                grp: flat(4),
+                rounds: 3,
+                bytes_per_round: 1000.0,
+                flops: 4e6, // 4 s of compute
+            },
+        );
+        assert!(c.total() < 4.2, "compute-bound overlap: {}", c.total());
+        // comm-dominated: total ~= comm + one round of compute
+        let c2 = phase_cost(
+            &m,
+            1e12,
+            &Phase::CannonOverlap {
+                grp: flat(4),
+                rounds: 3,
+                bytes_per_round: 1e9, // 1 s per round
+                flops: 4e3,
+            },
+        );
+        assert!(c2.total() > 2.9 && c2.total() < 3.2, "comm-bound: {}", c2.total());
+    }
+
+    #[test]
+    fn evaluate_accumulates_labels() {
+        let m = Machine::uniform();
+        let mut s = Schedule::new();
+        s.push("gemm", Phase::LocalGemm { flops: 1e9 });
+        s.push("gemm", Phase::LocalGemm { flops: 1e9 });
+        s.push(
+            "reduce_c",
+            Phase::ReduceScatter {
+                grp: flat(2),
+                total_bytes: 2e9,
+                custom_impl: false,
+            },
+        );
+        let r = evaluate(&m, 1e9, &s);
+        assert!((r.label_s("gemm") - 2.0).abs() < 1e-9);
+        assert!(r.label_s("reduce_c") > 0.9);
+        assert!((r.total_s - (r.comm_s() + r.comp_s())).abs() < 1e-9);
+        assert!(r.sent_bytes > 0.0);
+        assert_eq!(r.label_s("missing"), 0.0);
+    }
+
+    #[test]
+    fn intra_node_groups_use_fast_link() {
+        let mut m = Machine::uniform();
+        m.beta_intra = 1e-12;
+        // rpn = 1: every hop is inter-node
+        let slow = phase_cost(
+            &m,
+            1e9,
+            &Phase::Allgather {
+                grp: NetGroup::contiguous(4, 1),
+                total_bytes: 1e9,
+            },
+        );
+        // rpn = 8: the whole group fits in one node
+        let fast = phase_cost(
+            &m,
+            1e9,
+            &Phase::Allgather {
+                grp: NetGroup::contiguous(4, 8),
+                total_bytes: 1e9,
+            },
+        );
+        assert!(fast.comm_s < slow.comm_s / 100.0);
+    }
+
+    #[test]
+    fn intra_fraction_cases() {
+        // contiguous group spanning several nodes of 8 ranks: 1/8 crosses
+        let g = NetGroup::contiguous(64, 8);
+        assert!((g.intra_fraction() - 7.0 / 8.0).abs() < 1e-12);
+        // stride >= rpn: everything crosses
+        assert_eq!(NetGroup::strided(4, 8, 8).intra_fraction(), 0.0);
+        // whole group inside one node
+        assert_eq!(NetGroup::contiguous(4, 8).intra_fraction(), 1.0);
+        // scattered: peers on my node over all peers
+        let g = NetGroup::scattered(64, 8);
+        assert!((g.intra_fraction() - 7.0 / 63.0).abs() < 1e-12);
+        // singleton group
+        assert_eq!(NetGroup::contiguous(1, 8).intra_fraction(), 1.0);
+    }
+}

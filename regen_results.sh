@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates every experiment artifact in results/ (text + CSV).
+set -e
+cd "$(dirname "$0")"
+export BENCH_CSV_DIR=results
+for b in fig3_strong_scaling fig4_hybrid fig5_breakdown table1_memory \
+         table2_grids table3_gpu ablation_l ablation_2d_algo ablation_design; do
+  echo "== $b"
+  cargo run --release -q -p bench --bin $b > results/$b.txt
+done
+cargo run --release -q --example grid_explorer > results/grid_explorer.txt
+echo "done; artifacts in results/"

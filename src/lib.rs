@@ -1,0 +1,13 @@
+//! Umbrella crate for the CA3DMM reproduction workspace.
+//!
+//! This root package exists to host the workspace-level `examples/` and
+//! `tests/` directories; all functionality lives in the member crates and is
+//! re-exported here for convenience.
+
+pub use baselines;
+pub use ca3dmm;
+pub use dense;
+pub use gridopt;
+pub use layout;
+pub use msgpass;
+pub use netmodel;

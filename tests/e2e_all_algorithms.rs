@@ -1,0 +1,318 @@
+//! Cross-crate end-to-end battery: every distributed algorithm in the
+//! workspace, across the paper's problem classes, versus the serial
+//! reference.
+
+use baselines::{C25d, CosmaLike, Orig3d, SummaPgemm};
+use ca3dmm::summa2d::Ca3dmmSumma;
+use ca3dmm::{Ca3dmm, Ca3dmmOptions};
+use dense::gemm::{gemm, GemmOp};
+use dense::part::Rect;
+use dense::random::global_block;
+use dense::testing::assert_gemm_close;
+use dense::Mat;
+use gridopt::Problem;
+use layout::Layout;
+use msgpass::{Comm, World};
+
+fn reference(m: usize, n: usize, k: usize) -> Mat<f64> {
+    let a = global_block::<f64>(1, Rect::new(0, 0, m, k));
+    let b = global_block::<f64>(2, Rect::new(0, 0, k, n));
+    let mut c = Mat::zeros(m, n);
+    gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a, &b, 0.0, &mut c);
+    c
+}
+
+/// Runs one algorithm through its native layouts and compares to serial.
+fn run_native<F>(m: usize, n: usize, k: usize, p: usize, name: &str, f: F)
+where
+    F: Fn() -> (Layout, Layout, Layout, AlgFn) + Sync,
+{
+    let (la, lb, lc, alg) = f();
+    la.validate();
+    lb.validate();
+    lc.validate();
+    let a_full = global_block::<f64>(1, Rect::new(0, 0, m, k));
+    let b_full = global_block::<f64>(2, Rect::new(0, 0, k, n));
+    let parts = World::run(p, |ctx| {
+        let world = Comm::world(ctx);
+        let me = world.rank();
+        let a = la.extract(&a_full, me).into_iter().next();
+        let b = lb.extract(&b_full, me).into_iter().next();
+        alg(ctx, &world, a, b)
+            .into_iter()
+            .filter(|m: &Mat<f64>| !m.is_empty())
+            .collect::<Vec<_>>()
+    });
+    let got = lc.assemble(&parts);
+    assert_gemm_close(&got, &reference(m, n, k), k, &format!("{name} {m}x{n}x{k} p={p}"));
+}
+
+type AlgFn = Box<
+    dyn Fn(&msgpass::RankCtx, &Comm, Option<Mat<f64>>, Option<Mat<f64>>) -> Option<Mat<f64>>
+        + Sync,
+>;
+
+/// The paper's four problem classes at test scale, plus degenerate shapes.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (40, 40, 40),   // square
+    (6, 6, 200),    // large-K
+    (200, 6, 6),    // large-M
+    (48, 48, 6),    // flat
+    (33, 17, 29),   // awkward primes
+];
+
+#[test]
+fn ca3dmm_native_all_shapes_all_p() {
+    for &(m, n, k) in SHAPES {
+        for p in [1usize, 4, 7, 12, 16] {
+            run_native(m, n, k, p, "ca3dmm", || {
+                let alg = Ca3dmm::new(Problem::new(m, n, k, p), &Ca3dmmOptions::default());
+                let gc = alg.grid_context();
+                let (la, lb, lc) = (gc.layout_a(), gc.layout_b(), gc.layout_c());
+                (
+                    la,
+                    lb,
+                    lc,
+                    Box::new(move |ctx: &msgpass::RankCtx, world: &Comm, a, b| {
+                        alg.multiply_native(ctx, world, a, b)
+                    })
+                        as AlgFn,
+                )
+            });
+        }
+    }
+}
+
+#[test]
+fn cosma_like_all_shapes() {
+    for &(m, n, k) in SHAPES {
+        for p in [1usize, 6, 12, 16] {
+            run_native(m, n, k, p, "cosma", || {
+                let alg = CosmaLike::new(Problem::new(m, n, k, p), None);
+                let (la, lb, lc) = (alg.layout_a(), alg.layout_b(), alg.layout_c());
+                (
+                    la,
+                    lb,
+                    lc,
+                    Box::new(move |ctx: &msgpass::RankCtx, world: &Comm, a, b| {
+                        alg.multiply_native(ctx, world, a, b)
+                    })
+                        as AlgFn,
+                )
+            });
+        }
+    }
+}
+
+#[test]
+fn summa_all_shapes() {
+    for &(m, n, k) in SHAPES {
+        for p in [1usize, 6, 12, 16] {
+            run_native(m, n, k, p, "summa", || {
+                let alg = SummaPgemm::new(Problem::new(m, n, k, p), None);
+                let (la, lb, lc) = (alg.layout_a(), alg.layout_b(), alg.layout_c());
+                (
+                    la,
+                    lb,
+                    lc,
+                    Box::new(move |ctx: &msgpass::RankCtx, world: &Comm, a, b| {
+                        alg.multiply_native(ctx, world, a, b)
+                    })
+                        as AlgFn,
+                )
+            });
+        }
+    }
+}
+
+#[test]
+fn orig3d_all_shapes() {
+    for &(m, n, k) in SHAPES {
+        for p in [1usize, 8, 27] {
+            run_native(m, n, k, p, "orig3d", || {
+                let alg = Orig3d::new(Problem::new(m, n, k, p));
+                let (la, lb, lc) = (alg.layout_a(), alg.layout_b(), alg.layout_c());
+                (
+                    la,
+                    lb,
+                    lc,
+                    Box::new(move |ctx: &msgpass::RankCtx, world: &Comm, a, b| {
+                        alg.multiply_native(ctx, world, a, b)
+                    })
+                        as AlgFn,
+                )
+            });
+        }
+    }
+}
+
+#[test]
+fn c25d_all_shapes() {
+    for &(m, n, k) in SHAPES {
+        for p in [1usize, 8, 16, 18] {
+            run_native(m, n, k, p, "c25d", || {
+                let alg = C25d::new(Problem::new(m, n, k, p), None);
+                let (la, lb, lc) = (alg.layout_a(), alg.layout_b(), alg.layout_c());
+                (
+                    la,
+                    lb,
+                    lc,
+                    Box::new(move |ctx: &msgpass::RankCtx, world: &Comm, a, b| {
+                        alg.multiply_native(ctx, world, a, b)
+                    })
+                        as AlgFn,
+                )
+            });
+        }
+    }
+}
+
+#[test]
+fn ca3dmm_s_all_shapes() {
+    for &(m, n, k) in SHAPES {
+        for p in [1usize, 6, 12] {
+            run_native(m, n, k, p, "ca3dmm-s", || {
+                let alg = Ca3dmmSumma::new(Problem::new(m, n, k, p), None);
+                let (la, lb, lc) = (alg.layout_a(), alg.layout_b(), alg.layout_c());
+                (
+                    la,
+                    lb,
+                    lc,
+                    Box::new(move |ctx: &msgpass::RankCtx, world: &Comm, a, b| {
+                        alg.multiply_native(ctx, world, a, b)
+                    })
+                        as AlgFn,
+                )
+            });
+        }
+    }
+}
+
+/// Full pipeline with user layouts and every transpose combination, across
+/// several user layout kinds — the complete Algorithm 1.
+#[test]
+fn ca3dmm_full_pipeline_layout_matrix() {
+    let (m, n, k, p) = (26, 22, 30, 12);
+    for (op_a, op_b) in [
+        (GemmOp::NoTrans, GemmOp::NoTrans),
+        (GemmOp::Trans, GemmOp::NoTrans),
+        (GemmOp::NoTrans, GemmOp::Trans),
+        (GemmOp::Trans, GemmOp::Trans),
+    ] {
+        let (ar, ac) = match op_a {
+            GemmOp::NoTrans => (m, k),
+            GemmOp::Trans => (k, m),
+        };
+        let (br, bc) = match op_b {
+            GemmOp::NoTrans => (k, n),
+            GemmOp::Trans => (n, k),
+        };
+        let user_layouts_a = [
+            Layout::one_d_col(ar, ac, p),
+            Layout::one_d_row(ar, ac, p),
+            Layout::block_cyclic(ar, ac, 3, 4, 5, 3),
+        ];
+        let user_layouts_b = [
+            Layout::one_d_row(br, bc, p),
+            Layout::two_d_block(br, bc, 4, 3),
+            Layout::block_cyclic(br, bc, 2, 6, 4, 4),
+        ];
+        for (la, lb) in user_layouts_a.iter().zip(user_layouts_b.iter()) {
+            let lc = Layout::two_d_block(m, n, 3, 4);
+            let a_stored = global_block::<f64>(1, Rect::new(0, 0, ar, ac));
+            let b_stored = global_block::<f64>(2, Rect::new(0, 0, br, bc));
+            let mm = Ca3dmm::new(Problem::new(m, n, k, p), &Ca3dmmOptions::default());
+            let parts = World::run(p, |ctx| {
+                let world = Comm::world(ctx);
+                let me = world.rank();
+                mm.multiply(
+                    ctx,
+                    &world,
+                    op_a,
+                    la,
+                    &la.extract(&a_stored, me),
+                    op_b,
+                    lb,
+                    &lb.extract(&b_stored, me),
+                    &lc,
+                )
+            });
+            let mut c_ref = Mat::zeros(m, n);
+            gemm(op_a, op_b, 1.0, &a_stored, &b_stored, 0.0, &mut c_ref);
+            assert_gemm_close(
+                &lc.assemble(&parts),
+                &c_ref,
+                k,
+                &format!("pipeline {op_a:?}/{op_b:?}"),
+            );
+        }
+    }
+}
+
+/// All algorithms agree with each other on the same problem.
+#[test]
+fn algorithms_agree() {
+    let (m, n, k, p) = (24, 28, 32, 8);
+    let c_ref = reference(m, n, k);
+    let compare = |name: &str, got: Mat<f64>| {
+        assert_gemm_close(&got, &c_ref, k, name);
+    };
+
+    let alg = Ca3dmm::new(Problem::new(m, n, k, p), &Ca3dmmOptions::default());
+    let gc = alg.grid_context();
+    let (la, lb, lc) = (gc.layout_a(), gc.layout_b(), gc.layout_c());
+    let a_full = global_block::<f64>(1, Rect::new(0, 0, m, k));
+    let b_full = global_block::<f64>(2, Rect::new(0, 0, k, n));
+    let parts = World::run(p, |ctx| {
+        let world = Comm::world(ctx);
+        let me = world.rank();
+        let a = la.extract(&a_full, me).into_iter().next();
+        let b = lb.extract(&b_full, me).into_iter().next();
+        alg.multiply_native(ctx, &world, a, b)
+            .into_iter()
+            .filter(|m: &Mat<f64>| !m.is_empty())
+            .collect::<Vec<_>>()
+    });
+    compare("ca3dmm", lc.assemble(&parts));
+}
+
+/// Baseline full pipelines (user layouts + redistribution) also match the
+/// serial reference — COSMA's "internal matrix redistribution library" and
+/// ScaLAPACK-style SUMMA conversions.
+#[test]
+fn baseline_full_pipelines() {
+    let (m, n, k, p) = (22usize, 26, 30, 12);
+    let a_stored = global_block::<f64>(1, Rect::new(0, 0, k, m)); // transposed store
+    let b_stored = global_block::<f64>(2, Rect::new(0, 0, k, n));
+    let la = Layout::one_d_row(k, m, p);
+    let lb = Layout::block_cyclic(k, n, 3, 4, 4, 5);
+    let lc = Layout::one_d_col(m, n, p);
+    let mut c_ref = Mat::zeros(m, n);
+    gemm(GemmOp::Trans, GemmOp::NoTrans, 1.0, &a_stored, &b_stored, 0.0, &mut c_ref);
+
+    let cosma = CosmaLike::new(gridopt::Problem::new(m, n, k, p), None);
+    let parts = World::run(p, |ctx| {
+        let world = Comm::world(ctx);
+        let me = world.rank();
+        cosma.multiply(
+            ctx, &world,
+            GemmOp::Trans, &la, &la.extract(&a_stored, me),
+            GemmOp::NoTrans, &lb, &lb.extract(&b_stored, me),
+            &lc,
+        )
+    });
+    assert_gemm_close(&lc.assemble(&parts), &c_ref, k, "cosma full pipeline");
+
+    let summa = SummaPgemm::new(gridopt::Problem::new(m, n, k, p), None);
+    let parts = World::run(p, |ctx| {
+        let world = Comm::world(ctx);
+        let me = world.rank();
+        summa.multiply(
+            ctx, &world,
+            GemmOp::Trans, &la, &la.extract(&a_stored, me),
+            GemmOp::NoTrans, &lb, &lb.extract(&b_stored, me),
+            &lc,
+        )
+    });
+    assert_gemm_close(&lc.assemble(&parts), &c_ref, k, "summa full pipeline");
+}

@@ -1,0 +1,136 @@
+//! Property tests for the `msgpass` collectives: every collective must
+//! agree with its obvious serial specification for arbitrary group sizes,
+//! payload sizes, and roots — including empty contributions. These are the
+//! foundations everything else stands on.
+
+use msgpass::collectives::{
+    allgatherv, allreduce, alltoallv, barrier, bcast_large, gatherv, reduce_scatter,
+};
+use msgpass::{Comm, World};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn allgatherv_concatenates(p in 1usize..9, sizes in proptest::collection::vec(0usize..7, 1..9)) {
+        let counts: Vec<usize> = (0..p).map(|r| sizes[r % sizes.len()]).collect();
+        let counts2 = counts.clone();
+        let got = World::run(p, move |ctx| {
+            let comm = Comm::world(ctx);
+            let me = comm.rank();
+            let mine: Vec<u64> = (0..counts2[me]).map(|i| (me * 100 + i) as u64).collect();
+            allgatherv(&comm, ctx, mine, &counts2)
+        });
+        let want: Vec<u64> = (0..p)
+            .flat_map(|r| (0..counts[r]).map(move |i| (r * 100 + i) as u64))
+            .collect();
+        for g in got {
+            prop_assert_eq!(&g, &want);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_matches_serial(p in 1usize..9, seg in 0usize..6) {
+        let counts: Vec<usize> = (0..p).map(|r| seg + r % 2).collect();
+        let total: usize = counts.iter().sum();
+        let counts2 = counts.clone();
+        let got = World::run(p, move |ctx| {
+            let comm = Comm::world(ctx);
+            let me = comm.rank();
+            let data: Vec<f64> = (0..total).map(|i| (me * 31 + i) as f64).collect();
+            reduce_scatter(&comm, ctx, data, &counts2)
+        });
+        // serial: sum over ranks of each index
+        let sums: Vec<f64> = (0..total)
+            .map(|i| (0..p).map(|r| (r * 31 + i) as f64).sum())
+            .collect();
+        let mut off = 0;
+        for (r, g) in got.iter().enumerate() {
+            prop_assert_eq!(g.len(), counts[r]);
+            for (k, v) in g.iter().enumerate() {
+                prop_assert!((v - sums[off + k]).abs() < 1e-9);
+            }
+            off += counts[r];
+        }
+    }
+
+    #[test]
+    fn allreduce_matches_serial(p in 1usize..9, n in 0usize..40) {
+        let got = World::run(p, move |ctx| {
+            let comm = Comm::world(ctx);
+            let data: Vec<f64> = (0..n).map(|i| (comm.rank() + 1) as f64 * i as f64).collect();
+            allreduce(&comm, ctx, data)
+        });
+        let scale: f64 = (1..=p).map(|r| r as f64).sum();
+        for g in got {
+            for (i, v) in g.iter().enumerate() {
+                prop_assert!((v - scale * i as f64).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_transposes(p in 1usize..8, w in 0usize..5) {
+        let got = World::run(p, move |ctx| {
+            let comm = Comm::world(ctx);
+            let me = comm.rank();
+            // send to rank j a vector of length (j + w) % (w+2) tagged with (me, j)
+            let sends: Vec<Vec<u64>> = (0..p)
+                .map(|j| vec![(me * 1000 + j) as u64; (j + w) % (w + 2)])
+                .collect();
+            alltoallv(&comm, ctx, sends)
+        });
+        for (me, recvs) in got.iter().enumerate() {
+            for (src, r) in recvs.iter().enumerate() {
+                prop_assert_eq!(r.len(), (me + w) % (w + 2));
+                prop_assert!(r.iter().all(|&v| v == (src * 1000 + me) as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_large_any_root_any_len(p in 1usize..9, len in 0usize..50, root_sel in 0usize..8) {
+        let root = root_sel % p;
+        let got = World::run(p, move |ctx| {
+            let comm = Comm::world(ctx);
+            let want: Vec<u32> = (0..len as u32).map(|i| i * 3 + 1).collect();
+            let mine = (comm.rank() == root).then(|| want.clone());
+            bcast_large(&comm, ctx, root, mine, len)
+        });
+        let want: Vec<u32> = (0..len as u32).map(|i| i * 3 + 1).collect();
+        for g in got {
+            prop_assert_eq!(&g, &want);
+        }
+    }
+
+    #[test]
+    fn gatherv_collects_in_order(p in 1usize..8, root_sel in 0usize..8) {
+        let root = root_sel % p;
+        let got = World::run(p, move |ctx| {
+            let comm = Comm::world(ctx);
+            let mine = vec![comm.rank() as u16; comm.rank()];
+            gatherv(&comm, ctx, mine, root)
+        });
+        for (r, g) in got.iter().enumerate() {
+            if r == root {
+                let g = g.as_ref().unwrap();
+                for (src, v) in g.iter().enumerate() {
+                    prop_assert_eq!(v.len(), src);
+                    prop_assert!(v.iter().all(|&x| x as usize == src));
+                }
+            } else {
+                prop_assert!(g.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_any_size(p in 1usize..12) {
+        World::run(p, |ctx| {
+            let comm = Comm::world(ctx);
+            barrier(&comm, ctx);
+            barrier(&comm, ctx);
+        });
+    }
+}
