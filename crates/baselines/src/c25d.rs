@@ -167,9 +167,8 @@ impl C25d {
             .map(|idx| (0..c).map(|l| l * s2 + idx).collect())
             .collect();
         let layer_comm = world.subgroup(ctx, &layer_groups);
-        let cannon_groups: Vec<Vec<usize>> = (0..c)
-            .map(|l| (l * s2..(l + 1) * s2).collect())
-            .collect();
+        let cannon_groups: Vec<Vec<usize>> =
+            (0..c).map(|l| (l * s2..(l + 1) * s2).collect()).collect();
         let cannon_comm = world.subgroup(ctx, &cannon_groups);
 
         if world.rank() >= self.active() {
@@ -189,7 +188,11 @@ impl C25d {
             ctx,
             0,
             (l == 0).then(|| {
-                to_msg(a_init.clone().unwrap_or_else(|| Mat::zeros(r1 - r0, ka1 - ka0)))
+                to_msg(
+                    a_init
+                        .clone()
+                        .unwrap_or_else(|| Mat::zeros(r1 - r0, ka1 - ka0)),
+                )
             }),
         ));
         let b_blk = from_msg(bcast(
@@ -197,7 +200,11 @@ impl C25d {
             ctx,
             0,
             (l == 0).then(|| {
-                to_msg(b_init.clone().unwrap_or_else(|| Mat::zeros(kb1 - kb0, c1 - c0)))
+                to_msg(
+                    b_init
+                        .clone()
+                        .unwrap_or_else(|| Mat::zeros(kb1 - kb0, c1 - c0)),
+                )
             }),
         ));
 
@@ -316,7 +323,15 @@ fn cannon_offset<T: Scalar>(
     const TAG_A: u64 = 201;
     const TAG_B: u64 = 202;
     if s == 1 {
-        gemm(GemmOp::NoTrans, GemmOp::NoTrans, T::ONE, &a0, &b0, T::ONE, c_out);
+        gemm(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            T::ONE,
+            &a0,
+            &b0,
+            T::ONE,
+            c_out,
+        );
         return;
     }
     let idx = |ii: usize, jj: usize| ii + jj * s;
@@ -387,7 +402,15 @@ mod tests {
                 .collect::<Vec<_>>()
         });
         let mut c_ref = Mat::zeros(m, n);
-        gemm_naive(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a_full, &b_full, 0.0, &mut c_ref);
+        gemm_naive(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            1.0,
+            &a_full,
+            &b_full,
+            0.0,
+            &mut c_ref,
+        );
         assert_gemm_close(
             &lc.assemble(&parts),
             &c_ref,
@@ -442,7 +465,12 @@ mod tests {
     fn auto_grid_respects_divisibility() {
         for p in [1usize, 2, 4, 8, 16, 17, 32, 64, 100] {
             let alg = C25d::new(Problem::new(64, 64, 64, p), None);
-            assert!(alg.s % alg.c == 0, "c must divide s: s={} c={}", alg.s, alg.c);
+            assert!(
+                alg.s.is_multiple_of(alg.c),
+                "c must divide s: s={} c={}",
+                alg.s,
+                alg.c
+            );
             assert!(alg.active() <= p);
         }
     }

@@ -44,7 +44,11 @@ impl CosmaLike {
 
     fn coord(&self, world: usize) -> (usize, usize, usize) {
         let per_kt = self.grid.pm * self.grid.pn;
-        (world % per_kt % self.grid.pm, world % per_kt / self.grid.pm, world / per_kt)
+        (
+            world % per_kt % self.grid.pm,
+            world % per_kt / self.grid.pm,
+            world / per_kt,
+        )
     }
 
     fn k_outer(&self, kt: usize) -> (usize, usize) {
@@ -206,7 +210,11 @@ impl CosmaLike {
         let a_blk_rect = self.a_block(i, kt);
         let a_widths = split_even(a_blk_rect.cols, pn);
         let a_slice = a_init.unwrap_or_else(|| Mat::zeros(a_blk_rect.rows, a_widths[j]));
-        assert_eq!(a_slice.shape(), (a_blk_rect.rows, a_widths[j]), "A slice shape");
+        assert_eq!(
+            a_slice.shape(),
+            (a_blk_rect.rows, a_widths[j]),
+            "A slice shape"
+        );
         let a_full = gather_col_slices(
             ctx,
             row_comm.as_ref().expect("active rank has a row group"),
@@ -219,7 +227,11 @@ impl CosmaLike {
         let b_blk_rect = self.b_block(j, kt);
         let b_heights = split_even(b_blk_rect.rows, pm);
         let b_slice = b_init.unwrap_or_else(|| Mat::zeros(b_heights[i], b_blk_rect.cols));
-        assert_eq!(b_slice.shape(), (b_heights[i], b_blk_rect.cols), "B slice shape");
+        assert_eq!(
+            b_slice.shape(),
+            (b_heights[i], b_blk_rect.cols),
+            "B slice shape"
+        );
         let b_full = gather_row_slices(
             ctx,
             col_comm.as_ref().expect("active rank has a column group"),
@@ -245,7 +257,9 @@ impl CosmaLike {
         ctx.set_phase("reduce_c");
         Some(reduce_partial_c(
             ctx,
-            reduce_comm.as_ref().expect("active rank has a reduce group"),
+            reduce_comm
+                .as_ref()
+                .expect("active rank has a reduce group"),
             c_partial,
         ))
     }
@@ -253,7 +267,12 @@ impl CosmaLike {
     /// The §III-C schedule: allgather A, allgather B, one GEMM, reduce.
     /// `include_redist` adds the user-layout conversion phases (Fig. 3's
     /// "custom layout" series).
-    pub fn schedule(&self, placement: &Placement, elem_bytes: f64, include_redist: bool) -> Schedule {
+    pub fn schedule(
+        &self,
+        placement: &Placement,
+        elem_bytes: f64,
+        include_redist: bool,
+    ) -> Schedule {
         let (pm, pn, pk) = (self.grid.pm, self.grid.pn, self.grid.pk);
         let active = self.grid.active();
         let mb = (self.prob.m as f64 / pm as f64).ceil();
@@ -417,8 +436,21 @@ mod tests {
                 .collect::<Vec<_>>()
         });
         let mut c_ref = Mat::zeros(m, n);
-        gemm_naive(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a_full, &b_full, 0.0, &mut c_ref);
-        assert_gemm_close(&lc.assemble(&parts), &c_ref, k, &format!("cosma {m}x{n}x{k} p={p}"));
+        gemm_naive(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            1.0,
+            &a_full,
+            &b_full,
+            0.0,
+            &mut c_ref,
+        );
+        assert_gemm_close(
+            &lc.assemble(&parts),
+            &c_ref,
+            k,
+            &format!("cosma {m}x{n}x{k} p={p}"),
+        );
     }
 
     #[test]

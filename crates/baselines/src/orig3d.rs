@@ -291,8 +291,21 @@ mod tests {
                 .collect::<Vec<_>>()
         });
         let mut c_ref = Mat::zeros(m, n);
-        gemm_naive(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a_full, &b_full, 0.0, &mut c_ref);
-        assert_gemm_close(&lc.assemble(&parts), &c_ref, k, &format!("orig3d {m}x{n}x{k} p={p}"));
+        gemm_naive(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            1.0,
+            &a_full,
+            &b_full,
+            0.0,
+            &mut c_ref,
+        );
+        assert_gemm_close(
+            &lc.assemble(&parts),
+            &c_ref,
+            k,
+            &format!("orig3d {m}x{n}x{k} p={p}"),
+        );
     }
 
     #[test]

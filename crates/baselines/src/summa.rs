@@ -259,8 +259,21 @@ mod tests {
                 .collect::<Vec<_>>()
         });
         let mut c_ref = Mat::zeros(m, n);
-        gemm_naive(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a_full, &b_full, 0.0, &mut c_ref);
-        assert_gemm_close(&lc.assemble(&parts), &c_ref, k, &format!("summa {m}x{n}x{k} p={p}"));
+        gemm_naive(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            1.0,
+            &a_full,
+            &b_full,
+            0.0,
+            &mut c_ref,
+        );
+        assert_gemm_close(
+            &lc.assemble(&parts),
+            &c_ref,
+            k,
+            &format!("summa {m}x{n}x{k} p={p}"),
+        );
     }
 
     #[test]
@@ -289,12 +302,8 @@ mod tests {
     #[test]
     fn schedule_has_bcast_rounds() {
         let alg = SummaPgemm::new(Problem::new(1024, 1024, 1024, 16), Some((4, 4)));
-        let s = alg.schedule(&netmodel::Machine::uniform().pure_mpi(), 8.0, );
-        let bcasts = s
-            .items
-            .iter()
-            .filter(|(l, _)| l == "summa_bcast")
-            .count();
+        let s = alg.schedule(&netmodel::Machine::uniform().pure_mpi(), 8.0);
+        let bcasts = s.items.iter().filter(|(l, _)| l == "summa_bcast").count();
         assert_eq!(bcasts, 2 * 7); // (pr + pc - 1) rounds, 2 bcasts each
     }
 }

@@ -1,51 +1,38 @@
 //! Collective-operation throughput of the `msgpass` runtime.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::bench;
 use msgpass::collectives::{allgather, allreduce, alltoallv, reduce_scatter};
 use msgpass::{Comm, World};
 
-fn bench_collectives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("collectives_p8");
-    group.sample_size(10);
+fn main() {
     let p = 8usize;
     let n = 1 << 14; // elements per rank
+    println!("collectives at P = {p}, {n} f64 elements per rank");
 
-    group.bench_function(BenchmarkId::new("allgather", n), |b| {
-        b.iter(|| {
-            World::run(p, |ctx| {
-                let comm = Comm::world(ctx);
-                allgather(&comm, ctx, vec![comm.rank() as f64; n])
-            })
-        })
+    bench("allgather", || {
+        World::run(p, |ctx| {
+            let comm = Comm::world(ctx);
+            allgather(&comm, ctx, vec![comm.rank() as f64; n])
+        });
     });
-    group.bench_function(BenchmarkId::new("reduce_scatter", n), |b| {
-        b.iter(|| {
-            World::run(p, |ctx| {
-                let comm = Comm::world(ctx);
-                let counts = vec![n; p];
-                reduce_scatter(&comm, ctx, vec![1.0f64; n * p], &counts)
-            })
-        })
+    bench("reduce_scatter", || {
+        World::run(p, |ctx| {
+            let comm = Comm::world(ctx);
+            let counts = vec![n; p];
+            reduce_scatter(&comm, ctx, vec![1.0f64; n * p], &counts)
+        });
     });
-    group.bench_function(BenchmarkId::new("allreduce", n), |b| {
-        b.iter(|| {
-            World::run(p, |ctx| {
-                let comm = Comm::world(ctx);
-                allreduce(&comm, ctx, vec![1.0f64; n])
-            })
-        })
+    bench("allreduce", || {
+        World::run(p, |ctx| {
+            let comm = Comm::world(ctx);
+            allreduce(&comm, ctx, vec![1.0f64; n])
+        });
     });
-    group.bench_function(BenchmarkId::new("alltoallv", n), |b| {
-        b.iter(|| {
-            World::run(p, |ctx| {
-                let comm = Comm::world(ctx);
-                let sends: Vec<Vec<f64>> = (0..p).map(|_| vec![0.0f64; n / p]).collect();
-                alltoallv(&comm, ctx, sends)
-            })
-        })
+    bench("alltoallv", || {
+        World::run(p, |ctx| {
+            let comm = Comm::world(ctx);
+            let sends: Vec<Vec<f64>> = (0..p).map(|_| vec![0.0f64; n / p]).collect();
+            alltoallv(&comm, ctx, sends)
+        });
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_collectives);
-criterion_main!(benches);

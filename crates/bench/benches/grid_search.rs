@@ -4,11 +4,11 @@
 //! largest scale (P = 3072); compare against the multiply times in
 //! Table II (hundreds of milliseconds to seconds).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::bench;
 use gridopt::{ca3dmm_grid, cosma_grid, Problem, DEFAULT_UTILIZATION_FLOOR};
 
-fn bench_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("grid_search_p3072");
+fn main() {
+    println!("grid_search at P = 3072");
     let shapes = [
         ("square", 50_000usize, 50_000usize, 50_000usize),
         ("large-K", 6_000, 6_000, 1_200_000),
@@ -16,15 +16,11 @@ fn bench_search(c: &mut Criterion) {
     ];
     for (name, m, n, k) in shapes {
         let prob = Problem::new(m, n, k, 3072);
-        group.bench_function(BenchmarkId::new("ca3dmm", name), |b| {
-            b.iter(|| ca3dmm_grid(&prob, DEFAULT_UTILIZATION_FLOOR))
+        bench(&format!("ca3dmm/{name}"), || {
+            std::hint::black_box(ca3dmm_grid(&prob, DEFAULT_UTILIZATION_FLOOR));
         });
-        group.bench_function(BenchmarkId::new("cosma", name), |b| {
-            b.iter(|| cosma_grid(&prob, DEFAULT_UTILIZATION_FLOOR))
+        bench(&format!("cosma/{name}"), || {
+            std::hint::black_box(cosma_grid(&prob, DEFAULT_UTILIZATION_FLOOR));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_search);
-criterion_main!(benches);

@@ -1,27 +1,25 @@
 //! Local GEMM kernel throughput (the role MKL plays in the artifact).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::timing::bench_throughput;
 use dense::gemm::{gemm, GemmOp};
 use dense::random::random_mat;
 use dense::Mat;
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("local_gemm");
-    group.sample_size(10);
-    for &(m, n, k) in &[(256usize, 256usize, 256usize), (512, 512, 512), (64, 64, 4096), (2048, 2048, 64)] {
+fn main() {
+    println!("local_gemm (f64)");
+    for &(m, n, k) in &[
+        (256usize, 256usize, 256usize),
+        (512, 512, 512),
+        (64, 64, 4096),
+        (2048, 2048, 64),
+    ] {
         let a = random_mat::<f64>(m, k, 1);
         let b = random_mat::<f64>(k, n, 2);
-        group.throughput(Throughput::Elements((2 * m * n * k) as u64));
-        group.bench_function(BenchmarkId::from_parameter(format!("{m}x{n}x{k}")), |bch| {
-            bch.iter(|| {
-                let mut cm = Mat::<f64>::zeros(m, n);
-                gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a, &b, 0.0, &mut cm);
-                cm
-            })
+        let flops = (2 * m * n * k) as f64;
+        bench_throughput(&format!("{m}x{n}x{k}"), flops, || {
+            let mut cm = Mat::<f64>::zeros(m, n);
+            gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a, &b, 0.0, &mut cm);
+            std::hint::black_box(&cm);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_gemm);
-criterion_main!(benches);

@@ -3,19 +3,21 @@
 //! Small process counts, native layouts, square and tall-skinny shapes.
 
 use baselines::{C25d, CosmaLike, SummaPgemm};
+use bench::timing::bench;
 use ca3dmm::{Ca3dmm, Ca3dmmOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dense::part::Rect;
 use dense::random::global_block;
 use dense::Mat;
 use gridopt::Problem;
 use msgpass::{Comm, World};
 
-fn bench_algos(c: &mut Criterion) {
-    let cases = [("square_256", 256usize, 256usize, 256usize), ("largek_64x64x4096", 64, 64, 4096)];
+fn main() {
+    let cases = [
+        ("square_256", 256usize, 256usize, 256usize),
+        ("largek_64x64x4096", 64, 64, 4096),
+    ];
     for p in [4usize, 8, 16] {
-        let mut group = c.benchmark_group(format!("pgemm_p{p}"));
-        group.sample_size(10);
+        println!("pgemm at P = {p}");
         for (name, m, n, k) in cases {
             let a_full = global_block::<f64>(1, Rect::new(0, 0, m, k));
             let b_full = global_block::<f64>(2, Rect::new(0, 0, k, n));
@@ -24,63 +26,52 @@ fn bench_algos(c: &mut Criterion) {
             let ca = Ca3dmm::new(prob, &Ca3dmmOptions::default());
             let gc = ca.grid_context();
             let (la, lb) = (gc.layout_a(), gc.layout_b());
-            group.bench_function(BenchmarkId::new("ca3dmm", name), |bch| {
-                bch.iter(|| {
-                    World::run(p, |ctx| {
-                        let world = Comm::world(ctx);
-                        let me = world.rank();
-                        let a = la.extract(&a_full, me).into_iter().next();
-                        let b = lb.extract(&b_full, me).into_iter().next();
-                        let _: Option<Mat<f64>> = ca.multiply_native(ctx, &world, a, b);
-                    })
-                })
+            bench(&format!("ca3dmm/{name}"), || {
+                World::run(p, |ctx| {
+                    let world = Comm::world(ctx);
+                    let me = world.rank();
+                    let a = la.extract(&a_full, me).into_iter().next();
+                    let b = lb.extract(&b_full, me).into_iter().next();
+                    let _: Option<Mat<f64>> = ca.multiply_native(ctx, &world, a, b);
+                });
             });
 
             let cosma = CosmaLike::new(prob, None);
             let (la, lb) = (cosma.layout_a(), cosma.layout_b());
-            group.bench_function(BenchmarkId::new("cosma", name), |bch| {
-                bch.iter(|| {
-                    World::run(p, |ctx| {
-                        let world = Comm::world(ctx);
-                        let me = world.rank();
-                        let a = la.extract(&a_full, me).into_iter().next();
-                        let b = lb.extract(&b_full, me).into_iter().next();
-                        let _: Option<Mat<f64>> = cosma.multiply_native(ctx, &world, a, b);
-                    })
-                })
+            bench(&format!("cosma/{name}"), || {
+                World::run(p, |ctx| {
+                    let world = Comm::world(ctx);
+                    let me = world.rank();
+                    let a = la.extract(&a_full, me).into_iter().next();
+                    let b = lb.extract(&b_full, me).into_iter().next();
+                    let _: Option<Mat<f64>> = cosma.multiply_native(ctx, &world, a, b);
+                });
             });
 
             let summa = SummaPgemm::new(prob, None);
             let (la, lb) = (summa.layout_a(), summa.layout_b());
-            group.bench_function(BenchmarkId::new("summa", name), |bch| {
-                bch.iter(|| {
-                    World::run(p, |ctx| {
-                        let world = Comm::world(ctx);
-                        let me = world.rank();
-                        let a = la.extract(&a_full, me).into_iter().next();
-                        let b = lb.extract(&b_full, me).into_iter().next();
-                        let _: Option<Mat<f64>> = summa.multiply_native(ctx, &world, a, b);
-                    })
-                })
+            bench(&format!("summa/{name}"), || {
+                World::run(p, |ctx| {
+                    let world = Comm::world(ctx);
+                    let me = world.rank();
+                    let a = la.extract(&a_full, me).into_iter().next();
+                    let b = lb.extract(&b_full, me).into_iter().next();
+                    let _: Option<Mat<f64>> = summa.multiply_native(ctx, &world, a, b);
+                });
             });
 
             let c25d = C25d::new(prob, None);
             let (la, lb) = (c25d.layout_a(), c25d.layout_b());
-            group.bench_function(BenchmarkId::new("c25d", name), |bch| {
-                bch.iter(|| {
-                    World::run(p, |ctx| {
-                        let world = Comm::world(ctx);
-                        let me = world.rank();
-                        let a = la.extract(&a_full, me).into_iter().next();
-                        let b = lb.extract(&b_full, me).into_iter().next();
-                        let _: Option<Mat<f64>> = c25d.multiply_native(ctx, &world, a, b);
-                    })
-                })
+            bench(&format!("c25d/{name}"), || {
+                World::run(p, |ctx| {
+                    let world = Comm::world(ctx);
+                    let me = world.rank();
+                    let a = la.extract(&a_full, me).into_iter().next();
+                    let b = lb.extract(&b_full, me).into_iter().next();
+                    let _: Option<Mat<f64>> = c25d.multiply_native(ctx, &world, a, b);
+                });
             });
         }
-        group.finish();
+        println!();
     }
 }
-
-criterion_group!(benches, bench_algos);
-criterion_main!(benches);

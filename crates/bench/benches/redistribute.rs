@@ -2,17 +2,16 @@
 //! the subject of Fig. 3's "custom layout" series and the paper's §V open
 //! problem.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::bench;
 use dense::gemm::GemmOp;
 use dense::random::random_mat;
 use layout::{redistribute, Layout};
 use msgpass::{Comm, World};
 
-fn bench_redistribute(c: &mut Criterion) {
-    let mut group = c.benchmark_group("redistribute_p8");
-    group.sample_size(10);
+fn main() {
     let p = 8usize;
     let (rows, cols) = (1024usize, 1024usize);
+    println!("redistribute at P = {p}, {rows}x{cols} f64");
     let global = random_mat::<f64>(rows, cols, 7);
 
     let cases: Vec<(&str, Layout, Layout)> = vec![
@@ -33,30 +32,22 @@ fn bench_redistribute(c: &mut Criterion) {
         ),
     ];
     for (name, src, dst) in cases {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                World::run(p, |ctx| {
-                    let comm = Comm::world(ctx);
-                    let mine = src.extract(&global, comm.rank());
-                    redistribute(&comm, ctx, &src, &mine, &dst, GemmOp::NoTrans)
-                })
-            })
-        });
-    }
-    // transpose fold
-    group.bench_function(BenchmarkId::from_parameter("col_to_col_transposed"), |b| {
-        let src = Layout::one_d_col(rows, cols, p);
-        let dst = Layout::one_d_col(cols, rows, p);
-        b.iter(|| {
+        bench(name, || {
             World::run(p, |ctx| {
                 let comm = Comm::world(ctx);
                 let mine = src.extract(&global, comm.rank());
-                redistribute(&comm, ctx, &src, &mine, &dst, GemmOp::Trans)
-            })
-        })
+                redistribute(&comm, ctx, &src, &mine, &dst, GemmOp::NoTrans)
+            });
+        });
+    }
+    // transpose fold
+    let src = Layout::one_d_col(rows, cols, p);
+    let dst = Layout::one_d_col(cols, rows, p);
+    bench("col_to_col_transposed", || {
+        World::run(p, |ctx| {
+            let comm = Comm::world(ctx);
+            let mine = src.extract(&global, comm.rank());
+            redistribute(&comm, ctx, &src, &mine, &dst, GemmOp::Trans)
+        });
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_redistribute);
-criterion_main!(benches);

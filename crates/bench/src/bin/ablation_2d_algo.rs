@@ -16,9 +16,9 @@
 
 use ca3dmm::summa2d::Ca3dmmSumma;
 use ca3dmm::{Ca3dmm, Ca3dmmOptions};
-use dense::Mat;
 use dense::part::Rect;
 use dense::random::global_block;
+use dense::Mat;
 use gridopt::{ca3dmm_grid, Grid, Problem};
 use msgpass::{Comm, World};
 use std::time::Instant;
@@ -40,7 +40,10 @@ fn summa_latency(g: &Grid) -> f64 {
 fn main() {
     println!("Ablation: CA3DMM-C (Cannon) vs CA3DMM-S (SUMMA), §III-E\n");
     println!("Theoretical latencies (paper eq. 10 vs L_SUMMA):");
-    println!("{:>14} | {:>10} {:>10} {:>8}", "grid", "L (Cannon)", "L_SUMMA", "ratio");
+    println!(
+        "{:>14} | {:>10} {:>10} {:>8}",
+        "grid", "L (Cannon)", "L_SUMMA", "ratio"
+    );
     for (m, n, k, p) in [
         (50_000, 50_000, 50_000, 2048),
         (6_000, 6_000, 1_200_000, 2048),
@@ -67,7 +70,11 @@ fn main() {
         "{:>16} {:>5} | {:>12} {:>12} | {:>10} {:>10}",
         "problem", "P", "Cannon (ms)", "SUMMA (ms)", "msgs C", "msgs S"
     );
-    for (m, n, k, p) in [(240usize, 240, 240, 16), (120, 120, 960, 16), (480, 480, 60, 16)] {
+    for (m, n, k, p) in [
+        (240usize, 240, 240, 16),
+        (120, 120, 960, 16),
+        (480, 480, 60, 16),
+    ] {
         let prob = Problem::new(m, n, k, p);
         let grid = ca3dmm_grid(&prob, 0.95).grid;
         let a_full = global_block::<f64>(1, Rect::new(0, 0, m, k));

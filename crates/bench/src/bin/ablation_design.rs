@@ -37,11 +37,22 @@ fn main() {
     for (name, m, n, k) in CPU_CLASSES {
         let prob = Problem::new(m, n, k, 2048);
         let grid = ca3dmm_grid(&prob, 0.95).grid;
-        let with = evaluate(&machine, placement.flops_per_rank, &ca3dmm_schedule(&prob, &grid, &base));
+        let with = evaluate(
+            &machine,
+            placement.flops_per_rank,
+            &ca3dmm_schedule(&prob, &grid, &base),
+        );
         let without = evaluate(
             &machine,
             placement.flops_per_rank,
-            &ca3dmm_schedule(&prob, &grid, &ModelConfig { overlap: false, ..base }),
+            &ca3dmm_schedule(
+                &prob,
+                &grid,
+                &ModelConfig {
+                    overlap: false,
+                    ..base
+                },
+            ),
         );
         println!(
             "{:<22} {:>10.2} {:>12.2} {:>7.2}x",

@@ -45,9 +45,7 @@ fn main() {
             }
         }
     }
-    println!(
-        "\n{same}/{total} (l, problem, P) combinations choose the l = 0.95 grid."
-    );
+    println!("\n{same}/{total} (l, problem, P) combinations choose the l = 0.95 grid.");
     println!("Paper claim (§IV-A): same grid 'in almost all cases'.");
     assert!(
         same as f64 / total as f64 > 0.85,

@@ -19,19 +19,18 @@ fn main() {
     let mut csv = bench::csv_writer("fig3");
     if let Some(w) = csv.as_mut() {
         use std::io::Write;
-        writeln!(w, "class,cores,cosma_native,cosma_custom,ca3dmm_native,ca3dmm_custom,ctf").ok();
+        writeln!(
+            w,
+            "class,cores,cosma_native,cosma_custom,ca3dmm_native,ca3dmm_custom,ctf"
+        )
+        .ok();
     }
 
     for (name, m, n, k) in CPU_CLASSES {
         println!("--- {name} ---");
         println!(
             "{:>6} | {:>13} {:>13} {:>13} {:>13} {:>9}",
-            "cores",
-            "COSMA native",
-            "COSMA custom",
-            "CA3DMM native",
-            "CA3DMM custom",
-            "CTF"
+            "cores", "COSMA native", "COSMA custom", "CA3DMM native", "CA3DMM custom", "CTF"
         );
         for p in CPU_SWEEP {
             let prob = Problem::new(m, n, k, p);
@@ -59,8 +58,15 @@ fn main() {
                 writeln!(
                     w,
                     "{},{},{:.2},{:.2},{:.2},{:.2},{:.2}",
-                    name.trim(), p, vals[0], vals[1], vals[2], vals[3], vals[4]
-                ).ok();
+                    name.trim(),
+                    p,
+                    vals[0],
+                    vals[1],
+                    vals[2],
+                    vals[3],
+                    vals[4]
+                )
+                .ok();
             }
         }
         println!();

@@ -14,11 +14,18 @@ fn main() {
     let machine = Machine::phoenix_cpu();
     let pure = machine.pure_mpi();
     let hybrid = machine.hybrid();
-    println!("Figure 4: pure MPI vs MPI+OpenMP, % of peak ({})\n", machine.name);
+    println!(
+        "Figure 4: pure MPI vs MPI+OpenMP, % of peak ({})\n",
+        machine.name
+    );
     let mut csv = bench::csv_writer("fig4");
     if let Some(w) = csv.as_mut() {
         use std::io::Write;
-        writeln!(w, "class,cores,cosma_pure,cosma_hybrid,ca3dmm_pure,ca3dmm_hybrid,ctf_pure,ctf_hybrid").ok();
+        writeln!(
+            w,
+            "class,cores,cosma_pure,cosma_hybrid,ca3dmm_pure,ca3dmm_hybrid,ctf_pure,ctf_hybrid"
+        )
+        .ok();
     }
 
     for (name, m, n, k) in CPU_CLASSES {
@@ -61,8 +68,16 @@ fn main() {
                 writeln!(
                     w,
                     "{},{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
-                    name.trim(), cores, vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]
-                ).ok();
+                    name.trim(),
+                    cores,
+                    vals[0],
+                    vals[1],
+                    vals[2],
+                    vals[3],
+                    vals[4],
+                    vals[5]
+                )
+                .ok();
             }
         }
         println!();

@@ -8,12 +8,100 @@
 //! ```text
 //! cargo run --release -p bench --bin fig5_breakdown
 //! ```
+//!
+//! With `--trace-out PATH` the binary additionally *runs* a small CA3DMM
+//! problem for real on the threaded `msgpass` runtime with event tracing
+//! enabled, writes the per-rank timeline as a Chrome/Perfetto trace JSON to
+//! PATH, and prints the critical-path breakdown plus the model-vs-measured
+//! phase diff. `--trace-ranks N` (default 16) and `--trace-size S`
+//! (default 256, meaning an S×S×S problem) size the traced run.
 
 use bench::{predict_with_grid, Algo, RunConfig};
+use ca3dmm::{ca3dmm_schedule, diff_model_vs_measured, Ca3dmm, Ca3dmmOptions, ModelConfig};
+use dense::part::Rect;
+use dense::random::global_block;
+use dense::Mat;
 use gridopt::{Grid, Problem};
+use msgpass::{Comm, World};
+use netmodel::eval::evaluate;
 use netmodel::Machine;
 
+/// Runs a real traced CA3DMM multiply and writes the Chrome trace.
+fn traced_run(path: &str, ranks: usize, size: usize) {
+    let prob = Problem::new(size, size, size, ranks);
+    let alg = Ca3dmm::new(prob, &Ca3dmmOptions::default());
+    let gc = alg.grid_context();
+    let grid = *gc.grid();
+    let (la, lb) = (gc.layout_a(), gc.layout_b());
+    let a_full = global_block::<f64>(1, Rect::new(0, 0, size, size));
+    let b_full = global_block::<f64>(2, Rect::new(0, 0, size, size));
+    let (_, report) = World::run_traced(ranks, |ctx| {
+        let world = Comm::world(ctx);
+        let me = world.rank();
+        let a = la.extract(&a_full, me).into_iter().next();
+        let b = lb.extract(&b_full, me).into_iter().next();
+        let _: Option<Mat<f64>> = alg.multiply_native(ctx, &world, a, b);
+    });
+
+    let json = report.timeline.to_chrome_json();
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!(
+        "traced {}x{}x{} on {} ranks (grid {}x{}x{}): {} spans -> {}",
+        size,
+        size,
+        size,
+        ranks,
+        grid.pm,
+        grid.pn,
+        grid.pk,
+        report.timeline.span_count(),
+        path
+    );
+
+    println!(
+        "\ncritical path:\n{}",
+        report.timeline.critical_path().render()
+    );
+
+    let machine = Machine::uniform();
+    let placement = machine.pure_mpi();
+    let cfg = ModelConfig {
+        placement,
+        elem_bytes: 8.0,
+        overlap: true,
+        include_redist: false,
+    };
+    let cost = evaluate(
+        &machine,
+        placement.flops_per_rank,
+        &ca3dmm_schedule(&prob, &grid, &cfg),
+    );
+    println!(
+        "model vs measured (structural; absolute scales differ):\n{}",
+        diff_model_vs_measured(&report, &cost).render()
+    );
+}
+
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let (mut trace_out, mut trace_ranks, mut trace_size) = (None::<String>, 16usize, 256usize);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--trace-out" => trace_out = Some(value("--trace-out")),
+            "--trace-ranks" => trace_ranks = value("--trace-ranks").parse().expect("rank count"),
+            "--trace-size" => trace_size = value("--trace-size").parse().expect("problem size"),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    if let Some(path) = trace_out {
+        traced_run(&path, trace_ranks, trace_size);
+        return;
+    }
+
     let machine = Machine::phoenix_cpu();
     let placement = machine.pure_mpi();
     let cfg = RunConfig {
@@ -39,14 +127,26 @@ fn main() {
         let norm = cosma.total_s;
         // CA3DMM: "replicate A,B" = step-5 allgather + Cannon shift comm;
         // local compute = the GEMM part of the cannon phase.
-        let ca_repl = ca.label_s("replicate_ab")
-            + ca.by_label.get("cannon").map(|c| c.comm_s).unwrap_or(0.0);
+        let ca_repl =
+            ca.label_s("replicate_ab") + ca.by_label.get("cannon").map(|c| c.comm_s).unwrap_or(0.0);
         let ca_comp = ca.by_label.get("cannon").map(|c| c.comp_s).unwrap_or(0.0);
         let co_repl = cosma.label_s("replicate_ab");
         let co_comp = cosma.label_s("local_gemm");
         for (lib, comp, repl, red, total) in [
-            ("COSMA", co_comp, co_repl, cosma.label_s("reduce_c"), cosma.total_s),
-            ("CA3DMM", ca_comp, ca_repl, ca.label_s("reduce_c"), ca.total_s),
+            (
+                "COSMA",
+                co_comp,
+                co_repl,
+                cosma.label_s("reduce_c"),
+                cosma.total_s,
+            ),
+            (
+                "CA3DMM",
+                ca_comp,
+                ca_repl,
+                ca.label_s("reduce_c"),
+                ca.total_s,
+            ),
         ] {
             println!(
                 "{:<9} {:<8} | {:>10.3} {:>14.3} {:>10.3} {:>8.3}",

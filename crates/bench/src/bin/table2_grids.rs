@@ -21,6 +21,7 @@ fn main() {
         custom_layout: false,
     };
     // (cores, class, m, n, k, forced grids to evaluate: None = default)
+    #[allow(clippy::type_complexity)]
     let cases: [(usize, &str, usize, usize, usize, &[Option<Grid>]); 8] = [
         (2048, "50,50,50", 50_000, 50_000, 50_000, &[None]),
         (2048, "6,6,1200", 6_000, 6_000, 1_200_000, &[None]),
@@ -32,7 +33,11 @@ fn main() {
             50_000,
             50_000,
             50_000,
-            &[None, Some(Grid::new(12, 16, 16)), Some(Grid::new(16, 16, 12))],
+            &[
+                None,
+                Some(Grid::new(12, 16, 16)),
+                Some(Grid::new(16, 16, 12)),
+            ],
         ),
         (
             3072,

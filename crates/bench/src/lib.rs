@@ -139,6 +139,8 @@ pub fn csv_writer(name: &str) -> Option<std::io::BufWriter<std::fs::File>> {
     Some(std::io::BufWriter::new(f))
 }
 
+pub mod timing;
+
 /// Pretty-prints one row of dotted columns.
 pub fn row(cols: &[String]) -> String {
     cols.iter()
@@ -178,15 +180,24 @@ mod tests {
             &machine,
             Algo::Ca3dmm,
             &prob,
-            &RunConfig { placement: p, custom_layout: false },
+            &RunConfig {
+                placement: p,
+                custom_layout: false,
+            },
         );
         let custom = predict(
             &machine,
             Algo::Ca3dmm,
             &prob,
-            &RunConfig { placement: p, custom_layout: true },
+            &RunConfig {
+                placement: p,
+                custom_layout: true,
+            },
         );
-        assert!(custom.total_s > native.total_s * 1.2, "layout conversion should hurt tall-skinny");
+        assert!(
+            custom.total_s > native.total_s * 1.2,
+            "layout conversion should hurt tall-skinny"
+        );
     }
 
     #[test]
@@ -194,7 +205,10 @@ mod tests {
         // The paper's Fig. 3: CTF clearly behind on large-M.
         let machine = Machine::phoenix_cpu();
         let p = machine.pure_mpi();
-        let cfg = RunConfig { placement: p, custom_layout: false };
+        let cfg = RunConfig {
+            placement: p,
+            custom_layout: false,
+        };
         let prob = Problem::new(1_200_000, 6_000, 6_000, 1536);
         let ca = predict(&machine, Algo::Ca3dmm, &prob, &cfg);
         let ctf = predict(&machine, Algo::Ctf, &prob, &cfg);
@@ -211,7 +225,10 @@ mod tests {
         let machine = Machine::phoenix_cpu();
         let placement = machine.pure_mpi();
         let prob = Problem::new(50_000, 50_000, 50_000, 1536);
-        let cfg = RunConfig { placement, custom_layout: false };
+        let cfg = RunConfig {
+            placement,
+            custom_layout: false,
+        };
         let r = predict(&machine, Algo::Ca3dmm, &prob, &cfg);
         let pct = percent_of_peak(&machine, &prob, &placement, r.total_s);
         assert!(pct > 10.0 && pct <= 100.0, "square class peak {pct:.1}%");

@@ -1,0 +1,110 @@
+//! Minimal timing harness for the `benches/` binaries.
+//!
+//! The workspace builds fully offline, so the benches use this
+//! dependency-free sampler instead of criterion: warm up once, take N wall
+//! timed samples, report min / median / mean. `BENCH_SAMPLES` overrides the
+//! sample count (set it to 3 in CI smoke runs; statistical quality is not
+//! the point there).
+
+use std::time::Instant;
+
+/// Default number of timed samples per benchmark.
+pub const DEFAULT_SAMPLES: usize = 10;
+
+/// Sample count: `BENCH_SAMPLES` env var, else [`DEFAULT_SAMPLES`].
+pub fn samples() -> usize {
+    std::env::var("BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_SAMPLES)
+}
+
+/// One benchmark's sample statistics, in seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Fastest sample.
+    pub min_s: f64,
+    /// Median sample.
+    pub median_s: f64,
+    /// Arithmetic mean.
+    pub mean_s: f64,
+}
+
+/// Times `f` (one warmup + [`samples`] timed runs) and returns the stats.
+pub fn time<F: FnMut()>(mut f: F) -> Stats {
+    f(); // warmup
+    let n = samples();
+    let mut secs: Vec<f64> = (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(f64::total_cmp);
+    Stats {
+        min_s: secs[0],
+        median_s: secs[n / 2],
+        mean_s: secs.iter().sum::<f64>() / n as f64,
+    }
+}
+
+/// Times `f` and prints one aligned report line; returns the stats.
+pub fn bench<F: FnMut()>(label: &str, f: F) -> Stats {
+    let s = time(f);
+    println!(
+        "{label:<40} min {:>12} med {:>12} mean {:>12}",
+        fmt_secs(s.min_s),
+        fmt_secs(s.median_s),
+        fmt_secs(s.mean_s)
+    );
+    s
+}
+
+/// Like [`bench`] but also reports a throughput from `work / median`
+/// (e.g. flops for GEMM benches).
+pub fn bench_throughput<F: FnMut()>(label: &str, work: f64, f: F) -> Stats {
+    let s = time(f);
+    println!(
+        "{label:<40} min {:>12} med {:>12} {:>14}",
+        fmt_secs(s.min_s),
+        fmt_secs(s.median_s),
+        format!("{:.2} Gop/s", work / s.median_s / 1e9)
+    );
+    s
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_ordered() {
+        let s = time(|| {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(s.min_s <= s.median_s);
+        assert!(s.min_s > 0.0);
+    }
+
+    #[test]
+    fn formatting_covers_ranges() {
+        assert!(fmt_secs(2e-9).ends_with("ns"));
+        assert!(fmt_secs(2e-5).ends_with("us"));
+        assert!(fmt_secs(2e-2).ends_with("ms"));
+        assert!(fmt_secs(2.0).ends_with('s'));
+    }
+}

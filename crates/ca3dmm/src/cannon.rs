@@ -30,6 +30,7 @@ const TAG_B: u64 = 102;
 ///
 /// `c_out` must be the `(rows of A-block) × (cols of B-block)` local result
 /// block; the product is accumulated into it.
+#[allow(clippy::too_many_arguments)]
 pub fn cannon<T: Scalar>(
     ctx: &RankCtx,
     group: &Comm,
@@ -43,7 +44,15 @@ pub fn cannon<T: Scalar>(
     assert_eq!(group.size(), s * s, "Cannon group must have s^2 ranks");
     assert_eq!(group.rank(), i + j * s, "rank/index mismatch");
     if s == 1 {
-        gemm(GemmOp::NoTrans, GemmOp::NoTrans, T::ONE, &a0, &b0, T::ONE, c_out);
+        gemm(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            T::ONE,
+            &a0,
+            &b0,
+            T::ONE,
+            c_out,
+        );
         return;
     }
     let idx = |ii: usize, jj: usize| ii + jj * s;
@@ -128,7 +137,15 @@ pub fn cannon_multi_shift<T: Scalar>(
     assert_eq!(group.size(), s * s, "Cannon group must have s^2 ranks");
     assert_eq!(group.rank(), i + j * s, "rank/index mismatch");
     if s == 1 {
-        gemm(GemmOp::NoTrans, GemmOp::NoTrans, T::ONE, &a0, &b0, T::ONE, c_out);
+        gemm(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            T::ONE,
+            &a0,
+            &b0,
+            T::ONE,
+            c_out,
+        );
         return;
     }
     let idx = |ii: usize, jj: usize| ii + jj * s;
@@ -176,7 +193,15 @@ fn flush_batch<T: Scalar>(batch: &mut Vec<(Mat<T>, Mat<T>)>, c_out: &mut Mat<T>)
         0 => {}
         1 => {
             let (a, b) = &batch[0];
-            gemm(GemmOp::NoTrans, GemmOp::NoTrans, T::ONE, a, b, T::ONE, c_out);
+            gemm(
+                GemmOp::NoTrans,
+                GemmOp::NoTrans,
+                T::ONE,
+                a,
+                b,
+                T::ONE,
+                c_out,
+            );
         }
         _ => {
             let rows = batch[0].0.rows();
@@ -358,7 +383,12 @@ mod tests {
             let (r0, r1) = even_range(m, s, i);
             let (c0, c1) = even_range(n, s, j);
             let want = c_full.block(Rect::new(r0, c0, r1 - r0, c1 - c0));
-            assert_gemm_close(&c, &want, k, &format!("multi-shift min_k={min_k} ({i},{j})"));
+            assert_gemm_close(
+                &c,
+                &want,
+                k,
+                &format!("multi-shift min_k={min_k} ({i},{j})"),
+            );
         }
     }
 
@@ -425,7 +455,7 @@ mod tests {
             cannon(ctx, &comm, s, i, j, a, b, &mut c);
         });
         // rank at (1,1): skew A + skew B + 2 shifts each = 6 messages
-        let r11 = 1 + 1 * s;
+        let r11 = 1 + s;
         assert_eq!(report.phase(r11, "cannon_shift").msgs, 6);
         // rank at (0,0): no skew, 2 shifts each = 4 messages
         assert_eq!(report.phase(0, "cannon_shift").msgs, 4);

@@ -1,0 +1,247 @@
+//! Model-vs-measured comparison: lines a traced run's per-phase timeline up
+//! against the analytic cost model's prediction for the same problem.
+//!
+//! The `netmodel` evaluator predicts per-label seconds for the maximally
+//! loaded rank; a traced `msgpass` run measures per-phase wall seconds on
+//! every rank. This module joins the two on phase labels (the runtime's
+//! `"cannon_shift"` maps to the model's `"cannon"`), taking the measured
+//! critical rank (max over ranks) per phase — the quantity the model
+//! predicts. The absolute times will not match between a thread-simulated
+//! run and a cluster model; the value of the diff is *structural*: the same
+//! phases present, the same phase dominating, byte volumes identical.
+
+use msgpass::RunReport;
+use netmodel::CostReport;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Maps a runtime phase label (`RankCtx::set_phase` names) to the model's
+/// schedule label.
+pub fn model_phase_label(runtime_label: &str) -> &str {
+    match runtime_label {
+        // The runtime labels Cannon's skew and shifts "cannon_shift"; the
+        // schedule IR files the whole Cannon stage under "cannon".
+        "cannon_shift" => "cannon",
+        // SUMMA's broadcast stage is the model's cannon-equivalent inner
+        // stage for the 2D variant.
+        "summa_bcast" => "cannon",
+        other => other,
+    }
+}
+
+/// One phase's measured-vs-modeled entry.
+#[derive(Clone, Debug)]
+pub struct PhaseDiff {
+    /// Model-side phase label ("redist", "replicate_ab", "cannon",
+    /// "reduce_c", …).
+    pub phase: String,
+    /// Measured wall seconds on the slowest rank (runtime labels mapped
+    /// onto this model label are summed).
+    pub measured_s: f64,
+    /// The model's predicted seconds for this label.
+    pub modeled_s: f64,
+}
+
+impl PhaseDiff {
+    /// `measured / modeled`; `NAN` when the model predicts zero.
+    pub fn ratio(&self) -> f64 {
+        self.measured_s / self.modeled_s
+    }
+}
+
+/// The joined comparison for one run.
+#[derive(Clone, Debug, Default)]
+pub struct ModelDiffReport {
+    /// Per-phase entries, sorted by label.
+    pub phases: Vec<PhaseDiff>,
+    /// Sum of measured critical-rank seconds over phases.
+    pub measured_total_s: f64,
+    /// The model's total predicted seconds.
+    pub modeled_total_s: f64,
+}
+
+impl ModelDiffReport {
+    /// The phase with the largest measured time.
+    pub fn measured_bottleneck(&self) -> Option<&PhaseDiff> {
+        self.phases
+            .iter()
+            .max_by(|a, b| a.measured_s.total_cmp(&b.measured_s))
+    }
+
+    /// The phase with the largest modeled time.
+    pub fn modeled_bottleneck(&self) -> Option<&PhaseDiff> {
+        self.phases
+            .iter()
+            .max_by(|a, b| a.modeled_s.total_cmp(&b.modeled_s))
+    }
+
+    /// True when measurement and model name the same dominant phase — the
+    /// structural agreement the validation tests assert.
+    pub fn bottlenecks_agree(&self) -> bool {
+        match (self.measured_bottleneck(), self.modeled_bottleneck()) {
+            (Some(a), Some(b)) => a.phase == b.phase,
+            _ => false,
+        }
+    }
+
+    /// Human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>14} {:>14} {:>8}",
+            "phase", "measured (s)", "modeled (s)", "ratio"
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>14.6} {:>14.6} {:>8.2}",
+                p.phase,
+                p.measured_s,
+                p.modeled_s,
+                p.ratio()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} {:>14.6} {:>14.6}",
+            "total", self.measured_total_s, self.modeled_total_s
+        );
+        if let (Some(m), Some(p)) = (self.measured_bottleneck(), self.modeled_bottleneck()) {
+            let _ = writeln!(
+                out,
+                "bottleneck: measured={} modeled={} ({})",
+                m.phase,
+                p.phase,
+                if self.bottlenecks_agree() {
+                    "agree"
+                } else {
+                    "DISAGREE"
+                }
+            );
+        }
+        out
+    }
+}
+
+/// Joins a traced run against a model prediction. Measured seconds come
+/// from the run's event timeline when one was recorded, falling back to the
+/// traffic report's phase clock for untraced runs.
+pub fn diff_model_vs_measured(report: &RunReport, cost: &CostReport) -> ModelDiffReport {
+    let use_timeline = !report.timeline.is_empty();
+    let runtime_phases: Vec<String> = if use_timeline {
+        report.timeline.phases()
+    } else {
+        report.traffic.phases()
+    };
+
+    let mut labels: BTreeSet<String> = cost.by_label.keys().cloned().collect();
+    labels.extend(
+        runtime_phases
+            .iter()
+            .map(|p| model_phase_label(p).to_owned()),
+    );
+
+    let phases: Vec<PhaseDiff> = labels
+        .into_iter()
+        .map(|label| {
+            let measured_s: f64 = runtime_phases
+                .iter()
+                .filter(|p| model_phase_label(p) == label)
+                .map(|p| {
+                    if use_timeline {
+                        report.timeline.phase_secs_max(p)
+                    } else {
+                        report.traffic.phase_secs_max(p)
+                    }
+                })
+                .sum();
+            let modeled_s = cost.label_s(&label);
+            PhaseDiff {
+                phase: label,
+                measured_s,
+                modeled_s,
+            }
+        })
+        .collect();
+
+    let measured_total_s = phases.iter().map(|p| p.measured_s).sum();
+    ModelDiffReport {
+        phases,
+        measured_total_s,
+        modeled_total_s: cost.total_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Ca3dmm, Ca3dmmOptions};
+    use crate::model::{ca3dmm_schedule, ModelConfig};
+    use dense::part::Rect;
+    use dense::random::global_block;
+    use dense::Mat;
+    use gridopt::{Grid, Problem};
+    use msgpass::{Comm, World};
+    use netmodel::eval::evaluate;
+    use netmodel::Machine;
+
+    #[test]
+    fn label_mapping() {
+        assert_eq!(model_phase_label("cannon_shift"), "cannon");
+        assert_eq!(model_phase_label("redist"), "redist");
+        assert_eq!(model_phase_label("replicate_ab"), "replicate_ab");
+        assert_eq!(model_phase_label("reduce_c"), "reduce_c");
+    }
+
+    #[test]
+    fn diff_joins_timeline_and_model() {
+        let (m, n, k, p) = (32, 32, 64, 8);
+        let grid = Grid::new(2, 2, 2);
+        let prob = Problem::new(m, n, k, p);
+        let alg = Ca3dmm::new(
+            prob,
+            &Ca3dmmOptions {
+                grid_override: Some(grid),
+                ..Default::default()
+            },
+        );
+        let gc = alg.grid_context();
+        let (la, lb) = (gc.layout_a(), gc.layout_b());
+        let a_full = global_block::<f64>(1, Rect::new(0, 0, m, k));
+        let b_full = global_block::<f64>(2, Rect::new(0, 0, k, n));
+        let (_, report) = World::run_traced(p, |ctx| {
+            let world = Comm::world(ctx);
+            let me = world.rank();
+            let a = la.extract(&a_full, me).into_iter().next();
+            let b = lb.extract(&b_full, me).into_iter().next();
+            let _: Option<Mat<f64>> = alg.multiply_native(ctx, &world, a, b);
+        });
+        let machine = Machine::uniform();
+        let placement = machine.pure_mpi();
+        let flops_per_rank = placement.flops_per_rank;
+        let cfg = ModelConfig {
+            placement,
+            elem_bytes: 8.0,
+            overlap: true,
+            include_redist: false,
+        };
+        let cost = evaluate(
+            &machine,
+            flops_per_rank,
+            &ca3dmm_schedule(&prob, &grid, &cfg),
+        );
+        let diff = diff_model_vs_measured(&report, &cost);
+        assert!(!diff.phases.is_empty());
+        // every runtime phase landed under a model label with nonzero time
+        for phase in report.timeline.phases() {
+            let label = model_phase_label(&phase).to_owned();
+            let entry = diff.phases.iter().find(|d| d.phase == label);
+            assert!(entry.is_some(), "runtime phase {phase} missing from diff");
+            assert!(entry.unwrap().measured_s > 0.0);
+        }
+        assert!(diff.measured_total_s > 0.0);
+        assert!(diff.modeled_total_s > 0.0);
+        assert!(diff.render().contains("bottleneck"));
+    }
+}

@@ -124,7 +124,11 @@ impl Ca3dmm {
         c_layout: &Layout,
     ) -> Vec<Mat<T>> {
         let prob = self.gc.problem();
-        assert_eq!(world.size(), prob.p, "world size must equal the problem's P");
+        assert_eq!(
+            world.size(),
+            prob.p,
+            "world size must equal the problem's P"
+        );
         assert_eq!(
             c_layout.shape(),
             (prob.m, prob.n),
@@ -214,16 +218,14 @@ impl Ca3dmm {
         let coord = gc.coord_of(world.rank());
 
         let a_init_rect = gc.a_init(&coord);
-        let a_blk =
-            a_init.unwrap_or_else(|| Mat::zeros(a_init_rect.rows, a_init_rect.cols));
+        let a_blk = a_init.unwrap_or_else(|| Mat::zeros(a_init_rect.rows, a_init_rect.cols));
         assert_eq!(
             a_blk.shape(),
             (a_init_rect.rows, a_init_rect.cols),
             "A block shape disagrees with the native layout"
         );
         let b_init_rect = gc.b_init(&coord);
-        let b_blk =
-            b_init.unwrap_or_else(|| Mat::zeros(b_init_rect.rows, b_init_rect.cols));
+        let b_blk = b_init.unwrap_or_else(|| Mat::zeros(b_init_rect.rows, b_init_rect.cols));
         assert_eq!(
             b_blk.shape(),
             (b_init_rect.rows, b_init_rect.cols),
@@ -233,7 +235,9 @@ impl Ca3dmm {
         // Step 5: replicate A or B across the Cannon groups.
         ctx.set_phase("replicate_ab");
         let (a_full, b_full) = if c > 1 {
-            let rc = repl_comm.as_ref().expect("active rank has a replication group");
+            let rc = repl_comm
+                .as_ref()
+                .expect("active rank has a replication group");
             if gc.a_replicated {
                 let blk = gc.a_block(&coord);
                 let a = replicate_block(ctx, rc, a_blk, blk.rows, &slice_widths(blk.cols, c));
@@ -253,7 +257,9 @@ impl Ca3dmm {
         let mut c_partial = Mat::zeros(c_rect.rows, c_rect.cols);
         cannon_multi_shift(
             ctx,
-            cannon_comm.as_ref().expect("active rank has a Cannon group"),
+            cannon_comm
+                .as_ref()
+                .expect("active rank has a Cannon group"),
             s,
             coord.i,
             coord.j,
@@ -267,7 +273,9 @@ impl Ca3dmm {
         ctx.set_phase("reduce_c");
         let strip = reduce_partial_c(
             ctx,
-            reduce_comm.as_ref().expect("active rank has a reduce group"),
+            reduce_comm
+                .as_ref()
+                .expect("active rank has a reduce group"),
             c_partial,
         );
         Some(strip)
@@ -447,7 +455,15 @@ mod tests {
             )
         });
         let mut c_ref = Mat::<f32>::zeros(m, n);
-        gemm_naive(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a, &b, 0.0, &mut c_ref);
+        gemm_naive(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c_ref,
+        );
         assert_gemm_close(&lc.assemble(&parts), &c_ref, k, "f32");
     }
 
@@ -488,7 +504,10 @@ mod tests {
             )
         });
         assert!(report.phase_total("redist").bytes > 0);
-        assert!(report.phase_total("replicate_ab").bytes > 0, "c=2 must replicate");
+        assert!(
+            report.phase_total("replicate_ab").bytes > 0,
+            "c=2 must replicate"
+        );
         assert!(report.phase_total("cannon_shift").bytes > 0);
         // pk = 1 here: no reduce traffic
         assert_eq!(report.phase_total("reduce_c").bytes, 0);

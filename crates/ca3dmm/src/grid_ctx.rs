@@ -378,18 +378,18 @@ mod tests {
         // it across shapes, both replication directions, and uneven sizes
         // is the strongest geometry test we have.
         let cases = [
-            (32, 64, 16, 8, 2, 4, 1),   // paper ex. 1 (A replicated)
-            (64, 32, 16, 8, 4, 2, 1),   // mirrored (B replicated)
-            (32, 32, 64, 16, 2, 2, 4),  // paper ex. 2
-            (32, 32, 64, 17, 2, 2, 4),  // paper ex. 3 (idle rank)
-            (33, 65, 17, 8, 2, 4, 1),   // uneven everything
-            (7, 5, 11, 13, 2, 2, 3),    // tiny, idle rank
-            (10, 3, 40, 12, 1, 1, 12),  // pure 1D-k
-            (40, 3, 3, 12, 12, 1, 1),   // pure 1D-m
-            (3, 40, 3, 12, 1, 12, 1),   // pure 1D-n
-            (13, 17, 19, 24, 6, 2, 2),  // c = 3, B replicated
-            (17, 13, 19, 24, 2, 6, 2),  // c = 3, A replicated
-            (2, 2, 2, 30, 2, 2, 2),     // dims smaller than some splits
+            (32, 64, 16, 8, 2, 4, 1),  // paper ex. 1 (A replicated)
+            (64, 32, 16, 8, 4, 2, 1),  // mirrored (B replicated)
+            (32, 32, 64, 16, 2, 2, 4), // paper ex. 2
+            (32, 32, 64, 17, 2, 2, 4), // paper ex. 3 (idle rank)
+            (33, 65, 17, 8, 2, 4, 1),  // uneven everything
+            (7, 5, 11, 13, 2, 2, 3),   // tiny, idle rank
+            (10, 3, 40, 12, 1, 1, 12), // pure 1D-k
+            (40, 3, 3, 12, 12, 1, 1),  // pure 1D-m
+            (3, 40, 3, 12, 1, 12, 1),  // pure 1D-n
+            (13, 17, 19, 24, 6, 2, 2), // c = 3, B replicated
+            (17, 13, 19, 24, 2, 6, 2), // c = 3, A replicated
+            (2, 2, 2, 30, 2, 2, 2),    // dims smaller than some splits
         ];
         for &(m, n, k, p, pm, pn, pk) in &cases {
             let g = ctx(m, n, k, p, pm, pn, pk);
@@ -427,10 +427,7 @@ mod tests {
             let blk = g.a_block(&coord);
             let group = g.replication_group(&coord);
             assert_eq!(group.len(), 3);
-            let slices: Vec<Rect> = group
-                .iter()
-                .map(|&w| g.a_init(&g.coord_of(w)))
-                .collect();
+            let slices: Vec<Rect> = group.iter().map(|&w| g.a_init(&g.coord_of(w))).collect();
             let area: usize = slices.iter().map(Rect::area).sum();
             assert_eq!(area, blk.area());
             for s in &slices {

@@ -38,6 +38,7 @@
 //! with eq. 11, so we follow the normative text.
 
 pub mod cannon;
+pub mod diff;
 pub mod exec;
 pub mod grid_ctx;
 pub mod model;
@@ -46,6 +47,7 @@ pub mod reduce;
 pub mod replicate;
 pub mod summa2d;
 
+pub use diff::{diff_model_vs_measured, model_phase_label, ModelDiffReport, PhaseDiff};
 pub use exec::{Ca3dmm, Ca3dmmOptions, RunStats};
 pub use grid_ctx::{GridContext, RankCoord};
 pub use model::{ca3dmm_schedule, memory_elements_per_rank, ModelConfig};

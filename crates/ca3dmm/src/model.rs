@@ -55,8 +55,6 @@ fn geo(prob: &Problem, grid: &Grid) -> Geo {
     }
 }
 
-
-
 /// Builds the CA3DMM schedule for one multiplication. The modeled rank is
 /// the maximally loaded one: it sends both skews and participates in every
 /// phase.
@@ -69,9 +67,8 @@ pub fn ca3dmm_schedule(prob: &Problem, grid: &Grid, cfg: &ModelConfig) -> Schedu
 
     if cfg.include_redist {
         // Steps 4: nearly every element of the local A and B shares moves.
-        let send = (prob.m as f64 * prob.k as f64 + prob.k as f64 * prob.n as f64)
-            / prob.p as f64
-            * eb;
+        let send =
+            (prob.m as f64 * prob.k as f64 + prob.k as f64 * prob.n as f64) / prob.p as f64 * eb;
         sched.push(
             "redist",
             Phase::Alltoallv {
@@ -173,7 +170,11 @@ pub fn memory_elements_per_rank(prob: &Problem, grid: &Grid) -> f64 {
     let amk = prob.m as f64 * prob.k as f64;
     let bkn = prob.k as f64 * prob.n as f64;
     let cmn = prob.m as f64 * prob.n as f64;
-    let (ca, cb) = if grid.pn > grid.pm { (c, 1.0) } else { (1.0, c) };
+    let (ca, cb) = if grid.pn > grid.pm {
+        (c, 1.0)
+    } else {
+        (1.0, c)
+    };
     2.0 * (ca * amk + cb * bkn) / g_active + grid.pk as f64 * cmn / g_active
 }
 
@@ -203,7 +204,10 @@ mod tests {
         let lb = prob.comm_lower_bound();
         // Sent volume counts A+B shift traffic and the C reduction; it is
         // within a small constant of the bound.
-        assert!(elems > 0.5 * lb && elems < 2.0 * lb, "elems={elems} lb={lb}");
+        assert!(
+            elems > 0.5 * lb && elems < 2.0 * lb,
+            "elems={elems} lb={lb}"
+        );
     }
 
     #[test]
@@ -238,10 +242,7 @@ mod tests {
         let prob = Problem::new(100, 1000, 100, 20);
         let rep_a = Grid::new(2, 10, 1); // c=5 copies of A
         let rep_b = Grid::new(10, 2, 1); // c=5 copies of B
-        assert!(
-            memory_elements_per_rank(&prob, &rep_b)
-                > memory_elements_per_rank(&prob, &rep_a)
-        );
+        assert!(memory_elements_per_rank(&prob, &rep_b) > memory_elements_per_rank(&prob, &rep_a));
         // exact eq. 11 values
         let s = memory_elements_per_rank(&prob, &rep_a);
         assert!((s - (2.0 * (5.0 * 10_000.0 + 100_000.0) / 20.0 + 100_000.0 / 20.0)).abs() < 1e-9);
@@ -279,11 +280,7 @@ mod tests {
         let prob = Problem::new(512, 512, 4096, 32);
         let grid = Grid::new(2, 2, 8);
         let m = Machine::uniform();
-        let native = evaluate(
-            &m,
-            1e9,
-            &ca3dmm_schedule(&prob, &grid, &cfg()),
-        );
+        let native = evaluate(&m, 1e9, &ca3dmm_schedule(&prob, &grid, &cfg()));
         let custom = evaluate(
             &m,
             1e9,

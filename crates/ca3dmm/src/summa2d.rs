@@ -142,33 +142,45 @@ impl Ca3dmmSumma {
     /// Native layout of `A` (`m × k`): block `(m_i, ka_j)` inside k-task
     /// group `kt`'s k-range, split `pn` ways.
     pub fn layout_a(&self) -> Layout {
-        self.layout_of(|s, i, j, kt| {
-            let (r0, r1) = even_range(s.prob.m, s.grid.pm, i);
-            let (ks, ke) = s.k_outer(kt);
-            let (a, b) = even_range(ke - ks, s.grid.pn, j);
-            Rect::new(r0, ks + a, r1 - r0, b - a)
-        }, self.prob.m, self.prob.k)
+        self.layout_of(
+            |s, i, j, kt| {
+                let (r0, r1) = even_range(s.prob.m, s.grid.pm, i);
+                let (ks, ke) = s.k_outer(kt);
+                let (a, b) = even_range(ke - ks, s.grid.pn, j);
+                Rect::new(r0, ks + a, r1 - r0, b - a)
+            },
+            self.prob.m,
+            self.prob.k,
+        )
     }
 
     /// Native layout of `B` (`k × n`): block `(kb_i, n_j)`, k split `pm`
     /// ways inside the group's range.
     pub fn layout_b(&self) -> Layout {
-        self.layout_of(|s, i, j, kt| {
-            let (ks, ke) = s.k_outer(kt);
-            let (a, b) = even_range(ke - ks, s.grid.pm, i);
-            let (c0, c1) = even_range(s.prob.n, s.grid.pn, j);
-            Rect::new(ks + a, c0, b - a, c1 - c0)
-        }, self.prob.k, self.prob.n)
+        self.layout_of(
+            |s, i, j, kt| {
+                let (ks, ke) = s.k_outer(kt);
+                let (a, b) = even_range(ke - ks, s.grid.pm, i);
+                let (c0, c1) = even_range(s.prob.n, s.grid.pn, j);
+                Rect::new(ks + a, c0, b - a, c1 - c0)
+            },
+            self.prob.k,
+            self.prob.n,
+        )
     }
 
     /// Native output layout of `C`: row-strip `kt` of block `(m_i, n_j)`.
     pub fn layout_c(&self) -> Layout {
-        self.layout_of(|s, i, j, kt| {
-            let (r0, r1) = even_range(s.prob.m, s.grid.pm, i);
-            let (c0, c1) = even_range(s.prob.n, s.grid.pn, j);
-            let (o0, o1) = even_range(r1 - r0, s.grid.pk, kt);
-            Rect::new(r0 + o0, c0, o1 - o0, c1 - c0)
-        }, self.prob.m, self.prob.n)
+        self.layout_of(
+            |s, i, j, kt| {
+                let (r0, r1) = even_range(s.prob.m, s.grid.pm, i);
+                let (c0, c1) = even_range(s.prob.n, s.grid.pn, j);
+                let (o0, o1) = even_range(r1 - r0, s.grid.pk, kt);
+                Rect::new(r0 + o0, c0, o1 - o0, c1 - c0)
+            },
+            self.prob.m,
+            self.prob.n,
+        )
     }
 
     fn layout_of(
@@ -337,7 +349,15 @@ mod tests {
         let a_full = global_block::<f64>(5, Rect::new(0, 0, m, k));
         let b_full = global_block::<f64>(6, Rect::new(0, 0, k, n));
         let mut c_ref = Mat::zeros(m, n);
-        gemm_naive(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a_full, &b_full, 0.0, &mut c_ref);
+        gemm_naive(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            1.0,
+            &a_full,
+            &b_full,
+            0.0,
+            &mut c_ref,
+        );
         for (i, j, c) in results {
             let (r0, r1) = even_range(m, pr, i);
             let (c0, c1) = even_range(n, pc, j);
@@ -380,10 +400,20 @@ mod tests {
             let a = la.extract(&a_full, me).into_iter().next();
             let b = lb.extract(&b_full, me).into_iter().next();
             let c = alg.multiply_native(ctx, &world, a, b);
-            c.into_iter().filter(|m: &Mat<f64>| !m.is_empty()).collect::<Vec<_>>()
+            c.into_iter()
+                .filter(|m: &Mat<f64>| !m.is_empty())
+                .collect::<Vec<_>>()
         });
         let mut c_ref = Mat::zeros(m, n);
-        gemm_naive(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a_full, &b_full, 0.0, &mut c_ref);
+        gemm_naive(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            1.0,
+            &a_full,
+            &b_full,
+            0.0,
+            &mut c_ref,
+        );
         let got = lc.assemble(&parts);
         assert_gemm_close(&got, &c_ref, k, &format!("ca3dmm-s {m}x{n}x{k} p={p}"));
     }

@@ -8,7 +8,7 @@
 //! * the `i–l–j` loop order streams both `C` and `B` rows through cache for
 //!   row-major storage;
 //! * `l`/`j` tiling keeps the working set of the inner kernel resident in L1/L2;
-//! * row-blocks of `C` are distributed over a rayon thread pool (each thread
+//! * row-blocks of `C` are distributed over scoped OS threads (each thread
 //!   owns a disjoint slice of `C`, so the kernel is data-race free by
 //!   construction);
 //! * transposed operands are materialized once up front (the classic "pack"
@@ -20,7 +20,6 @@
 
 use crate::mat::Mat;
 use crate::scalar::Scalar;
-use rayon::prelude::*;
 
 /// Whether an operand is used as-is or transposed (the `op()` of
 /// `C = op(A) × op(B)` in the paper, eq. after (8)).
@@ -55,7 +54,7 @@ impl GemmOp {
 const TILE_L: usize = 128;
 /// Number of `j` (C columns) per cache tile.
 const TILE_J: usize = 256;
-/// Rows of `C` handled per rayon task.
+/// Rows of `C` handled per parallel task.
 const ROW_BLOCK: usize = 32;
 
 /// `C = alpha * op(A) * op(B) + beta * C`, blocked and thread-parallel.
@@ -95,13 +94,11 @@ pub fn gemm<T: Scalar>(
 
     let (m, k) = a_eff.shape();
     let (kb, n) = b_eff.shape();
-    assert_eq!(k, kb, "inner dimensions disagree: op(A) is {m}x{k}, op(B) is {kb}x{n}");
     assert_eq!(
-        c.shape(),
-        (m, n),
-        "C is {:?}, expected {m}x{n}",
-        c.shape()
+        k, kb,
+        "inner dimensions disagree: op(A) is {m}x{k}, op(B) is {kb}x{n}"
     );
+    assert_eq!(c.shape(), (m, n), "C is {:?}, expected {m}x{n}", c.shape());
     if m == 0 || n == 0 {
         return;
     }
@@ -109,46 +106,74 @@ pub fn gemm<T: Scalar>(
     let a_data = a_eff.as_slice();
     let b_data = b_eff.as_slice();
 
-    c.as_mut_slice()
-        .par_chunks_mut(ROW_BLOCK * n)
-        .enumerate()
-        .for_each(|(blk, c_rows)| {
-            let i0 = blk * ROW_BLOCK;
-            let rows_here = c_rows.len() / n;
-            // beta scaling first
-            if beta != T::ONE {
-                if beta == T::ZERO {
-                    c_rows.fill(T::ZERO);
-                } else {
-                    for v in c_rows.iter_mut() {
-                        *v *= beta;
-                    }
+    // The blocked kernel for one ROW_BLOCK slab of C starting at row i0.
+    let kernel = |i0: usize, c_rows: &mut [T]| {
+        let rows_here = c_rows.len() / n;
+        // beta scaling first
+        if beta != T::ONE {
+            if beta == T::ZERO {
+                c_rows.fill(T::ZERO);
+            } else {
+                for v in c_rows.iter_mut() {
+                    *v *= beta;
                 }
             }
-            if k == 0 || alpha == T::ZERO {
-                return;
-            }
-            for l0 in (0..k).step_by(TILE_L) {
-                let lmax = (l0 + TILE_L).min(k);
-                for j0 in (0..n).step_by(TILE_J) {
-                    let jmax = (j0 + TILE_J).min(n);
-                    for di in 0..rows_here {
-                        let i = i0 + di;
-                        let c_row = &mut c_rows[di * n + j0..di * n + jmax];
-                        for l in l0..lmax {
-                            let aval = alpha * a_data[i * k + l];
-                            if aval == T::ZERO {
-                                continue;
-                            }
-                            let b_row = &b_data[l * n + j0..l * n + jmax];
-                            for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                                *cv += aval * *bv;
-                            }
+        }
+        if k == 0 || alpha == T::ZERO {
+            return;
+        }
+        for l0 in (0..k).step_by(TILE_L) {
+            let lmax = (l0 + TILE_L).min(k);
+            for j0 in (0..n).step_by(TILE_J) {
+                let jmax = (j0 + TILE_J).min(n);
+                for di in 0..rows_here {
+                    let i = i0 + di;
+                    let c_row = &mut c_rows[di * n + j0..di * n + jmax];
+                    for l in l0..lmax {
+                        let aval = alpha * a_data[i * k + l];
+                        if aval == T::ZERO {
+                            continue;
+                        }
+                        let b_row = &b_data[l * n + j0..l * n + jmax];
+                        for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                            *cv += aval * *bv;
                         }
                     }
                 }
             }
+        }
+    };
+
+    // Distribute ROW_BLOCK slabs over scoped threads: each worker owns a
+    // disjoint contiguous stripe of C rows.
+    let blocks = m.div_ceil(ROW_BLOCK);
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |w| w.get())
+        .min(blocks);
+    if workers <= 1 {
+        for (blk, c_rows) in c.as_mut_slice().chunks_mut(ROW_BLOCK * n).enumerate() {
+            kernel(blk * ROW_BLOCK, c_rows);
+        }
+    } else {
+        let blocks_per_worker = blocks.div_ceil(workers);
+        std::thread::scope(|s| {
+            let kernel = &kernel;
+            let mut rest = c.as_mut_slice();
+            let mut row0 = 0;
+            while !rest.is_empty() {
+                let rows_here = (blocks_per_worker * ROW_BLOCK).min(rest.len() / n);
+                let (stripe, tail) = rest.split_at_mut(rows_here * n);
+                rest = tail;
+                let base = row0;
+                s.spawn(move || {
+                    for (blk, c_rows) in stripe.chunks_mut(ROW_BLOCK * n).enumerate() {
+                        kernel(base + blk * ROW_BLOCK, c_rows);
+                    }
+                });
+                row0 += rows_here;
+            }
         });
+    }
 }
 
 /// Triple-loop reference kernel, used only by tests to validate [`gemm`].
@@ -278,7 +303,15 @@ mod tests {
         let mut c = Mat::<f32>::zeros(8, 8);
         let mut c_ref = Mat::<f32>::zeros(8, 8);
         gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a, &b, 0.0, &mut c);
-        gemm_naive(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a, &b, 0.0, &mut c_ref);
+        gemm_naive(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c_ref,
+        );
         assert!(c.max_abs_diff(&c_ref) < 1e-4);
     }
 

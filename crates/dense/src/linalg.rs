@@ -121,7 +121,15 @@ mod tests {
         let r = cholesky_upper(&g);
         let inv = upper_triangular_inverse(&r);
         let mut prod = Mat::zeros(9, 9);
-        gemm_naive(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &r, &inv, 0.0, &mut prod);
+        gemm_naive(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            1.0,
+            &r,
+            &inv,
+            0.0,
+            &mut prod,
+        );
         let eye = Mat::from_fn(9, 9, |i, j| if i == j { 1.0 } else { 0.0 });
         assert!(prod.max_abs_diff(&eye) < 1e-11);
     }
@@ -134,11 +142,27 @@ mod tests {
         let x = upper_triangular_solve(&r, &b);
         let inv = upper_triangular_inverse(&r);
         let mut want = Mat::zeros(7, 3);
-        gemm_naive(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &inv, &b, 0.0, &mut want);
+        gemm_naive(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            1.0,
+            &inv,
+            &b,
+            0.0,
+            &mut want,
+        );
         assert!(x.max_abs_diff(&want) < 1e-10);
         // and R x == b
         let mut back = Mat::zeros(7, 3);
-        gemm_naive(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &r, &x, 0.0, &mut back);
+        gemm_naive(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            1.0,
+            &r,
+            &x,
+            0.0,
+            &mut back,
+        );
         assert!(back.max_abs_diff(&b) < 1e-10);
     }
 

@@ -218,7 +218,10 @@ impl<T: Scalar> Mat<T> {
 
     /// Max-norm of the matrix, as `f64`.
     pub fn max_abs(&self) -> f64 {
-        self.data.iter().map(|a| a.abs().to_f64()).fold(0.0, f64::max)
+        self.data
+            .iter()
+            .map(|a| a.abs().to_f64())
+            .fold(0.0, f64::max)
     }
 
     /// Frobenius norm, accumulated in f64.

@@ -8,14 +8,40 @@
 use crate::mat::Mat;
 use crate::part::Rect;
 use crate::scalar::Scalar;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+
+/// A SplitMix64 stream: small, fast, and plenty for test matrices. Using
+/// our own generator (instead of an external crate) keeps the workspace
+/// building with no network access.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `(-1, 1)` (the top 53 bits mapped to `[0,1)`, affinely
+    /// shifted).
+    fn open_unit_signed(&mut self) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        2.0 * unit - 1.0
+    }
+}
 
 /// Fills `m` with uniform values in `(-1, 1)`, deterministically in `seed`.
 pub fn fill_random<T: Scalar>(m: &mut Mat<T>, seed: u64) {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     for v in m.as_mut_slice() {
-        *v = T::from_f64(rng.gen_range(-1.0..1.0));
+        *v = T::from_f64(rng.open_unit_signed());
     }
 }
 
@@ -37,7 +63,9 @@ pub fn global_entry<T: Scalar>(seed: u64, i: usize, j: usize) -> T {
     // SplitMix64-style mix of the coordinates; cheap and statistically fine
     // for generating test matrices.
     let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(1 + i as u64));
-    z ^= (j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9).wrapping_add(0xD6E8_FEB8_6659_FD93);
+    z ^= (j as u64)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(0xD6E8_FEB8_6659_FD93);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;

@@ -134,7 +134,7 @@ mod tests {
         let g = Grid::new(2, 4, 1);
         // 2(pm*kn + pn*mk + pk*mn) with m=32,n=64,k=16
         let s = g.surface(32, 64, 16);
-        assert_eq!(s, 2 * (2 * 16 * 64 + 4 * 32 * 16 + 1 * 32 * 64));
+        assert_eq!(s, 2 * (2 * 16 * 64 + 4 * 32 * 16 + 32 * 64));
     }
 
     #[test]

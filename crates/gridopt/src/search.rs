@@ -249,7 +249,10 @@ mod tests {
 
     #[test]
     fn prime_process_count_leaves_idle() {
-        let choice = ca3dmm_grid(&Problem::new(1000, 1000, 1000, 13), DEFAULT_UTILIZATION_FLOOR);
+        let choice = ca3dmm_grid(
+            &Problem::new(1000, 1000, 1000, 13),
+            DEFAULT_UTILIZATION_FLOOR,
+        );
         // 13 is prime; a good 3D grid can't use all 13
         assert!(choice.grid.active() <= 13);
         assert!(choice.grid.active() >= 13 - 1); // floor 0.95*13 = 12.35 -> >= 13? ceil = 13

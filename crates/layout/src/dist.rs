@@ -152,12 +152,7 @@ impl Layout {
                 let owner = (ti % pr) * pc + (tj % pc);
                 let r0 = ti * br;
                 let c0 = tj * bc;
-                rects[owner].push(Rect::new(
-                    r0,
-                    c0,
-                    br.min(rows - r0),
-                    bc.min(cols - c0),
-                ));
+                rects[owner].push(Rect::new(r0, c0, br.min(rows - r0), bc.min(cols - c0)));
             }
         }
         Layout::from_rects(rows, cols, rects)
@@ -174,7 +169,11 @@ impl Layout {
     /// Extracts `rank`'s local blocks from a global matrix (test/driver
     /// helper).
     pub fn extract<T: Scalar>(&self, global: &Mat<T>, rank: usize) -> Vec<Mat<T>> {
-        assert_eq!(global.shape(), (self.rows, self.cols), "global shape mismatch");
+        assert_eq!(
+            global.shape(),
+            (self.rows, self.cols),
+            "global shape mismatch"
+        );
         self.rects[rank].iter().map(|r| global.block(*r)).collect()
     }
 

@@ -28,11 +28,23 @@ pub fn redistribute<T: Scalar>(
     op: GemmOp,
 ) -> Vec<Mat<T>> {
     let p = comm.size();
-    assert_eq!(src.nranks(), p, "src layout rank count != communicator size");
-    assert_eq!(dst.nranks(), p, "dst layout rank count != communicator size");
+    assert_eq!(
+        src.nranks(),
+        p,
+        "src layout rank count != communicator size"
+    );
+    assert_eq!(
+        dst.nranks(),
+        p,
+        "dst layout rank count != communicator size"
+    );
     let (sr, sc) = src.shape();
     let want_dst = op.apply_shape(sr, sc);
-    assert_eq!(dst.shape(), want_dst, "dst layout shape must equal op(src) shape");
+    assert_eq!(
+        dst.shape(),
+        want_dst,
+        "dst layout shape must equal op(src) shape"
+    );
     let me = comm.rank();
     assert_eq!(
         src_blocks.len(),
@@ -138,8 +150,7 @@ fn unpack<T: Scalar>(
         let lj = inter_dst.col0 - dst_rect.col0;
         let n = inter_dst.cols;
         let dst_row_start = li * dst_rect.cols + lj;
-        block.as_mut_slice()[dst_row_start..dst_row_start + n]
-            .copy_from_slice(&buf[pos..pos + n]);
+        block.as_mut_slice()[dst_row_start..dst_row_start + n].copy_from_slice(&buf[pos..pos + n]);
         pos += n;
     }
     pos

@@ -18,6 +18,7 @@ use crate::world::RankCtx;
 
 /// Dissemination barrier: ⌈log₂ P⌉ rounds.
 pub fn barrier(comm: &Comm, ctx: &RankCtx) {
+    let _span = ctx.tracer().collective("dissemination_barrier", || 0);
     let g = comm.size();
     if g == 1 {
         return;
@@ -40,6 +41,9 @@ pub fn barrier(comm: &Comm, ctx: &RankCtx) {
 /// # Panics
 /// If the root passes `None` or a non-root passes `Some`.
 pub fn bcast<P: Payload + Clone>(comm: &Comm, ctx: &RankCtx, root: usize, mine: Option<P>) -> P {
+    let _span = ctx.tracer().collective("binomial_bcast", || {
+        mine.as_ref().map_or(0, |v| v.nbytes() as u64)
+    });
     let g = comm.size();
     let me = comm.rank();
     assert_eq!(
@@ -91,6 +95,9 @@ pub fn bcast_large<T: Copy + Send + 'static>(
     mine: Option<Vec<T>>,
     len: usize,
 ) -> Vec<T> {
+    let _span = ctx.tracer().collective("vdg_bcast_large", || {
+        (len * std::mem::size_of::<T>()) as u64
+    });
     let g = comm.size();
     let me = comm.rank();
     assert_eq!(
@@ -106,7 +113,9 @@ pub fn bcast_large<T: Copy + Send + 'static>(
     let tag = comm.next_coll_tag();
     let base = len / g;
     let extra = len % g;
-    let counts: Vec<usize> = (0..g).map(|i| if i < extra { base + 1 } else { base }).collect();
+    let counts: Vec<usize> = (0..g)
+        .map(|i| if i < extra { base + 1 } else { base })
+        .collect();
     let offsets: Vec<usize> = counts
         .iter()
         .scan(0, |acc, &c| {
@@ -121,7 +130,12 @@ pub fn bcast_large<T: Copy + Send + 'static>(
         assert_eq!(data.len(), len, "root data length disagrees with len");
         for r in 0..g {
             if r != root {
-                comm.send_internal(ctx, r, tag, data[offsets[r]..offsets[r] + counts[r]].to_vec());
+                comm.send_internal(
+                    ctx,
+                    r,
+                    tag,
+                    data[offsets[r]..offsets[r] + counts[r]].to_vec(),
+                );
             }
         }
         data[offsets[root]..offsets[root] + counts[root]].to_vec()
@@ -152,10 +166,17 @@ pub fn allgatherv<T: Copy + Send + 'static>(
     mine: Vec<T>,
     counts: &[usize],
 ) -> Vec<T> {
+    let _span = ctx.tracer().collective("ring_allgatherv", || {
+        (counts.iter().sum::<usize>() * std::mem::size_of::<T>()) as u64
+    });
     let g = comm.size();
     let me = comm.rank();
     assert_eq!(counts.len(), g, "counts must have one entry per rank");
-    assert_eq!(mine.len(), counts[me], "my contribution length disagrees with counts");
+    assert_eq!(
+        mine.len(),
+        counts[me],
+        "my contribution length disagrees with counts"
+    );
     if g == 1 {
         return mine;
     }
@@ -210,6 +231,9 @@ pub fn reduce_scatter<T: ReduceElem>(
     data: Vec<T>,
     counts: &[usize],
 ) -> Vec<T> {
+    let _span = ctx
+        .tracer()
+        .collective("ring_reduce_scatter", || data.nbytes() as u64);
     let g = comm.size();
     let me = comm.rank();
     assert_eq!(counts.len(), g, "counts must have one entry per rank");
@@ -259,6 +283,9 @@ pub fn reduce_scatter<T: ReduceElem>(
 /// Allreduce (elementwise sum) via Rabenseifner's algorithm: ring
 /// reduce-scatter over an even split, then ring allgatherv.
 pub fn allreduce<T: ReduceElem>(comm: &Comm, ctx: &RankCtx, data: Vec<T>) -> Vec<T> {
+    let _span = ctx
+        .tracer()
+        .collective("rabenseifner_allreduce", || data.nbytes() as u64);
     let g = comm.size();
     if g == 1 {
         return data;
@@ -266,7 +293,9 @@ pub fn allreduce<T: ReduceElem>(comm: &Comm, ctx: &RankCtx, data: Vec<T>) -> Vec
     let n = data.len();
     let base = n / g;
     let extra = n % g;
-    let counts: Vec<usize> = (0..g).map(|i| if i < extra { base + 1 } else { base }).collect();
+    let counts: Vec<usize> = (0..g)
+        .map(|i| if i < extra { base + 1 } else { base })
+        .collect();
     let mine = reduce_scatter(comm, ctx, data, &counts);
     allgatherv(comm, ctx, mine, &counts)
 }
@@ -280,6 +309,9 @@ pub fn alltoallv<T: Copy + Send + 'static>(
     ctx: &RankCtx,
     mut sends: Vec<Vec<T>>,
 ) -> Vec<Vec<T>> {
+    let _span = ctx.tracer().collective("pairwise_alltoallv", || {
+        sends.iter().map(|v| v.nbytes() as u64).sum()
+    });
     let g = comm.size();
     let me = comm.rank();
     assert_eq!(sends.len(), g, "need one send buffer per rank");
@@ -303,15 +335,18 @@ pub fn gatherv<T: Copy + Send + 'static>(
     mine: Vec<T>,
     root: usize,
 ) -> Option<Vec<Vec<T>>> {
+    let _span = ctx
+        .tracer()
+        .collective("linear_gatherv", || mine.nbytes() as u64);
     let g = comm.size();
     let me = comm.rank();
     let tag = comm.next_coll_tag();
     if me == root {
         let mut out: Vec<Vec<T>> = (0..g).map(|_| Vec::new()).collect();
         out[root] = mine;
-        for r in 0..g {
+        for (r, slot) in out.iter_mut().enumerate() {
             if r != root {
-                out[r] = comm.recv_internal(ctx, r, tag);
+                *slot = comm.recv_internal(ctx, r, tag);
             }
         }
         Some(out)
@@ -450,7 +485,7 @@ mod tests {
             let me = comm.rank();
             for (k, &v) in got.iter().enumerate() {
                 let i = me * 2 + k;
-                let want = (0 + 1000 + 2000 + 3 * i) as f64;
+                let want = (1000 + 2000 + 3 * i) as f64;
                 assert_eq!(v, want, "segment value at {i}");
             }
         });
@@ -461,7 +496,9 @@ mod tests {
         for p in [1usize, 2, 4, 5] {
             World::run(p, |ctx| {
                 let comm = Comm::world(ctx);
-                let data: Vec<f64> = (0..7).map(|i| (comm.rank() + 1) as f64 * i as f64).collect();
+                let data: Vec<f64> = (0..7)
+                    .map(|i| (comm.rank() + 1) as f64 * i as f64)
+                    .collect();
                 let got = allreduce(&comm, ctx, data);
                 let scale: f64 = (1..=p).map(|r| r as f64).sum();
                 for (i, &v) in got.iter().enumerate() {

@@ -1,5 +1,6 @@
 //! Communicators and point-to-point messaging.
 
+use crate::trace::SpanKind;
 use crate::world::RankCtx;
 use std::any::Any;
 use std::sync::Arc;
@@ -25,7 +26,22 @@ macro_rules! scalar_payload {
         }
     )*};
 }
-scalar_payload!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, ());
+scalar_payload!(
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    isize,
+    f32,
+    f64,
+    bool,
+    ()
+);
 
 impl<A: Payload, B: Payload> Payload for (A, B) {
     fn nbytes(&self) -> usize {
@@ -49,6 +65,9 @@ pub(crate) struct Envelope {
     pub(crate) src_world: usize,
     pub(crate) ctx: u64,
     pub(crate) tag: u64,
+    /// Payload wire size, carried so the receiver's trace span can report
+    /// how much data the matched message delivered.
+    pub(crate) bytes: u64,
     pub(crate) payload: Box<dyn Any + Send>,
 }
 
@@ -141,16 +160,21 @@ impl Comm {
         payload: P,
     ) {
         let dst_world = self.ranks[dst];
-        ctx.record_send(payload.nbytes() as u64);
+        let bytes = payload.nbytes() as u64;
+        ctx.record_send(bytes);
+        ctx.tracer()
+            .begin(SpanKind::Send { peer: dst_world }, bytes);
         let env = Envelope {
             src_world: ctx.world_rank(),
             ctx: self.ctx_id,
             tag,
+            bytes,
             payload: Box::new(payload),
         };
         ctx.fabric.senders[dst_world]
             .send(env)
             .expect("receiving rank has exited with messages in flight");
+        ctx.tracer().end(0);
     }
 
     /// Receives the message sent by communicator rank `src` with `tag`.
@@ -165,6 +189,9 @@ impl Comm {
 
     pub(crate) fn recv_internal<P: Payload>(&self, ctx: &RankCtx, src: usize, tag: u64) -> P {
         let src_world = self.ranks[src];
+        // The recv span covers the whole match — including any blocking
+        // wait, which is exactly the time the critical-path analysis needs.
+        ctx.tracer().begin(SpanKind::Recv { peer: src_world }, 0);
         // First look in the pending buffer.
         {
             let mut pending = ctx.pending.borrow_mut();
@@ -177,6 +204,7 @@ impl Comm {
                 // ring-collective steps racing ahead of a slow rank), and
                 // they must be consumed in arrival order.
                 let env = pending.remove(pos);
+                ctx.tracer().end(env.bytes);
                 return Self::downcast(env);
             }
         }
@@ -187,6 +215,7 @@ impl Comm {
                 .recv()
                 .expect("all senders dropped while waiting for a message");
             if env.src_world == src_world && env.ctx == self.ctx_id && env.tag == tag {
+                ctx.tracer().end(env.bytes);
                 return Self::downcast(env);
             }
             ctx.pending.borrow_mut().push(env);
@@ -328,13 +357,7 @@ mod tests {
             let p = comm.size();
             let me = comm.rank();
             // shift left: everyone passes its rank to (me-1)
-            comm.sendrecv(
-                ctx,
-                (me + p - 1) % p,
-                (me + 1) % p,
-                0,
-                vec![me as u64],
-            )[0]
+            comm.sendrecv(ctx, (me + p - 1) % p, (me + 1) % p, 0, vec![me as u64])[0]
         });
         assert_eq!(vals, vec![1, 2, 3, 4, 0]);
     }

@@ -23,6 +23,13 @@
 //!   *measured* communication volume of an algorithm equals the volume its
 //!   analytic cost model predicts — the validation that licenses using the
 //!   model at paper-scale process counts.
+//! * [`trace`]: structured event tracing. A traced run
+//!   ([`World::run_traced`]) records begin/end spans for every phase
+//!   region, point-to-point send/recv, and collective (with its algorithm
+//!   name and payload size) and assembles them into a [`Timeline`]:
+//!   exportable as Chrome-trace JSON ([`Timeline::to_chrome_json`], view in
+//!   Perfetto) and analyzable with [`Timeline::critical_path`]. With
+//!   tracing off ([`World::run`]) every hook is a single untaken branch.
 //!
 //! # Semantics
 //!
@@ -30,12 +37,24 @@
 //! patterns cannot deadlock. Collectives must be invoked in the same order
 //! by every member of a communicator, exactly as in MPI. A panic on any rank
 //! propagates out of [`World::run`] and fails the test.
+//!
+//! This crate has no external dependencies (the channel underneath the
+//! mailboxes is in [`mod@chan`]); it builds offline.
 
+pub(crate) mod chan;
 pub mod collectives;
 pub mod comm;
+pub mod trace;
 pub mod traffic;
 pub mod world;
 
 pub use comm::{Comm, Payload, ReduceElem};
+pub use trace::{CriticalPathReport, PhaseCritical, Span, SpanKind, Timeline};
 pub use traffic::{PhaseCounts, TrafficReport};
-pub use world::{RankCtx, World};
+pub use world::{RankCtx, RunOptions, RunReport, World};
+
+/// Locks a mutex, recovering the data if a panicking rank poisoned it (the
+/// original panic is what should surface, not a secondary `PoisonError`).
+pub(crate) fn lock_mutex<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -1,0 +1,670 @@
+//! Structured event tracing: per-rank span streams, the assembled
+//! [`Timeline`], the Chrome-trace exporter, and the critical-path analyzer.
+//!
+//! Every rank records begin/end events for its phases (labelled with
+//! [`crate::RankCtx::set_phase`]), every collective (with its algorithm
+//! name and payload size), and every point-to-point send/recv — into a
+//! plain per-thread `Vec`, so recording is append-only and lock-free during
+//! the run. When tracing is disabled (the default for [`crate::World::run`])
+//! every hook reduces to a single branch on a `bool`, which is what makes
+//! the runtime's zero-overhead-when-off guarantee hold.
+//!
+//! After the ranks join, [`crate::World::run_traced`] assembles the streams
+//! into a [`Timeline`]: properly nested [`Span`]s per rank, exportable as
+//! Chrome-trace JSON (open in Perfetto / `chrome://tracing`) and analyzable
+//! with [`Timeline::critical_path`] — the measured counterpart of the
+//! paper's Fig. 5 per-phase breakdown.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// What a span represents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A `set_phase` region (depth 0): "redist", "replicate_ab", ….
+    Phase(String),
+    /// One point-to-point send; `peer` is the destination world rank.
+    Send {
+        /// Destination world rank.
+        peer: usize,
+    },
+    /// One point-to-point receive (the span covers any blocking wait);
+    /// `peer` is the source world rank.
+    Recv {
+        /// Source world rank.
+        peer: usize,
+    },
+    /// A collective operation, named after its algorithm
+    /// ("ring_allgatherv", "rabenseifner_allreduce", …).
+    Collective(&'static str),
+}
+
+impl SpanKind {
+    /// Display name for trace viewers.
+    pub fn label(&self) -> String {
+        match self {
+            SpanKind::Phase(name) => name.clone(),
+            SpanKind::Send { peer } => format!("send→{peer}"),
+            SpanKind::Recv { peer } => format!("recv←{peer}"),
+            SpanKind::Collective(algo) => (*algo).to_owned(),
+        }
+    }
+
+    /// Chrome-trace category.
+    pub fn category(&self) -> &'static str {
+        match self {
+            SpanKind::Phase(_) => "phase",
+            SpanKind::Send { .. } | SpanKind::Recv { .. } => "p2p",
+            SpanKind::Collective(_) => "collective",
+        }
+    }
+
+    /// True for communication spans (anything but a phase region).
+    pub fn is_comm(&self) -> bool {
+        !matches!(self, SpanKind::Phase(_))
+    }
+}
+
+/// One raw begin/end event as recorded by a rank.
+#[derive(Clone, Debug)]
+pub(crate) enum RawEvent {
+    Begin { t: f64, kind: SpanKind, bytes: u64 },
+    End { t: f64, bytes: u64 },
+}
+
+/// A completed span on one rank's timeline.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// What this span is.
+    pub kind: SpanKind,
+    /// Start, seconds since the world's epoch.
+    pub t0: f64,
+    /// End, seconds since the world's epoch.
+    pub t1: f64,
+    /// Payload bytes attributed to the span (0 for phases).
+    pub bytes: u64,
+    /// Nesting depth: phases are 0, collectives and bare p2p 1, p2p inside
+    /// a collective 2.
+    pub depth: usize,
+}
+
+impl Span {
+    /// Span duration in seconds.
+    pub fn secs(&self) -> f64 {
+        self.t1 - self.t0
+    }
+}
+
+/// The per-rank recorder embedded in `RankCtx`. Only the owning thread
+/// touches it; the `RefCell` is never contended.
+pub(crate) struct Recorder {
+    enabled: bool,
+    epoch: Instant,
+    events: RefCell<Vec<RawEvent>>,
+}
+
+impl Recorder {
+    pub(crate) fn new(enabled: bool, epoch: Instant) -> Recorder {
+        Recorder {
+            enabled,
+            epoch,
+            events: RefCell::new(Vec::new()),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn stamp(&self, at: Instant) -> f64 {
+        at.duration_since(self.epoch).as_secs_f64()
+    }
+
+    /// Opens a span now. No-op when tracing is off.
+    #[inline]
+    pub(crate) fn begin(&self, kind: SpanKind, bytes: u64) {
+        if self.enabled {
+            self.begin_at(Instant::now(), kind, bytes);
+        }
+    }
+
+    /// Closes the innermost open span now. No-op when tracing is off.
+    #[inline]
+    pub(crate) fn end(&self, bytes: u64) {
+        if self.enabled {
+            self.end_at(Instant::now(), bytes);
+        }
+    }
+
+    /// Opens a span at an externally taken timestamp (used by `set_phase`
+    /// so the phase span boundaries coincide exactly with the per-phase
+    /// wall-time accounting).
+    pub(crate) fn begin_at(&self, at: Instant, kind: SpanKind, bytes: u64) {
+        if self.enabled {
+            let t = self.stamp(at);
+            self.events
+                .borrow_mut()
+                .push(RawEvent::Begin { t, kind, bytes });
+        }
+    }
+
+    /// Closes the innermost open span at an externally taken timestamp.
+    pub(crate) fn end_at(&self, at: Instant, bytes: u64) {
+        if self.enabled {
+            let t = self.stamp(at);
+            self.events.borrow_mut().push(RawEvent::End { t, bytes });
+        }
+    }
+
+    /// Takes the recorded stream (called once, after the rank's closure
+    /// returns).
+    pub(crate) fn take(&self) -> Vec<RawEvent> {
+        self.events.take()
+    }
+
+    /// Opens a collective span, closed when the returned guard drops. The
+    /// payload-size closure is evaluated only when tracing is on, so
+    /// untraced runs don't even compute byte counts.
+    pub(crate) fn collective(
+        &self,
+        algo: &'static str,
+        bytes: impl FnOnce() -> u64,
+    ) -> SpanGuard<'_> {
+        if self.enabled {
+            self.begin(SpanKind::Collective(algo), bytes());
+        }
+        SpanGuard { rec: self }
+    }
+}
+
+/// RAII guard that closes the innermost open span on drop.
+pub(crate) struct SpanGuard<'a> {
+    rec: &'a Recorder,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.rec.end(0);
+    }
+}
+
+/// The merged per-rank event timeline of one traced run.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    /// `per_rank[r]` holds rank `r`'s completed spans in begin order.
+    per_rank: Vec<Vec<Span>>,
+}
+
+impl Timeline {
+    /// Assembles per-rank raw streams into nested spans. Unclosed spans
+    /// (possible only if a rank panicked) are closed at the stream's last
+    /// timestamp.
+    pub(crate) fn from_raw(streams: Vec<Vec<RawEvent>>) -> Timeline {
+        let per_rank = streams
+            .into_iter()
+            .map(|events| {
+                let last_t = events
+                    .iter()
+                    .map(|e| match e {
+                        RawEvent::Begin { t, .. } | RawEvent::End { t, .. } => *t,
+                    })
+                    .fold(0.0, f64::max);
+                let mut spans: Vec<Span> = Vec::new();
+                let mut stack: Vec<usize> = Vec::new();
+                for ev in events {
+                    match ev {
+                        RawEvent::Begin { t, kind, bytes } => {
+                            let depth = stack.len();
+                            stack.push(spans.len());
+                            spans.push(Span {
+                                kind,
+                                t0: t,
+                                t1: f64::NAN,
+                                bytes,
+                                depth,
+                            });
+                        }
+                        RawEvent::End { t, bytes } => {
+                            let idx = stack
+                                .pop()
+                                .expect("trace end event without a matching begin");
+                            spans[idx].t1 = t;
+                            spans[idx].bytes += bytes;
+                        }
+                    }
+                }
+                for idx in stack {
+                    spans[idx].t1 = last_t;
+                }
+                spans
+            })
+            .collect();
+        Timeline { per_rank }
+    }
+
+    /// An empty timeline for `p` ranks (what an untraced run reports).
+    pub(crate) fn empty(p: usize) -> Timeline {
+        Timeline {
+            per_rank: vec![Vec::new(); p],
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.per_rank.len()
+    }
+
+    /// Rank `r`'s spans in begin order.
+    pub fn spans(&self, rank: usize) -> &[Span] {
+        &self.per_rank[rank]
+    }
+
+    /// Total span count across all ranks.
+    pub fn span_count(&self) -> usize {
+        self.per_rank.iter().map(Vec::len).sum()
+    }
+
+    /// True when no rank recorded anything (tracing was off, or nothing
+    /// ran).
+    pub fn is_empty(&self) -> bool {
+        self.span_count() == 0
+    }
+
+    /// Phase labels in order of first appearance (rank order breaks ties).
+    pub fn phases(&self) -> Vec<String> {
+        let mut seen: Vec<String> = Vec::new();
+        for spans in &self.per_rank {
+            for s in spans {
+                if let SpanKind::Phase(name) = &s.kind {
+                    if !seen.contains(name) {
+                        seen.push(name.clone());
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Wall seconds rank `r` spent in `phase` (sum over that phase's
+    /// spans). Agrees with [`crate::TrafficReport::phase_secs`] because both
+    /// are driven by the same `set_phase` timestamps.
+    pub fn phase_secs(&self, rank: usize, phase: &str) -> f64 {
+        self.per_rank[rank]
+            .iter()
+            .filter(|s| matches!(&s.kind, SpanKind::Phase(name) if name == phase))
+            .map(Span::secs)
+            .sum()
+    }
+
+    /// Maximum over ranks of [`Timeline::phase_secs`].
+    pub fn phase_secs_max(&self, phase: &str) -> f64 {
+        (0..self.ranks())
+            .map(|r| self.phase_secs(r, phase))
+            .fold(0.0, f64::max)
+    }
+
+    /// Seconds rank `r` spent inside communication spans that are direct
+    /// children of `phase` (collectives and bare p2p; nested p2p inside a
+    /// collective is already covered by its parent).
+    pub fn phase_comm_secs(&self, rank: usize, phase: &str) -> f64 {
+        let spans = &self.per_rank[rank];
+        let mut total = 0.0;
+        let mut in_phase = false;
+        for s in spans {
+            match &s.kind {
+                SpanKind::Phase(name) if s.depth == 0 => in_phase = name == phase,
+                k if in_phase && s.depth == 1 && k.is_comm() => total += s.secs(),
+                _ => {}
+            }
+        }
+        total
+    }
+
+    /// Bytes sent by rank `r` within `phase` according to the trace (sum
+    /// over `Send` spans; cross-checks the traffic counters).
+    pub fn phase_sent_bytes(&self, rank: usize, phase: &str) -> u64 {
+        let spans = &self.per_rank[rank];
+        let mut total = 0;
+        let mut in_phase = false;
+        for s in spans {
+            match &s.kind {
+                SpanKind::Phase(name) if s.depth == 0 => in_phase = name == phase,
+                SpanKind::Send { .. } if in_phase => total += s.bytes,
+                _ => {}
+            }
+        }
+        total
+    }
+
+    /// Renders the timeline as Chrome-trace JSON ("JSON Array Format" with
+    /// an object envelope), loadable in Perfetto or `chrome://tracing`.
+    /// Spans become `B`/`E` duration-event pairs (one `tid` per rank);
+    /// thread-name metadata events label each rank.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events = String::new();
+        for rank in 0..self.ranks() {
+            if !events.is_empty() {
+                events.push(',');
+            }
+            let _ = write!(
+                events,
+                r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{rank},"args":{{"name":"rank {rank}"}}}}"#
+            );
+            // Re-interleave begin/end records: spans are stored in begin
+            // order, and single-threaded ranks guarantee proper nesting, so
+            // an open span either contains the next span or ended before it.
+            let mut open: Vec<&Span> = Vec::new();
+            for s in &self.per_rank[rank] {
+                while open.last().is_some_and(|top| top.t1 <= s.t0) {
+                    let top = open.pop().unwrap();
+                    push_end(&mut events, rank, top.t1);
+                }
+                push_begin(&mut events, rank, s);
+                open.push(s);
+            }
+            while let Some(top) = open.pop() {
+                push_end(&mut events, rank, top.t1);
+            }
+        }
+        format!(
+            r#"{{"traceEvents":[{events}],"displayTimeUnit":"ms","otherData":{{"producer":"msgpass","ranks":{}}}}}"#,
+            self.ranks()
+        )
+    }
+
+    /// Per-phase critical-path analysis: the slowest rank per phase and its
+    /// communication/computation split.
+    pub fn critical_path(&self) -> CriticalPathReport {
+        let phases = self
+            .phases()
+            .into_iter()
+            .map(|phase| {
+                let mut crit_rank = 0;
+                let mut crit_secs = 0.0;
+                let mut sum = 0.0;
+                let mut entered = 0usize;
+                for r in 0..self.ranks() {
+                    let secs = self.phase_secs(r, &phase);
+                    if secs > 0.0 {
+                        entered += 1;
+                        sum += secs;
+                    }
+                    if secs > crit_secs {
+                        crit_secs = secs;
+                        crit_rank = r;
+                    }
+                }
+                let comm_secs = self.phase_comm_secs(crit_rank, &phase).min(crit_secs);
+                PhaseCritical {
+                    phase,
+                    crit_secs,
+                    crit_rank,
+                    comm_secs,
+                    comp_secs: crit_secs - comm_secs,
+                    mean_secs: if entered > 0 {
+                        sum / entered as f64
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        CriticalPathReport { phases }
+    }
+}
+
+fn push_begin(out: &mut String, rank: usize, s: &Span) {
+    let name = jsonlite::Json::Str(s.kind.label()).to_string();
+    let _ = write!(
+        out,
+        r#",{{"name":{name},"cat":"{}","ph":"B","ts":{},"pid":0,"tid":{rank},"args":{{"bytes":{}}}}}"#,
+        s.kind.category(),
+        micros(s.t0),
+        s.bytes
+    );
+}
+
+fn push_end(out: &mut String, rank: usize, t1: f64) {
+    let _ = write!(
+        out,
+        r#",{{"ph":"E","ts":{},"pid":0,"tid":{rank}}}"#,
+        micros(t1)
+    );
+}
+
+/// Chrome trace timestamps are microseconds; keep sub-microsecond detail.
+fn micros(secs: f64) -> f64 {
+    (secs * 1e6 * 1e3).round() / 1e3
+}
+
+/// One phase's entry in the critical-path report.
+#[derive(Clone, Debug)]
+pub struct PhaseCritical {
+    /// Phase label.
+    pub phase: String,
+    /// Wall seconds on the slowest rank.
+    pub crit_secs: f64,
+    /// The slowest rank.
+    pub crit_rank: usize,
+    /// Communication seconds on the slowest rank (direct children of the
+    /// phase span: collectives, sends, blocking receives).
+    pub comm_secs: f64,
+    /// Remainder of the slowest rank's phase time (local compute).
+    pub comp_secs: f64,
+    /// Mean phase seconds over the ranks that entered the phase.
+    pub mean_secs: f64,
+}
+
+impl PhaseCritical {
+    /// Skew of the slowest rank over the mean (1.0 = perfectly balanced).
+    pub fn skew(&self) -> f64 {
+        if self.mean_secs > 0.0 {
+            self.crit_secs / self.mean_secs
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The [`Timeline::critical_path`] result: phases in execution order.
+#[derive(Clone, Debug)]
+pub struct CriticalPathReport {
+    /// Per-phase entries in order of first appearance.
+    pub phases: Vec<PhaseCritical>,
+}
+
+impl CriticalPathReport {
+    /// The phase with the largest critical (slowest-rank) time.
+    pub fn bottleneck(&self) -> Option<&PhaseCritical> {
+        self.phases
+            .iter()
+            .max_by(|a, b| a.crit_secs.total_cmp(&b.crit_secs))
+    }
+
+    /// Sum over phases of the slowest-rank time: a lower bound on the
+    /// run's makespan under the phase barrier structure.
+    pub fn critical_total_secs(&self) -> f64 {
+        self.phases.iter().map(|p| p.crit_secs).sum()
+    }
+
+    /// Human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>6} {:>10} {:>10} {:>6}",
+            "phase", "crit (s)", "rank", "comm (s)", "comp (s)", "skew"
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>10.6} {:>6} {:>10.6} {:>10.6} {:>6.2}",
+                p.phase,
+                p.crit_secs,
+                p.crit_rank,
+                p.comm_secs,
+                p.comp_secs,
+                p.skew()
+            );
+        }
+        if let Some(b) = self.bottleneck() {
+            let _ = writeln!(
+                out,
+                "bottleneck: {} ({:.6} s on rank {})",
+                b.phase, b.crit_secs, b.crit_rank
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw_begin(t: f64, kind: SpanKind) -> RawEvent {
+        RawEvent::Begin { t, kind, bytes: 0 }
+    }
+
+    fn raw_end(t: f64, bytes: u64) -> RawEvent {
+        RawEvent::End { t, bytes }
+    }
+
+    #[test]
+    fn spans_nest_and_order() {
+        // phase [0,10] containing a collective [1,5] containing a send
+        // [2,3], then a second phase [10,12].
+        let stream = vec![
+            raw_begin(0.0, SpanKind::Phase("a".into())),
+            raw_begin(1.0, SpanKind::Collective("ring_allgatherv")),
+            raw_begin(2.0, SpanKind::Send { peer: 1 }),
+            raw_end(3.0, 64),
+            raw_end(5.0, 0),
+            raw_end(10.0, 0),
+            raw_begin(10.0, SpanKind::Phase("b".into())),
+            raw_end(12.0, 0),
+        ];
+        let tl = Timeline::from_raw(vec![stream]);
+        let spans = tl.spans(0);
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[2].depth, 2);
+        assert_eq!(spans[3].depth, 0);
+        assert_eq!(spans[2].bytes, 64);
+        // begin order is preserved
+        assert!(spans.windows(2).all(|w| w[0].t0 <= w[1].t0));
+        assert_eq!(tl.phases(), vec!["a".to_owned(), "b".to_owned()]);
+        assert_eq!(tl.phase_secs(0, "a"), 10.0);
+        assert_eq!(tl.phase_secs(0, "b"), 2.0);
+        // comm under "a" counts the collective (4 s), not its inner send
+        assert_eq!(tl.phase_comm_secs(0, "a"), 4.0);
+        assert_eq!(tl.phase_comm_secs(0, "b"), 0.0);
+    }
+
+    #[test]
+    fn unclosed_spans_are_closed_at_stream_end() {
+        let stream = vec![
+            raw_begin(0.0, SpanKind::Phase("p".into())),
+            raw_begin(1.0, SpanKind::Recv { peer: 0 }),
+            raw_end(4.0, 8),
+        ];
+        let tl = Timeline::from_raw(vec![stream]);
+        assert_eq!(tl.spans(0)[0].t1, 4.0); // closed at last event time
+    }
+
+    #[test]
+    fn critical_path_finds_slowest_rank() {
+        let mk = |secs: f64| {
+            vec![
+                raw_begin(0.0, SpanKind::Phase("x".into())),
+                raw_end(secs, 0),
+            ]
+        };
+        let tl = Timeline::from_raw(vec![mk(1.0), mk(5.0), mk(2.0)]);
+        let report = tl.critical_path();
+        assert_eq!(report.phases.len(), 1);
+        let p = &report.phases[0];
+        assert_eq!(p.crit_rank, 1);
+        assert_eq!(p.crit_secs, 5.0);
+        assert!((p.mean_secs - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.bottleneck().unwrap().phase, "x");
+        assert_eq!(report.critical_total_secs(), 5.0);
+        assert!(report.render().contains("bottleneck: x"));
+    }
+
+    #[test]
+    fn chrome_export_balances_b_and_e() {
+        let stream = vec![
+            raw_begin(0.0, SpanKind::Phase("a".into())),
+            raw_begin(1.0, SpanKind::Collective("barrier")),
+            raw_end(2.0, 0),
+            raw_end(3.0, 0),
+            raw_begin(3.0, SpanKind::Phase("b".into())),
+            raw_end(4.0, 0),
+        ];
+        let tl = Timeline::from_raw(vec![stream.clone(), stream]);
+        let text = tl.to_chrome_json();
+        let doc = jsonlite::Json::parse(&text).expect("exported trace parses");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let b = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("B"))
+            .count();
+        let e = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("E"))
+            .count();
+        assert_eq!(b, 6);
+        assert_eq!(e, 6);
+        // per tid, B/E interleave as a valid stack with ts monotone
+        for rank in 0..2 {
+            let mut depth = 0i64;
+            let mut last_ts = f64::MIN;
+            for ev in events {
+                if ev.get("tid").and_then(|t| t.as_f64()) != Some(rank as f64) {
+                    continue;
+                }
+                match ev.get("ph").and_then(|p| p.as_str()) {
+                    Some("B") => depth += 1,
+                    Some("E") => depth -= 1,
+                    _ => continue,
+                }
+                let ts = ev.get("ts").unwrap().as_f64().unwrap();
+                assert!(ts >= last_ts, "timestamps must be monotone");
+                last_ts = ts;
+                assert!(depth >= 0);
+            }
+            assert_eq!(depth, 0);
+        }
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let tl = Timeline::empty(4);
+        assert_eq!(tl.ranks(), 4);
+        assert!(tl.is_empty());
+        assert!(tl.phases().is_empty());
+        let doc = jsonlite::Json::parse(&tl.to_chrome_json()).unwrap();
+        assert!(doc.get("traceEvents").is_some());
+    }
+
+    #[test]
+    fn sent_bytes_by_phase() {
+        let stream = vec![
+            raw_begin(0.0, SpanKind::Phase("p".into())),
+            raw_begin(1.0, SpanKind::Send { peer: 2 }),
+            raw_end(1.1, 100),
+            raw_begin(2.0, SpanKind::Collective("ring_allgatherv")),
+            raw_begin(2.1, SpanKind::Send { peer: 1 }),
+            raw_end(2.2, 50),
+            raw_end(3.0, 0),
+            raw_end(4.0, 0),
+        ];
+        let tl = Timeline::from_raw(vec![stream]);
+        // counts both the bare send and the one inside the collective
+        assert_eq!(tl.phase_sent_bytes(0, "p"), 150);
+    }
+}

@@ -6,8 +6,9 @@
 //! resulting [`TrafficReport`] is the measured counterpart of the analytic
 //! schedule evaluator in the `netmodel` crate.
 
-use parking_lot::Mutex;
+use crate::lock_mutex;
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// Bytes and message count for one phase on one rank.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -36,7 +37,7 @@ pub(crate) struct RankTraffic {
 
 impl RankTraffic {
     pub(crate) fn record(&self, phase: &str, bytes: u64) {
-        let mut map = self.by_phase.lock();
+        let mut map = lock_mutex(&self.by_phase);
         let e = map.entry(phase.to_owned()).or_default();
         e.bytes += bytes;
         e.msgs += 1;
@@ -143,8 +144,14 @@ mod tests {
         rt.record("a", 100);
         rt.record("a", 50);
         rt.record("b", 1);
-        let map = rt.by_phase.lock().clone();
-        assert_eq!(map["a"], PhaseCounts { bytes: 150, msgs: 2 });
+        let map = crate::lock_mutex(&rt.by_phase).clone();
+        assert_eq!(
+            map["a"],
+            PhaseCounts {
+                bytes: 150,
+                msgs: 2
+            }
+        );
         assert_eq!(map["b"], PhaseCounts { bytes: 1, msgs: 1 });
 
         let report = TrafficReport {

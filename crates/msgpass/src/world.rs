@@ -1,26 +1,67 @@
-//! The world: rank spawning, mailboxes, and the shared fabric.
+//! The world: rank spawning, mailboxes, the shared fabric, and run reports.
 
+use crate::chan::{channel, Receiver, Sender};
 use crate::comm::Envelope;
+use crate::lock_mutex;
+use crate::trace::{RawEvent, Recorder, SpanKind, Timeline};
 use crate::traffic::{RankTraffic, TrafficReport};
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Shared, immutable-after-construction communication fabric: one inbound
-/// channel per rank plus the traffic accumulators.
+/// channel per rank plus the traffic accumulators and the trace epoch.
 pub(crate) struct Fabric {
     pub(crate) senders: Vec<Sender<Envelope>>,
     pub(crate) traffic: Vec<RankTraffic>,
     pub(crate) times: Vec<Mutex<BTreeMap<String, f64>>>,
 }
 
+/// Options for [`World::run_opts`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOptions {
+    /// Record a begin/end event for every phase region, point-to-point
+    /// send/recv, and collective, and assemble them into
+    /// [`RunReport::timeline`]. Off by default: with tracing disabled every
+    /// hook is a single branch on a `bool`, so untraced runs pay no
+    /// measurable overhead.
+    pub trace: bool,
+}
+
+impl RunOptions {
+    /// Options with event tracing enabled.
+    pub fn traced() -> RunOptions {
+        RunOptions { trace: true }
+    }
+}
+
+/// Everything a traced run measured: the per-phase traffic counters and
+/// (when [`RunOptions::trace`] was set) the assembled event [`Timeline`].
+///
+/// Dereferences to [`TrafficReport`], so code written against the older
+/// `(results, TrafficReport)` return type keeps working unchanged.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Per-rank, per-phase bytes/messages and wall seconds.
+    pub traffic: TrafficReport,
+    /// Per-rank span timeline (empty unless tracing was enabled).
+    pub timeline: Timeline,
+}
+
+impl Deref for RunReport {
+    type Target = TrafficReport;
+
+    fn deref(&self) -> &TrafficReport {
+        &self.traffic
+    }
+}
+
 /// Everything one rank's thread needs: its identity, its mailbox, and the
 /// fabric. All communication operations take `&RankCtx`; the mutable pieces
-/// (pending-message buffer, current phase) live in cells because a rank is
-/// single-threaded by construction.
+/// (pending-message buffer, current phase, trace recorder) live in cells
+/// because a rank is single-threaded by construction.
 pub struct RankCtx {
     world_rank: usize,
     world_size: usize,
@@ -35,6 +76,8 @@ pub struct RankCtx {
     phase_started: Cell<Instant>,
     /// Monotonic counter used to derive child communicator contexts.
     pub(crate) ctx_seq: Cell<u64>,
+    /// Per-rank trace event recorder (no-op unless the run is traced).
+    pub(crate) recorder: Recorder,
 }
 
 impl RankCtx {
@@ -49,26 +92,51 @@ impl RankCtx {
     }
 
     /// Sets the phase label attributed to subsequent sends (for the traffic
-    /// report) and to wall time (for the per-phase timing report). Phases
-    /// are free-form; algorithms use names like `"replicate_ab"`,
-    /// `"cannon_shift"`, `"reduce_c"`, `"redist"`.
+    /// report), to wall time (for the per-phase timing report), and to the
+    /// trace timeline. Phases are free-form; algorithms use names like
+    /// `"replicate_ab"`, `"cannon_shift"`, `"reduce_c"`, `"redist"`.
+    ///
+    /// The traffic clock and the trace span share one timestamp, so
+    /// [`Timeline::phase_secs`] and [`TrafficReport::phase_secs`] agree
+    /// exactly (up to float rounding).
     pub fn set_phase(&self, phase: &str) {
-        self.flush_phase_time();
+        let now = Instant::now();
+        self.flush_phase_time(now);
+        if self.recorder.enabled() {
+            if !self.phase.borrow().is_empty() {
+                self.recorder.end_at(now, 0);
+            }
+            if !phase.is_empty() {
+                self.recorder
+                    .begin_at(now, SpanKind::Phase(phase.to_owned()), 0);
+            }
+        }
         *self.phase.borrow_mut() = phase.to_owned();
     }
 
     /// Accumulates elapsed wall time into the current phase and restarts
     /// the phase clock. Called on phase switches and at rank exit.
-    fn flush_phase_time(&self) {
-        let now = Instant::now();
-        let elapsed = now.duration_since(self.phase_started.replace(now)).as_secs_f64();
+    fn flush_phase_time(&self, now: Instant) {
+        let elapsed = now
+            .duration_since(self.phase_started.replace(now))
+            .as_secs_f64();
         let label = self.phase.borrow().clone();
         if !label.is_empty() {
-            *self.fabric.times[self.world_rank]
-                .lock()
+            *lock_mutex(&self.fabric.times[self.world_rank])
                 .entry(label)
                 .or_insert(0.0) += elapsed;
         }
+    }
+
+    /// Final bookkeeping when the rank's closure returns: closes the open
+    /// phase (clock and trace span) and hands back the raw event stream.
+    fn finish(&self) -> Vec<RawEvent> {
+        let now = Instant::now();
+        self.flush_phase_time(now);
+        if self.recorder.enabled() && !self.phase.borrow().is_empty() {
+            self.recorder.end_at(now, 0);
+        }
+        self.recorder.take()
     }
 
     /// The current phase label.
@@ -79,6 +147,11 @@ impl RankCtx {
     pub(crate) fn record_send(&self, bytes: u64) {
         self.fabric.traffic[self.world_rank].record(&self.phase.borrow(), bytes);
     }
+
+    /// The rank's trace recorder (for internal instrumentation hooks).
+    pub(crate) fn tracer(&self) -> &Recorder {
+        &self.recorder
+    }
 }
 
 /// The `mpirun` of this runtime.
@@ -86,17 +159,28 @@ pub struct World;
 
 impl World {
     /// Runs `f` on `p` ranks (threads) and returns the per-rank results in
-    /// rank order. Panics on any rank propagate.
+    /// rank order. Panics on any rank propagate. Tracing is off: the
+    /// instrumentation hooks reduce to an untaken branch each.
     pub fn run<R, F>(p: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(&RankCtx) -> R + Sync,
     {
-        Self::run_traced(p, f).0
+        Self::run_opts(p, RunOptions::default(), f).0
     }
 
-    /// Like [`World::run`] but also returns the traffic report.
-    pub fn run_traced<R, F>(p: usize, f: F) -> (Vec<R>, TrafficReport)
+    /// Like [`World::run`] but also returns the [`RunReport`] with the
+    /// traffic counters *and* the event timeline (tracing enabled).
+    pub fn run_traced<R, F>(p: usize, f: F) -> (Vec<R>, RunReport)
+    where
+        R: Send,
+        F: Fn(&RankCtx) -> R + Sync,
+    {
+        Self::run_opts(p, RunOptions::traced(), f)
+    }
+
+    /// The general entry point: runs `f` on `p` ranks under `opts`.
+    pub fn run_opts<R, F>(p: usize, opts: RunOptions, f: F) -> (Vec<R>, RunReport)
     where
         R: Send,
         F: Fn(&RankCtx) -> R + Sync,
@@ -105,7 +189,7 @@ impl World {
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -114,8 +198,11 @@ impl World {
             traffic: (0..p).map(|_| RankTraffic::default()).collect(),
             times: (0..p).map(|_| Mutex::new(BTreeMap::new())).collect(),
         });
+        // One epoch for the whole world so per-rank timestamps are mutually
+        // comparable in the merged timeline.
+        let epoch = Instant::now();
 
-        let results: Vec<R> = std::thread::scope(|s| {
+        let (results, streams): (Vec<R>, Vec<Vec<RawEvent>>) = std::thread::scope(|s| {
             let handles: Vec<_> = receivers
                 .into_iter()
                 .enumerate()
@@ -132,10 +219,11 @@ impl World {
                             phase: RefCell::new(String::new()),
                             phase_started: Cell::new(Instant::now()),
                             ctx_seq: Cell::new(0),
+                            recorder: Recorder::new(opts.trace, epoch),
                         };
                         let out = f(&ctx);
-                        ctx.flush_phase_time();
-                        out
+                        let events = ctx.finish();
+                        (out, events)
                     })
                 })
                 .collect();
@@ -153,18 +241,23 @@ impl World {
                         panic!("rank {rank} panicked: {msg}")
                     }
                 })
-                .collect()
+                .unzip()
         });
 
-        let report = TrafficReport {
+        let traffic = TrafficReport {
             per_rank: fabric
                 .traffic
                 .iter()
-                .map(|t| t.by_phase.lock().clone())
+                .map(|t| lock_mutex(&t.by_phase).clone())
                 .collect(),
-            secs_per_rank: fabric.times.iter().map(|t| t.lock().clone()).collect(),
+            secs_per_rank: fabric.times.iter().map(|t| lock_mutex(t).clone()).collect(),
         };
-        (results, report)
+        let timeline = if opts.trace {
+            Timeline::from_raw(streams)
+        } else {
+            Timeline::empty(p)
+        };
+        (results, RunReport { traffic, timeline })
     }
 }
 
@@ -207,5 +300,51 @@ mod tests {
             ctx.set_phase("cannon_shift");
             assert_eq!(ctx.phase(), "cannon_shift");
         });
+    }
+
+    #[test]
+    fn untraced_runs_have_empty_timelines() {
+        let (_, report) = World::run_opts(3, RunOptions::default(), |ctx| {
+            ctx.set_phase("work");
+        });
+        assert_eq!(report.timeline.ranks(), 3);
+        assert!(report.timeline.is_empty());
+        // the traffic side still sees the phase
+        assert!(report.traffic.phase_secs(0, "work") >= 0.0);
+    }
+
+    #[test]
+    fn traced_phase_spans_match_traffic_clock() {
+        let (_, report) = World::run_traced(2, |ctx| {
+            ctx.set_phase("alpha");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            ctx.set_phase("beta");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        for rank in 0..2 {
+            for phase in ["alpha", "beta"] {
+                let from_trace = report.timeline.phase_secs(rank, phase);
+                let from_clock = report.traffic.phase_secs(rank, phase);
+                assert!(from_trace > 0.0, "rank {rank} {phase} span missing");
+                assert!(
+                    (from_trace - from_clock).abs() < 1e-6,
+                    "rank {rank} {phase}: trace {from_trace} vs clock {from_clock}"
+                );
+            }
+        }
+        assert_eq!(
+            report.timeline.phases(),
+            vec!["alpha".to_owned(), "beta".to_owned()]
+        );
+    }
+
+    #[test]
+    fn run_report_derefs_to_traffic() {
+        let (_, report) = World::run_traced(1, |ctx| {
+            ctx.set_phase("only");
+        });
+        // methods resolved through Deref<Target = TrafficReport>
+        assert_eq!(report.rank_total(0).msgs, 0);
+        assert_eq!(report.phases(), vec!["only".to_owned()]);
     }
 }

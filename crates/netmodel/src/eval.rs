@@ -368,7 +368,11 @@ mod tests {
                 flops: 4e3,
             },
         );
-        assert!(c2.total() > 2.9 && c2.total() < 3.2, "comm-bound: {}", c2.total());
+        assert!(
+            c2.total() > 2.9 && c2.total() < 3.2,
+            "comm-bound: {}",
+            c2.total()
+        );
     }
 
     #[test]

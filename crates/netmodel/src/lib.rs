@@ -26,6 +26,7 @@
 //! degradation threshold the paper observes in §IV-C.
 
 pub mod eval;
+pub mod json;
 pub mod machine;
 pub mod schedule;
 

@@ -1,9 +1,7 @@
 //! Machine descriptions: the hardware parameters the cost model needs.
 
-use serde::{Deserialize, Serialize};
-
 /// How ranks map onto nodes in one experiment.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Placement {
     /// MPI ranks per node (24 in the paper's pure-MPI runs, 1 in hybrid,
     /// 2 in the GPU runs).
@@ -23,7 +21,7 @@ impl Placement {
 
 /// An α–β–γ machine: network latency and bandwidth per link class plus a
 /// local GEMM rate. All times in seconds, sizes in bytes.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Machine {
     /// Human-readable name for reports.
     pub name: String,
@@ -135,8 +133,7 @@ impl Machine {
     pub fn hybrid(&self) -> Placement {
         Placement {
             ranks_per_node: 1,
-            flops_per_rank: self.flops_per_core * self.cores_per_node as f64
-                * self.gemm_efficiency,
+            flops_per_rank: self.flops_per_core * self.cores_per_node as f64 * self.gemm_efficiency,
         }
     }
 

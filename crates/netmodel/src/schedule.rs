@@ -1,7 +1,5 @@
 //! The schedule IR: what one (maximally loaded) rank does, phase by phase.
 
-use serde::{Deserialize, Serialize};
-
 /// The communication group one phase runs in, as the cost model sees it.
 ///
 /// Every group in this workspace is an arithmetic progression of ranks
@@ -15,7 +13,7 @@ use serde::{Deserialize, Serialize};
 ///   pure MPI has "a smaller inter-node communication volume";
 /// * `stride ≥ ranks_per_node` (k-task reduce groups at scale): every hop
 ///   crosses nodes.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NetGroup {
     /// Number of ranks in the group.
     pub size: usize,
@@ -117,7 +115,7 @@ impl NetGroup {
 /// One phase of a schedule. Byte counts are **payload bytes for the modeled
 /// rank** (the busiest one); `total_bytes` for collectives is the full
 /// gathered/reduced buffer size, matching the `n` of the §III-D formulas.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Phase {
     /// `MPI_Allgather(v)`: gathered buffer totals `total_bytes`.
     Allgather {
@@ -188,7 +186,7 @@ pub enum Phase {
 /// An ordered, labelled list of phases. Labels group phases for the
 /// breakdown plots ("redist", "replicate_ab", "cannon", "local_gemm",
 /// "reduce_c").
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Schedule {
     /// The phases in execution order with their breakdown labels.
     pub items: Vec<(String, Phase)>,
@@ -214,11 +212,11 @@ impl Schedule {
         self.items
             .iter()
             .map(|(_, ph)| match ph {
-                Phase::Allgather { grp, total_bytes } => {
-                    frac(grp.size) * total_bytes
-                }
+                Phase::Allgather { grp, total_bytes } => frac(grp.size) * total_bytes,
                 Phase::Bcast { grp, bytes } => 2.0 * frac(grp.size) * bytes,
-                Phase::ReduceScatter { grp, total_bytes, .. } => frac(grp.size) * total_bytes,
+                Phase::ReduceScatter {
+                    grp, total_bytes, ..
+                } => frac(grp.size) * total_bytes,
                 Phase::Alltoallv { send_bytes, .. } => *send_bytes,
                 Phase::ShiftRounds {
                     rounds,

@@ -19,9 +19,9 @@
 use ca3dmm::{Ca3dmm, Ca3dmmOptions};
 use dense::gemm::GemmOp;
 use dense::Mat;
-use msgpass::{Comm, World};
 use gridopt::Problem;
 use layout::Layout;
+use msgpass::{Comm, World};
 
 use dense::linalg::{cholesky_upper, upper_triangular_inverse};
 
@@ -40,11 +40,17 @@ fn main() {
     // Step 1: G = A^T A  (large-K: n x n x m)
     let gram = Ca3dmm::new(Problem::new(n, n, m, nprocs), &Ca3dmmOptions::default());
     let gg = gram.stats().grid;
-    println!("Gram PGEMM grid (n x n x m): {} x {} x {}", gg.pm, gg.pn, gg.pk);
+    println!(
+        "Gram PGEMM grid (n x n x m): {} x {} x {}",
+        gg.pm, gg.pn, gg.pk
+    );
     // Step 3: Q = A R^{-1}  (large-M: m x n x n)
     let apply = Ca3dmm::new(Problem::new(m, n, n, nprocs), &Ca3dmmOptions::default());
     let ga = apply.stats().grid;
-    println!("Apply PGEMM grid (m x n x n): {} x {} x {}", ga.pm, ga.pn, ga.pk);
+    println!(
+        "Apply PGEMM grid (m x n x n): {} x {} x {}",
+        ga.pm, ga.pn, ga.pk
+    );
 
     let ortho_err = World::run(nprocs, |ctx| {
         let world = Comm::world(ctx);
@@ -119,7 +125,11 @@ fn main() {
         for (rect, blk) in g_layout.owned(me).iter().zip(&qtq_parts) {
             for i in 0..rect.rows {
                 for j in 0..rect.cols {
-                    let want = if rect.row0 + i == rect.col0 + j { 1.0 } else { 0.0 };
+                    let want = if rect.row0 + i == rect.col0 + j {
+                        1.0
+                    } else {
+                        0.0
+                    };
                     err = err.max((blk.get(i, j) - want).abs());
                 }
             }

@@ -39,7 +39,7 @@ use msgpass::{Comm, World};
 /// so a gapless metal would converge impractically slowly).
 fn hamiltonian(i: usize, j: usize) -> f64 {
     if i.abs_diff(j) == 1 {
-        if i.min(j) % 2 == 0 {
+        if i.min(j).is_multiple_of(2) {
             -1.0
         } else {
             -0.55
@@ -90,13 +90,27 @@ fn main() {
         for it in 0..iters {
             // P2 = P * P
             let p2 = mm.multiply(
-                ctx, &world, GemmOp::NoTrans, &layout_all, &p, GemmOp::NoTrans, &layout_all,
-                &p, &layout_all,
+                ctx,
+                &world,
+                GemmOp::NoTrans,
+                &layout_all,
+                &p,
+                GemmOp::NoTrans,
+                &layout_all,
+                &p,
+                &layout_all,
             );
             // P3 = P2 * P
             let p3 = mm.multiply(
-                ctx, &world, GemmOp::NoTrans, &layout_all, &p2, GemmOp::NoTrans, &layout_all,
-                &p, &layout_all,
+                ctx,
+                &world,
+                GemmOp::NoTrans,
+                &layout_all,
+                &p2,
+                GemmOp::NoTrans,
+                &layout_all,
+                &p,
+                &layout_all,
             );
             // local diagnostics before the update: idempotency and trace
             let mut idem2 = 0.0f64;
@@ -156,8 +170,8 @@ fn main() {
 /// in the CA3DMM redistribution steps.
 fn pad_layout(l: Layout, p: usize, n: usize) -> Layout {
     let mut rects: Vec<Vec<dense::Rect>> = (0..p).map(|_| Vec::new()).collect();
-    for r in 0..l.nranks() {
-        rects[r] = l.owned(r).to_vec();
+    for (r, slot) in rects.iter_mut().enumerate().take(l.nranks()) {
+        *slot = l.owned(r).to_vec();
     }
     Layout::from_rects(n, n, rects)
 }

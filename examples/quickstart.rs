@@ -33,7 +33,9 @@ use msgpass::{Comm, World};
 use std::time::Instant;
 
 fn arg(args: &[String], i: usize, default: usize) -> usize {
-    args.get(i).map(|s| s.parse().expect("numeric argument")).unwrap_or(default)
+    args.get(i)
+        .map(|s| s.parse().expect("numeric argument"))
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -47,7 +49,11 @@ fn main() {
     let validate = arg(&args, 6, 1) != 0;
     let ntest = arg(&args, 7, 3).max(1);
     let grid_override = if args.len() >= 11 {
-        Some(Grid::new(arg(&args, 8, 0), arg(&args, 9, 0), arg(&args, 10, 0)))
+        Some(Grid::new(
+            arg(&args, 8, 0),
+            arg(&args, 9, 0),
+            arg(&args, 10, 0),
+        ))
     } else {
         None
     };
@@ -83,7 +89,10 @@ fn main() {
         "Work cuboid mb * nb * kb    : {} * {} * {}",
         st.cuboid.0, st.cuboid.1, st.cuboid.2
     );
-    println!("Process utilization         : {:.2} %", st.utilization * 100.0);
+    println!(
+        "Process utilization         : {:.2} %",
+        st.utilization * 100.0
+    );
     println!("Comm. volume / lower bound  : {:.2}", st.volume_ratio);
     println!(
         "Rank 0 work buffer size     : {:.2} MBytes",

@@ -114,7 +114,11 @@ fn main() {
     let gram = Ca3dmm::new(Problem::new(b, b, n, nprocs), &Ca3dmmOptions::default()); // large-K
     let tall = Ca3dmm::new(Problem::new(n, b, b, nprocs), &Ca3dmmOptions::default()); // large-M
     let apply = Ca3dmm::new(Problem::new(n, b, n, nprocs), &Ca3dmmOptions::default()); // operator
-    for (what, mm) in [("V^T W (large-K)", &gram), ("V*U   (large-M)", &tall), ("H*V   (apply) ", &apply)] {
+    for (what, mm) in [
+        ("V^T W (large-K)", &gram),
+        ("V*U   (large-M)", &tall),
+        ("H*V   (apply) ", &apply),
+    ] {
         let g = mm.stats().grid;
         println!("grid for {what}: {} x {} x {}", g.pm, g.pn, g.pk);
     }
@@ -140,28 +144,56 @@ fn main() {
 
         // Step 1: CholeskyQR orthonormalization of V.
         let g_parts = gram.multiply(
-            ctx, &world, GemmOp::Trans, &v_layout, &v_blocks, GemmOp::NoTrans, &v_layout,
-            &v_blocks, &s_layout,
+            ctx,
+            &world,
+            GemmOp::Trans,
+            &v_layout,
+            &v_blocks,
+            GemmOp::NoTrans,
+            &v_layout,
+            &v_blocks,
+            &s_layout,
         );
         let g_full = replicate_small(ctx, &world, &s_layout, &g_parts, b);
         let r_inv = upper_triangular_inverse(&cholesky_upper(&g_full));
         let rinv_layout = Layout::on_single_rank(b, b, world.size(), 0);
         let rinv_blocks = if me == 0 { vec![r_inv] } else { vec![] };
         v_blocks = tall.multiply(
-            ctx, &world, GemmOp::NoTrans, &v_layout, &v_blocks, GemmOp::NoTrans, &rinv_layout,
-            &rinv_blocks, &v_layout,
+            ctx,
+            &world,
+            GemmOp::NoTrans,
+            &v_layout,
+            &v_blocks,
+            GemmOp::NoTrans,
+            &rinv_layout,
+            &rinv_blocks,
+            &v_layout,
         );
 
         // Step 2: W = H V (the operator apply).
         let w_blocks = apply.multiply(
-            ctx, &world, GemmOp::NoTrans, &h_layout, &h_blocks, GemmOp::NoTrans, &v_layout,
-            &v_blocks, &v_layout,
+            ctx,
+            &world,
+            GemmOp::NoTrans,
+            &h_layout,
+            &h_blocks,
+            GemmOp::NoTrans,
+            &v_layout,
+            &v_blocks,
+            &v_layout,
         );
 
         // Step 3: G = V^T W.
         let g_parts = gram.multiply(
-            ctx, &world, GemmOp::Trans, &v_layout, &v_blocks, GemmOp::NoTrans, &v_layout,
-            &w_blocks, &s_layout,
+            ctx,
+            &world,
+            GemmOp::Trans,
+            &v_layout,
+            &v_blocks,
+            GemmOp::NoTrans,
+            &v_layout,
+            &w_blocks,
+            &s_layout,
         );
         let g_full = replicate_small(ctx, &world, &s_layout, &g_parts, b);
 
@@ -172,12 +204,26 @@ fn main() {
         let u_layout = Layout::on_single_rank(b, b, world.size(), 0);
         let u_blocks = if me == 0 { vec![u.clone()] } else { vec![] };
         let x_blocks = tall.multiply(
-            ctx, &world, GemmOp::NoTrans, &v_layout, &v_blocks, GemmOp::NoTrans, &u_layout,
-            &u_blocks, &v_layout,
+            ctx,
+            &world,
+            GemmOp::NoTrans,
+            &v_layout,
+            &v_blocks,
+            GemmOp::NoTrans,
+            &u_layout,
+            &u_blocks,
+            &v_layout,
         );
         let wu_blocks = tall.multiply(
-            ctx, &world, GemmOp::NoTrans, &v_layout, &w_blocks, GemmOp::NoTrans, &u_layout,
-            &u_blocks, &v_layout,
+            ctx,
+            &world,
+            GemmOp::NoTrans,
+            &v_layout,
+            &w_blocks,
+            GemmOp::NoTrans,
+            &u_layout,
+            &u_blocks,
+            &v_layout,
         );
         // local residual column sums of squares
         let mut local = vec![0.0f64; b];
@@ -215,8 +261,8 @@ fn main() {
 /// Extends a layout defined over fewer ranks to the whole world.
 fn pad(l: Layout, p: usize, rows: usize, cols: usize) -> Layout {
     let mut rects: Vec<Vec<dense::Rect>> = (0..p).map(|_| Vec::new()).collect();
-    for r in 0..l.nranks() {
-        rects[r] = l.owned(r).to_vec();
+    for (r, slot) in rects.iter_mut().enumerate().take(l.nranks()) {
+        *slot = l.owned(r).to_vec();
     }
     Layout::from_rects(rows, cols, rects)
 }

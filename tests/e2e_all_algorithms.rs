@@ -44,21 +44,25 @@ where
             .collect::<Vec<_>>()
     });
     let got = lc.assemble(&parts);
-    assert_gemm_close(&got, &reference(m, n, k), k, &format!("{name} {m}x{n}x{k} p={p}"));
+    assert_gemm_close(
+        &got,
+        &reference(m, n, k),
+        k,
+        &format!("{name} {m}x{n}x{k} p={p}"),
+    );
 }
 
 type AlgFn = Box<
-    dyn Fn(&msgpass::RankCtx, &Comm, Option<Mat<f64>>, Option<Mat<f64>>) -> Option<Mat<f64>>
-        + Sync,
+    dyn Fn(&msgpass::RankCtx, &Comm, Option<Mat<f64>>, Option<Mat<f64>>) -> Option<Mat<f64>> + Sync,
 >;
 
 /// The paper's four problem classes at test scale, plus degenerate shapes.
 const SHAPES: &[(usize, usize, usize)] = &[
-    (40, 40, 40),   // square
-    (6, 6, 200),    // large-K
-    (200, 6, 6),    // large-M
-    (48, 48, 6),    // flat
-    (33, 17, 29),   // awkward primes
+    (40, 40, 40), // square
+    (6, 6, 200),  // large-K
+    (200, 6, 6),  // large-M
+    (48, 48, 6),  // flat
+    (33, 17, 29), // awkward primes
 ];
 
 #[test]
@@ -75,8 +79,7 @@ fn ca3dmm_native_all_shapes_all_p() {
                     lc,
                     Box::new(move |ctx: &msgpass::RankCtx, world: &Comm, a, b| {
                         alg.multiply_native(ctx, world, a, b)
-                    })
-                        as AlgFn,
+                    }) as AlgFn,
                 )
             });
         }
@@ -96,8 +99,7 @@ fn cosma_like_all_shapes() {
                     lc,
                     Box::new(move |ctx: &msgpass::RankCtx, world: &Comm, a, b| {
                         alg.multiply_native(ctx, world, a, b)
-                    })
-                        as AlgFn,
+                    }) as AlgFn,
                 )
             });
         }
@@ -117,8 +119,7 @@ fn summa_all_shapes() {
                     lc,
                     Box::new(move |ctx: &msgpass::RankCtx, world: &Comm, a, b| {
                         alg.multiply_native(ctx, world, a, b)
-                    })
-                        as AlgFn,
+                    }) as AlgFn,
                 )
             });
         }
@@ -138,8 +139,7 @@ fn orig3d_all_shapes() {
                     lc,
                     Box::new(move |ctx: &msgpass::RankCtx, world: &Comm, a, b| {
                         alg.multiply_native(ctx, world, a, b)
-                    })
-                        as AlgFn,
+                    }) as AlgFn,
                 )
             });
         }
@@ -159,8 +159,7 @@ fn c25d_all_shapes() {
                     lc,
                     Box::new(move |ctx: &msgpass::RankCtx, world: &Comm, a, b| {
                         alg.multiply_native(ctx, world, a, b)
-                    })
-                        as AlgFn,
+                    }) as AlgFn,
                 )
             });
         }
@@ -180,8 +179,7 @@ fn ca3dmm_s_all_shapes() {
                     lc,
                     Box::new(move |ctx: &msgpass::RankCtx, world: &Comm, a, b| {
                         alg.multiply_native(ctx, world, a, b)
-                    })
-                        as AlgFn,
+                    }) as AlgFn,
                 )
             });
         }
@@ -288,16 +286,29 @@ fn baseline_full_pipelines() {
     let lb = Layout::block_cyclic(k, n, 3, 4, 4, 5);
     let lc = Layout::one_d_col(m, n, p);
     let mut c_ref = Mat::zeros(m, n);
-    gemm(GemmOp::Trans, GemmOp::NoTrans, 1.0, &a_stored, &b_stored, 0.0, &mut c_ref);
+    gemm(
+        GemmOp::Trans,
+        GemmOp::NoTrans,
+        1.0,
+        &a_stored,
+        &b_stored,
+        0.0,
+        &mut c_ref,
+    );
 
     let cosma = CosmaLike::new(gridopt::Problem::new(m, n, k, p), None);
     let parts = World::run(p, |ctx| {
         let world = Comm::world(ctx);
         let me = world.rank();
         cosma.multiply(
-            ctx, &world,
-            GemmOp::Trans, &la, &la.extract(&a_stored, me),
-            GemmOp::NoTrans, &lb, &lb.extract(&b_stored, me),
+            ctx,
+            &world,
+            GemmOp::Trans,
+            &la,
+            &la.extract(&a_stored, me),
+            GemmOp::NoTrans,
+            &lb,
+            &lb.extract(&b_stored, me),
             &lc,
         )
     });
@@ -308,9 +319,14 @@ fn baseline_full_pipelines() {
         let world = Comm::world(ctx);
         let me = world.rank();
         summa.multiply(
-            ctx, &world,
-            GemmOp::Trans, &la, &la.extract(&a_stored, me),
-            GemmOp::NoTrans, &lb, &lb.extract(&b_stored, me),
+            ctx,
+            &world,
+            GemmOp::Trans,
+            &la,
+            &la.extract(&a_stored, me),
+            GemmOp::NoTrans,
+            &lb,
+            &lb.extract(&b_stored, me),
             &lc,
         )
     });

@@ -200,8 +200,8 @@ fn schedules_serde_round_trip() {
         include_redist: true,
     };
     let sched = ca3dmm_schedule(&prob, &grid, &cfg);
-    let json = serde_json::to_string(&sched).expect("serialize");
-    let back: netmodel::Schedule = serde_json::from_str(&json).expect("deserialize");
+    let json = sched.to_json_string();
+    let back = netmodel::Schedule::from_json_str(&json).expect("deserialize");
     assert_eq!(back.items.len(), sched.items.len());
     assert!((back.sent_bytes() - sched.sent_bytes()).abs() < 1e-9);
 }

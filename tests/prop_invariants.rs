@@ -205,3 +205,34 @@ proptest! {
         prop_assert!(c1.max_abs_diff(&c2) < 1e-11 * (k.max(1) as f64));
     }
 }
+
+/// Pinned regression from `prop_invariants.proptest-regressions` (seed
+/// `1356c634…`): redistributing a 1×1 matrix from a `two_d_block` layout on
+/// a 1×3 grid into a `one_d_col` layout lost the single element, because
+/// the empty-intersection path mishandled ranks whose source rectangle was
+/// empty. The local proptest shim does not replay persistence files, so the
+/// shrunk case is kept alive here verbatim.
+#[test]
+fn redistribution_regression_1x1_p3_2d_to_col() {
+    let (rows, cols, p) = (1usize, 1usize, 3usize);
+    let pr = (1..=p)
+        .rev()
+        .find(|d| p % d == 0 && d * d <= p)
+        .unwrap_or(1);
+    let pc = p / pr;
+    let src = Layout::two_d_block(rows, cols, pr, pc);
+    let dst = Layout::one_d_col(rows, cols, p);
+    let global = global_block::<f64>(5, Rect::new(0, 0, rows, cols));
+    let parts = World::run(p, |ctx| {
+        let comm = Comm::world(ctx);
+        let mine = src.extract(&global, comm.rank());
+        redistribute(&comm, ctx, &src, &mine, &dst, GemmOp::NoTrans)
+    });
+    for (rank, got) in parts.iter().enumerate() {
+        let want = dst.extract(&global, rank);
+        assert_eq!(got.len(), want.len(), "rank {rank} block count");
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.max_abs_diff(w), 0.0, "rank {rank} data");
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! End-to-end tests of the event-tracing subsystem: a real CA3DMM run is
+//! traced, the resulting timeline must agree with the traffic report's
+//! independent phase clock, the Chrome-trace export must be valid JSON with
+//! perfectly matched B/E pairs, and the critical-path and model-diff
+//! reports must be self-consistent.
+
+use ca3dmm::{ca3dmm_schedule, diff_model_vs_measured, Ca3dmm, Ca3dmmOptions, ModelConfig};
+use dense::part::Rect;
+use dense::random::global_block;
+use dense::Mat;
+use gridopt::{Grid, Problem};
+use jsonlite::Json;
+use msgpass::{Comm, RunOptions, RunReport, World};
+use netmodel::eval::evaluate;
+use netmodel::Machine;
+
+/// Runs CA3DMM (native layouts) traced and returns the report.
+fn traced_ca3dmm(m: usize, n: usize, k: usize, p: usize, grid: Grid) -> RunReport {
+    let prob = Problem::new(m, n, k, p);
+    let alg = Ca3dmm::new(
+        prob,
+        &Ca3dmmOptions {
+            grid_override: Some(grid),
+            ..Default::default()
+        },
+    );
+    let gc = alg.grid_context();
+    let (la, lb) = (gc.layout_a(), gc.layout_b());
+    let a_full = global_block::<f64>(1, Rect::new(0, 0, m, k));
+    let b_full = global_block::<f64>(2, Rect::new(0, 0, k, n));
+    let (_, report) = World::run_traced(p, |ctx| {
+        let world = Comm::world(ctx);
+        let me = world.rank();
+        let a = la.extract(&a_full, me).into_iter().next();
+        let b = lb.extract(&b_full, me).into_iter().next();
+        let _: Option<Mat<f64>> = alg.multiply_native(ctx, &world, a, b);
+    });
+    report
+}
+
+/// The timeline's per-phase seconds agree with the traffic report's
+/// independent phase clock on every rank — both derive from the same
+/// `set_phase` timestamps, so the agreement must be tight.
+#[test]
+fn timeline_agrees_with_traffic_phase_clock() {
+    let report = traced_ca3dmm(64, 64, 64, 8, Grid::new(2, 2, 2));
+    assert!(!report.timeline.is_empty());
+    for phase in report.timeline.phases() {
+        for rank in 0..report.timeline.ranks() {
+            let trace_s = report.timeline.phase_secs(rank, &phase);
+            let clock_s = report.traffic.phase_secs(rank, &phase);
+            assert!(
+                (trace_s - clock_s).abs() < 1e-6,
+                "rank {rank} phase {phase}: timeline {trace_s} vs traffic {clock_s}"
+            );
+        }
+    }
+    // and the per-phase sent bytes match the traffic counters exactly
+    for phase in report.timeline.phases() {
+        for rank in 0..report.timeline.ranks() {
+            assert_eq!(
+                report.timeline.phase_sent_bytes(rank, &phase),
+                report.traffic.phase(rank, &phase).bytes,
+                "rank {rank} phase {phase} bytes"
+            );
+        }
+    }
+}
+
+/// The Chrome-trace export parses as JSON and every `B` event has a
+/// matching `E` on the same tid, properly nested (golden structural
+/// checks, not byte-for-byte goldens — timestamps vary run to run).
+#[test]
+fn chrome_export_is_valid_and_balanced() {
+    let p = 8;
+    let report = traced_ca3dmm(48, 48, 96, p, Grid::new(2, 2, 2));
+    let text = report.timeline.to_chrome_json();
+    let json = Json::parse(&text).expect("chrome trace must be valid JSON");
+
+    let events = json
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // per-tid stack walk: B pushes, E pops; ts monotone per tid
+    let mut stacks: std::collections::BTreeMap<i64, Vec<String>> = Default::default();
+    let mut last_ts: std::collections::BTreeMap<i64, f64> = Default::default();
+    let mut names = std::collections::BTreeSet::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        if ph == "M" {
+            continue; // metadata (thread names)
+        }
+        let tid = ev.get("tid").and_then(Json::as_f64).expect("tid") as i64;
+        assert!(tid >= 0 && (tid as usize) < p, "tid {tid} out of range");
+        let ts = ev.get("ts").and_then(Json::as_f64).expect("ts");
+        let prev = last_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+        assert!(ts >= *prev, "timestamps must be non-decreasing per tid");
+        *prev = ts;
+        match ph {
+            "B" => {
+                let name = ev.get("name").and_then(Json::as_str).expect("name");
+                names.insert(name.to_owned());
+                stacks.entry(tid).or_default().push(name.to_owned());
+            }
+            "E" => {
+                assert!(
+                    stacks.entry(tid).or_default().pop().is_some(),
+                    "E without matching B on tid {tid}"
+                );
+            }
+            other => panic!("unexpected event phase {other}"),
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(
+            stack.is_empty(),
+            "unclosed B events on tid {tid}: {stack:?}"
+        );
+    }
+    // the phases and at least one collective appear by name
+    assert!(names.iter().any(|n| n.contains("cannon_shift")));
+    assert!(names.iter().any(|n| n.contains("reduce_c")));
+    // pk = 2 means the reduce phase runs its reduce-scatter collective
+    assert!(names.iter().any(|n| n.contains("reduce_scatter")));
+}
+
+/// The critical-path analyzer names a real phase, its per-phase split sums
+/// sensibly, and comm never exceeds the phase total.
+#[test]
+fn critical_path_report_is_consistent() {
+    let report = traced_ca3dmm(64, 64, 128, 8, Grid::new(2, 2, 2));
+    let crit = report.timeline.critical_path();
+    let bottleneck = crit.bottleneck().expect("nonempty critical path");
+    assert!(report.timeline.phases().contains(&bottleneck.phase));
+    for pc in &crit.phases {
+        assert!(
+            pc.crit_secs > 0.0,
+            "phase {} has zero critical time",
+            pc.phase
+        );
+        assert!(pc.crit_rank < report.timeline.ranks());
+        assert!(
+            pc.comm_secs <= pc.crit_secs + 1e-9,
+            "phase {}: comm {} exceeds total {}",
+            pc.phase,
+            pc.comm_secs,
+            pc.crit_secs
+        );
+        assert!((pc.comm_secs + pc.comp_secs - pc.crit_secs).abs() < 1e-9);
+    }
+    assert!(crit.render().contains("bottleneck"));
+}
+
+/// The model-vs-measured diff covers every runtime phase and produces a
+/// positive measured total; the modeled side prices the same labels.
+#[test]
+fn model_diff_covers_all_phases() {
+    let (m, n, k, p) = (32, 32, 64, 8);
+    let grid = Grid::new(2, 2, 2);
+    let report = traced_ca3dmm(m, n, k, p, grid);
+    let machine = Machine::uniform();
+    let placement = machine.pure_mpi();
+    let cfg = ModelConfig {
+        placement,
+        elem_bytes: 8.0,
+        overlap: true,
+        include_redist: false,
+    };
+    let prob = Problem::new(m, n, k, p);
+    let cost = evaluate(
+        &machine,
+        placement.flops_per_rank,
+        &ca3dmm_schedule(&prob, &grid, &cfg),
+    );
+    let diff = diff_model_vs_measured(&report, &cost);
+    assert!(diff.measured_total_s > 0.0);
+    assert!(diff.modeled_total_s > 0.0);
+    for phase in report.timeline.phases() {
+        let label = ca3dmm::model_phase_label(&phase);
+        assert!(
+            diff.phases.iter().any(|d| d.phase == label),
+            "phase {phase} (label {label}) missing"
+        );
+    }
+}
+
+/// Tracing overhead: an untraced run and a traced run of the same problem
+/// complete and agree on traffic byte counts (tracing must not perturb
+/// what is sent).
+#[test]
+fn tracing_does_not_change_traffic() {
+    let (m, n, k, p) = (48, 48, 48, 8);
+    let grid = Grid::new(2, 2, 2);
+    let traced = traced_ca3dmm(m, n, k, p, grid);
+
+    let prob = Problem::new(m, n, k, p);
+    let alg = Ca3dmm::new(
+        prob,
+        &Ca3dmmOptions {
+            grid_override: Some(grid),
+            ..Default::default()
+        },
+    );
+    let gc = alg.grid_context();
+    let (la, lb) = (gc.layout_a(), gc.layout_b());
+    let a_full = global_block::<f64>(1, Rect::new(0, 0, m, k));
+    let b_full = global_block::<f64>(2, Rect::new(0, 0, k, n));
+    let (_, untraced) = World::run_opts(p, RunOptions::default(), |ctx| {
+        let world = Comm::world(ctx);
+        let me = world.rank();
+        let a = la.extract(&a_full, me).into_iter().next();
+        let b = lb.extract(&b_full, me).into_iter().next();
+        let _: Option<Mat<f64>> = alg.multiply_native(ctx, &world, a, b);
+    });
+    assert!(untraced.timeline.is_empty());
+    assert_eq!(untraced.max_rank_bytes(), traced.max_rank_bytes());
+    assert_eq!(untraced.total_bytes(), traced.total_bytes());
+}
