@@ -1,6 +1,6 @@
 //! Collective-operation throughput of the `msgpass` runtime.
 
-use bench::timing::bench;
+use bench::timing::{bench, BenchReport};
 use msgpass::collectives::{allgather, allreduce, alltoallv, reduce_scatter};
 use msgpass::{Comm, World};
 
@@ -8,31 +8,41 @@ fn main() {
     let p = 8usize;
     let n = 1 << 14; // elements per rank
     println!("collectives at P = {p}, {n} f64 elements per rank");
+    let mut report = BenchReport::new("collectives");
 
-    bench("allgather", || {
+    let s = bench("allgather", || {
         World::run(p, |ctx| {
             let comm = Comm::world(ctx);
             allgather(&comm, ctx, vec![comm.rank() as f64; n])
         });
     });
-    bench("reduce_scatter", || {
+    report.push("allgather", s);
+    let s = bench("reduce_scatter", || {
         World::run(p, |ctx| {
             let comm = Comm::world(ctx);
             let counts = vec![n; p];
             reduce_scatter(&comm, ctx, vec![1.0f64; n * p], &counts)
         });
     });
-    bench("allreduce", || {
+    report.push("reduce_scatter", s);
+    let s = bench("allreduce", || {
         World::run(p, |ctx| {
             let comm = Comm::world(ctx);
             allreduce(&comm, ctx, vec![1.0f64; n])
         });
     });
-    bench("alltoallv", || {
+    report.push("allreduce", s);
+    let s = bench("alltoallv", || {
         World::run(p, |ctx| {
             let comm = Comm::world(ctx);
             let sends: Vec<Vec<f64>> = (0..p).map(|_| vec![0.0f64; n / p]).collect();
             alltoallv(&comm, ctx, sends)
         });
     });
+    report.push("alltoallv", s);
+
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench JSON: {e}"),
+    }
 }

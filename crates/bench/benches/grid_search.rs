@@ -4,11 +4,12 @@
 //! largest scale (P = 3072); compare against the multiply times in
 //! Table II (hundreds of milliseconds to seconds).
 
-use bench::timing::bench;
+use bench::timing::{bench, BenchReport};
 use gridopt::{ca3dmm_grid, cosma_grid, Problem, DEFAULT_UTILIZATION_FLOOR};
 
 fn main() {
     println!("grid_search at P = 3072");
+    let mut report = BenchReport::new("grid_search");
     let shapes = [
         ("square", 50_000usize, 50_000usize, 50_000usize),
         ("large-K", 6_000, 6_000, 1_200_000),
@@ -16,11 +17,19 @@ fn main() {
     ];
     for (name, m, n, k) in shapes {
         let prob = Problem::new(m, n, k, 3072);
-        bench(&format!("ca3dmm/{name}"), || {
+        let label = format!("ca3dmm/{name}");
+        let s = bench(&label, || {
             std::hint::black_box(ca3dmm_grid(&prob, DEFAULT_UTILIZATION_FLOOR));
         });
-        bench(&format!("cosma/{name}"), || {
+        report.push(&label, s);
+        let label = format!("cosma/{name}");
+        let s = bench(&label, || {
             std::hint::black_box(cosma_grid(&prob, DEFAULT_UTILIZATION_FLOOR));
         });
+        report.push(&label, s);
+    }
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench JSON: {e}"),
     }
 }

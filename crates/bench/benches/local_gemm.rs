@@ -1,25 +1,101 @@
-//! Local GEMM kernel throughput (the role MKL plays in the artifact).
+//! Local GEMM kernel throughput (the role MKL plays in the artifact):
+//! the packed register-blocked kernel vs the pre-PR `gemm_unpacked` kernel
+//! vs the naive triple loop, across the paper's Table 1 shape regimes
+//! (square, skinny/flat, k-dominant).
+//!
+//! Entry labels follow `kernel/MxNxK/type/tN` (N = kernel-thread width) so
+//! the JSON written to `BENCH_gemm.json` can be validated mechanically by
+//! `bin/validate_bench_json.rs`. `GEMM_BENCH_SMOKE=1` runs the short CI
+//! variant: 512³ only, packed vs naive vs unpacked.
 
-use bench::timing::bench_throughput;
-use dense::gemm::{gemm, GemmOp};
+use bench::timing::{bench_throughput, BenchReport};
+use dense::gemm::{gemm, gemm_naive, gemm_unpacked, GemmOp};
 use dense::random::random_mat;
-use dense::Mat;
+use dense::{pool, Mat};
+
+type Kernel<T> = fn(GemmOp, GemmOp, T, &Mat<T>, &Mat<T>, T, &mut Mat<T>);
+
+fn run_case<T: dense::Scalar>(
+    report: &mut BenchReport,
+    kernel_name: &str,
+    kernel: Kernel<T>,
+    m: usize,
+    n: usize,
+    k: usize,
+    threads: Option<usize>,
+) {
+    let a = random_mat::<T>(m, k, 1);
+    let b = random_mat::<T>(k, n, 2);
+    let flops = (2 * m * n * k) as f64;
+    pool::set_rank_gemm_threads(threads);
+    let tlabel = threads.map_or("auto".to_owned(), |t| t.to_string());
+    let ty = std::any::type_name::<T>();
+    let label = format!("{kernel_name}/{m}x{n}x{k}/{ty}/t{tlabel}");
+    let mut cm = Mat::<T>::zeros(m, n);
+    let stats = bench_throughput(&label, flops, || {
+        kernel(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            T::ONE,
+            &a,
+            &b,
+            T::ZERO,
+            &mut cm,
+        );
+        std::hint::black_box(&cm);
+    });
+    pool::set_rank_gemm_threads(None);
+    report.push_throughput(&label, stats, flops);
+}
 
 fn main() {
-    println!("local_gemm (f64)");
-    for &(m, n, k) in &[
-        (256usize, 256usize, 256usize),
-        (512, 512, 512),
-        (64, 64, 4096),
-        (2048, 2048, 64),
-    ] {
-        let a = random_mat::<f64>(m, k, 1);
-        let b = random_mat::<f64>(k, n, 2);
-        let flops = (2 * m * n * k) as f64;
-        bench_throughput(&format!("{m}x{n}x{k}"), flops, || {
-            let mut cm = Mat::<f64>::zeros(m, n);
-            gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a, &b, 0.0, &mut cm);
-            std::hint::black_box(&cm);
-        });
+    let smoke = std::env::var("GEMM_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let mut report = BenchReport::new("gemm");
+    println!(
+        "local_gemm: packed kernel vs pre-PR unpacked kernel (pool workers cap = {})",
+        pool::base_gemm_threads()
+    );
+
+    if smoke {
+        // CI anti-regression guard: packed must beat naive by a wide margin
+        // at 512³ (asserted by validate_bench_json, not here).
+        let (m, n, k) = (512usize, 512usize, 512usize);
+        run_case::<f64>(&mut report, "naive", gemm_naive, m, n, k, Some(1));
+        run_case::<f64>(&mut report, "unpacked", gemm_unpacked, m, n, k, Some(1));
+        run_case::<f64>(&mut report, "packed", gemm, m, n, k, Some(1));
+    } else {
+        // Naive is only affordable at small sizes; it anchors the scale.
+        run_case::<f64>(&mut report, "naive", gemm_naive, 256, 256, 256, Some(1));
+
+        // Square regime (single-thread head-to-head, then auto threads).
+        for &s in &[256usize, 512, 1024] {
+            run_case::<f64>(&mut report, "unpacked", gemm_unpacked, s, s, s, Some(1));
+            run_case::<f64>(&mut report, "packed", gemm, s, s, s, Some(1));
+        }
+        run_case::<f64>(&mut report, "packed", gemm, 1024, 1024, 1024, None);
+
+        // Flat / skinny-k regime (2048×2048×64) and k-dominant regime
+        // (64×64×4096): the paper's Table 1 extremes.
+        for &(m, n, k) in &[(2048usize, 2048usize, 64usize), (64, 64, 4096)] {
+            run_case::<f64>(&mut report, "unpacked", gemm_unpacked, m, n, k, Some(1));
+            run_case::<f64>(&mut report, "packed", gemm, m, n, k, Some(1));
+        }
+
+        // f32 instantiation of the same microkernel.
+        run_case::<f32>(
+            &mut report,
+            "unpacked",
+            gemm_unpacked,
+            512,
+            512,
+            512,
+            Some(1),
+        );
+        run_case::<f32>(&mut report, "packed", gemm, 512, 512, 512, Some(1));
+    }
+
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench JSON: {e}"),
     }
 }

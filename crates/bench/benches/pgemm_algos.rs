@@ -3,7 +3,7 @@
 //! Small process counts, native layouts, square and tall-skinny shapes.
 
 use baselines::{C25d, CosmaLike, SummaPgemm};
-use bench::timing::bench;
+use bench::timing::{bench, BenchReport};
 use ca3dmm::{Ca3dmm, Ca3dmmOptions};
 use dense::part::Rect;
 use dense::random::global_block;
@@ -12,6 +12,7 @@ use gridopt::Problem;
 use msgpass::{Comm, World};
 
 fn main() {
+    let mut report = BenchReport::new("pgemm_algos");
     let cases = [
         ("square_256", 256usize, 256usize, 256usize),
         ("largek_64x64x4096", 64, 64, 4096),
@@ -26,7 +27,8 @@ fn main() {
             let ca = Ca3dmm::new(prob, &Ca3dmmOptions::default());
             let gc = ca.grid_context();
             let (la, lb) = (gc.layout_a(), gc.layout_b());
-            bench(&format!("ca3dmm/{name}"), || {
+            let label = format!("ca3dmm/{name}/p{p}");
+            let s = bench(&label, || {
                 World::run(p, |ctx| {
                     let world = Comm::world(ctx);
                     let me = world.rank();
@@ -35,10 +37,12 @@ fn main() {
                     let _: Option<Mat<f64>> = ca.multiply_native(ctx, &world, a, b);
                 });
             });
+            report.push(&label, s);
 
             let cosma = CosmaLike::new(prob, None);
             let (la, lb) = (cosma.layout_a(), cosma.layout_b());
-            bench(&format!("cosma/{name}"), || {
+            let label = format!("cosma/{name}/p{p}");
+            let s = bench(&label, || {
                 World::run(p, |ctx| {
                     let world = Comm::world(ctx);
                     let me = world.rank();
@@ -47,10 +51,12 @@ fn main() {
                     let _: Option<Mat<f64>> = cosma.multiply_native(ctx, &world, a, b);
                 });
             });
+            report.push(&label, s);
 
             let summa = SummaPgemm::new(prob, None);
             let (la, lb) = (summa.layout_a(), summa.layout_b());
-            bench(&format!("summa/{name}"), || {
+            let label = format!("summa/{name}/p{p}");
+            let s = bench(&label, || {
                 World::run(p, |ctx| {
                     let world = Comm::world(ctx);
                     let me = world.rank();
@@ -59,10 +65,12 @@ fn main() {
                     let _: Option<Mat<f64>> = summa.multiply_native(ctx, &world, a, b);
                 });
             });
+            report.push(&label, s);
 
             let c25d = C25d::new(prob, None);
             let (la, lb) = (c25d.layout_a(), c25d.layout_b());
-            bench(&format!("c25d/{name}"), || {
+            let label = format!("c25d/{name}/p{p}");
+            let s = bench(&label, || {
                 World::run(p, |ctx| {
                     let world = Comm::world(ctx);
                     let me = world.rank();
@@ -71,7 +79,12 @@ fn main() {
                     let _: Option<Mat<f64>> = c25d.multiply_native(ctx, &world, a, b);
                 });
             });
+            report.push(&label, s);
         }
         println!();
+    }
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench JSON: {e}"),
     }
 }

@@ -2,7 +2,7 @@
 //! the subject of Fig. 3's "custom layout" series and the paper's §V open
 //! problem.
 
-use bench::timing::bench;
+use bench::timing::{bench, BenchReport};
 use dense::gemm::GemmOp;
 use dense::random::random_mat;
 use layout::{redistribute, Layout};
@@ -12,6 +12,7 @@ fn main() {
     let p = 8usize;
     let (rows, cols) = (1024usize, 1024usize);
     println!("redistribute at P = {p}, {rows}x{cols} f64");
+    let mut report = BenchReport::new("redistribute");
     let global = random_mat::<f64>(rows, cols, 7);
 
     let cases: Vec<(&str, Layout, Layout)> = vec![
@@ -32,22 +33,29 @@ fn main() {
         ),
     ];
     for (name, src, dst) in cases {
-        bench(name, || {
+        let s = bench(name, || {
             World::run(p, |ctx| {
                 let comm = Comm::world(ctx);
                 let mine = src.extract(&global, comm.rank());
                 redistribute(&comm, ctx, &src, &mine, &dst, GemmOp::NoTrans)
             });
         });
+        report.push(name, s);
     }
     // transpose fold
     let src = Layout::one_d_col(rows, cols, p);
     let dst = Layout::one_d_col(cols, rows, p);
-    bench("col_to_col_transposed", || {
+    let s = bench("col_to_col_transposed", || {
         World::run(p, |ctx| {
             let comm = Comm::world(ctx);
             let mine = src.extract(&global, comm.rank());
             redistribute(&comm, ctx, &src, &mine, &dst, GemmOp::Trans)
         });
     });
+    report.push("col_to_col_transposed", s);
+
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench JSON: {e}"),
+    }
 }

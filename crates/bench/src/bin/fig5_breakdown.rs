@@ -35,6 +35,15 @@ fn traced_run(path: &str, ranks: usize, size: usize) {
     let (la, lb) = (gc.layout_a(), gc.layout_b());
     let a_full = global_block::<f64>(1, Rect::new(0, 0, size, size));
     let b_full = global_block::<f64>(2, Rect::new(0, 0, size, size));
+    // World::run sets this same cap on every rank thread, so the traced
+    // comm/compute split reflects non-oversubscribed compute: ranks *
+    // threads-per-rank never exceeds the host's kernel-thread budget.
+    println!(
+        "kernel threads: {} per rank x {} ranks (budget {})",
+        dense::pool::rank_threads_for(ranks),
+        ranks,
+        dense::pool::base_gemm_threads()
+    );
     let (_, report) = World::run_traced(ranks, |ctx| {
         let world = Comm::world(ctx);
         let me = world.rank();

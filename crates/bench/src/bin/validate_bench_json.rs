@@ -1,0 +1,115 @@
+//! CI guard over `BENCH_*.json` files.
+//!
+//! Usage:
+//!
+//! ```text
+//! validate_bench_json <path> [<baseline-label> <subject-label> <min-ratio>]
+//! ```
+//!
+//! Always checks that the file parses as the shared [`BenchReport`] shape
+//! (`bench` / `samples` / `entries[]` with `label` + timing fields). With
+//! the optional triple, additionally asserts that the subject entry's
+//! `gflops` is at least `min-ratio` times the baseline entry's — the
+//! `gemm-bench-smoke` job uses this as a coarse anti-regression guard
+//! (packed kernel ≥ 5× naive at 512³), deliberately a ratio rather than a
+//! flaky absolute threshold.
+//!
+//! [`BenchReport`]: bench::timing::BenchReport
+
+use jsonlite::Json;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("validate_bench_json: {msg}");
+    ExitCode::FAILURE
+}
+
+fn entry_field(entries: &[Json], label: &str, field: &str) -> Result<f64, String> {
+    let entry = entries
+        .iter()
+        .find(|e| e.get("label").and_then(Json::as_str) == Some(label))
+        .ok_or_else(|| format!("no entry labelled {label:?}"))?;
+    entry
+        .get(field)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("entry {label:?} has no numeric {field:?} field"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (path, ratio_check) =
+        match args.as_slice() {
+            [path] => (path.clone(), None),
+            [path, base, subject, min_ratio] => {
+                let Ok(min_ratio) = min_ratio.parse::<f64>() else {
+                    return fail(&format!("min-ratio {min_ratio:?} is not a number"));
+                };
+                (
+                    path.clone(),
+                    Some((base.clone(), subject.clone(), min_ratio)),
+                )
+            }
+            _ => return fail(
+                "usage: validate_bench_json <path> [<baseline-label> <subject-label> <min-ratio>]",
+            ),
+        };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let json = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => return fail(&format!("{path} is not valid JSON: {e}")),
+    };
+
+    let Some(bench_name) = json.get("bench").and_then(Json::as_str) else {
+        return fail(&format!("{path}: missing string field \"bench\""));
+    };
+    if json.get("samples").and_then(Json::as_f64).is_none() {
+        return fail(&format!("{path}: missing numeric field \"samples\""));
+    }
+    let Some(Json::Arr(entries)) = json.get("entries") else {
+        return fail(&format!("{path}: missing array field \"entries\""));
+    };
+    if entries.is_empty() {
+        return fail(&format!("{path}: \"entries\" is empty"));
+    }
+    for (i, e) in entries.iter().enumerate() {
+        if e.get("label").and_then(Json::as_str).is_none() {
+            return fail(&format!("{path}: entry {i} has no string \"label\""));
+        }
+        for field in ["min_s", "median_s", "p95_s", "mean_s"] {
+            if e.get(field).and_then(Json::as_f64).is_none() {
+                return fail(&format!("{path}: entry {i} has no numeric {field:?}"));
+            }
+        }
+    }
+    println!(
+        "{path}: bench {bench_name:?}, {} entries, shape OK",
+        entries.len()
+    );
+
+    if let Some((base, subject, min_ratio)) = ratio_check {
+        let base_g = match entry_field(entries, &base, "gflops") {
+            Ok(v) => v,
+            Err(e) => return fail(&format!("{path}: {e}")),
+        };
+        let subj_g = match entry_field(entries, &subject, "gflops") {
+            Ok(v) => v,
+            Err(e) => return fail(&format!("{path}: {e}")),
+        };
+        let ratio = subj_g / base_g;
+        println!(
+            "{subject} = {subj_g:.2} Gop/s, {base} = {base_g:.2} Gop/s, ratio {ratio:.2}x (need >= {min_ratio}x)"
+        );
+        // `>= is false` rather than `< is true`: a NaN ratio must fail.
+        if matches!(
+            ratio.partial_cmp(&min_ratio),
+            None | Some(std::cmp::Ordering::Less)
+        ) {
+            return fail(&format!("ratio {ratio:.2}x below required {min_ratio}x"));
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -2,10 +2,17 @@
 //!
 //! The workspace builds fully offline, so the benches use this
 //! dependency-free sampler instead of criterion: warm up once, take N wall
-//! timed samples, report min / median / mean. `BENCH_SAMPLES` overrides the
-//! sample count (set it to 3 in CI smoke runs; statistical quality is not
-//! the point there).
+//! timed samples (N ≥ 5 by default), report min / median / p95 / mean.
+//! `BENCH_SAMPLES` overrides the sample count (set it to 3 in CI smoke
+//! runs; statistical quality is not the point there).
+//!
+//! Every bench binary also records its results into a [`BenchReport`] and
+//! writes them as `BENCH_<name>.json` — one shared shape (see
+//! [`BenchReport::to_json`]) so `BENCH_gemm.json` and future baselines can
+//! be diffed mechanically (`bin/validate_bench_json.rs` consumes it in CI).
 
+use jsonlite::Json;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Default number of timed samples per benchmark.
@@ -27,6 +34,9 @@ pub struct Stats {
     pub min_s: f64,
     /// Median sample.
     pub median_s: f64,
+    /// 95th-percentile sample (nearest-rank; the slowest sample when fewer
+    /// than 20 samples were taken).
+    pub p95_s: f64,
     /// Arithmetic mean.
     pub mean_s: f64,
 }
@@ -43,9 +53,12 @@ pub fn time<F: FnMut()>(mut f: F) -> Stats {
         })
         .collect();
     secs.sort_by(f64::total_cmp);
+    // Nearest-rank percentile: ceil(0.95 n) - 1.
+    let p95_idx = ((0.95 * n as f64).ceil() as usize).clamp(1, n) - 1;
     Stats {
         min_s: secs[0],
         median_s: secs[n / 2],
+        p95_s: secs[p95_idx],
         mean_s: secs.iter().sum::<f64>() / n as f64,
     }
 }
@@ -54,9 +67,10 @@ pub fn time<F: FnMut()>(mut f: F) -> Stats {
 pub fn bench<F: FnMut()>(label: &str, f: F) -> Stats {
     let s = time(f);
     println!(
-        "{label:<40} min {:>12} med {:>12} mean {:>12}",
+        "{label:<40} min {:>12} med {:>12} p95 {:>12} mean {:>12}",
         fmt_secs(s.min_s),
         fmt_secs(s.median_s),
+        fmt_secs(s.p95_s),
         fmt_secs(s.mean_s)
     );
     s
@@ -67,9 +81,10 @@ pub fn bench<F: FnMut()>(label: &str, f: F) -> Stats {
 pub fn bench_throughput<F: FnMut()>(label: &str, work: f64, f: F) -> Stats {
     let s = time(f);
     println!(
-        "{label:<40} min {:>12} med {:>12} {:>14}",
+        "{label:<40} min {:>12} med {:>12} p95 {:>12} {:>14}",
         fmt_secs(s.min_s),
         fmt_secs(s.median_s),
+        fmt_secs(s.p95_s),
         format!("{:.2} Gop/s", work / s.median_s / 1e9)
     );
     s
@@ -87,6 +102,104 @@ fn fmt_secs(s: f64) -> String {
     }
 }
 
+/// Accumulates one bench binary's results and serializes them in the
+/// workspace-wide `BENCH_*.json` shape:
+///
+/// ```json
+/// {
+///   "bench": "gemm",
+///   "samples": 10,
+///   "entries": [
+///     {"label": "packed/512x512x512/f64/t1",
+///      "min_s": ..., "median_s": ..., "p95_s": ..., "mean_s": ...,
+///      "gflops": ...}
+///   ]
+/// }
+/// ```
+///
+/// `gflops` is present only for throughput entries (work / median). Labels
+/// are free-form but the GEMM bench uses `kernel/MxNxK/type/tN` so the CI
+/// validator can address entries positionally.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    name: String,
+    entries: Vec<(String, Stats, Option<f64>)>,
+}
+
+impl BenchReport {
+    /// An empty report for the bench binary `name`.
+    pub fn new(name: &str) -> Self {
+        BenchReport {
+            name: name.to_owned(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records a timed entry.
+    pub fn push(&mut self, label: &str, stats: Stats) {
+        self.entries.push((label.to_owned(), stats, None));
+    }
+
+    /// Records a throughput entry (`work` in flops/ops; stored as Gop/s of
+    /// the median sample).
+    pub fn push_throughput(&mut self, label: &str, stats: Stats, work: f64) {
+        let gflops = work / stats.median_s / 1e9;
+        self.entries.push((label.to_owned(), stats, Some(gflops)));
+    }
+
+    /// The shared JSON shape (see the type docs).
+    pub fn to_json(&self) -> Json {
+        let entries: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|(label, s, gflops)| {
+                let mut pairs = vec![
+                    ("label", Json::Str(label.clone())),
+                    ("min_s", Json::Num(s.min_s)),
+                    ("median_s", Json::Num(s.median_s)),
+                    ("p95_s", Json::Num(s.p95_s)),
+                    ("mean_s", Json::Num(s.mean_s)),
+                ];
+                if let Some(g) = gflops {
+                    pairs.push(("gflops", Json::Num(*g)));
+                }
+                Json::obj(pairs)
+            })
+            .collect();
+        Json::obj([
+            ("bench", Json::Str(self.name.clone())),
+            ("samples", Json::Num(samples() as f64)),
+            ("entries", Json::Arr(entries)),
+        ])
+    }
+
+    /// Where [`write`](Self::write) puts the file: `BENCH_<name>.json`
+    /// under `$BENCH_JSON_DIR`, else `results/` when that directory exists
+    /// (i.e. when run from the repository root), else the current
+    /// directory.
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var("BENCH_JSON_DIR").map_or_else(
+            |_| {
+                let results = PathBuf::from("results");
+                if results.is_dir() {
+                    results
+                } else {
+                    PathBuf::from(".")
+                }
+            },
+            PathBuf::from,
+        );
+        dir.join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Writes the report (pretty JSON) and returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.path();
+        std::fs::write(&path, self.to_json().to_string_pretty())?;
+        Ok(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +210,7 @@ mod tests {
             std::hint::black_box((0..1000).sum::<u64>());
         });
         assert!(s.min_s <= s.median_s);
+        assert!(s.median_s <= s.p95_s);
         assert!(s.min_s > 0.0);
     }
 
@@ -106,5 +220,33 @@ mod tests {
         assert!(fmt_secs(2e-5).ends_with("us"));
         assert!(fmt_secs(2e-2).ends_with("ms"));
         assert!(fmt_secs(2.0).ends_with('s'));
+    }
+
+    #[test]
+    fn report_round_trips_through_jsonlite() {
+        let mut rep = BenchReport::new("unit");
+        let s = Stats {
+            min_s: 1.0,
+            median_s: 2.0,
+            p95_s: 3.0,
+            mean_s: 2.5,
+        };
+        rep.push("plain", s);
+        rep.push_throughput("tput", s, 4e9);
+        let text = rep.to_json().to_string_pretty();
+        let parsed = Json::parse(&text).expect("report must be valid JSON");
+        let Json::Obj(top) = &parsed else {
+            panic!("top level must be an object")
+        };
+        assert_eq!(top.get("bench"), Some(&Json::Str("unit".into())));
+        let Some(Json::Arr(entries)) = top.get("entries") else {
+            panic!("entries must be an array")
+        };
+        assert_eq!(entries.len(), 2);
+        let Json::Obj(tput) = &entries[1] else {
+            panic!("entry must be an object")
+        };
+        assert_eq!(tput.get("gflops"), Some(&Json::Num(2.0)));
+        assert_eq!(tput.get("p95_s"), Some(&Json::Num(3.0)));
     }
 }

@@ -2,24 +2,46 @@
 //!
 //! Plays the role of the OpenMP-parallel BLAS library in the paper's
 //! artifact (§III-F: "Local (shared-memory) matrix multiplications are
-//! handled by an OpenMP-parallelized BLAS library"). The implementation is a
-//! straightforward blocked kernel:
+//! handled by an OpenMP-parallelized BLAS library"). The implementation is
+//! the classic packed-panel design:
 //!
-//! * the `i–l–j` loop order streams both `C` and `B` rows through cache for
-//!   row-major storage;
-//! * `l`/`j` tiling keeps the working set of the inner kernel resident in L1/L2;
-//! * row-blocks of `C` are distributed over scoped OS threads (each thread
-//!   owns a disjoint slice of `C`, so the kernel is data-race free by
-//!   construction);
-//! * transposed operands are materialized once up front (the classic "pack"
-//!   step) rather than strided through.
+//! * [`pack`](crate::pack) copies `alpha·op(A)` into `MR`-row panels and
+//!   `op(B)` into `NR`-column panels — transposes are absorbed during the
+//!   copy (no full transpose is materialized) and ragged edges are
+//!   zero-padded so the hot loop never branches;
+//! * a register-blocked `MR×NR` [`microkernel`] accumulates over the whole
+//!   inner dimension with fixed-trip loops the compiler unrolls and
+//!   vectorizes, touching `(MR+NR)` loads per `MR·NR` multiply-adds instead
+//!   of the 3 loads/stores per multiply-add of a saxpy-style update;
+//! * row-panel chunks of `C` are distributed over the persistent
+//!   [`pool`](crate::pool) worker threads (no per-call thread spawn); each
+//!   chunk's product is computed into a private buffer and merged into `C`
+//!   by the calling thread, so the kernel is data-race free safe Rust;
+//! * the parallel width honours [`pool::gemm_threads`] — process-wide
+//!   `set_gemm_threads()` / `DENSE_GEMM_THREADS`, divided per rank by
+//!   `msgpass::World::run` so P ranks do not oversubscribe the host.
 //!
-//! This will not beat MKL, and does not need to: every algorithm in the
-//! workspace pays the same local-GEMM price, and the paper's comparisons are
-//! about communication.
+//! Every `C` element is accumulated in the same order regardless of the
+//! thread width, so results are bitwise identical for any thread count
+//! (pinned by a test).
 
 use crate::mat::Mat;
+use crate::pack::{self, MR, NR};
+use crate::pool;
 use crate::scalar::Scalar;
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+std::thread_local! {
+    /// Reused packing buffers for the serial path (type-erased because
+    /// `gemm` is generic): repeated single-thread GEMM calls skip the
+    /// `(m+n)·k`-element allocation and its page faults. The parallel path
+    /// cannot reuse them — its packed panels move into the `Arc`-shared
+    /// job.
+    static PACK_SCRATCH: RefCell<Option<Box<dyn Any>>> = const { RefCell::new(None) };
+}
 
 /// Whether an operand is used as-is or transposed (the `op()` of
 /// `C = op(A) × op(B)` in the paper, eq. after (8)).
@@ -50,17 +72,173 @@ impl GemmOp {
     }
 }
 
-/// Number of `l` (inner dimension) steps per cache tile.
-const TILE_L: usize = 128;
-/// Number of `j` (C columns) per cache tile.
-const TILE_J: usize = 256;
-/// Rows of `C` handled per parallel task.
-const ROW_BLOCK: usize = 32;
+/// A-panel strips per parallel chunk (`CHUNK_STRIPS * MR` C rows each).
+const CHUNK_STRIPS: usize = 8;
 
-/// `C = alpha * op(A) * op(B) + beta * C`, blocked and thread-parallel.
+/// Everything a worker needs to compute chunks of one GEMM call. `Arc`-held
+/// so the type-erased pool jobs are `'static` without borrowing the
+/// caller's stack.
+struct GemmJob<T: Scalar> {
+    pa: Vec<T>,
+    pb: Vec<T>,
+    m: usize,
+    n: usize,
+    k: usize,
+    nchunks: usize,
+    /// Shared chunk counter: the submitting thread and the pool workers
+    /// claim chunks from the same sequence, so progress never depends on a
+    /// worker being available.
+    next: AtomicUsize,
+}
+
+/// The `MR×NR` register block: accumulates
+/// `acc[i][j] += apanel[l][i] * bpanel[l][j]` over the full packed depth.
+/// Panels are `l`-major (see [`pack`](crate::pack)), so both loads are
+/// contiguous and every loop has a fixed trip count.
+#[inline]
+fn microkernel<T: Scalar>(apanel: &[T], bpanel: &[T], acc: &mut [[T; NR]; MR]) {
+    for (al, bl) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
+        let al: &[T; MR] = al.try_into().expect("A panel is MR-aligned");
+        let bl: &[T; NR] = bl.try_into().expect("B panel is NR-aligned");
+        for i in 0..MR {
+            let ai = al[i];
+            for j in 0..NR {
+                acc[i][j] += ai * bl[j];
+            }
+        }
+    }
+}
+
+/// Computes the product block for `chunk` (rows `chunk*CHUNK_STRIPS*MR ..`)
+/// into `out` (`rows_here × n`, fully overwritten). This is
+/// `alpha·op(A)·op(B)` only — `beta·C` is applied at merge time so the
+/// floating-point order per element is independent of who computed the
+/// chunk.
+fn compute_chunk<T: Scalar>(
+    pa: &[T],
+    pb: &[T],
+    m: usize,
+    n: usize,
+    k: usize,
+    chunk: usize,
+    out: &mut Vec<T>,
+) {
+    let a_strips = m.div_ceil(MR);
+    let s0 = chunk * CHUNK_STRIPS;
+    let s1 = (s0 + CHUNK_STRIPS).min(a_strips);
+    let r0 = s0 * MR;
+    let rows = (s1 * MR).min(m) - r0;
+    out.clear();
+    out.resize(rows * n, T::ZERO);
+    let b_strips = n.div_ceil(NR);
+    // B strip outer / A strip inner: the chunk's A panels stay cache-hot
+    // across the whole sweep while each B strip is streamed exactly once
+    // per chunk.
+    for t in 0..b_strips {
+        let bpanel = &pb[t * k * NR..(t + 1) * k * NR];
+        let j0 = t * NR;
+        let cols = NR.min(n - j0);
+        for s in s0..s1 {
+            let apanel = &pa[s * k * MR..(s + 1) * k * MR];
+            let mut acc = [[T::ZERO; NR]; MR];
+            microkernel(apanel, bpanel, &mut acc);
+            // Clipped store: the zero-padded panels make the kernel
+            // edge-free; partial blocks are trimmed only here.
+            let ri = s * MR - r0;
+            let rows_here = MR.min(rows - ri);
+            for (i, acc_row) in acc.iter().enumerate().take(rows_here) {
+                let dst = &mut out[(ri + i) * n + j0..(ri + i) * n + j0 + cols];
+                dst.copy_from_slice(&acc_row[..cols]);
+            }
+        }
+    }
+}
+
+/// Single-thread variant of [`compute_chunk`] + [`merge_chunk`]: stores
+/// each accumulator block straight into `C` (`beta·C + acc`), skipping the
+/// intermediate product buffer. Per element this performs the exact same
+/// operations in the exact same order as the buffered path, so serial and
+/// parallel results stay bitwise identical.
+fn compute_chunk_direct<T: Scalar>(
+    pa: &[T],
+    pb: &[T],
+    n: usize,
+    k: usize,
+    chunk: usize,
+    beta: T,
+    c: &mut Mat<T>,
+) {
+    let m = c.rows();
+    let a_strips = m.div_ceil(MR);
+    let s0 = chunk * CHUNK_STRIPS;
+    let s1 = (s0 + CHUNK_STRIPS).min(a_strips);
+    let b_strips = n.div_ceil(NR);
+    let cm = c.as_mut_slice();
+    for t in 0..b_strips {
+        let bpanel = &pb[t * k * NR..(t + 1) * k * NR];
+        let j0 = t * NR;
+        let cols = NR.min(n - j0);
+        for s in s0..s1 {
+            let apanel = &pa[s * k * MR..(s + 1) * k * MR];
+            let mut acc = [[T::ZERO; NR]; MR];
+            microkernel(apanel, bpanel, &mut acc);
+            let r0 = s * MR;
+            let rows_here = MR.min(m - r0);
+            for (i, acc_row) in acc.iter().enumerate().take(rows_here) {
+                let dst = &mut cm[(r0 + i) * n + j0..(r0 + i) * n + j0 + cols];
+                if beta == T::ZERO {
+                    dst.copy_from_slice(&acc_row[..cols]);
+                } else if beta == T::ONE {
+                    for (d, s) in dst.iter_mut().zip(acc_row) {
+                        *d += *s;
+                    }
+                } else {
+                    for (d, s) in dst.iter_mut().zip(acc_row) {
+                        *d = beta * *d + *s;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds one computed chunk into `C`: `c_rows = beta * c_rows + product`.
+fn merge_chunk<T: Scalar>(c: &mut Mat<T>, n: usize, beta: T, chunk: usize, buf: &[T]) {
+    let r0 = chunk * CHUNK_STRIPS * MR;
+    let dst = &mut c.as_mut_slice()[r0 * n..r0 * n + buf.len()];
+    if beta == T::ZERO {
+        dst.copy_from_slice(buf);
+    } else if beta == T::ONE {
+        for (d, s) in dst.iter_mut().zip(buf) {
+            *d += *s;
+        }
+    } else {
+        for (d, s) in dst.iter_mut().zip(buf) {
+            *d = beta * *d + *s;
+        }
+    }
+}
+
+fn scale_in_place<T: Scalar>(c: &mut Mat<T>, beta: T) {
+    if beta == T::ONE {
+        return;
+    }
+    if beta == T::ZERO {
+        c.as_mut_slice().fill(T::ZERO);
+    } else {
+        for v in c.as_mut_slice() {
+            *v *= beta;
+        }
+    }
+}
+
+/// `C = alpha * op(A) * op(B) + beta * C`, packed, register-blocked, and
+/// parallel over the persistent [`pool`](crate::pool).
 ///
 /// Shapes after applying the ops must agree:
 /// `op(A): m×k`, `op(B): k×n`, `C: m×n`.
+///
+/// Results are bitwise identical for any kernel-thread width.
 ///
 /// # Panics
 /// On any shape mismatch.
@@ -73,8 +251,125 @@ pub fn gemm<T: Scalar>(
     beta: T,
     c: &mut Mat<T>,
 ) {
-    // Materialize transposes once; the kernel below then only ever sees
-    // row-major NoTrans operands.
+    let (m, k) = op_a.apply_shape(a.rows(), a.cols());
+    let (kb, n) = op_b.apply_shape(b.rows(), b.cols());
+    assert_eq!(
+        k, kb,
+        "inner dimensions disagree: op(A) is {m}x{k}, op(B) is {kb}x{n}"
+    );
+    assert_eq!(c.shape(), (m, n), "C is {:?}, expected {m}x{n}", c.shape());
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == T::ZERO {
+        scale_in_place(c, beta);
+        return;
+    }
+
+    let a_strips = m.div_ceil(MR);
+    let nchunks = a_strips.div_ceil(CHUNK_STRIPS);
+    let width = pool::gemm_threads().min(nchunks).max(1);
+
+    if width == 1 {
+        PACK_SCRATCH.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            if slot
+                .as_mut()
+                .and_then(|b| b.downcast_mut::<(Vec<T>, Vec<T>)>())
+                .is_none()
+            {
+                *slot = Some(Box::new((Vec::<T>::new(), Vec::<T>::new())));
+            }
+            let (pa, pb) = slot
+                .as_mut()
+                .and_then(|b| b.downcast_mut::<(Vec<T>, Vec<T>)>())
+                .expect("scratch was just installed for this scalar type");
+            pack::pack_a_into(op_a, alpha, a, m, k, pa);
+            pack::pack_b_into(op_b, b, k, n, pb);
+            for chunk in 0..nchunks {
+                compute_chunk_direct(pa, pb, n, k, chunk, beta, c);
+            }
+        });
+        return;
+    }
+
+    let pa = pack::pack_a(op_a, alpha, a, m, k);
+    let pb = pack::pack_b(op_b, b, k, n);
+
+    let job = Arc::new(GemmJob {
+        pa,
+        pb,
+        m,
+        n,
+        k,
+        nchunks,
+        next: AtomicUsize::new(0),
+    });
+    let (tx, rx) = mpsc::channel::<(usize, Vec<T>)>();
+    let tasks = (0..width - 1)
+        .map(|_| {
+            let job = Arc::clone(&job);
+            let tx = tx.clone();
+            Box::new(move || {
+                loop {
+                    let chunk = job.next.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= job.nchunks {
+                        break;
+                    }
+                    let mut buf = Vec::new();
+                    compute_chunk(&job.pa, &job.pb, job.m, job.n, job.k, chunk, &mut buf);
+                    // The receiver disappears only when the caller already
+                    // merged every chunk (or panicked); stop quietly.
+                    if tx.send((chunk, buf)).is_err() {
+                        break;
+                    }
+                }
+            }) as pool::Job
+        })
+        .collect();
+    drop(tx);
+    pool::submit(tasks);
+
+    // The caller claims chunks from the same counter (so it always makes
+    // progress), merging its own results directly and workers' results as
+    // they arrive.
+    let mut merged = 0;
+    let mut scratch = Vec::new();
+    loop {
+        let chunk = job.next.fetch_add(1, Ordering::Relaxed);
+        if chunk >= nchunks {
+            break;
+        }
+        compute_chunk(&job.pa, &job.pb, m, n, k, chunk, &mut scratch);
+        merge_chunk(c, n, beta, chunk, &scratch);
+        merged += 1;
+    }
+    while merged < nchunks {
+        let (chunk, buf) = rx
+            .recv()
+            .expect("a dense-gemm pool worker died mid-multiply");
+        merge_chunk(c, n, beta, chunk, &buf);
+        merged += 1;
+    }
+}
+
+/// The pre-packing kernel this repository shipped before the packed
+/// rewrite, kept (single-threaded) as the honest before/after baseline for
+/// `benches/local_gemm.rs`: transposes materialized up front, an `i–l–j`
+/// saxpy-style update with `l`/`j` cache tiling, and the
+/// vectorization-hostile `aval == 0` branch.
+pub fn gemm_unpacked<T: Scalar>(
+    op_a: GemmOp,
+    op_b: GemmOp,
+    alpha: T,
+    a: &Mat<T>,
+    b: &Mat<T>,
+    beta: T,
+    c: &mut Mat<T>,
+) {
+    const TILE_L: usize = 128;
+    const TILE_J: usize = 256;
+
     let at;
     let a_eff: &Mat<T> = match op_a {
         GemmOp::NoTrans => a,
@@ -105,74 +400,37 @@ pub fn gemm<T: Scalar>(
 
     let a_data = a_eff.as_slice();
     let b_data = b_eff.as_slice();
-
-    // The blocked kernel for one ROW_BLOCK slab of C starting at row i0.
-    let kernel = |i0: usize, c_rows: &mut [T]| {
-        let rows_here = c_rows.len() / n;
-        // beta scaling first
-        if beta != T::ONE {
-            if beta == T::ZERO {
-                c_rows.fill(T::ZERO);
-            } else {
-                for v in c_rows.iter_mut() {
-                    *v *= beta;
-                }
+    let c_rows = c.as_mut_slice();
+    if beta != T::ONE {
+        if beta == T::ZERO {
+            c_rows.fill(T::ZERO);
+        } else {
+            for v in c_rows.iter_mut() {
+                *v *= beta;
             }
         }
-        if k == 0 || alpha == T::ZERO {
-            return;
-        }
-        for l0 in (0..k).step_by(TILE_L) {
-            let lmax = (l0 + TILE_L).min(k);
-            for j0 in (0..n).step_by(TILE_J) {
-                let jmax = (j0 + TILE_J).min(n);
-                for di in 0..rows_here {
-                    let i = i0 + di;
-                    let c_row = &mut c_rows[di * n + j0..di * n + jmax];
-                    for l in l0..lmax {
-                        let aval = alpha * a_data[i * k + l];
-                        if aval == T::ZERO {
-                            continue;
-                        }
-                        let b_row = &b_data[l * n + j0..l * n + jmax];
-                        for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                            *cv += aval * *bv;
-                        }
+    }
+    if k == 0 || alpha == T::ZERO {
+        return;
+    }
+    for l0 in (0..k).step_by(TILE_L) {
+        let lmax = (l0 + TILE_L).min(k);
+        for j0 in (0..n).step_by(TILE_J) {
+            let jmax = (j0 + TILE_J).min(n);
+            for i in 0..m {
+                let c_row = &mut c_rows[i * n + j0..i * n + jmax];
+                for l in l0..lmax {
+                    let aval = alpha * a_data[i * k + l];
+                    if aval == T::ZERO {
+                        continue;
+                    }
+                    let b_row = &b_data[l * n + j0..l * n + jmax];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aval * *bv;
                     }
                 }
             }
         }
-    };
-
-    // Distribute ROW_BLOCK slabs over scoped threads: each worker owns a
-    // disjoint contiguous stripe of C rows.
-    let blocks = m.div_ceil(ROW_BLOCK);
-    let workers = std::thread::available_parallelism()
-        .map_or(1, |w| w.get())
-        .min(blocks);
-    if workers <= 1 {
-        for (blk, c_rows) in c.as_mut_slice().chunks_mut(ROW_BLOCK * n).enumerate() {
-            kernel(blk * ROW_BLOCK, c_rows);
-        }
-    } else {
-        let blocks_per_worker = blocks.div_ceil(workers);
-        std::thread::scope(|s| {
-            let kernel = &kernel;
-            let mut rest = c.as_mut_slice();
-            let mut row0 = 0;
-            while !rest.is_empty() {
-                let rows_here = (blocks_per_worker * ROW_BLOCK).min(rest.len() / n);
-                let (stripe, tail) = rest.split_at_mut(rows_here * n);
-                rest = tail;
-                let base = row0;
-                s.spawn(move || {
-                    for (blk, c_rows) in stripe.chunks_mut(ROW_BLOCK * n).enumerate() {
-                        kernel(base + blk * ROW_BLOCK, c_rows);
-                    }
-                });
-                row0 += rows_here;
-            }
-        });
     }
 }
 
@@ -239,13 +497,19 @@ mod tests {
         fill_random(&mut b, 2);
         fill_random(&mut c, 3);
         let mut c_ref = c.clone();
+        let mut c_old = c.clone();
 
         gemm(op_a, op_b, alpha, &a, &b, beta, &mut c);
         gemm_naive(op_a, op_b, alpha, &a, &b, beta, &mut c_ref);
+        gemm_unpacked(op_a, op_b, alpha, &a, &b, beta, &mut c_old);
         let tol = 1e-12 * (k.max(1) as f64);
         assert!(
             c.max_abs_diff(&c_ref) < tol,
-            "mismatch m={m} n={n} k={k} {op_a:?} {op_b:?}"
+            "packed vs naive mismatch m={m} n={n} k={k} {op_a:?} {op_b:?}"
+        );
+        assert!(
+            c_old.max_abs_diff(&c_ref) < tol,
+            "unpacked vs naive mismatch m={m} n={n} k={k} {op_a:?} {op_b:?}"
         );
     }
 
@@ -274,10 +538,18 @@ mod tests {
     }
 
     #[test]
-    fn sizes_crossing_tile_boundaries() {
+    fn sizes_crossing_block_boundaries() {
+        // Around the MR/NR register blocks and the CHUNK_STRIPS*MR chunk.
         check_against_naive(65, 300, 200, GemmOp::NoTrans, GemmOp::NoTrans, 1.0, 0.0);
         check_against_naive(1, 1, 513, GemmOp::NoTrans, GemmOp::NoTrans, 1.0, 0.0);
         check_against_naive(513, 1, 1, GemmOp::NoTrans, GemmOp::NoTrans, 1.0, 0.0);
+        for d in [MR - 1, MR, MR + 1, NR - 1, NR, NR + 1] {
+            check_against_naive(d, d, d, GemmOp::NoTrans, GemmOp::NoTrans, 1.0, 0.0);
+        }
+        let chunk_rows = CHUNK_STRIPS * MR;
+        for m in [chunk_rows - 1, chunk_rows, chunk_rows + 1, 2 * chunk_rows] {
+            check_against_naive(m, 7, 9, GemmOp::Trans, GemmOp::NoTrans, 1.0, 1.0);
+        }
     }
 
     #[test]
@@ -330,5 +602,25 @@ mod tests {
         assert_eq!(GemmOp::Trans.apply_shape(2, 3), (3, 2));
         assert_eq!(GemmOp::from_flag(0), GemmOp::NoTrans);
         assert_eq!(GemmOp::from_flag(1), GemmOp::Trans);
+    }
+
+    #[test]
+    fn forced_parallel_width_matches_serial() {
+        // Pin a width wider than the host so the pool path really runs,
+        // then check bitwise equality against width 1.
+        let mut a = Mat::<f64>::zeros(130, 70);
+        let mut b = Mat::<f64>::zeros(70, 90);
+        let mut c1 = Mat::<f64>::zeros(130, 90);
+        fill_random(&mut a, 11);
+        fill_random(&mut b, 12);
+        fill_random(&mut c1, 13);
+        let mut c4 = c1.clone();
+
+        crate::pool::set_rank_gemm_threads(Some(1));
+        gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.5, &a, &b, 0.5, &mut c1);
+        crate::pool::set_rank_gemm_threads(Some(4));
+        gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.5, &a, &b, 0.5, &mut c4);
+        crate::pool::set_rank_gemm_threads(None);
+        assert_eq!(c1.as_slice(), c4.as_slice(), "thread width changed bits");
     }
 }

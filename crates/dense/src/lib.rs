@@ -6,9 +6,16 @@
 //!
 //! * [`Mat`] — an owned, row-major dense matrix over any [`Scalar`]
 //!   (`f32`/`f64`), with block read/write views;
-//! * [`gemm`](mod@gemm) — a blocked, cache-tiled, rayon-parallel local matrix
-//!   multiplication `C += alpha * op(A) * op(B)`, plus a naive reference
-//!   kernel used to validate it;
+//! * [`gemm`](mod@gemm) — a packed, register-blocked local matrix
+//!   multiplication `C = alpha * op(A) * op(B) + beta * C` parallelized over
+//!   the persistent [`pool`] worker threads, plus a naive reference kernel
+//!   used to validate it and the frozen pre-packing kernel
+//!   ([`gemm::gemm_unpacked`]) used as the before/after benchmark baseline;
+//! * [`pack`] — operand packing into microkernel panels (where transposes
+//!   and `alpha` are absorbed);
+//! * [`pool`] — the lazy global worker pool and the kernel-thread knobs
+//!   (`DENSE_GEMM_THREADS`, [`pool::set_gemm_threads`], and the per-rank cap
+//!   `msgpass::World::run` applies via [`pool::set_rank_gemm_threads`]);
 //! * [`part`] — block-partition arithmetic: [`part::split_even`] (the
 //!   paper's ⌈d/p⌉ / ⌊d/p⌋ partitioning), [`part::Rect`] rectangle algebra
 //!   used by the redistribution subroutine;
@@ -22,12 +29,15 @@
 pub mod gemm;
 pub mod linalg;
 pub mod mat;
+pub mod pack;
 pub mod part;
+pub mod pool;
 pub mod random;
 pub mod scalar;
 pub mod testing;
 
-pub use gemm::{gemm, gemm_naive, GemmOp};
+pub use gemm::{gemm, gemm_naive, gemm_unpacked, GemmOp};
 pub use mat::Mat;
 pub use part::{split_even, Rect};
+pub use pool::{gemm_threads, set_gemm_threads};
 pub use scalar::Scalar;

@@ -1,0 +1,232 @@
+//! Operand packing for the register-blocked GEMM kernel.
+//!
+//! The classic packed-panel design (Goto & van de Geijn; BLIS): before the
+//! arithmetic starts, `op(A)` is copied into *row panels* of [`MR`]
+//! consecutive rows and `op(B)` into *column panels* of [`NR`] consecutive
+//! columns, both laid out so the microkernel's inner loop walks each panel
+//! with stride 1. Packing is where all the irregularity is absorbed:
+//!
+//! * `Trans` operands are handled by index arithmetic during the copy, so
+//!   the kernel never sees a strided operand and no full transpose is ever
+//!   materialized;
+//! * `alpha` is folded into the A panels (one multiply per element of `A`
+//!   instead of one per inner-loop iteration);
+//! * ragged edges are zero-padded up to the next `MR`/`NR` boundary, so the
+//!   microkernel always runs fixed-trip loops — the scalar tail handling
+//!   moves to the *store* of the accumulator block, not the hot loop.
+//!
+//! Panel layouts (`k` is the inner dimension):
+//!
+//! * packed A: strip `s` holds rows `s*MR .. s*MR+MR` of `op(A)`, stored
+//!   `l`-major — element `(i, l)` of the strip at `(s*k + l)*MR + i`;
+//! * packed B: strip `t` holds columns `t*NR .. t*NR+NR` of `op(B)`, stored
+//!   `l`-major — element `(l, j)` of the strip at `(t*k + l)*NR + j`.
+//!
+//! Both loads in the microkernel are therefore contiguous `MR`- and
+//! `NR`-wide runs advancing together down `l`.
+
+use crate::gemm::GemmOp;
+use crate::mat::Mat;
+use crate::scalar::Scalar;
+
+/// Rows per A panel strip (microkernel register-block height).
+pub const MR: usize = 4;
+/// Columns per B panel strip (microkernel register-block width).
+///
+/// `4×16` keeps the f64 accumulator block at eight 512-bit registers (or
+/// sixteen 256-bit ones) — the widest shape that stays fully enregistered
+/// on x86-64; anything larger spills and collapses throughput.
+pub const NR: usize = 16;
+
+/// Packs `alpha * op(A)` (`m × k` after the op) into MR-row panels.
+///
+/// The returned buffer has `m.div_ceil(MR) * MR * k` elements; rows beyond
+/// `m` are zero.
+pub fn pack_a<T: Scalar>(op: GemmOp, alpha: T, a: &Mat<T>, m: usize, k: usize) -> Vec<T> {
+    // `vec![ZERO; n]` hits the zeroed-page allocation fast path; the
+    // `_into` variant's resize would write the zeros explicitly.
+    let mut buf = vec![T::ZERO; m.div_ceil(MR) * k * MR];
+    pack_a_into(op, alpha, a, m, k, &mut buf);
+    buf
+}
+
+/// [`pack_a`] into a caller-provided buffer (cleared and resized), so
+/// repeated calls can reuse one allocation.
+pub fn pack_a_into<T: Scalar>(
+    op: GemmOp,
+    alpha: T,
+    a: &Mat<T>,
+    m: usize,
+    k: usize,
+    buf: &mut Vec<T>,
+) {
+    let strips = m.div_ceil(MR);
+    let size = strips * k * MR;
+    if buf.len() == size {
+        // Reused buffer: the fill loops below write every element except
+        // the ragged tail strip's padding rows, so only that panel needs
+        // clearing.
+        if !m.is_multiple_of(MR) {
+            buf[(strips - 1) * k * MR..].fill(T::ZERO);
+        }
+    } else {
+        buf.clear();
+        buf.resize(size, T::ZERO);
+    }
+    let src = a.as_slice();
+    for s in 0..strips {
+        let i0 = s * MR;
+        let rows_here = MR.min(m - i0);
+        let panel = &mut buf[s * k * MR..(s + 1) * k * MR];
+        match op {
+            // op(A)[i][l] = a[i][l]: gather MR rows, interleaving them l-major.
+            GemmOp::NoTrans => {
+                for di in 0..rows_here {
+                    let row = &src[(i0 + di) * k..(i0 + di) * k + k];
+                    for (l, &v) in row.iter().enumerate() {
+                        panel[l * MR + di] = alpha * v;
+                    }
+                }
+            }
+            // op(A)[i][l] = a[l][i] (a stored k × m): each source row l
+            // already holds the MR destination values contiguously.
+            GemmOp::Trans => {
+                for l in 0..k {
+                    let run = &src[l * m + i0..l * m + i0 + rows_here];
+                    for (di, &v) in run.iter().enumerate() {
+                        panel[l * MR + di] = alpha * v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs `op(B)` (`k × n` after the op) into NR-column panels.
+///
+/// The returned buffer has `n.div_ceil(NR) * NR * k` elements; columns
+/// beyond `n` are zero.
+pub fn pack_b<T: Scalar>(op: GemmOp, b: &Mat<T>, k: usize, n: usize) -> Vec<T> {
+    let mut buf = vec![T::ZERO; n.div_ceil(NR) * k * NR];
+    pack_b_into(op, b, k, n, &mut buf);
+    buf
+}
+
+/// [`pack_b`] into a caller-provided buffer (cleared and resized), so
+/// repeated calls can reuse one allocation.
+pub fn pack_b_into<T: Scalar>(op: GemmOp, b: &Mat<T>, k: usize, n: usize, buf: &mut Vec<T>) {
+    let strips = n.div_ceil(NR);
+    let size = strips * k * NR;
+    if buf.len() == size {
+        if !n.is_multiple_of(NR) {
+            buf[(strips - 1) * k * NR..].fill(T::ZERO);
+        }
+    } else {
+        buf.clear();
+        buf.resize(size, T::ZERO);
+    }
+    let src = b.as_slice();
+    for t in 0..strips {
+        let j0 = t * NR;
+        let cols_here = NR.min(n - j0);
+        let panel = &mut buf[t * k * NR..(t + 1) * k * NR];
+        match op {
+            // op(B)[l][j] = b[l][j]: each source row l holds the NR
+            // destination values contiguously.
+            GemmOp::NoTrans => {
+                for l in 0..k {
+                    let run = &src[l * n + j0..l * n + j0 + cols_here];
+                    panel[l * NR..l * NR + cols_here].copy_from_slice(run);
+                }
+            }
+            // op(B)[l][j] = b[j][l] (b stored n × k): gather NR rows,
+            // interleaving them l-major.
+            GemmOp::Trans => {
+                for dj in 0..cols_here {
+                    let row = &src[(j0 + dj) * k..(j0 + dj) * k + k];
+                    for (l, &v) in row.iter().enumerate() {
+                        panel[l * NR + dj] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op_a_ref(op: GemmOp, a: &Mat<f64>, i: usize, l: usize) -> f64 {
+        match op {
+            GemmOp::NoTrans => a.get(i, l),
+            GemmOp::Trans => a.get(l, i),
+        }
+    }
+
+    #[test]
+    fn pack_a_layout_and_padding() {
+        let (m, k) = (MR + 1, 3); // one full strip + a 1-row tail strip
+        for op in [GemmOp::NoTrans, GemmOp::Trans] {
+            let a = match op {
+                GemmOp::NoTrans => Mat::from_fn(m, k, |i, j| (i * 10 + j) as f64),
+                GemmOp::Trans => Mat::from_fn(k, m, |i, j| (j * 10 + i) as f64),
+            };
+            let buf = pack_a(op, 1.0, &a, m, k);
+            assert_eq!(buf.len(), 2 * k * MR);
+            for s in 0..2 {
+                for l in 0..k {
+                    for di in 0..MR {
+                        let want = if s * MR + di < m {
+                            op_a_ref(op, &a, s * MR + di, l)
+                        } else {
+                            0.0
+                        };
+                        assert_eq!(
+                            buf[(s * k + l) * MR + di],
+                            want,
+                            "{op:?} s={s} l={l} i={di}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_a_folds_alpha() {
+        let a = Mat::from_fn(2, 2, |i, j| (i * 2 + j + 1) as f64);
+        let buf = pack_a(GemmOp::NoTrans, 3.0, &a, 2, 2);
+        assert_eq!(buf[0], 3.0); // (0,0) * alpha
+        assert_eq!(buf[MR], 6.0); // (0,1) * alpha at l=1
+    }
+
+    #[test]
+    fn pack_b_layout_and_padding() {
+        let (k, n) = (3usize, NR + 2); // one full strip + a 2-col tail strip
+        for op in [GemmOp::NoTrans, GemmOp::Trans] {
+            let b = match op {
+                GemmOp::NoTrans => Mat::from_fn(k, n, |i, j| (i * 100 + j) as f64),
+                GemmOp::Trans => Mat::from_fn(n, k, |i, j| (j * 100 + i) as f64),
+            };
+            let buf = pack_b(op, &b, k, n);
+            assert_eq!(buf.len(), 2 * k * NR);
+            for t in 0..2 {
+                for l in 0..k {
+                    for dj in 0..NR {
+                        let want = if t * NR + dj < n {
+                            (l * 100 + t * NR + dj) as f64
+                        } else {
+                            0.0
+                        };
+                        assert_eq!(
+                            buf[(t * k + l) * NR + dj],
+                            want,
+                            "{op:?} t={t} l={l} j={dj}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Persistent worker pool for the local GEMM kernel.
+//!
+//! The pre-packed GEMM spawned fresh OS threads with `std::thread::scope`
+//! on *every call* and sized itself to `available_parallelism()` — so a
+//! 16-rank `msgpass` run oversubscribed the host 16×. This module replaces
+//! that with:
+//!
+//! * a lazy global pool of parked worker threads (`dense-gemm-N`), spawned
+//!   once and reused by every GEMM call in the process;
+//! * a *thread cap* resolved per calling thread:
+//!   `set_gemm_threads()` (process-wide) > `DENSE_GEMM_THREADS` (env) >
+//!   `available_parallelism()`, further overridden per rank thread by
+//!   [`set_rank_gemm_threads`] — which `msgpass::World::run` sets to
+//!   `base / world_size` so P concurrent ranks never ask for more kernel
+//!   threads than the machine has cores.
+//!
+//! Work distribution is a chunked queue: a parallel region shares one
+//! atomic chunk counter between the submitting thread and the workers, so
+//! the submitter always makes progress even when every worker is busy (or
+//! when the pool is empty on a 1-core host) — there is no hand-off that
+//! can deadlock. Jobs are type-erased `FnOnce` closures over `Arc`-owned
+//! state, which keeps the whole pool safe Rust: workers never borrow the
+//! caller's stack.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+/// Worker threads spawned so far (they are never torn down).
+static WORKERS: AtomicUsize = AtomicUsize::new(0);
+/// Process-wide cap from [`set_gemm_threads`]; 0 = unset.
+static GLOBAL_CAP: AtomicUsize = AtomicUsize::new(0);
+
+std::thread_local! {
+    /// Per-thread cap from [`set_rank_gemm_threads`]; 0 = unset.
+    static RANK_CAP: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+fn shared() -> &'static Arc<Shared> {
+    static SHARED: OnceLock<Arc<Shared>> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        })
+    })
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // A panicking job must not kill the (permanent) worker; the
+        // submitter observes the failure through its closed result channel.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+/// Ensures at least `want` workers exist (capped at a sanity bound).
+fn ensure_workers(want: usize) {
+    const MAX_WORKERS: usize = 256;
+    let want = want.min(MAX_WORKERS);
+    loop {
+        let have = WORKERS.load(Ordering::Acquire);
+        if have >= want {
+            return;
+        }
+        if WORKERS
+            .compare_exchange(have, have + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            continue;
+        }
+        let sh = Arc::clone(shared());
+        let spawned = std::thread::Builder::new()
+            .name(format!("dense-gemm-{have}"))
+            .spawn(move || worker_loop(sh))
+            .is_ok();
+        if !spawned {
+            // Could not spawn (resource limits): stop asking for more.
+            WORKERS.store(have, Ordering::Release);
+            return;
+        }
+    }
+}
+
+/// Enqueues `jobs` for the pool, growing it up to `jobs.len()` workers.
+pub(crate) fn submit(jobs: Vec<Job>) {
+    if jobs.is_empty() {
+        return;
+    }
+    ensure_workers(jobs.len());
+    let sh = shared();
+    let mut queue = sh.queue.lock().unwrap_or_else(|e| e.into_inner());
+    let n = jobs.len();
+    queue.extend(jobs);
+    drop(queue);
+    if n == 1 {
+        sh.available.notify_one();
+    } else {
+        sh.available.notify_all();
+    }
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn env_cap() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("DENSE_GEMM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(0)
+    })
+}
+
+/// The process-wide kernel-thread budget *before* any per-rank override:
+/// `set_gemm_threads()` if called, else `DENSE_GEMM_THREADS`, else
+/// `available_parallelism()`.
+pub fn base_gemm_threads() -> usize {
+    let explicit = GLOBAL_CAP.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    let env = env_cap();
+    if env > 0 {
+        return env;
+    }
+    hardware_threads()
+}
+
+/// Caps the number of kernel threads any single GEMM call may use,
+/// process-wide. Overrides `DENSE_GEMM_THREADS`.
+pub fn set_gemm_threads(n: usize) {
+    GLOBAL_CAP.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Sets (or with `None` clears) the kernel-thread cap for GEMM calls made
+/// *from the current thread*. This is the per-rank knob: `msgpass`'s
+/// `World::run` sets it on every rank thread to
+/// `base_gemm_threads() / world_size` (min 1), so the ranks together never
+/// request more kernel threads than the base budget. A set rank cap takes
+/// precedence over the process-wide value — tests use that to pin exact
+/// widths.
+pub fn set_rank_gemm_threads(n: Option<usize>) {
+    RANK_CAP.with(|c| c.set(n.map_or(0, |n| n.max(1))));
+}
+
+/// The per-rank kernel-thread cap `World::run` should apply for a world of
+/// `world_size` ranks: an even split of the base budget, min 1.
+pub fn rank_threads_for(world_size: usize) -> usize {
+    (base_gemm_threads() / world_size.max(1)).max(1)
+}
+
+/// The effective kernel-thread width for a GEMM call on this thread.
+pub fn gemm_threads() -> usize {
+    let rank = RANK_CAP.with(|c| c.get());
+    if rank > 0 {
+        rank
+    } else {
+        base_gemm_threads()
+    }
+}
+
+/// Number of pool worker threads currently alive (excludes submitters).
+pub fn pool_workers() -> usize {
+    WORKERS.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn caps_resolve_in_precedence_order() {
+        // Thread-local cap wins; clearing it falls back to the base value.
+        set_rank_gemm_threads(Some(3));
+        assert_eq!(gemm_threads(), 3);
+        set_rank_gemm_threads(None);
+        assert!(gemm_threads() >= 1);
+    }
+
+    #[test]
+    fn submitted_jobs_run() {
+        let (tx, rx) = mpsc::channel();
+        let jobs: Vec<Job> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                Box::new(move || {
+                    tx.send(i).unwrap();
+                }) as Job
+            })
+            .collect();
+        submit(jobs);
+        let mut got: Vec<i32> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert!(pool_workers() >= 1);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_workers() {
+        submit(vec![Box::new(|| panic!("job panic")) as Job]);
+        // The pool must still process subsequent jobs.
+        let (tx, rx) = mpsc::channel();
+        submit(vec![Box::new(move || {
+            tx.send(42u8).unwrap();
+        }) as Job]);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
+            42
+        );
+    }
+}

@@ -68,14 +68,27 @@ pub fn bcast<P: Payload + Clone>(comm: &Comm, ctx: &RankCtx, root: usize, mine: 
     }
     let value = value.expect("broadcast value must have arrived");
     mask >>= 1;
+    // Child ranks in send order (largest subtree first, as in MPICH).
+    let mut children = Vec::new();
     while mask > 0 {
         if vr & mask == 0 && vr + mask < g {
-            let dst = (vr + mask + root) % g;
-            comm.send_internal(ctx, dst, tag, value.clone());
+            children.push((vr + mask + root) % g);
         }
         mask >>= 1;
     }
-    value
+    // The final child send consumes the owned buffer instead of cloning it:
+    // a non-leaf rank makes exactly one payload copy per child (counting the
+    // copy it keeps to return), which is the minimum possible. Leaves copy
+    // nothing.
+    let Some((&last, rest)) = children.split_last() else {
+        return value;
+    };
+    let keep = value.clone();
+    for &dst in rest {
+        comm.send_internal(ctx, dst, tag, value.clone());
+    }
+    comm.send_internal(ctx, last, tag, value);
+    keep
 }
 
 /// Large-message broadcast: scatter + ring allgather (the van de Geijn
@@ -126,7 +139,7 @@ pub fn bcast_large<T: Copy + Send + 'static>(
         .collect();
     // Scatter segments from the root.
     let my_seg: Vec<T> = if me == root {
-        let data = mine.unwrap();
+        let mut data = mine.unwrap();
         assert_eq!(data.len(), len, "root data length disagrees with len");
         for r in 0..g {
             if r != root {
@@ -138,7 +151,12 @@ pub fn bcast_large<T: Copy + Send + 'static>(
                 );
             }
         }
-        data[offsets[root]..offsets[root] + counts[root]].to_vec()
+        // The root's own segment is carved out of the owned buffer in place
+        // (truncate the tail, drain the prefix) instead of copied into a
+        // fresh allocation.
+        data.truncate(offsets[root] + counts[root]);
+        data.drain(..offsets[root]);
+        data
     } else {
         comm.recv_internal(ctx, root, tag)
     };

@@ -28,12 +28,21 @@ pub struct RunOptions {
     /// hook is a single branch on a `bool`, so untraced runs pay no
     /// measurable overhead.
     pub trace: bool,
+    /// Kernel threads each rank may use for local GEMM calls. Defaults to
+    /// `dense::pool::rank_threads_for(p)` — the process-wide budget split
+    /// evenly across the `p` ranks (min 1) — so running 16 ranks on a
+    /// 16-core host gives every rank one kernel thread instead of 16 ranks
+    /// × 16 threads of oversubscription.
+    pub kernel_threads_per_rank: Option<usize>,
 }
 
 impl RunOptions {
     /// Options with event tracing enabled.
     pub fn traced() -> RunOptions {
-        RunOptions { trace: true }
+        RunOptions {
+            trace: true,
+            ..RunOptions::default()
+        }
     }
 }
 
@@ -201,6 +210,9 @@ impl World {
         // One epoch for the whole world so per-rank timestamps are mutually
         // comparable in the merged timeline.
         let epoch = Instant::now();
+        let kernel_threads = opts
+            .kernel_threads_per_rank
+            .map_or_else(|| dense::pool::rank_threads_for(p), |n| n.max(1));
 
         let (results, streams): (Vec<R>, Vec<Vec<RawEvent>>) = std::thread::scope(|s| {
             let handles: Vec<_> = receivers
@@ -210,6 +222,11 @@ impl World {
                     let fabric = Arc::clone(&fabric);
                     let f = &f;
                     s.spawn(move || {
+                        // Cap this rank's local-GEMM parallelism so the
+                        // world's ranks together stay within the host's
+                        // kernel-thread budget (the cap is thread-local and
+                        // this thread is fresh, so it cannot leak).
+                        dense::pool::set_rank_gemm_threads(Some(kernel_threads));
                         let ctx = RankCtx {
                             world_rank: rank,
                             world_size: p,
@@ -291,6 +308,23 @@ mod tests {
     #[should_panic(expected = "world size must be positive")]
     fn zero_world_rejected() {
         World::run(0, |_| ());
+    }
+
+    #[test]
+    fn ranks_get_an_even_kernel_thread_split() {
+        // Default: the per-rank GEMM width is base/p (min 1), so p ranks
+        // never ask for more kernel threads than the process budget.
+        let widths = World::run(4, |_| dense::pool::gemm_threads());
+        let expect = dense::pool::rank_threads_for(4);
+        assert!(widths.iter().all(|&w| w == expect), "widths {widths:?}");
+
+        // Explicit override wins.
+        let opts = RunOptions {
+            kernel_threads_per_rank: Some(2),
+            ..RunOptions::default()
+        };
+        let (widths, _) = World::run_opts(3, opts, |_| dense::pool::gemm_threads());
+        assert_eq!(widths, vec![2, 2, 2]);
     }
 
     #[test]
