@@ -1,0 +1,223 @@
+//! `ca3dmm-report`: reads the versioned `RunReport` JSON artifacts that the
+//! fig/bench binaries write (`--report-out`) and turns them into something a
+//! human — or CI — can act on.
+//!
+//! ```text
+//! ca3dmm-report show    <report.json>
+//! ca3dmm-report diff    <a.json> <b.json> [--threshold PCT] [--fail]
+//! ca3dmm-report netdiff <report.json>
+//! ca3dmm-report gate    <reference.json> <subject.json> [--time-ratio R]
+//! ```
+//!
+//! * `show` validates the artifact (schema + internal consistency: matrix
+//!   row/column sums and histogram totals must reconcile with the per-phase
+//!   table) and renders the text dashboard.
+//! * `diff` compares two *measured* runs phase by phase; `--threshold`
+//!   (default 10%) marks phases whose bytes or slowest-rank seconds moved
+//!   more than that, and `--fail` turns any marked phase into a nonzero
+//!   exit.
+//! * `netdiff` compares a measured run against the §III-D analytic model:
+//!   the problem and grid are reconstructed from the report's own `meta`
+//!   block, priced on [`Machine::uniform`] with the same `ModelConfig` the
+//!   traced fig5 run uses, and joined per phase. Times are structural only
+//!   (thread simulation vs cluster model); byte volumes should agree.
+//! * `gate` is the CI regression gate: deterministic traffic (bytes, msgs,
+//!   matrix cells, histogram buckets) must match the reference **exactly**;
+//!   times are checked only as a ratio when `--time-ratio` is given.
+
+use ca3dmm::{ca3dmm_schedule, diff_doc_vs_model, ModelConfig};
+use gridopt::{Grid, Problem};
+use jsonlite::Json;
+use msgpass::report::{diff_reports, gate, render_gate_failures};
+use msgpass::{GatePolicy, RunReportDoc};
+use netmodel::eval::evaluate;
+use netmodel::Machine;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("ca3dmm-report: {msg}");
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> Result<RunReportDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // `parse` re-checks every structural invariant, including the
+    // matrix-vs-phase-table and histogram-vs-phase-table reconciliations.
+    RunReportDoc::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Rebuilds the modeled schedule from a report's `meta` block
+/// (`Ca3dmm::report_meta` wrote m/n/k/p and the executed grid).
+fn meta_problem(doc: &RunReportDoc) -> Result<(Problem, Grid), String> {
+    let dim = |f: &str| -> Result<usize, String> {
+        doc.meta
+            .get(f)
+            .and_then(Json::as_f64)
+            .filter(|v| *v >= 1.0 && v.fract() == 0.0)
+            .map(|v| v as usize)
+            .ok_or_else(|| format!("meta.{f} missing or not a positive integer"))
+    };
+    let (m, n, k, p) = (dim("m")?, dim("n")?, dim("k")?, dim("p")?);
+    let grid = doc
+        .meta
+        .get("grid")
+        .ok_or_else(|| "meta.grid missing".to_owned())?;
+    let gdim = |f: &str| -> Result<usize, String> {
+        grid.get(f)
+            .and_then(Json::as_f64)
+            .filter(|v| *v >= 1.0 && v.fract() == 0.0)
+            .map(|v| v as usize)
+            .ok_or_else(|| format!("meta.grid.{f} missing or not a positive integer"))
+    };
+    Ok((
+        Problem::new(m, n, k, p),
+        Grid::new(gdim("pm")?, gdim("pn")?, gdim("pk")?),
+    ))
+}
+
+fn cmd_show(path: &str) -> ExitCode {
+    match load(path) {
+        Ok(doc) => {
+            print!("{}", doc.render_dashboard());
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+fn cmd_diff(a_path: &str, b_path: &str, threshold_pct: f64, fail_over: bool) -> ExitCode {
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    println!(
+        "A = {} ({})\nB = {} ({})\n",
+        a_path,
+        a.name().unwrap_or("unnamed"),
+        b_path,
+        b.name().unwrap_or("unnamed")
+    );
+    let diff = diff_reports(&a, &b, threshold_pct);
+    print!("{}", diff.render());
+    if fail_over && !diff.exceeded().is_empty() {
+        return fail("phases moved beyond the threshold (--fail)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_netdiff(path: &str) -> ExitCode {
+    let doc = match load(path) {
+        Ok(d) => d,
+        Err(e) => return fail(&e),
+    };
+    let (prob, grid) = match meta_problem(&doc) {
+        Ok(v) => v,
+        Err(e) => {
+            return fail(&format!(
+                "{path}: cannot reconstruct the run from meta ({e}); \
+                 netdiff needs a report written with Ca3dmm::report_meta"
+            ))
+        }
+    };
+    if doc.ranks != prob.p {
+        return fail(&format!(
+            "{path}: report has {} ranks but meta says p = {}",
+            doc.ranks, prob.p
+        ));
+    }
+    // Same model configuration as the traced fig5 run that wrote the
+    // artifact: a uniform machine, pure-MPI placement, f64 payloads,
+    // dual-buffered Cannon, no redistribution (the traced run feeds the
+    // native layouts directly).
+    let machine = Machine::uniform();
+    let placement = machine.pure_mpi();
+    let cfg = ModelConfig {
+        placement,
+        elem_bytes: 8.0,
+        overlap: true,
+        include_redist: false,
+    };
+    let cost = evaluate(
+        &machine,
+        placement.flops_per_rank,
+        &ca3dmm_schedule(&prob, &grid, &cfg),
+    );
+    println!(
+        "{} — {}×{}×{} on {} ranks (grid {}×{}×{}) vs analytic model",
+        doc.name().unwrap_or(path),
+        prob.m,
+        prob.n,
+        prob.k,
+        prob.p,
+        grid.pm,
+        grid.pn,
+        grid.pk
+    );
+    println!("(times are structural only; byte volumes should agree)\n");
+    let diff = diff_doc_vs_model(&doc, &cost);
+    print!("{}", diff.render());
+    ExitCode::SUCCESS
+}
+
+fn cmd_gate(ref_path: &str, subj_path: &str, time_ratio: Option<f64>) -> ExitCode {
+    let (reference, subject) = match (load(ref_path), load(subj_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    let policy = GatePolicy {
+        max_time_ratio: time_ratio,
+        ..Default::default()
+    };
+    match gate(&reference, &subject, &policy) {
+        Ok(()) => {
+            println!(
+                "gate OK: {subj_path} matches {ref_path} (traffic exact{})",
+                match time_ratio {
+                    Some(r) => format!(", times within {r}x"),
+                    None => ", times ignored".to_owned(),
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(errs) => {
+            eprint!("{}", render_gate_failures(&errs));
+            fail(&format!("{} violation(s)", errs.len()))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: ca3dmm-report show <report.json>\n\
+                 \x20      ca3dmm-report diff <a.json> <b.json> [--threshold PCT] [--fail]\n\
+                 \x20      ca3dmm-report netdiff <report.json>\n\
+                 \x20      ca3dmm-report gate <reference.json> <subject.json> [--time-ratio R]";
+    match args.split_first() {
+        Some((cmd, rest)) => match (cmd.as_str(), rest) {
+            ("show", [path]) => cmd_show(path),
+            ("diff", [a, b, opts @ ..]) => {
+                let (mut threshold, mut fail_over) = (10.0, false);
+                let mut it = opts.iter();
+                while let Some(opt) = it.next() {
+                    match opt.as_str() {
+                        "--threshold" => match it.next().map(|v| v.parse::<f64>()) {
+                            Some(Ok(v)) => threshold = v,
+                            _ => return fail("--threshold requires a numeric value"),
+                        },
+                        "--fail" => fail_over = true,
+                        other => return fail(&format!("unknown diff option {other}")),
+                    }
+                }
+                cmd_diff(a, b, threshold, fail_over)
+            }
+            ("netdiff", [path]) => cmd_netdiff(path),
+            ("gate", [a, b]) => cmd_gate(a, b, None),
+            ("gate", [a, b, flag, r]) if flag == "--time-ratio" => match r.parse::<f64>() {
+                Ok(r) => cmd_gate(a, b, Some(r)),
+                Err(_) => fail("--time-ratio requires a numeric value"),
+            },
+            _ => fail(usage),
+        },
+        None => fail(usage),
+    }
+}

@@ -15,6 +15,10 @@
 //! PATH, and prints the critical-path breakdown plus the model-vs-measured
 //! phase diff. `--trace-ranks N` (default 16) and `--trace-size S`
 //! (default 256, meaning an S×S×S problem) size the traced run.
+//! `--report-out PATH` writes the run's versioned `RunReport` JSON artifact
+//! (communication matrix, size histograms, wait attribution) to PATH —
+//! the input format of the `ca3dmm-report` dashboard and CI gate; it
+//! implies a traced run even without `--trace-out`.
 
 use bench::{predict_with_grid, Algo, RunConfig};
 use ca3dmm::{ca3dmm_schedule, diff_model_vs_measured, Ca3dmm, Ca3dmmOptions, ModelConfig};
@@ -26,8 +30,9 @@ use msgpass::{Comm, World};
 use netmodel::eval::evaluate;
 use netmodel::Machine;
 
-/// Runs a real traced CA3DMM multiply and writes the Chrome trace.
-fn traced_run(path: &str, ranks: usize, size: usize) {
+/// Runs a real traced CA3DMM multiply; writes the Chrome trace and/or the
+/// RunReport artifact.
+fn traced_run(path: Option<&str>, report_out: Option<&str>, ranks: usize, size: usize) {
     let prob = Problem::new(size, size, size, ranks);
     let alg = Ca3dmm::new(prob, &Ca3dmmOptions::default());
     let gc = alg.grid_context();
@@ -52,10 +57,8 @@ fn traced_run(path: &str, ranks: usize, size: usize) {
         let _: Option<Mat<f64>> = alg.multiply_native(ctx, &world, a, b);
     });
 
-    let json = report.timeline.to_chrome_json();
-    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!(
-        "traced {}x{}x{} on {} ranks (grid {}x{}x{}): {} spans -> {}",
+        "traced {}x{}x{} on {} ranks (grid {}x{}x{}): {} spans",
         size,
         size,
         size,
@@ -64,8 +67,18 @@ fn traced_run(path: &str, ranks: usize, size: usize) {
         grid.pn,
         grid.pk,
         report.timeline.span_count(),
-        path
     );
+    if let Some(path) = path {
+        let json = report.timeline.to_chrome_json();
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("chrome trace -> {path}");
+    }
+    if let Some(path) = report_out {
+        let meta = alg.report_meta(&format!("fig5_breakdown_s{size}_p{ranks}"));
+        let json = report.to_json(meta).to_string_pretty();
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("run report -> {path}");
+    }
 
     println!(
         "\ncritical path:\n{}",
@@ -93,7 +106,8 @@ fn traced_run(path: &str, ranks: usize, size: usize) {
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let (mut trace_out, mut trace_ranks, mut trace_size) = (None::<String>, 16usize, 256usize);
+    let (mut trace_out, mut report_out, mut trace_ranks, mut trace_size) =
+        (None::<String>, None::<String>, 16usize, 256usize);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
@@ -101,13 +115,19 @@ fn main() {
         };
         match arg.as_str() {
             "--trace-out" => trace_out = Some(value("--trace-out")),
+            "--report-out" => report_out = Some(value("--report-out")),
             "--trace-ranks" => trace_ranks = value("--trace-ranks").parse().expect("rank count"),
             "--trace-size" => trace_size = value("--trace-size").parse().expect("problem size"),
             other => panic!("unknown argument: {other}"),
         }
     }
-    if let Some(path) = trace_out {
-        traced_run(&path, trace_ranks, trace_size);
+    if trace_out.is_some() || report_out.is_some() {
+        traced_run(
+            trace_out.as_deref(),
+            report_out.as_deref(),
+            trace_ranks,
+            trace_size,
+        );
         return;
     }
 

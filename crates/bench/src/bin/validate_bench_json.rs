@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! validate_bench_json <path> [<baseline-label> <subject-label> <min-ratio>]
+//! validate_bench_json --run-report <path>
 //! ```
 //!
 //! Always checks that the file parses as the shared [`BenchReport`] shape
@@ -14,9 +15,16 @@
 //! (packed kernel ≥ 5× naive at 512³), deliberately a ratio rather than a
 //! flaky absolute threshold.
 //!
+//! `--run-report` instead validates a `RunReport` artifact (the
+//! `--report-out` output of the fig/bench bins): schema version, full shape,
+//! and the internal reconciliations between the per-phase table, the
+//! communication matrix, and the size histograms — everything
+//! [`msgpass::RunReportDoc::parse`] enforces.
+//!
 //! [`BenchReport`]: bench::timing::BenchReport
 
 use jsonlite::Json;
+use msgpass::RunReportDoc;
 use std::process::ExitCode;
 
 fn fail(msg: &str) -> ExitCode {
@@ -35,24 +43,45 @@ fn entry_field(entries: &[Json], label: &str, field: &str) -> Result<f64, String
         .ok_or_else(|| format!("entry {label:?} has no numeric {field:?} field"))
 }
 
+fn validate_run_report(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    match RunReportDoc::parse(&text) {
+        Ok(doc) => {
+            println!(
+                "{path}: run report {:?} (schema v{}), {} ranks, {} phases, shape OK",
+                doc.name().unwrap_or("unnamed"),
+                doc.schema_version,
+                doc.ranks,
+                doc.phases.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("{path}: {e}")),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (path, ratio_check) =
-        match args.as_slice() {
-            [path] => (path.clone(), None),
-            [path, base, subject, min_ratio] => {
-                let Ok(min_ratio) = min_ratio.parse::<f64>() else {
-                    return fail(&format!("min-ratio {min_ratio:?} is not a number"));
-                };
-                (
-                    path.clone(),
-                    Some((base.clone(), subject.clone(), min_ratio)),
-                )
-            }
-            _ => return fail(
-                "usage: validate_bench_json <path> [<baseline-label> <subject-label> <min-ratio>]",
-            ),
-        };
+    let (path, ratio_check) = match args.as_slice() {
+        [flag, path] if flag == "--run-report" => return validate_run_report(path),
+        [path] => (path.clone(), None),
+        [path, base, subject, min_ratio] => {
+            let Ok(min_ratio) = min_ratio.parse::<f64>() else {
+                return fail(&format!("min-ratio {min_ratio:?} is not a number"));
+            };
+            (
+                path.clone(),
+                Some((base.clone(), subject.clone(), min_ratio)),
+            )
+        }
+        _ => return fail(
+            "usage: validate_bench_json <path> [<baseline-label> <subject-label> <min-ratio>]\n\
+                 \x20      validate_bench_json --run-report <path>",
+        ),
+    };
 
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,

@@ -10,7 +10,7 @@
 //! run and a cluster model; the value of the diff is *structural*: the same
 //! phases present, the same phase dominating, byte volumes identical.
 
-use msgpass::RunReport;
+use msgpass::{RunReport, RunReportDoc};
 use netmodel::CostReport;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -40,12 +40,24 @@ pub struct PhaseDiff {
     pub measured_s: f64,
     /// The model's predicted seconds for this label.
     pub modeled_s: f64,
+    /// Measured bytes sent by the maximally loaded rank in this phase.
+    pub measured_bytes: u64,
+    /// The model's predicted sent bytes for the maximally loaded rank.
+    pub modeled_bytes: f64,
 }
 
 impl PhaseDiff {
-    /// `measured / modeled`; `NAN` when the model predicts zero.
+    /// `measured / modeled` seconds; `NAN` when the model predicts zero.
     pub fn ratio(&self) -> f64 {
         self.measured_s / self.modeled_s
+    }
+
+    /// `measured / modeled` bytes; `NAN` when the model predicts zero.
+    /// Unlike times (thread simulation vs cluster model), byte volumes are
+    /// the quantity the model should get *exactly* right — the validation
+    /// tests pin this ratio near 1.
+    pub fn bytes_ratio(&self) -> f64 {
+        self.measured_bytes as f64 / self.modeled_bytes
     }
 }
 
@@ -84,28 +96,34 @@ impl ModelDiffReport {
         }
     }
 
-    /// Human-readable table.
+    /// Human-readable table: seconds (structural comparison only) next to
+    /// byte volumes (expected to match exactly).
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<16} {:>14} {:>14} {:>8}",
-            "phase", "measured (s)", "modeled (s)", "ratio"
+            "{:<16} {:>14} {:>14} {:>8} {:>14} {:>14} {:>8}",
+            "phase", "measured (s)", "modeled (s)", "ratio", "meas (B)", "model (B)", "B ratio"
         );
         for p in &self.phases {
             let _ = writeln!(
                 out,
-                "{:<16} {:>14.6} {:>14.6} {:>8.2}",
+                "{:<16} {:>14.6} {:>14.6} {:>8.2} {:>14} {:>14.0} {:>8.2}",
                 p.phase,
                 p.measured_s,
                 p.modeled_s,
-                p.ratio()
+                p.ratio(),
+                p.measured_bytes,
+                p.modeled_bytes,
+                p.bytes_ratio()
             );
         }
+        let meas_bytes: u64 = self.phases.iter().map(|p| p.measured_bytes).sum();
+        let model_bytes: f64 = self.phases.iter().map(|p| p.modeled_bytes).sum();
         let _ = writeln!(
             out,
-            "{:<16} {:>14.6} {:>14.6}",
-            "total", self.measured_total_s, self.modeled_total_s
+            "{:<16} {:>14.6} {:>14.6} {:>8} {:>14} {:>14.0}",
+            "total", self.measured_total_s, self.modeled_total_s, "", meas_bytes, model_bytes
         );
         if let (Some(m), Some(p)) = (self.measured_bottleneck(), self.modeled_bottleneck()) {
             let _ = writeln!(
@@ -156,11 +174,60 @@ pub fn diff_model_vs_measured(report: &RunReport, cost: &CostReport) -> ModelDif
                     }
                 })
                 .sum();
-            let modeled_s = cost.label_s(&label);
+            let measured_bytes: u64 = runtime_phases
+                .iter()
+                .filter(|p| model_phase_label(p) == label)
+                .map(|p| report.traffic.phase_bytes_max(p))
+                .sum();
             PhaseDiff {
+                modeled_s: cost.label_s(&label),
+                modeled_bytes: cost.label_bytes(&label),
                 phase: label,
                 measured_s,
-                modeled_s,
+                measured_bytes,
+            }
+        })
+        .collect();
+
+    let measured_total_s = phases.iter().map(|p| p.measured_s).sum();
+    ModelDiffReport {
+        phases,
+        measured_total_s,
+        modeled_total_s: cost.total_s,
+    }
+}
+
+/// Joins a *parsed* `RunReport` artifact against a model prediction — the
+/// offline form of [`diff_model_vs_measured`] used by
+/// `ca3dmm-report netdiff`, where the run is long gone and only its JSON
+/// survives. Measured seconds are the artifact's per-phase `secs_max`
+/// (critical rank) and measured bytes its `max_rank_sent_bytes`.
+pub fn diff_doc_vs_model(doc: &RunReportDoc, cost: &CostReport) -> ModelDiffReport {
+    let mut labels: BTreeSet<String> = cost.by_label.keys().cloned().collect();
+    labels.extend(
+        doc.phases
+            .iter()
+            .map(|r| model_phase_label(&r.phase).to_owned()),
+    );
+
+    let phases: Vec<PhaseDiff> = labels
+        .into_iter()
+        .map(|label| {
+            let rows = doc
+                .phases
+                .iter()
+                .filter(|r| model_phase_label(&r.phase) == label);
+            let (mut measured_s, mut measured_bytes) = (0.0, 0u64);
+            for r in rows {
+                measured_s += r.secs_max;
+                measured_bytes += r.max_rank_sent_bytes;
+            }
+            PhaseDiff {
+                modeled_s: cost.label_s(&label),
+                modeled_bytes: cost.label_bytes(&label),
+                phase: label,
+                measured_s,
+                measured_bytes,
             }
         })
         .collect();
@@ -243,5 +310,74 @@ mod tests {
         assert!(diff.measured_total_s > 0.0);
         assert!(diff.modeled_total_s > 0.0);
         assert!(diff.render().contains("bottleneck"));
+    }
+
+    #[test]
+    fn doc_diff_matches_live_diff_on_bytes() {
+        let (m, n, k, p) = (32, 32, 64, 8);
+        let grid = Grid::new(2, 2, 2);
+        let prob = Problem::new(m, n, k, p);
+        let alg = Ca3dmm::new(
+            prob,
+            &Ca3dmmOptions {
+                grid_override: Some(grid),
+                ..Default::default()
+            },
+        );
+        let gc = alg.grid_context();
+        let (la, lb) = (gc.layout_a(), gc.layout_b());
+        let a_full = global_block::<f64>(1, Rect::new(0, 0, m, k));
+        let b_full = global_block::<f64>(2, Rect::new(0, 0, k, n));
+        let (_, report) = World::run_traced(p, |ctx| {
+            let world = Comm::world(ctx);
+            let me = world.rank();
+            let a = la.extract(&a_full, me).into_iter().next();
+            let b = lb.extract(&b_full, me).into_iter().next();
+            let _: Option<Mat<f64>> = alg.multiply_native(ctx, &world, a, b);
+        });
+        let machine = Machine::uniform();
+        let placement = machine.pure_mpi();
+        let flops_per_rank = placement.flops_per_rank;
+        let cfg = ModelConfig {
+            placement,
+            elem_bytes: 8.0,
+            overlap: true,
+            include_redist: false,
+        };
+        let cost = evaluate(
+            &machine,
+            flops_per_rank,
+            &ca3dmm_schedule(&prob, &grid, &cfg),
+        );
+
+        // Round-trip the run through its JSON artifact…
+        let text = report.to_json(alg.report_meta("doc_diff_test")).to_string();
+        let doc = msgpass::RunReportDoc::parse(&text).expect("artifact parses");
+        assert_eq!(doc.name(), Some("doc_diff_test"));
+
+        // …and the offline diff must agree with the live diff byte-for-byte.
+        let live = diff_model_vs_measured(&report, &cost);
+        let offline = diff_doc_vs_model(&doc, &cost);
+        assert_eq!(live.phases.len(), offline.phases.len());
+        for (a, b) in live.phases.iter().zip(offline.phases.iter()) {
+            assert_eq!(a.phase, b.phase);
+            assert_eq!(a.measured_bytes, b.measured_bytes, "phase {}", a.phase);
+            assert_eq!(a.modeled_bytes, b.modeled_bytes);
+        }
+        // The model's per-phase byte volumes should track the measured
+        // maximally-loaded rank for the traffic-bearing stages.
+        for ph in &live.phases {
+            if ph.modeled_bytes > 0.0 && ph.measured_bytes > 0 {
+                let r = ph.bytes_ratio();
+                assert!(
+                    r > 0.4 && r < 2.5,
+                    "phase {} bytes diverge: measured {} modeled {}",
+                    ph.phase,
+                    ph.measured_bytes,
+                    ph.modeled_bytes
+                );
+            }
+        }
+        assert!(offline.render().contains("B ratio"));
     }
 }

@@ -80,6 +80,31 @@ impl Ca3dmm {
         &self.gc
     }
 
+    /// The `meta` block for a `RunReport` artifact
+    /// ([`msgpass::RunReport::to_json`]): enough of the problem and grid
+    /// that `ca3dmm-report netdiff` can rebuild the schedule this run
+    /// executed and price it on a model machine — without any side-channel
+    /// beyond the report file itself.
+    pub fn report_meta(&self, name: &str) -> jsonlite::Json {
+        let prob = self.gc.problem();
+        let grid = self.gc.grid();
+        jsonlite::Json::obj([
+            ("name", jsonlite::Json::Str(name.to_owned())),
+            ("m", jsonlite::Json::Num(prob.m as f64)),
+            ("n", jsonlite::Json::Num(prob.n as f64)),
+            ("k", jsonlite::Json::Num(prob.k as f64)),
+            ("p", jsonlite::Json::Num(prob.p as f64)),
+            (
+                "grid",
+                jsonlite::Json::obj([
+                    ("pm", jsonlite::Json::Num(grid.pm as f64)),
+                    ("pn", jsonlite::Json::Num(grid.pn as f64)),
+                    ("pk", jsonlite::Json::Num(grid.pk as f64)),
+                ]),
+            ),
+        ])
+    }
+
     /// The partition-info summary.
     pub fn stats(&self) -> RunStats {
         let prob = *self.gc.problem();

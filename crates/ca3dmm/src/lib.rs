@@ -47,7 +47,9 @@ pub mod reduce;
 pub mod replicate;
 pub mod summa2d;
 
-pub use diff::{diff_model_vs_measured, model_phase_label, ModelDiffReport, PhaseDiff};
+pub use diff::{
+    diff_doc_vs_model, diff_model_vs_measured, model_phase_label, ModelDiffReport, PhaseDiff,
+};
 pub use exec::{Ca3dmm, Ca3dmmOptions, RunStats};
 pub use grid_ctx::{GridContext, RankCoord};
 pub use model::{ca3dmm_schedule, memory_elements_per_rank, ModelConfig};

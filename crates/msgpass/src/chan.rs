@@ -102,21 +102,41 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Receiver<T> {
     /// Blocks until a message arrives; fails once all senders are gone and
-    /// the queue is empty.
+    /// the queue is empty. (The fabric's hot path uses
+    /// [`Receiver::recv_timed`] for wait attribution; this untimed form is
+    /// kept for callers that don't account waits.)
+    #[allow(dead_code)]
     pub fn recv(&self) -> Result<T, RecvError> {
+        self.recv_timed().map(|(v, _)| v)
+    }
+
+    /// Like [`Receiver::recv`], but also reports how many seconds this call
+    /// spent *blocked* on the condvar. A message already queued returns
+    /// `0.0` without ever reading the clock, so the fast path stays free of
+    /// `Instant` overhead — only calls that actually wait pay for the two
+    /// timestamps. This is the primitive behind the runtime's wait-time
+    /// attribution.
+    pub fn recv_timed(&self) -> Result<(T, f64), RecvError> {
         let mut st = lock(&self.shared);
+        if let Some(v) = st.queue.pop_front() {
+            return Ok((v, 0.0));
+        }
+        if st.senders == 0 {
+            return Err(RecvError);
+        }
+        let blocked_from = std::time::Instant::now();
         loop {
-            if let Some(v) = st.queue.pop_front() {
-                return Ok(v);
-            }
-            if st.senders == 0 {
-                return Err(RecvError);
-            }
             st = self
                 .shared
                 .ready
                 .wait(st)
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if let Some(v) = st.queue.pop_front() {
+                return Ok((v, blocked_from.elapsed().as_secs_f64()));
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
         }
     }
 }
@@ -164,6 +184,23 @@ mod tests {
                 tx.send(7u8).unwrap();
             });
             assert_eq!(rx.recv().unwrap(), 7);
+        });
+    }
+
+    #[test]
+    fn recv_timed_reports_blocked_seconds_only() {
+        let (tx, rx) = channel();
+        tx.send(1u8).unwrap();
+        // Already queued: zero wait, no clock read.
+        assert_eq!(rx.recv_timed().unwrap(), (1, 0.0));
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                tx.send(2u8).unwrap();
+            });
+            let (v, wait) = rx.recv_timed().unwrap();
+            assert_eq!(v, 2);
+            assert!(wait >= 0.010, "expected a measurable block, got {wait}");
         });
     }
 

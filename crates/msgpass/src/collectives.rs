@@ -18,7 +18,7 @@ use crate::world::RankCtx;
 
 /// Dissemination barrier: ⌈log₂ P⌉ rounds.
 pub fn barrier(comm: &Comm, ctx: &RankCtx) {
-    let _span = ctx.tracer().collective("dissemination_barrier", || 0);
+    let _span = ctx.collective_scope("dissemination_barrier", || 0);
     let g = comm.size();
     if g == 1 {
         return;
@@ -41,7 +41,7 @@ pub fn barrier(comm: &Comm, ctx: &RankCtx) {
 /// # Panics
 /// If the root passes `None` or a non-root passes `Some`.
 pub fn bcast<P: Payload + Clone>(comm: &Comm, ctx: &RankCtx, root: usize, mine: Option<P>) -> P {
-    let _span = ctx.tracer().collective("binomial_bcast", || {
+    let _span = ctx.collective_scope("binomial_bcast", || {
         mine.as_ref().map_or(0, |v| v.nbytes() as u64)
     });
     let g = comm.size();
@@ -108,7 +108,7 @@ pub fn bcast_large<T: Copy + Send + 'static>(
     mine: Option<Vec<T>>,
     len: usize,
 ) -> Vec<T> {
-    let _span = ctx.tracer().collective("vdg_bcast_large", || {
+    let _span = ctx.collective_scope("vdg_bcast_large", || {
         (len * std::mem::size_of::<T>()) as u64
     });
     let g = comm.size();
@@ -184,7 +184,7 @@ pub fn allgatherv<T: Copy + Send + 'static>(
     mine: Vec<T>,
     counts: &[usize],
 ) -> Vec<T> {
-    let _span = ctx.tracer().collective("ring_allgatherv", || {
+    let _span = ctx.collective_scope("ring_allgatherv", || {
         (counts.iter().sum::<usize>() * std::mem::size_of::<T>()) as u64
     });
     let g = comm.size();
@@ -249,9 +249,7 @@ pub fn reduce_scatter<T: ReduceElem>(
     data: Vec<T>,
     counts: &[usize],
 ) -> Vec<T> {
-    let _span = ctx
-        .tracer()
-        .collective("ring_reduce_scatter", || data.nbytes() as u64);
+    let _span = ctx.collective_scope("ring_reduce_scatter", || data.nbytes() as u64);
     let g = comm.size();
     let me = comm.rank();
     assert_eq!(counts.len(), g, "counts must have one entry per rank");
@@ -301,9 +299,7 @@ pub fn reduce_scatter<T: ReduceElem>(
 /// Allreduce (elementwise sum) via Rabenseifner's algorithm: ring
 /// reduce-scatter over an even split, then ring allgatherv.
 pub fn allreduce<T: ReduceElem>(comm: &Comm, ctx: &RankCtx, data: Vec<T>) -> Vec<T> {
-    let _span = ctx
-        .tracer()
-        .collective("rabenseifner_allreduce", || data.nbytes() as u64);
+    let _span = ctx.collective_scope("rabenseifner_allreduce", || data.nbytes() as u64);
     let g = comm.size();
     if g == 1 {
         return data;
@@ -327,7 +323,7 @@ pub fn alltoallv<T: Copy + Send + 'static>(
     ctx: &RankCtx,
     mut sends: Vec<Vec<T>>,
 ) -> Vec<Vec<T>> {
-    let _span = ctx.tracer().collective("pairwise_alltoallv", || {
+    let _span = ctx.collective_scope("pairwise_alltoallv", || {
         sends.iter().map(|v| v.nbytes() as u64).sum()
     });
     let g = comm.size();
@@ -353,9 +349,7 @@ pub fn gatherv<T: Copy + Send + 'static>(
     mine: Vec<T>,
     root: usize,
 ) -> Option<Vec<Vec<T>>> {
-    let _span = ctx
-        .tracer()
-        .collective("linear_gatherv", || mine.nbytes() as u64);
+    let _span = ctx.collective_scope("linear_gatherv", || mine.nbytes() as u64);
     let g = comm.size();
     let me = comm.rank();
     let tag = comm.next_coll_tag();

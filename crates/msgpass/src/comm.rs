@@ -161,7 +161,7 @@ impl Comm {
     ) {
         let dst_world = self.ranks[dst];
         let bytes = payload.nbytes() as u64;
-        ctx.record_send(bytes);
+        ctx.record_send(dst_world, bytes);
         ctx.tracer()
             .begin(SpanKind::Send { peer: dst_world }, bytes);
         let env = Envelope {
@@ -204,17 +204,25 @@ impl Comm {
                 // ring-collective steps racing ahead of a slow rank), and
                 // they must be consumed in arrival order.
                 let env = pending.remove(pos);
+                drop(pending);
+                ctx.record_recv(src_world, env.bytes, 0.0);
                 ctx.tracer().end(env.bytes);
                 return Self::downcast(env);
             }
         }
-        // Then pull from the channel, buffering mismatches.
+        // Then pull from the channel, buffering mismatches. All seconds this
+        // call spends blocked on the mailbox — including waits that end in a
+        // mismatch we buffer for a later recv — belong to *this* recv's wait
+        // attribution: they are wall time this rank could not compute.
+        let mut waited = 0.0;
         loop {
-            let env = ctx
+            let (env, wait) = ctx
                 .rx
-                .recv()
+                .recv_timed()
                 .expect("all senders dropped while waiting for a message");
+            waited += wait;
             if env.src_world == src_world && env.ctx == self.ctx_id && env.tag == tag {
+                ctx.record_recv(src_world, env.bytes, waited);
                 ctx.tracer().end(env.bytes);
                 return Self::downcast(env);
             }

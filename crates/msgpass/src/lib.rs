@@ -18,11 +18,17 @@
 //!   \[27\]): binomial-tree broadcast, recursive-doubling / ring allgather,
 //!   ring reduce-scatter, Rabenseifner allreduce, pairwise alltoallv,
 //!   dissemination barrier;
-//! * [`traffic`]: every rank counts the bytes and messages it sends, per
-//!   named phase. This is what lets the test suite assert that the
-//!   *measured* communication volume of an algorithm equals the volume its
-//!   analytic cost model predicts — the validation that licenses using the
-//!   model at paper-scale process counts.
+//! * [`traffic`]: every rank counts the bytes and messages it sends *and
+//!   receives*, per named phase, plus a rank×rank communication matrix,
+//!   log2 message-size histograms keyed by phase and by collective
+//!   algorithm, and per-phase wait-time attribution (seconds blocked in
+//!   `recv`). This is what lets the test suite assert that the *measured*
+//!   communication volume of an algorithm equals the volume its analytic
+//!   cost model predicts — the validation that licenses using the model at
+//!   paper-scale process counts.
+//! * [`report`]: a versioned `RunReport` JSON artifact
+//!   ([`world::RunReport::to_json`]) with a parser, text dashboard,
+//!   report-vs-report diff, and the exact/ratio regression gate CI runs.
 //! * [`trace`]: structured event tracing. A traced run
 //!   ([`World::run_traced`]) records begin/end spans for every phase
 //!   region, point-to-point send/recv, and collective (with its algorithm
@@ -44,11 +50,15 @@
 pub(crate) mod chan;
 pub mod collectives;
 pub mod comm;
+pub mod metrics;
+pub mod report;
 pub mod trace;
 pub mod traffic;
 pub mod world;
 
 pub use comm::{Comm, Payload, ReduceElem};
+pub use metrics::{CellCounts, CommMatrix, SizeHistogram};
+pub use report::{GatePolicy, ReportDiff, RunReportDoc};
 pub use trace::{CriticalPathReport, PhaseCritical, Span, SpanKind, Timeline};
 pub use traffic::{PhaseCounts, TrafficReport};
 pub use world::{RankCtx, RunOptions, RunReport, World};

@@ -1,0 +1,418 @@
+//! Metric value types for the traffic layer: log2 message-size histograms
+//! and the rank×rank communication matrix.
+//!
+//! Both are deterministic functions of the algorithm and problem (unlike
+//! wall times), which is what lets the `report-gate` CI mode compare them
+//! *exactly* against a committed reference report.
+
+use std::fmt::Write as _;
+
+/// Number of log2 size buckets: bucket 0 holds zero-byte messages, bucket
+/// `k ≥ 1` holds sizes in `[2^(k-1), 2^k)`, so bucket 64 holds
+/// `[2^63, u64::MAX]` and the buckets partition `u64` exactly.
+pub const HIST_BUCKETS: usize = 65;
+
+/// The bucket index a message of `size` bytes falls into.
+///
+/// `0 → 0`, otherwise `floor(log2(size)) + 1`. Every `u64` maps to exactly
+/// one bucket (pinned by a property test).
+#[inline]
+pub fn size_bucket(size: u64) -> usize {
+    if size == 0 {
+        0
+    } else {
+        64 - size.leading_zeros() as usize
+    }
+}
+
+/// Human label for a bucket: the inclusive size range it covers.
+pub fn bucket_label(bucket: usize) -> String {
+    assert!(bucket < HIST_BUCKETS, "bucket {bucket} out of range");
+    match bucket {
+        0 => "0 B".to_owned(),
+        1 => "1 B".to_owned(),
+        64 => format!("≥ {}", fmt_bytes(1u64 << 63)),
+        k => format!(
+            "{}–{}",
+            fmt_bytes(1u64 << (k - 1)),
+            fmt_bytes((1u64 << k) - 1)
+        ),
+    }
+}
+
+/// Formats a byte count with a binary-prefix unit.
+pub fn fmt_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} {}", UNITS[0])
+    } else if v >= 100.0 {
+        format!("{v:.0} {}", UNITS[u])
+    } else {
+        format!("{v:.1} {}", UNITS[u])
+    }
+}
+
+/// A log2 message-size histogram: counts per bucket plus running totals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SizeHistogram {
+    counts: Vec<u64>,
+    /// Total messages recorded (= sum of bucket counts).
+    pub msgs: u64,
+    /// Total payload bytes recorded.
+    pub bytes: u64,
+}
+
+impl SizeHistogram {
+    /// An empty histogram.
+    pub fn new() -> SizeHistogram {
+        SizeHistogram::default()
+    }
+
+    /// Records one message of `size` bytes.
+    pub fn record(&mut self, size: u64) {
+        let b = size_bucket(size);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.msgs += 1;
+        self.bytes += size;
+    }
+
+    /// Rebuilds a histogram from sparse `(bucket, count)` pairs plus the
+    /// byte total (the JSON wire form). Fails on out-of-range or duplicate
+    /// buckets; `msgs` is recomputed as the sum of counts.
+    pub fn from_parts(buckets: &[(usize, u64)], bytes: u64) -> Result<SizeHistogram, String> {
+        let mut h = SizeHistogram::new();
+        for &(b, c) in buckets {
+            if b >= HIST_BUCKETS {
+                return Err(format!(
+                    "bucket {b} out of range (max {})",
+                    HIST_BUCKETS - 1
+                ));
+            }
+            if h.counts.len() <= b {
+                h.counts.resize(b + 1, 0);
+            }
+            if h.counts[b] != 0 {
+                return Err(format!("bucket {b} appears twice"));
+            }
+            h.counts[b] = c;
+            h.msgs += c;
+        }
+        h.bytes = bytes;
+        Ok(h)
+    }
+
+    /// Count in one bucket (0 for buckets never touched).
+    pub fn count(&self, bucket: usize) -> u64 {
+        self.counts.get(bucket).copied().unwrap_or(0)
+    }
+
+    /// Non-empty `(bucket, count)` pairs in bucket order.
+    pub fn nonzero(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| (b, c))
+            .collect()
+    }
+
+    /// Accumulates `other` into this histogram.
+    pub fn merge(&mut self, other: &SizeHistogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (b, &c) in other.counts.iter().enumerate() {
+            self.counts[b] += c;
+        }
+        self.msgs += other.msgs;
+        self.bytes += other.bytes;
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.msgs == 0
+    }
+
+    /// Renders the histogram as horizontal bars, one line per non-empty
+    /// bucket, `width` characters for the largest count.
+    pub fn render_bars(&self, width: usize) -> String {
+        let nz = self.nonzero();
+        let max = nz.iter().map(|&(_, c)| c).max().unwrap_or(1);
+        let mut out = String::new();
+        for (b, c) in nz {
+            let bar = (c as f64 / max as f64 * width as f64).ceil() as usize;
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>8}  {}",
+                bucket_label(b),
+                c,
+                "#".repeat(bar.max(1))
+            );
+        }
+        out
+    }
+}
+
+/// One direction's counters between a pair of ranks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CellCounts {
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Message count.
+    pub msgs: u64,
+}
+
+impl CellCounts {
+    /// Accumulates another cell into this one.
+    pub fn add(&mut self, other: CellCounts) {
+        self.bytes += other.bytes;
+        self.msgs += other.msgs;
+    }
+}
+
+/// The rank×rank communication matrix of one run, recorded on both sides:
+/// `send[src][dst]` is what rank `src` pushed toward `dst` (counted at send
+/// time by the sender), `recv[dst][src]` is what rank `dst` actually
+/// matched from `src` (counted at `recv` time by the receiver). The two
+/// agree for every message that was both sent and consumed; a message still
+/// in a mailbox when its rank exits appears on the send side only.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommMatrix {
+    p: usize,
+    /// Row-major `p×p`: `send[src * p + dst]`.
+    send: Vec<CellCounts>,
+    /// Row-major `p×p`: `recv[dst * p + src]`.
+    recv: Vec<CellCounts>,
+}
+
+impl CommMatrix {
+    /// An all-zero matrix for `p` ranks.
+    pub fn new(p: usize) -> CommMatrix {
+        CommMatrix {
+            p,
+            send: vec![CellCounts::default(); p * p],
+            recv: vec![CellCounts::default(); p * p],
+        }
+    }
+
+    /// World size.
+    pub fn ranks(&self) -> usize {
+        self.p
+    }
+
+    /// Rebuilds a matrix from four `p×p` grids (the JSON wire form):
+    /// send bytes/msgs indexed `[src][dst]`, recv bytes/msgs indexed
+    /// `[dst][src]`. All four grids must be square and the same size
+    /// (callers validate shapes when parsing).
+    pub fn from_grids(
+        send_bytes: &[Vec<u64>],
+        send_msgs: &[Vec<u64>],
+        recv_bytes: &[Vec<u64>],
+        recv_msgs: &[Vec<u64>],
+    ) -> CommMatrix {
+        let p = send_bytes.len();
+        assert!(
+            [send_msgs.len(), recv_bytes.len(), recv_msgs.len()] == [p, p, p],
+            "matrix grids disagree on rank count"
+        );
+        let mut m = CommMatrix::new(p);
+        for i in 0..p {
+            for j in 0..p {
+                m.send[i * p + j] = CellCounts {
+                    bytes: send_bytes[i][j],
+                    msgs: send_msgs[i][j],
+                };
+                m.recv[i * p + j] = CellCounts {
+                    bytes: recv_bytes[i][j],
+                    msgs: recv_msgs[i][j],
+                };
+            }
+        }
+        m
+    }
+
+    /// Send-side cell: what `src` sent toward `dst`.
+    pub fn sent(&self, src: usize, dst: usize) -> CellCounts {
+        self.send[src * self.p + dst]
+    }
+
+    /// Recv-side cell: what `dst` matched from `src`.
+    pub fn received(&self, dst: usize, src: usize) -> CellCounts {
+        self.recv[dst * self.p + src]
+    }
+
+    pub(crate) fn set_send_row(&mut self, src: usize, row: &[CellCounts]) {
+        assert_eq!(row.len(), self.p);
+        self.send[src * self.p..(src + 1) * self.p].copy_from_slice(row);
+    }
+
+    pub(crate) fn set_recv_row(&mut self, dst: usize, row: &[CellCounts]) {
+        assert_eq!(row.len(), self.p);
+        self.recv[dst * self.p..(dst + 1) * self.p].copy_from_slice(row);
+    }
+
+    /// Everything rank `src` sent, over all destinations.
+    pub fn send_row_total(&self, src: usize) -> CellCounts {
+        let mut t = CellCounts::default();
+        for dst in 0..self.p {
+            t.add(self.sent(src, dst));
+        }
+        t
+    }
+
+    /// Everything rank `dst` received, over all sources.
+    pub fn recv_row_total(&self, dst: usize) -> CellCounts {
+        let mut t = CellCounts::default();
+        for src in 0..self.p {
+            t.add(self.received(dst, src));
+        }
+        t
+    }
+
+    /// Send-side column total: bytes/msgs *destined for* `dst` as the
+    /// senders counted them.
+    pub fn send_col_total(&self, dst: usize) -> CellCounts {
+        let mut t = CellCounts::default();
+        for src in 0..self.p {
+            t.add(self.sent(src, dst));
+        }
+        t
+    }
+
+    /// Renders a text heatmap of send-side bytes: rows are senders, columns
+    /// receivers, shaded by bytes relative to the busiest cell.
+    pub fn render_heatmap(&self) -> String {
+        const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let max = (0..self.p * self.p)
+            .map(|i| self.send[i].bytes)
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "  send-side bytes, row = src rank, col = dst rank (max cell {}):",
+            fmt_bytes(max)
+        );
+        let _ = write!(out, "       ");
+        for dst in 0..self.p {
+            let _ = write!(out, "{:>3}", dst % 100);
+        }
+        out.push('\n');
+        for src in 0..self.p {
+            let _ = write!(out, "  {src:>4} ");
+            for dst in 0..self.p {
+                let b = self.sent(src, dst).bytes;
+                let shade = if max == 0 || b == 0 {
+                    SHADES[0]
+                } else {
+                    // Rank cells on a linear scale into the 9 non-blank
+                    // shades; any nonzero cell gets at least the lightest.
+                    let idx = (b as f64 / max as f64 * 9.0).ceil() as usize;
+                    SHADES[idx.clamp(1, 9)]
+                };
+                let _ = write!(out, "  {shade}");
+            }
+            let row = self.send_row_total(src);
+            let _ = writeln!(out, "   | {}", fmt_bytes(row.bytes));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(size_bucket(0), 0);
+        assert_eq!(size_bucket(1), 1);
+        assert_eq!(size_bucket(2), 2);
+        assert_eq!(size_bucket(3), 2);
+        assert_eq!(size_bucket(4), 3);
+        assert_eq!(size_bucket(1023), 10);
+        assert_eq!(size_bucket(1024), 11);
+        assert_eq!(size_bucket(u64::MAX), 64);
+        assert_eq!(size_bucket(1u64 << 63), 64);
+        assert_eq!(size_bucket((1u64 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn histogram_counts_and_merge() {
+        let mut h = SizeHistogram::new();
+        for s in [0u64, 1, 7, 8, 8, 1024] {
+            h.record(s);
+        }
+        assert_eq!(h.msgs, 6);
+        assert_eq!(h.bytes, 1 + 7 + 8 + 8 + 1024);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(3), 1); // 7 ∈ [4,8)
+        assert_eq!(h.count(4), 2); // 8 ∈ [8,16)
+        assert_eq!(h.count(11), 1); // 1024 ∈ [1024,2048)
+        let total: u64 = h.nonzero().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, h.msgs);
+
+        let mut h2 = SizeHistogram::new();
+        h2.record(9);
+        h2.merge(&h);
+        assert_eq!(h2.msgs, 7);
+        assert_eq!(h2.count(4), 3);
+        assert!(h2.render_bars(20).contains('#'));
+    }
+
+    #[test]
+    fn bucket_labels_cover_all() {
+        for b in 0..HIST_BUCKETS {
+            assert!(!bucket_label(b).is_empty());
+        }
+        assert_eq!(bucket_label(0), "0 B");
+        assert_eq!(bucket_label(1), "1 B");
+        assert_eq!(bucket_label(2), "2 B–3 B");
+        assert!(bucket_label(11).starts_with("1.0 KiB"));
+    }
+
+    #[test]
+    fn matrix_totals() {
+        let mut m = CommMatrix::new(3);
+        m.set_send_row(
+            0,
+            &[
+                CellCounts::default(),
+                CellCounts { bytes: 10, msgs: 1 },
+                CellCounts { bytes: 20, msgs: 2 },
+            ],
+        );
+        m.set_recv_row(
+            1,
+            &[
+                CellCounts { bytes: 10, msgs: 1 },
+                CellCounts::default(),
+                CellCounts::default(),
+            ],
+        );
+        assert_eq!(m.send_row_total(0), CellCounts { bytes: 30, msgs: 3 });
+        assert_eq!(m.send_col_total(1), CellCounts { bytes: 10, msgs: 1 });
+        assert_eq!(m.recv_row_total(1), CellCounts { bytes: 10, msgs: 1 });
+        assert_eq!(m.recv_row_total(2), CellCounts::default());
+        let map = m.render_heatmap();
+        assert!(map.contains("row = src"));
+    }
+
+    #[test]
+    fn fmt_bytes_units() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(800), "800 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert!(fmt_bytes(3 << 20).starts_with("3.0 MiB"));
+    }
+}

@@ -163,31 +163,6 @@ impl Recorder {
     pub(crate) fn take(&self) -> Vec<RawEvent> {
         self.events.take()
     }
-
-    /// Opens a collective span, closed when the returned guard drops. The
-    /// payload-size closure is evaluated only when tracing is on, so
-    /// untraced runs don't even compute byte counts.
-    pub(crate) fn collective(
-        &self,
-        algo: &'static str,
-        bytes: impl FnOnce() -> u64,
-    ) -> SpanGuard<'_> {
-        if self.enabled {
-            self.begin(SpanKind::Collective(algo), bytes());
-        }
-        SpanGuard { rec: self }
-    }
-}
-
-/// RAII guard that closes the innermost open span on drop.
-pub(crate) struct SpanGuard<'a> {
-    rec: &'a Recorder,
-}
-
-impl Drop for SpanGuard<'_> {
-    fn drop(&mut self) {
-        self.rec.end(0);
-    }
 }
 
 /// The merged per-rank event timeline of one traced run.
@@ -639,6 +614,30 @@ mod tests {
             }
             assert_eq!(depth, 0);
         }
+    }
+
+    #[test]
+    fn chrome_export_escapes_hostile_phase_names() {
+        // A phase name with quotes, backslashes, and control characters must
+        // not break the exported JSON (span names are routed through the
+        // jsonlite string writer, never raw format! interpolation).
+        let hostile = "evil \"phase\"\\ with \n newline and \u{7} bell";
+        let stream = vec![
+            raw_begin(0.0, SpanKind::Phase(hostile.into())),
+            raw_end(1.0, 0),
+        ];
+        let tl = Timeline::from_raw(vec![stream]);
+        let text = tl.to_chrome_json();
+        let doc = jsonlite::Json::parse(&text).expect("hostile name must stay valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let name = events
+            .iter()
+            .find_map(|e| {
+                (e.get("ph").and_then(|p| p.as_str()) == Some("B"))
+                    .then(|| e.get("name").unwrap().as_str().unwrap().to_owned())
+            })
+            .expect("begin event present");
+        assert_eq!(name, hostile, "name must round-trip exactly");
     }
 
     #[test]

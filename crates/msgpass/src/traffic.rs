@@ -2,21 +2,41 @@
 //!
 //! Algorithms label their stages with [`crate::RankCtx::set_phase`]
 //! ("replicate_ab", "cannon_shift", "reduce_c", "redist", …); every
-//! point-to-point send is attributed to the sender's current phase. The
-//! resulting [`TrafficReport`] is the measured counterpart of the analytic
-//! schedule evaluator in the `netmodel` crate.
+//! point-to-point send is attributed to the sender's current phase and every
+//! matched receive to the receiver's. On top of the per-phase totals the
+//! accountant keeps a rank×rank [`CommMatrix`], log2 message-size
+//! [`SizeHistogram`]s keyed by phase and by the collective algorithm that
+//! was actually executed, and per-phase *wait* seconds (wall time blocked in
+//! `recv` — which covers `sendrecv` and barriers, since both block only in
+//! their receive halves). The resulting [`TrafficReport`] is the measured
+//! counterpart of the analytic schedule evaluator in the `netmodel` crate.
+//!
+//! Byte and message counts (totals, matrix cells, histogram buckets) are
+//! deterministic functions of the algorithm and problem; wall/wait seconds
+//! are not. The `report-gate` CI mode relies on exactly this split.
 
 use crate::lock_mutex;
+use crate::metrics::{CellCounts, CommMatrix, SizeHistogram};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-/// Bytes and message count for one phase on one rank.
+/// Bytes and message counts for one phase on one rank, both directions.
+///
+/// `bytes`/`msgs` count what the rank *sent* (the paper's per-rank
+/// communication size `Q` is a send-side quantity, and the
+/// model-vs-measured tests compare against it); `recv_bytes`/`recv_msgs`
+/// count what the rank *matched* in `recv`, attributed to the receiver's
+/// current phase — so a broadcast leaf no longer shows zero activity.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PhaseCounts {
     /// Payload bytes sent.
     pub bytes: u64,
     /// Messages sent.
     pub msgs: u64,
+    /// Payload bytes received (matched).
+    pub recv_bytes: u64,
+    /// Messages received (matched).
+    pub recv_msgs: u64,
 }
 
 impl PhaseCounts {
@@ -24,28 +44,92 @@ impl PhaseCounts {
     pub fn add(&mut self, other: PhaseCounts) {
         self.bytes += other.bytes;
         self.msgs += other.msgs;
+        self.recv_bytes += other.recv_bytes;
+        self.recv_msgs += other.recv_msgs;
     }
 }
 
-/// Accumulator owned by the fabric, one per rank. Sends are recorded by the
+/// The mutable accumulator state for one rank. Only the owning rank thread
+/// writes it during a run; the world reads it once after the threads join.
+#[derive(Default)]
+pub(crate) struct RankStats {
+    pub(crate) by_phase: BTreeMap<String, PhaseCounts>,
+    /// `sent_to[dst]`: this rank's send-side matrix row.
+    pub(crate) sent_to: Vec<CellCounts>,
+    /// `recv_from[src]`: this rank's recv-side matrix row.
+    pub(crate) recv_from: Vec<CellCounts>,
+    /// Send-side size histograms keyed by the sender's phase.
+    pub(crate) hist_by_phase: BTreeMap<String, SizeHistogram>,
+    /// Send-side size histograms keyed by the collective algorithm actually
+    /// running ("ring_allgatherv", …); bare point-to-point sends land under
+    /// `"p2p"`.
+    pub(crate) hist_by_algo: BTreeMap<String, SizeHistogram>,
+    /// Seconds blocked inside `recv` per receiver phase.
+    pub(crate) wait_by_phase: BTreeMap<String, f64>,
+}
+
+/// Accumulator owned by the fabric, one per rank. Writes come from the
 /// owning thread only, but the final report is read after the threads join,
 /// so a mutex (uncontended in practice) keeps this simple and safe.
-#[derive(Default)]
 pub(crate) struct RankTraffic {
-    pub(crate) by_phase: Mutex<BTreeMap<String, PhaseCounts>>,
+    pub(crate) stats: Mutex<RankStats>,
 }
 
 impl RankTraffic {
-    pub(crate) fn record(&self, phase: &str, bytes: u64) {
-        let mut map = lock_mutex(&self.by_phase);
-        let e = map.entry(phase.to_owned()).or_default();
+    pub(crate) fn new(world_size: usize) -> RankTraffic {
+        RankTraffic {
+            stats: Mutex::new(RankStats {
+                sent_to: vec![CellCounts::default(); world_size],
+                recv_from: vec![CellCounts::default(); world_size],
+                ..RankStats::default()
+            }),
+        }
+    }
+
+    /// Records one outgoing message: phase totals, the matrix row, and both
+    /// histogram keyings. `algo` is the collective algorithm in scope, or
+    /// `None` for a bare point-to-point send.
+    pub(crate) fn record_send(
+        &self,
+        phase: &str,
+        algo: Option<&'static str>,
+        dst_world: usize,
+        bytes: u64,
+    ) {
+        let mut st = lock_mutex(&self.stats);
+        let e = st.by_phase.entry(phase.to_owned()).or_default();
         e.bytes += bytes;
         e.msgs += 1;
+        st.sent_to[dst_world].bytes += bytes;
+        st.sent_to[dst_world].msgs += 1;
+        st.hist_by_phase
+            .entry(phase.to_owned())
+            .or_default()
+            .record(bytes);
+        st.hist_by_algo
+            .entry(algo.unwrap_or("p2p").to_owned())
+            .or_default()
+            .record(bytes);
+    }
+
+    /// Records one matched receive: phase totals, the matrix row, and the
+    /// seconds this `recv` call spent blocked waiting for the fabric.
+    pub(crate) fn record_recv(&self, phase: &str, src_world: usize, bytes: u64, wait_secs: f64) {
+        let mut st = lock_mutex(&self.stats);
+        let e = st.by_phase.entry(phase.to_owned()).or_default();
+        e.recv_bytes += bytes;
+        e.recv_msgs += 1;
+        st.recv_from[src_world].bytes += bytes;
+        st.recv_from[src_world].msgs += 1;
+        if wait_secs > 0.0 {
+            *st.wait_by_phase.entry(phase.to_owned()).or_insert(0.0) += wait_secs;
+        }
     }
 }
 
-/// Traffic measured during one [`crate::World::run_traced`], indexed by
-/// `[rank][phase]`.
+/// Traffic measured during one [`crate::World::run`], indexed by
+/// `[rank][phase]`, plus the run-wide communication matrix, size
+/// histograms, and wait attribution.
 #[derive(Clone, Debug, Default)]
 pub struct TrafficReport {
     /// `per_rank[r]` maps phase name → counts for world rank `r`.
@@ -54,6 +138,17 @@ pub struct TrafficReport {
     /// on rank `r` (communication *and* computation while the phase label
     /// was active).
     pub secs_per_rank: Vec<BTreeMap<String, f64>>,
+    /// `wait_per_rank[r]` maps phase name → seconds rank `r` spent blocked
+    /// inside `recv` while that phase was active. Always ≤ the phase's
+    /// wall seconds; the remainder is compute plus non-blocking overhead.
+    pub wait_per_rank: Vec<BTreeMap<String, f64>>,
+    /// The rank×rank communication matrix (send- and recv-side).
+    pub matrix: CommMatrix,
+    /// Message-size histograms by sender phase, aggregated over ranks.
+    pub hist_by_phase: BTreeMap<String, SizeHistogram>,
+    /// Message-size histograms by collective algorithm actually executed
+    /// (`"p2p"` for bare sends), aggregated over ranks.
+    pub hist_by_algo: BTreeMap<String, SizeHistogram>,
 }
 
 impl TrafficReport {
@@ -66,8 +161,8 @@ impl TrafficReport {
         t
     }
 
-    /// The maximum per-rank byte count — the paper's communication size `Q`
-    /// (§III-D), in bytes.
+    /// The maximum per-rank sent-byte count — the paper's communication
+    /// size `Q` (§III-D), in bytes.
     pub fn max_rank_bytes(&self) -> u64 {
         (0..self.per_rank.len())
             .map(|r| self.rank_total(r).bytes)
@@ -75,7 +170,7 @@ impl TrafficReport {
             .unwrap_or(0)
     }
 
-    /// The maximum per-rank message count — the paper's latency `L`.
+    /// The maximum per-rank sent-message count — the paper's latency `L`.
     pub fn max_rank_msgs(&self) -> u64 {
         (0..self.per_rank.len())
             .map(|r| self.rank_total(r).msgs)
@@ -83,7 +178,7 @@ impl TrafficReport {
             .unwrap_or(0)
     }
 
-    /// Sum of bytes over all ranks (total data exchanged).
+    /// Sum of sent bytes over all ranks (total data exchanged).
     pub fn total_bytes(&self) -> u64 {
         (0..self.per_rank.len())
             .map(|r| self.rank_total(r).bytes)
@@ -104,6 +199,15 @@ impl TrafficReport {
         t
     }
 
+    /// Maximum over ranks of the bytes *sent* in one phase — the
+    /// maximally-loaded-rank volume the §III-D cost model predicts.
+    pub fn phase_bytes_max(&self, phase: &str) -> u64 {
+        (0..self.per_rank.len())
+            .map(|r| self.phase(r, phase).bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Wall seconds one rank spent in one phase (0 if never entered).
     pub fn phase_secs(&self, rank: usize, phase: &str) -> f64 {
         self.secs_per_rank
@@ -121,6 +225,22 @@ impl TrafficReport {
             .fold(0.0, f64::max)
     }
 
+    /// Seconds one rank spent blocked in `recv` during one phase.
+    pub fn wait_secs(&self, rank: usize, phase: &str) -> f64 {
+        self.wait_per_rank
+            .get(rank)
+            .and_then(|m| m.get(phase))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Maximum over ranks of [`TrafficReport::wait_secs`].
+    pub fn wait_secs_max(&self, phase: &str) -> f64 {
+        (0..self.wait_per_rank.len())
+            .map(|r| self.wait_secs(r, phase))
+            .fold(0.0, f64::max)
+    }
+
     /// All phase labels seen on any rank, sorted.
     pub fn phases(&self) -> Vec<String> {
         let mut set: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
@@ -132,6 +252,53 @@ impl TrafficReport {
         }
         set.into_iter().collect()
     }
+
+    /// Cross-checks the redundant views of the same traffic against each
+    /// other: matrix row totals vs per-phase totals (both directions) and
+    /// histogram totals vs message counts. Returns the first discrepancy.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let p = self.per_rank.len();
+        if self.matrix.ranks() != p {
+            return Err(format!(
+                "matrix is {}×{0} but the report has {p} ranks",
+                self.matrix.ranks()
+            ));
+        }
+        for r in 0..p {
+            let t = self.rank_total(r);
+            let row = self.matrix.send_row_total(r);
+            if (row.bytes, row.msgs) != (t.bytes, t.msgs) {
+                return Err(format!(
+                    "rank {r}: matrix send row {row:?} != phase send totals ({}, {})",
+                    t.bytes, t.msgs
+                ));
+            }
+            let rrow = self.matrix.recv_row_total(r);
+            if (rrow.bytes, rrow.msgs) != (t.recv_bytes, t.recv_msgs) {
+                return Err(format!(
+                    "rank {r}: matrix recv row {rrow:?} != phase recv totals ({}, {})",
+                    t.recv_bytes, t.recv_msgs
+                ));
+            }
+        }
+        for (phase, h) in &self.hist_by_phase {
+            let t = self.phase_total(phase);
+            if h.msgs != t.msgs || h.bytes != t.bytes {
+                return Err(format!(
+                    "phase {phase:?}: histogram ({} msgs, {} B) != totals ({} msgs, {} B)",
+                    h.msgs, h.bytes, t.msgs, t.bytes
+                ));
+            }
+        }
+        let algo_msgs: u64 = self.hist_by_algo.values().map(|h| h.msgs).sum();
+        let total_msgs: u64 = (0..p).map(|r| self.rank_total(r).msgs).sum();
+        if algo_msgs != total_msgs {
+            return Err(format!(
+                "algo histograms count {algo_msgs} msgs but the run sent {total_msgs}"
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -140,25 +307,45 @@ mod tests {
 
     #[test]
     fn record_and_totals() {
-        let rt = RankTraffic::default();
-        rt.record("a", 100);
-        rt.record("a", 50);
-        rt.record("b", 1);
-        let map = crate::lock_mutex(&rt.by_phase).clone();
+        let rt = RankTraffic::new(2);
+        rt.record_send("a", None, 1, 100);
+        rt.record_send("a", Some("ring_allgatherv"), 1, 50);
+        rt.record_send("b", None, 0, 1);
+        rt.record_recv("a", 1, 30, 0.25);
+        let st = crate::lock_mutex(&rt.stats);
         assert_eq!(
-            map["a"],
+            st.by_phase["a"],
             PhaseCounts {
+                bytes: 150,
+                msgs: 2,
+                recv_bytes: 30,
+                recv_msgs: 1,
+            }
+        );
+        assert_eq!(st.by_phase["b"].bytes, 1);
+        assert_eq!(
+            st.sent_to[1],
+            CellCounts {
                 bytes: 150,
                 msgs: 2
             }
         );
-        assert_eq!(map["b"], PhaseCounts { bytes: 1, msgs: 1 });
+        assert_eq!(st.recv_from[1], CellCounts { bytes: 30, msgs: 1 });
+        assert_eq!(st.hist_by_phase["a"].msgs, 2);
+        assert_eq!(st.hist_by_algo["p2p"].msgs, 2);
+        assert_eq!(st.hist_by_algo["ring_allgatherv"].msgs, 1);
+        assert_eq!(st.wait_by_phase["a"], 0.25);
+        let map = st.by_phase.clone();
+        drop(st);
 
         let report = TrafficReport {
             per_rank: vec![map, BTreeMap::new()],
             secs_per_rank: vec![BTreeMap::new(), BTreeMap::new()],
+            wait_per_rank: vec![BTreeMap::new(), BTreeMap::new()],
+            ..TrafficReport::default()
         };
         assert_eq!(report.rank_total(0).bytes, 151);
+        assert_eq!(report.rank_total(0).recv_msgs, 1);
         assert_eq!(report.rank_total(1).msgs, 0);
         assert_eq!(report.max_rank_bytes(), 151);
         assert_eq!(report.max_rank_msgs(), 3);
@@ -166,5 +353,29 @@ mod tests {
         assert_eq!(report.phase(0, "a").msgs, 2);
         assert_eq!(report.phase(0, "missing"), PhaseCounts::default());
         assert_eq!(report.phase_total("a").bytes, 150);
+        assert_eq!(report.phase_total("a").recv_bytes, 30);
+    }
+
+    #[test]
+    fn consistency_check_catches_skew() {
+        // An empty report is trivially consistent.
+        let mut report = TrafficReport {
+            per_rank: vec![BTreeMap::new()],
+            secs_per_rank: vec![BTreeMap::new()],
+            wait_per_rank: vec![BTreeMap::new()],
+            matrix: CommMatrix::new(1),
+            ..TrafficReport::default()
+        };
+        assert!(report.check_consistency().is_ok());
+        // A phase total with no matching matrix row is not.
+        report.per_rank[0].insert(
+            "x".to_owned(),
+            PhaseCounts {
+                bytes: 8,
+                msgs: 1,
+                ..PhaseCounts::default()
+            },
+        );
+        assert!(report.check_consistency().is_err());
     }
 }

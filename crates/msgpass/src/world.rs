@@ -3,6 +3,7 @@
 use crate::chan::{channel, Receiver, Sender};
 use crate::comm::Envelope;
 use crate::lock_mutex;
+use crate::metrics::{CommMatrix, SizeHistogram};
 use crate::trace::{RawEvent, Recorder, SpanKind, Timeline};
 use crate::traffic::{RankTraffic, TrafficReport};
 use std::cell::{Cell, RefCell};
@@ -87,6 +88,10 @@ pub struct RankCtx {
     pub(crate) ctx_seq: Cell<u64>,
     /// Per-rank trace event recorder (no-op unless the run is traced).
     pub(crate) recorder: Recorder,
+    /// The collective algorithm currently executing on this rank (None for
+    /// bare point-to-point traffic). Keys the per-algorithm size histograms
+    /// to the path the collective actually took.
+    coll: Cell<Option<&'static str>>,
 }
 
 impl RankCtx {
@@ -153,13 +158,60 @@ impl RankCtx {
         self.phase.borrow().clone()
     }
 
-    pub(crate) fn record_send(&self, bytes: u64) {
-        self.fabric.traffic[self.world_rank].record(&self.phase.borrow(), bytes);
+    pub(crate) fn record_send(&self, dst_world: usize, bytes: u64) {
+        self.fabric.traffic[self.world_rank].record_send(
+            &self.phase.borrow(),
+            self.coll.get(),
+            dst_world,
+            bytes,
+        );
+    }
+
+    pub(crate) fn record_recv(&self, src_world: usize, bytes: u64, wait_secs: f64) {
+        self.fabric.traffic[self.world_rank].record_recv(
+            &self.phase.borrow(),
+            src_world,
+            bytes,
+            wait_secs,
+        );
+    }
+
+    /// Marks `algo` as the collective running on this rank until the guard
+    /// drops (restoring the previous marker, so a collective built on
+    /// another collective attributes traffic to the *innermost* algorithm —
+    /// the path actually taken). Also opens a trace span; the payload-size
+    /// closure is evaluated only when tracing is on.
+    pub(crate) fn collective_scope(
+        &self,
+        algo: &'static str,
+        bytes: impl FnOnce() -> u64,
+    ) -> CollectiveScope<'_> {
+        if self.recorder.enabled() {
+            self.recorder.begin(SpanKind::Collective(algo), bytes());
+        }
+        CollectiveScope {
+            ctx: self,
+            prev: self.coll.replace(Some(algo)),
+        }
     }
 
     /// The rank's trace recorder (for internal instrumentation hooks).
     pub(crate) fn tracer(&self) -> &Recorder {
         &self.recorder
+    }
+}
+
+/// RAII scope for one collective call: restores the previous algorithm
+/// marker and closes the trace span on drop.
+pub(crate) struct CollectiveScope<'a> {
+    ctx: &'a RankCtx,
+    prev: Option<&'static str>,
+}
+
+impl Drop for CollectiveScope<'_> {
+    fn drop(&mut self) {
+        self.ctx.coll.set(self.prev);
+        self.ctx.recorder.end(0);
     }
 }
 
@@ -204,7 +256,7 @@ impl World {
         }
         let fabric = Arc::new(Fabric {
             senders,
-            traffic: (0..p).map(|_| RankTraffic::default()).collect(),
+            traffic: (0..p).map(|_| RankTraffic::new(p)).collect(),
             times: (0..p).map(|_| Mutex::new(BTreeMap::new())).collect(),
         });
         // One epoch for the whole world so per-rank timestamps are mutually
@@ -237,6 +289,7 @@ impl World {
                             phase_started: Cell::new(Instant::now()),
                             ctx_seq: Cell::new(0),
                             recorder: Recorder::new(opts.trace, epoch),
+                            coll: Cell::new(None),
                         };
                         let out = f(&ctx);
                         let events = ctx.finish();
@@ -261,13 +314,31 @@ impl World {
                 .unzip()
         });
 
+        let mut per_rank = Vec::with_capacity(p);
+        let mut wait_per_rank = Vec::with_capacity(p);
+        let mut matrix = CommMatrix::new(p);
+        let mut hist_by_phase: BTreeMap<String, SizeHistogram> = BTreeMap::new();
+        let mut hist_by_algo: BTreeMap<String, SizeHistogram> = BTreeMap::new();
+        for (rank, t) in fabric.traffic.iter().enumerate() {
+            let st = lock_mutex(&t.stats);
+            per_rank.push(st.by_phase.clone());
+            wait_per_rank.push(st.wait_by_phase.clone());
+            matrix.set_send_row(rank, &st.sent_to);
+            matrix.set_recv_row(rank, &st.recv_from);
+            for (k, h) in &st.hist_by_phase {
+                hist_by_phase.entry(k.clone()).or_default().merge(h);
+            }
+            for (k, h) in &st.hist_by_algo {
+                hist_by_algo.entry(k.clone()).or_default().merge(h);
+            }
+        }
         let traffic = TrafficReport {
-            per_rank: fabric
-                .traffic
-                .iter()
-                .map(|t| lock_mutex(&t.by_phase).clone())
-                .collect(),
+            per_rank,
             secs_per_rank: fabric.times.iter().map(|t| lock_mutex(t).clone()).collect(),
+            wait_per_rank,
+            matrix,
+            hist_by_phase,
+            hist_by_algo,
         };
         let timeline = if opts.trace {
             Timeline::from_raw(streams)

@@ -25,6 +25,12 @@ impl PhaseCost {
 pub struct CostReport {
     /// Wall time per breakdown label, in schedule order of first appearance.
     pub by_label: BTreeMap<String, PhaseCost>,
+    /// Predicted bytes sent by the modeled rank, per breakdown label — the
+    /// column `ca3dmm-report netdiff` lines up against the measured
+    /// critical-rank bytes of each phase.
+    pub bytes_by_label: BTreeMap<String, f64>,
+    /// Predicted butterfly message count per breakdown label.
+    pub msgs_by_label: BTreeMap<String, f64>,
     /// Total wall time, seconds.
     pub total_s: f64,
     /// Bytes sent by the modeled rank (matches the `msgpass` counters).
@@ -47,6 +53,16 @@ impl CostReport {
     /// Wall time of one label (0 when absent).
     pub fn label_s(&self, label: &str) -> f64 {
         self.by_label.get(label).map(|c| c.total()).unwrap_or(0.0)
+    }
+
+    /// Predicted sent bytes of one label (0 when absent).
+    pub fn label_bytes(&self, label: &str) -> f64 {
+        self.bytes_by_label.get(label).copied().unwrap_or(0.0)
+    }
+
+    /// Predicted message count of one label (0 when absent).
+    pub fn label_msgs(&self, label: &str) -> f64 {
+        self.msgs_by_label.get(label).copied().unwrap_or(0.0)
     }
 }
 
@@ -222,6 +238,8 @@ pub fn evaluate(machine: &Machine, flops_per_rank: f64, schedule: &Schedule) -> 
         let entry = report.by_label.entry(label.clone()).or_default();
         entry.comm_s += c.comm_s;
         entry.comp_s += c.comp_s;
+        *report.bytes_by_label.entry(label.clone()).or_default() += phase.sent_bytes();
+        *report.msgs_by_label.entry(label.clone()).or_default() += phase.message_count();
         report.total_s += c.total();
     }
     report
@@ -395,6 +413,47 @@ mod tests {
         assert!((r.total_s - (r.comm_s() + r.comp_s())).abs() < 1e-9);
         assert!(r.sent_bytes > 0.0);
         assert_eq!(r.label_s("missing"), 0.0);
+    }
+
+    #[test]
+    fn per_label_traffic_sums_to_totals() {
+        let m = Machine::uniform();
+        let mut s = Schedule::new();
+        s.push("gemm", Phase::LocalGemm { flops: 1e9 });
+        s.push(
+            "replicate_ab",
+            Phase::Allgather {
+                grp: flat(4),
+                total_bytes: 400.0,
+            },
+        );
+        s.push(
+            "cannon",
+            Phase::ShiftRounds {
+                grp: flat(4),
+                rounds: 3,
+                bytes_per_round: 10.0,
+            },
+        );
+        s.push(
+            "cannon",
+            Phase::ShiftRounds {
+                grp: flat(4),
+                rounds: 1,
+                bytes_per_round: 10.0,
+            },
+        );
+        let r = evaluate(&m, 1e9, &s);
+        // Label breakdown matches the per-phase formulas…
+        assert!((r.label_bytes("replicate_ab") - 300.0).abs() < 1e-9);
+        assert!((r.label_bytes("cannon") - 40.0).abs() < 1e-9);
+        assert_eq!(r.label_bytes("gemm"), 0.0);
+        assert!((r.label_msgs("cannon") - 4.0).abs() < 1e-9);
+        // …and sums back to the schedule-wide totals.
+        let byte_sum: f64 = r.bytes_by_label.values().sum();
+        let msg_sum: f64 = r.msgs_by_label.values().sum();
+        assert!((byte_sum - r.sent_bytes).abs() < 1e-9);
+        assert!((msg_sum - r.messages).abs() < 1e-9);
     }
 
     #[test]

@@ -192,6 +192,51 @@ pub struct Schedule {
     pub items: Vec<(String, Phase)>,
 }
 
+impl Phase {
+    /// Predicted bytes *sent* by the modeled rank in this phase — the
+    /// quantity the `msgpass` traffic counters measure. Ring collectives
+    /// send `total·(g−1)/g`; shifts send `rounds · bytes`; alltoallv sends
+    /// its `send_bytes`; scatter+allgather broadcast sends up to
+    /// `2·bytes·(g−1)/g` (at the root).
+    pub fn sent_bytes(&self) -> f64 {
+        match self {
+            Phase::Allgather { grp, total_bytes } => frac(grp.size) * total_bytes,
+            Phase::Bcast { grp, bytes } => 2.0 * frac(grp.size) * bytes,
+            Phase::ReduceScatter {
+                grp, total_bytes, ..
+            } => frac(grp.size) * total_bytes,
+            Phase::Alltoallv { send_bytes, .. } => *send_bytes,
+            Phase::ShiftRounds {
+                rounds,
+                bytes_per_round,
+                ..
+            }
+            | Phase::CannonOverlap {
+                rounds,
+                bytes_per_round,
+                ..
+            } => *rounds as f64 * bytes_per_round,
+            Phase::LocalGemm { .. } => 0.0,
+        }
+    }
+
+    /// The paper's latency measure `L` for this phase: messages sent by the
+    /// modeled rank, using the butterfly-collective counts of §III-D
+    /// (`log₂ g` for allgather/broadcast trees, `g − 1` for reduce-scatter
+    /// and pairwise exchange, one per shift round).
+    pub fn message_count(&self) -> f64 {
+        match self {
+            Phase::Allgather { grp, .. } => (grp.size as f64).log2().ceil(),
+            Phase::Bcast { grp, .. } => (grp.size as f64).log2().ceil() + grp.size as f64 - 1.0,
+            Phase::ReduceScatter { grp, .. } => grp.size as f64 - 1.0,
+            Phase::Alltoallv { peers, .. } => *peers as f64,
+            Phase::ShiftRounds { rounds, .. } => *rounds as f64,
+            Phase::CannonOverlap { rounds, .. } => *rounds as f64,
+            Phase::LocalGemm { .. } => 0.0,
+        }
+    }
+}
+
 impl Schedule {
     /// Empty schedule.
     pub fn new() -> Self {
@@ -203,53 +248,14 @@ impl Schedule {
         self.items.push((label.to_owned(), phase));
     }
 
-    /// Predicted bytes *sent* by the modeled rank over the whole schedule —
-    /// the quantity the `msgpass` traffic counters measure. Ring collectives
-    /// send `total·(g−1)/g`; shifts send `rounds · bytes`; alltoallv sends
-    /// its `send_bytes`; scatter+allgather broadcast sends up to
-    /// `2·bytes·(g−1)/g` (at the root).
+    /// Sum of [`Phase::sent_bytes`] over the schedule.
     pub fn sent_bytes(&self) -> f64 {
-        self.items
-            .iter()
-            .map(|(_, ph)| match ph {
-                Phase::Allgather { grp, total_bytes } => frac(grp.size) * total_bytes,
-                Phase::Bcast { grp, bytes } => 2.0 * frac(grp.size) * bytes,
-                Phase::ReduceScatter {
-                    grp, total_bytes, ..
-                } => frac(grp.size) * total_bytes,
-                Phase::Alltoallv { send_bytes, .. } => *send_bytes,
-                Phase::ShiftRounds {
-                    rounds,
-                    bytes_per_round,
-                    ..
-                }
-                | Phase::CannonOverlap {
-                    rounds,
-                    bytes_per_round,
-                    ..
-                } => *rounds as f64 * bytes_per_round,
-                Phase::LocalGemm { .. } => 0.0,
-            })
-            .sum()
+        self.items.iter().map(|(_, ph)| ph.sent_bytes()).sum()
     }
 
-    /// The paper's latency measure `L`: messages sent by the modeled rank,
-    /// using the butterfly-collective counts of §III-D (`log₂ g` for
-    /// allgather/broadcast trees, `g − 1` for reduce-scatter and pairwise
-    /// exchange, one per shift round).
+    /// Sum of [`Phase::message_count`] over the schedule.
     pub fn message_count(&self) -> f64 {
-        self.items
-            .iter()
-            .map(|(_, ph)| match ph {
-                Phase::Allgather { grp, .. } => (grp.size as f64).log2().ceil(),
-                Phase::Bcast { grp, .. } => (grp.size as f64).log2().ceil() + grp.size as f64 - 1.0,
-                Phase::ReduceScatter { grp, .. } => grp.size as f64 - 1.0,
-                Phase::Alltoallv { peers, .. } => *peers as f64,
-                Phase::ShiftRounds { rounds, .. } => *rounds as f64,
-                Phase::CannonOverlap { rounds, .. } => *rounds as f64,
-                Phase::LocalGemm { .. } => 0.0,
-            })
-            .sum()
+        self.items.iter().map(|(_, ph)| ph.message_count()).sum()
     }
 }
 

@@ -1,0 +1,224 @@
+//! The metrics layer's cross-crate guarantees: the log2 size buckets
+//! partition `u64` exactly (property test), and on a real 4-rank CA3DMM run
+//! every redundant view of the traffic — per-phase counters, the rank×rank
+//! communication matrix, the size histograms, the JSON artifact — reconciles
+//! with every other.
+
+use ca3dmm::{Ca3dmm, Ca3dmmOptions};
+use dense::part::Rect;
+use dense::random::global_block;
+use dense::Mat;
+use gridopt::{Grid, Problem};
+use msgpass::metrics::{bucket_label, size_bucket, HIST_BUCKETS};
+use msgpass::{Comm, GatePolicy, RunReport, RunReportDoc, SizeHistogram, World};
+use proptest::prelude::*;
+
+/// Strategy: a `u64` with a uniformly chosen significant-bit count, so
+/// every one of the 65 buckets (including 0 and the open-ended top one) is
+/// exercised rather than only the astronomically large sizes a uniform
+/// `u64` draw would produce.
+fn any_size() -> impl Strategy<Value = u64> {
+    (0usize..65, 0u64..u64::MAX).prop_map(|(bits, raw)| {
+        if bits == 0 {
+            0
+        } else {
+            // Force the top bit so the value has exactly `bits` bits.
+            (raw | (1u64 << 63)) >> (64 - bits)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every `u64` size lands in exactly one bucket, and that bucket's
+    /// stated range actually contains it: bucket 0 is only size 0, bucket
+    /// `k ≥ 1` covers `[2^(k-1), 2^k)`, bucket 64 is open-ended.
+    #[test]
+    fn log2_buckets_partition_u64(size in any_size()) {
+        let b = size_bucket(size);
+        prop_assert!(b < HIST_BUCKETS);
+        if size == 0 {
+            prop_assert_eq!(b, 0);
+        } else {
+            prop_assert!(b >= 1);
+            prop_assert!(size >= 1u64 << (b - 1), "size {size} below bucket {b} floor");
+            if b < 64 {
+                prop_assert!(size < 1u64 << b, "size {size} at or above bucket {b} ceiling");
+            }
+        }
+        // The label machinery must accept every reachable bucket.
+        prop_assert!(!bucket_label(b).is_empty());
+    }
+
+    /// Recording any batch of sizes preserves the totals: bucket counts sum
+    /// to the message count, bytes sum exactly, and the sparse wire form
+    /// (`from_parts`) round-trips the histogram.
+    #[test]
+    fn histogram_totals_reconcile(sizes in proptest::collection::vec(any_size(), 0..64)) {
+        let mut h = SizeHistogram::new();
+        let (mut bytes, mut msgs) = (0u64, 0u64);
+        for &s in &sizes {
+            // Overflow of the u64 byte total is out of scope for real runs
+            // (it would need 16 EiB of traffic); skip sizes that would.
+            let Some(nb) = bytes.checked_add(s) else { continue };
+            h.record(s);
+            bytes = nb;
+            msgs += 1;
+        }
+        prop_assert_eq!(h.msgs, msgs);
+        prop_assert_eq!(h.bytes, bytes);
+        let count_sum: u64 = h.nonzero().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(count_sum, h.msgs);
+        // The sparse wire form round-trips the histogram exactly.
+        let rt = SizeHistogram::from_parts(&h.nonzero(), h.bytes).unwrap();
+        prop_assert_eq!(rt, h);
+    }
+}
+
+#[test]
+fn bucket_edges_are_exact() {
+    assert_eq!(size_bucket(0), 0);
+    assert_eq!(size_bucket(1), 1);
+    assert_eq!(size_bucket(2), 2);
+    assert_eq!(size_bucket(3), 2);
+    assert_eq!(size_bucket(4), 3);
+    assert_eq!(size_bucket((1 << 63) - 1), 63);
+    assert_eq!(size_bucket(1 << 63), 64);
+    assert_eq!(size_bucket(u64::MAX), 64);
+}
+
+/// Runs a real 4-rank CA3DMM multiply with tracing and returns its report.
+fn traced_ca3dmm_run() -> (Ca3dmm, RunReport) {
+    let (m, n, k, p) = (48, 48, 48, 4);
+    let prob = Problem::new(m, n, k, p);
+    let alg = Ca3dmm::new(
+        prob,
+        &Ca3dmmOptions {
+            grid_override: Some(Grid::new(2, 1, 2)),
+            ..Default::default()
+        },
+    );
+    let gc = alg.grid_context();
+    let (la, lb) = (gc.layout_a(), gc.layout_b());
+    let a_full = global_block::<f64>(1, Rect::new(0, 0, m, k));
+    let b_full = global_block::<f64>(2, Rect::new(0, 0, k, n));
+    let (_, report) = World::run_traced(p, |ctx| {
+        let world = Comm::world(ctx);
+        let me = world.rank();
+        let a = la.extract(&a_full, me).into_iter().next();
+        let b = lb.extract(&b_full, me).into_iter().next();
+        let _: Option<Mat<f64>> = alg.multiply_native(ctx, &world, a, b);
+    });
+    (alg, report)
+}
+
+/// On a real CA3DMM run, the communication matrix's row and column sums
+/// must equal the per-phase traffic totals: every byte a rank's phase
+/// counters claim it sent appears in its matrix row, and every sent byte
+/// was received by someone (send columns = recv rows).
+#[test]
+fn comm_matrix_reconciles_with_phase_totals() {
+    let (_, report) = traced_ca3dmm_run();
+    let t = &report.traffic;
+    t.check_consistency().expect("traffic views reconcile");
+
+    let p = t.matrix.ranks();
+    assert_eq!(p, 4);
+    let mut run_sent = 0u64;
+    for r in 0..p {
+        let row_bytes: u64 = (0..p).map(|dst| t.matrix.sent(r, dst).bytes).sum();
+        let row_msgs: u64 = (0..p).map(|dst| t.matrix.sent(r, dst).msgs).sum();
+        let totals = t.rank_total(r);
+        assert_eq!(row_bytes, totals.bytes, "rank {r} send row vs phase totals");
+        assert_eq!(row_msgs, totals.msgs, "rank {r} send msgs");
+        // Recv side: the matrix recv row equals the rank's recv counters.
+        let recv_bytes: u64 = (0..p).map(|src| t.matrix.received(r, src).bytes).sum();
+        assert_eq!(recv_bytes, totals.recv_bytes, "rank {r} recv row");
+        // Send-side column r = what everyone sent *to* r = what r received.
+        let col_bytes: u64 = (0..p).map(|src| t.matrix.sent(src, r).bytes).sum();
+        assert_eq!(col_bytes, recv_bytes, "rank {r} send column vs recv row");
+        run_sent += row_bytes;
+    }
+    assert!(run_sent > 0, "a 4-rank CA3DMM run must communicate");
+    assert_eq!(run_sent, t.total_bytes());
+
+    // Histograms carry the same totals, keyed both ways.
+    let hist_bytes: u64 = t.hist_by_phase.values().map(|h| h.bytes).sum();
+    let algo_bytes: u64 = t.hist_by_algo.values().map(|h| h.bytes).sum();
+    assert_eq!(hist_bytes, run_sent);
+    assert_eq!(algo_bytes, run_sent);
+
+    // Ranks that only receive still show activity (the recv-side counters
+    // exist precisely because send-only accounting hid them).
+    for r in 0..p {
+        let tot = t.rank_total(r);
+        assert!(
+            tot.bytes + tot.recv_bytes > 0,
+            "rank {r} shows no traffic at all"
+        );
+    }
+}
+
+/// The JSON artifact round-trips losslessly enough to gate against itself,
+/// and a perturbed artifact is rejected — either at parse (internal
+/// inconsistency) or by the gate.
+#[test]
+fn run_report_artifact_round_trips_and_gates() {
+    let (alg, report) = traced_ca3dmm_run();
+    let text = report
+        .to_json(alg.report_meta("metrics_report_e2e"))
+        .to_string_pretty();
+    let doc = RunReportDoc::parse(&text).expect("artifact parses");
+    assert_eq!(doc.name(), Some("metrics_report_e2e"));
+    assert_eq!(doc.ranks, 4);
+    assert_eq!(doc.totals.sent_bytes, report.traffic.total_bytes());
+    assert!(
+        doc.critical_path.is_some(),
+        "traced run has a critical path"
+    );
+
+    // Self-gate passes, with and without a time policy.
+    msgpass::report::gate(&doc, &doc, &GatePolicy::default()).expect("self gate");
+    msgpass::report::gate(
+        &doc,
+        &doc,
+        &GatePolicy {
+            max_time_ratio: Some(1.0 + 1e-9),
+            ..Default::default()
+        },
+    )
+    .expect("self gate with time ratio");
+
+    // Dashboard renders every section for a real run.
+    let dash = doc.render_dashboard();
+    for needle in [
+        "RunReport",
+        "communication matrix",
+        "message sizes",
+        "bottleneck",
+    ] {
+        assert!(dash.contains(needle), "dashboard missing {needle:?}");
+    }
+
+    // Perturb the busiest phase's byte count in the raw JSON. The redundant
+    // views disagree afterwards, so either the parser's consistency check
+    // or the gate must reject it — silently passing is the only failure.
+    let busiest = doc
+        .phases
+        .iter()
+        .max_by_key(|ph| ph.sent_bytes)
+        .expect("phases present");
+    let from = format!("\"sent_bytes\": {}", busiest.sent_bytes);
+    let to = format!("\"sent_bytes\": {}", busiest.sent_bytes + 64);
+    let perturbed = text.replacen(&from, &to, 1);
+    assert_ne!(perturbed, text, "perturbation must hit");
+    match RunReportDoc::parse(&perturbed) {
+        Err(_) => {} // internal consistency caught it
+        Ok(bad) => {
+            let errs = msgpass::report::gate(&doc, &bad, &GatePolicy::default())
+                .expect_err("gate must flag perturbed traffic");
+            assert!(!errs.is_empty());
+        }
+    }
+}
