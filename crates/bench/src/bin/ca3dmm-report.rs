@@ -18,9 +18,18 @@
 //!   exit.
 //! * `netdiff` compares a measured run against the §III-D analytic model:
 //!   the problem and grid are reconstructed from the report's own `meta`
-//!   block, priced on [`Machine::uniform`] with the same `ModelConfig` the
-//!   traced fig5 run uses, and joined per phase. Times are structural only
-//!   (thread simulation vs cluster model); byte volumes should agree.
+//!   block and joined per phase. For a wall-clock report the model is
+//!   priced on [`Machine::uniform`] and times are structural only (thread
+//!   simulation vs cluster model). For a **virtual-time** report the model
+//!   is priced on the *same machine and placement the simulation charged*
+//!   (read back from the report's `sim` block, with `overlap: false` —
+//!   the simulator charges shifts sequentially), so both bytes *and*
+//!   seconds are comparable; `--max-bytes-err PCT` / `--max-secs-err PCT`
+//!   turn the worst per-phase relative error into a nonzero exit, which is
+//!   how CI cross-checks the executed simulation against the closed-form
+//!   model. (The model counts one message per Cannon shift round where the
+//!   runtime sends two — A and B separately — so message counts are not
+//!   compared here; bytes are.)
 //! * `gate` is the CI regression gate: deterministic traffic (bytes, msgs,
 //!   matrix cells, histogram buckets) must match the reference **exactly**;
 //!   times are checked only as a ratio when `--time-ratio` is given.
@@ -91,12 +100,21 @@ fn cmd_diff(a_path: &str, b_path: &str, threshold_pct: f64, fail_over: bool) -> 
         (Err(e), _) | (_, Err(e)) => return fail(&e),
     };
     println!(
-        "A = {} ({})\nB = {} ({})\n",
+        "A = {} ({}, {} time)\nB = {} ({}, {} time)\n",
         a_path,
         a.name().unwrap_or("unnamed"),
+        a.time_domain,
         b_path,
-        b.name().unwrap_or("unnamed")
+        b.name().unwrap_or("unnamed"),
+        b.time_domain
     );
+    if a.time_domain != b.time_domain {
+        println!(
+            "WARNING: comparing a {}-time run against a {}-time run; \
+             the seconds columns are not in the same clock\n",
+            a.time_domain, b.time_domain
+        );
+    }
     let diff = diff_reports(&a, &b, threshold_pct);
     print!("{}", diff.render());
     if fail_over && !diff.exceeded().is_empty() {
@@ -105,7 +123,7 @@ fn cmd_diff(a_path: &str, b_path: &str, threshold_pct: f64, fail_over: bool) -> 
     ExitCode::SUCCESS
 }
 
-fn cmd_netdiff(path: &str) -> ExitCode {
+fn cmd_netdiff(path: &str, max_bytes_err: Option<f64>, max_secs_err: Option<f64>) -> ExitCode {
     let doc = match load(path) {
         Ok(d) => d,
         Err(e) => return fail(&e),
@@ -125,16 +143,24 @@ fn cmd_netdiff(path: &str) -> ExitCode {
             doc.ranks, prob.p
         ));
     }
-    // Same model configuration as the traced fig5 run that wrote the
-    // artifact: a uniform machine, pure-MPI placement, f64 payloads,
-    // dual-buffered Cannon, no redistribution (the traced run feeds the
-    // native layouts directly).
-    let machine = Machine::uniform();
-    let placement = machine.pure_mpi();
+    // Wall-clock artifacts: same model configuration as the traced fig5 run
+    // that wrote them — a uniform machine, pure-MPI placement, f64 payloads,
+    // dual-buffered Cannon, no redistribution (the run feeds the native
+    // layouts directly). Virtual-time artifacts: the machine and placement
+    // the simulation itself charged, with `overlap: false` because the
+    // simulator charges every shift round sequentially.
+    let (machine, placement, overlap) = match &doc.sim {
+        Some(sim) => (sim.machine.clone(), sim.placement, false),
+        None => {
+            let m = Machine::uniform();
+            let placement = m.pure_mpi();
+            (m, placement, true)
+        }
+    };
     let cfg = ModelConfig {
         placement,
         elem_bytes: 8.0,
-        overlap: true,
+        overlap,
         include_redist: false,
     };
     let cost = evaluate(
@@ -143,7 +169,7 @@ fn cmd_netdiff(path: &str) -> ExitCode {
         &ca3dmm_schedule(&prob, &grid, &cfg),
     );
     println!(
-        "{} — {}×{}×{} on {} ranks (grid {}×{}×{}) vs analytic model",
+        "{} — {}×{}×{} on {} ranks (grid {}×{}×{}) vs analytic model on {}",
         doc.name().unwrap_or(path),
         prob.m,
         prob.n,
@@ -151,11 +177,54 @@ fn cmd_netdiff(path: &str) -> ExitCode {
         prob.p,
         grid.pm,
         grid.pn,
-        grid.pk
+        grid.pk,
+        machine.name
     );
-    println!("(times are structural only; byte volumes should agree)\n");
+    if doc.sim.is_some() {
+        println!("(virtual-time run: bytes and seconds both comparable to the model)\n");
+    } else {
+        println!("(wall-clock run: times are structural only; byte volumes should agree)\n");
+    }
     let diff = diff_doc_vs_model(&doc, &cost);
     print!("{}", diff.render());
+
+    // Worst per-phase relative error, over phases the model prices.
+    let (mut worst_bytes, mut worst_secs) = (0.0f64, 0.0f64);
+    for ph in &diff.phases {
+        if ph.modeled_bytes > 0.0 {
+            let err = (ph.measured_bytes as f64 - ph.modeled_bytes).abs() / ph.modeled_bytes;
+            worst_bytes = worst_bytes.max(err);
+        }
+        if ph.modeled_s > 0.0 && ph.measured_s > 0.0 {
+            let err = (ph.measured_s - ph.modeled_s).abs() / ph.modeled_s;
+            worst_secs = worst_secs.max(err);
+        }
+    }
+    println!(
+        "\nworst per-phase error: bytes {:.3}%, secs {:.1}%",
+        worst_bytes * 100.0,
+        worst_secs * 100.0
+    );
+    let mut over = Vec::new();
+    if let Some(limit) = max_bytes_err {
+        if worst_bytes * 100.0 > limit {
+            over.push(format!(
+                "bytes error {:.3}% exceeds --max-bytes-err {limit}%",
+                worst_bytes * 100.0
+            ));
+        }
+    }
+    if let Some(limit) = max_secs_err {
+        if worst_secs * 100.0 > limit {
+            over.push(format!(
+                "secs error {:.1}% exceeds --max-secs-err {limit}%",
+                worst_secs * 100.0
+            ));
+        }
+    }
+    if !over.is_empty() {
+        return fail(&over.join("; "));
+    }
     ExitCode::SUCCESS
 }
 
@@ -190,7 +259,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: ca3dmm-report show <report.json>\n\
                  \x20      ca3dmm-report diff <a.json> <b.json> [--threshold PCT] [--fail]\n\
-                 \x20      ca3dmm-report netdiff <report.json>\n\
+                 \x20      ca3dmm-report netdiff <report.json> [--max-bytes-err PCT] [--max-secs-err PCT]\n\
                  \x20      ca3dmm-report gate <reference.json> <subject.json> [--time-ratio R]";
     match args.split_first() {
         Some((cmd, rest)) => match (cmd.as_str(), rest) {
@@ -210,7 +279,28 @@ fn main() -> ExitCode {
                 }
                 cmd_diff(a, b, threshold, fail_over)
             }
-            ("netdiff", [path]) => cmd_netdiff(path),
+            ("netdiff", [path, opts @ ..]) => {
+                let (mut max_bytes_err, mut max_secs_err) = (None, None);
+                let mut it = opts.iter();
+                while let Some(opt) = it.next() {
+                    let value = |v: Option<&String>, name: &str| {
+                        v.and_then(|v| v.parse::<f64>().ok())
+                            .ok_or_else(|| format!("{name} requires a numeric value"))
+                    };
+                    match opt.as_str() {
+                        "--max-bytes-err" => match value(it.next(), "--max-bytes-err") {
+                            Ok(v) => max_bytes_err = Some(v),
+                            Err(e) => return fail(&e),
+                        },
+                        "--max-secs-err" => match value(it.next(), "--max-secs-err") {
+                            Ok(v) => max_secs_err = Some(v),
+                            Err(e) => return fail(&e),
+                        },
+                        other => return fail(&format!("unknown netdiff option {other}")),
+                    }
+                }
+                cmd_netdiff(path, max_bytes_err, max_secs_err)
+            }
             ("gate", [a, b]) => cmd_gate(a, b, None),
             ("gate", [a, b, flag, r]) if flag == "--time-ratio" => match r.parse::<f64>() {
                 Ok(r) => cmd_gate(a, b, Some(r)),

@@ -14,7 +14,7 @@
 //! `idx = i + j·s`.
 
 use crate::msg::{from_msg, to_msg};
-use dense::gemm::{gemm, GemmOp};
+use dense::gemm::{gemm, gemm_flops, GemmOp};
 use dense::{Mat, Scalar};
 use msgpass::{Comm, RankCtx};
 
@@ -22,6 +22,27 @@ use msgpass::{Comm, RankCtx};
 const TAG_A: u64 = 101;
 /// Message tag for B-block movement.
 const TAG_B: u64 = 102;
+
+/// `C += A·B`, charged to the rank's virtual clock. Every local GEMM inside
+/// Cannon goes through here: the flop count is always charged (a no-op in
+/// wall-clock runs), and the kernel itself runs unless a virtual-time run
+/// asked to skip compute (`SimOptions::execute_compute = false`, the
+/// paper-scale configuration where executing ~p·mnk flops on one host would
+/// dwarf the simulation).
+fn charged_gemm<T: Scalar>(ctx: &RankCtx, a: &Mat<T>, b: &Mat<T>, c_out: &mut Mat<T>) {
+    ctx.charge_flops(gemm_flops(a.rows(), b.cols(), a.cols()));
+    if ctx.executes_compute() {
+        gemm(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            T::ONE,
+            a,
+            b,
+            T::ONE,
+            c_out,
+        );
+    }
+}
 
 /// Runs Cannon's algorithm. `a0`/`b0` are this rank's *natural* (skew-free)
 /// blocks — `A(i, j)` and `B(i, j)` in block coordinates; the initial skew
@@ -44,29 +65,13 @@ pub fn cannon<T: Scalar>(
     assert_eq!(group.size(), s * s, "Cannon group must have s^2 ranks");
     assert_eq!(group.rank(), i + j * s, "rank/index mismatch");
     if s == 1 {
-        gemm(
-            GemmOp::NoTrans,
-            GemmOp::NoTrans,
-            T::ONE,
-            &a0,
-            &b0,
-            T::ONE,
-            c_out,
-        );
+        charged_gemm(ctx, &a0, &b0, c_out);
         return;
     }
     let idx = |ii: usize, jj: usize| ii + jj * s;
     let (mut a_cur, mut b_cur) = skew(ctx, group, s, i, j, a0, b0);
     for t in 0..s {
-        gemm(
-            GemmOp::NoTrans,
-            GemmOp::NoTrans,
-            T::ONE,
-            &a_cur,
-            &b_cur,
-            T::ONE,
-            c_out,
-        );
+        charged_gemm(ctx, &a_cur, &b_cur, c_out);
         if t + 1 < s {
             // circular shift: A left by one, B up by one
             let a_dst = idx(i, (j + s - 1) % s);
@@ -137,15 +142,7 @@ pub fn cannon_multi_shift<T: Scalar>(
     assert_eq!(group.size(), s * s, "Cannon group must have s^2 ranks");
     assert_eq!(group.rank(), i + j * s, "rank/index mismatch");
     if s == 1 {
-        gemm(
-            GemmOp::NoTrans,
-            GemmOp::NoTrans,
-            T::ONE,
-            &a0,
-            &b0,
-            T::ONE,
-            c_out,
-        );
+        charged_gemm(ctx, &a0, &b0, c_out);
         return;
     }
     let idx = |ii: usize, jj: usize| ii + jj * s;
@@ -172,7 +169,7 @@ pub fn cannon_multi_shift<T: Scalar>(
         batched_k += a_cur.cols();
         batch.push((a_cur, b_cur));
         if batched_k >= min_k_per_gemm || last {
-            flush_batch(&mut batch, c_out);
+            flush_batch(ctx, &mut batch, c_out);
             batched_k = 0;
         }
         match next {
@@ -188,50 +185,48 @@ pub fn cannon_multi_shift<T: Scalar>(
 
 /// Multiplies the batched `(A, B)` block pairs into `c_out` with one GEMM
 /// (concatenating along k) when there is more than one pair.
-fn flush_batch<T: Scalar>(batch: &mut Vec<(Mat<T>, Mat<T>)>, c_out: &mut Mat<T>) {
+fn flush_batch<T: Scalar>(ctx: &RankCtx, batch: &mut Vec<(Mat<T>, Mat<T>)>, c_out: &mut Mat<T>) {
     match batch.len() {
         0 => {}
         1 => {
             let (a, b) = &batch[0];
-            gemm(
-                GemmOp::NoTrans,
-                GemmOp::NoTrans,
-                T::ONE,
-                a,
-                b,
-                T::ONE,
-                c_out,
-            );
+            charged_gemm(ctx, a, b, c_out);
         }
         _ => {
             let rows = batch[0].0.rows();
             let cols = batch[0].1.cols();
             let k_total: usize = batch.iter().map(|(a, _)| a.cols()).sum();
-            // A blocks concatenate column-wise …
-            let mut a_cat = Mat::zeros(rows, k_total);
-            // … and B blocks row-wise; their k-sub-ranges arrive in the
-            // same circulation order, so offsets line up.
-            let mut b_cat = Mat::zeros(k_total, cols);
-            let mut off = 0usize;
-            for (a, b) in batch.iter() {
-                debug_assert_eq!(a.cols(), b.rows(), "batched pair k mismatch");
-                if !a.is_empty() {
-                    a_cat.set_block(dense::Rect::new(0, off, rows, a.cols()), a);
+            // Charging the concatenated GEMM equals charging each pair
+            // (2·rows·cols·k sums over the k partition), so compute-skipping
+            // runs also skip the concatenation buffers.
+            ctx.charge_flops(gemm_flops(rows, cols, k_total));
+            if ctx.executes_compute() {
+                // A blocks concatenate column-wise …
+                let mut a_cat = Mat::zeros(rows, k_total);
+                // … and B blocks row-wise; their k-sub-ranges arrive in the
+                // same circulation order, so offsets line up.
+                let mut b_cat = Mat::zeros(k_total, cols);
+                let mut off = 0usize;
+                for (a, b) in batch.iter() {
+                    debug_assert_eq!(a.cols(), b.rows(), "batched pair k mismatch");
+                    if !a.is_empty() {
+                        a_cat.set_block(dense::Rect::new(0, off, rows, a.cols()), a);
+                    }
+                    if !b.is_empty() {
+                        b_cat.set_block(dense::Rect::new(off, 0, b.rows(), cols), b);
+                    }
+                    off += a.cols();
                 }
-                if !b.is_empty() {
-                    b_cat.set_block(dense::Rect::new(off, 0, b.rows(), cols), b);
-                }
-                off += a.cols();
+                gemm(
+                    GemmOp::NoTrans,
+                    GemmOp::NoTrans,
+                    T::ONE,
+                    &a_cat,
+                    &b_cat,
+                    T::ONE,
+                    c_out,
+                );
             }
-            gemm(
-                GemmOp::NoTrans,
-                GemmOp::NoTrans,
-                T::ONE,
-                &a_cat,
-                &b_cat,
-                T::ONE,
-                c_out,
-            );
         }
     }
     batch.clear();

@@ -305,6 +305,43 @@ impl Ca3dmm {
         );
         Some(strip)
     }
+
+    /// Runs steps 5–7 under the virtual-time backend
+    /// ([`msgpass::World::run_sim`]): the *same* [`Ca3dmm::multiply_native`]
+    /// closure every wall-clock test executes, but on `P` simulated ranks
+    /// whose sends, receives, and local GEMMs are charged against
+    /// `machine`. This is how the strong-scaling figures run CA3DMM at
+    /// paper-scale process counts (`p` in the thousands) on one host.
+    ///
+    /// Each active rank starts from zero-filled blocks in the native
+    /// layouts — the communication pattern, which is what virtual time
+    /// measures, does not depend on the matrix values. Numerical output is
+    /// therefore meaningless here; use `opts.execute_compute = false` at
+    /// scale to skip the arithmetic entirely (the flops are still charged).
+    pub fn simulate_native(
+        &self,
+        machine: &netmodel::Machine,
+        opts: msgpass::SimOptions,
+    ) -> msgpass::RunReport {
+        let gc = &self.gc;
+        let p = gc.problem().p;
+        let (_, report) = msgpass::World::run_sim(p, machine, opts, |ctx| {
+            let world = Comm::world(ctx);
+            let (a_init, b_init) = if gc.is_active(world.rank()) {
+                let coord = gc.coord_of(world.rank());
+                let ra = gc.a_init(&coord);
+                let rb = gc.b_init(&coord);
+                (
+                    Some(Mat::<f64>::zeros(ra.rows, ra.cols)),
+                    Some(Mat::<f64>::zeros(rb.rows, rb.cols)),
+                )
+            } else {
+                (None, None)
+            };
+            self.multiply_native(ctx, &world, a_init, b_init);
+        });
+        report
+    }
 }
 
 #[cfg(test)]

@@ -98,8 +98,11 @@ pub fn ca3dmm_schedule(prob: &Problem, grid: &Grid, cfg: &ModelConfig) -> Schedu
     let shift_bytes = (g.a_blk + g.b_blk) * eb;
     let flops = 2.0 * g.mb * g.nb * g.kb;
     if g.s > 1 {
+        // The skew round is part of Cannon proper (eq. 10 counts p_s
+        // rounds = 1 skew + s−1 shifts), and the runtime measures it under
+        // "cannon_shift" — so the model prices it under "cannon" too.
         sched.push(
-            "replicate_ab",
+            "cannon",
             Phase::ShiftRounds {
                 grp: cannon_grp,
                 rounds: 1,
@@ -118,7 +121,7 @@ pub fn ca3dmm_schedule(prob: &Problem, grid: &Grid, cfg: &ModelConfig) -> Schedu
             );
         } else {
             sched.push(
-                "replicate_ab",
+                "cannon",
                 Phase::ShiftRounds {
                     grp: cannon_grp,
                     rounds: g.s - 1,

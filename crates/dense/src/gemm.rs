@@ -232,6 +232,15 @@ fn scale_in_place<T: Scalar>(c: &mut Mat<T>, beta: T) {
     }
 }
 
+/// The floating-point operation count of one `m×k · k×n` GEMM — the
+/// standard `2mnk` (one multiply + one add per inner-product term). This is
+/// the quantity a virtual-time run charges its clock with in place of
+/// executing the kernel, so it must stay the *nominal* count, independent
+/// of blocking or threading.
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
 /// `C = alpha * op(A) * op(B) + beta * C`, packed, register-blocked, and
 /// parallel over the persistent [`pool`](crate::pool).
 ///

@@ -102,10 +102,10 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Receiver<T> {
     /// Blocks until a message arrives; fails once all senders are gone and
-    /// the queue is empty. (The fabric's hot path uses
+    /// the queue is empty. The wall-clock fabric uses
     /// [`Receiver::recv_timed`] for wait attribution; this untimed form is
-    /// kept for callers that don't account waits.)
-    #[allow(dead_code)]
+    /// the virtual-time path, where blocked wall seconds are meaningless
+    /// and reading the clock for them would be pure overhead.
     pub fn recv(&self) -> Result<T, RecvError> {
         self.recv_timed().map(|(v, _)| v)
     }

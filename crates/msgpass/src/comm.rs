@@ -68,6 +68,14 @@ pub(crate) struct Envelope {
     /// Payload wire size, carried so the receiver's trace span can report
     /// how much data the matched message delivered.
     pub(crate) bytes: u64,
+    /// Virtual arrival time (sender's clock after the α + β·bytes charge).
+    /// 0.0 in wall-clock runs.
+    pub(crate) arrival: f64,
+    /// Sender's per-rank send sequence number: the explicit program-order
+    /// tie-break when several same-`(src, ctx, tag)` messages are pending,
+    /// which makes virtual-time matching deterministic under any OS
+    /// thread interleaving.
+    pub(crate) seq: u64,
     pub(crate) payload: Box<dyn Any + Send>,
 }
 
@@ -164,11 +172,16 @@ impl Comm {
         ctx.record_send(dst_world, bytes);
         ctx.tracer()
             .begin(SpanKind::Send { peer: dst_world }, bytes);
+        // Under virtual time this charges the sender α + β·bytes and stamps
+        // when the message lands; in wall runs it only bumps the sequence.
+        let (arrival, seq) = ctx.stamp_send(dst_world, bytes);
         let env = Envelope {
             src_world: ctx.world_rank(),
             ctx: self.ctx_id,
             tag,
             bytes,
+            arrival,
+            seq,
             payload: Box::new(payload),
         };
         ctx.fabric.senders[dst_world]
@@ -192,22 +205,48 @@ impl Comm {
         // The recv span covers the whole match — including any blocking
         // wait, which is exactly the time the critical-path analysis needs.
         ctx.tracer().begin(SpanKind::Recv { peer: src_world }, 0);
-        // First look in the pending buffer.
+        // First look in the pending buffer. Among several buffered messages
+        // with the same (src, ctx, tag) key (e.g. ring-collective steps
+        // racing ahead of a slow rank) the one with the smallest sender
+        // sequence number wins — per-sender program order, the tie-break
+        // that keeps virtual-time matching deterministic.
         {
             let mut pending = ctx.pending.borrow_mut();
-            if let Some(pos) = pending
+            let pos = pending
                 .iter()
-                .position(|e| e.src_world == src_world && e.ctx == self.ctx_id && e.tag == tag)
-            {
-                // `remove`, not `swap_remove`: several messages with the
-                // same (src, ctx, tag) key can be buffered at once (e.g.
-                // ring-collective steps racing ahead of a slow rank), and
-                // they must be consumed in arrival order.
+                .enumerate()
+                .filter(|(_, e)| e.src_world == src_world && e.ctx == self.ctx_id && e.tag == tag)
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(i, _)| i);
+            if let Some(pos) = pos {
                 let env = pending.remove(pos);
                 drop(pending);
-                ctx.record_recv(src_world, env.bytes, 0.0);
+                // A buffered message already arrived in wall time (zero
+                // blocked seconds), but in virtual time the rendezvous rule
+                // still applies: completion is max(clock, arrival).
+                let wait = ctx.virtual_recv_wait(env.arrival).unwrap_or(0.0);
+                ctx.record_recv(src_world, env.bytes, wait);
                 ctx.tracer().end(env.bytes);
                 return Self::downcast(env);
+            }
+        }
+        if ctx.is_sim() {
+            // Virtual time: the wall seconds this thread spends parked on
+            // its mailbox are an artifact of OS scheduling (thousands of
+            // rank threads share a few cores) and are discarded; blocked
+            // time is computed from the clock rendezvous instead.
+            loop {
+                let env = ctx
+                    .rx
+                    .recv()
+                    .expect("all senders dropped while waiting for a message");
+                if env.src_world == src_world && env.ctx == self.ctx_id && env.tag == tag {
+                    let waited = ctx.virtual_recv_wait(env.arrival).unwrap_or(0.0);
+                    ctx.record_recv(src_world, env.bytes, waited);
+                    ctx.tracer().end(env.bytes);
+                    return Self::downcast(env);
+                }
+                ctx.pending.borrow_mut().push(env);
             }
         }
         // Then pull from the channel, buffering mismatches. All seconds this

@@ -52,6 +52,7 @@ pub mod collectives;
 pub mod comm;
 pub mod metrics;
 pub mod report;
+pub mod sim;
 pub mod trace;
 pub mod traffic;
 pub mod world;
@@ -59,6 +60,7 @@ pub mod world;
 pub use comm::{Comm, Payload, ReduceElem};
 pub use metrics::{CellCounts, CommMatrix, SizeHistogram};
 pub use report::{GatePolicy, ReportDiff, RunReportDoc};
+pub use sim::{SimInfo, SimOptions};
 pub use trace::{CriticalPathReport, PhaseCritical, Span, SpanKind, Timeline};
 pub use traffic::{PhaseCounts, TrafficReport};
 pub use world::{RankCtx, RunOptions, RunReport, World};

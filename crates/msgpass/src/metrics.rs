@@ -240,6 +240,48 @@ impl CommMatrix {
         m
     }
 
+    /// Rebuilds a matrix from sparse cell lists (the schema-v2 JSON wire
+    /// form): send entries are `(src, dst, counts)`, recv entries are
+    /// `(dst, src, counts)`. Unlisted cells are zero. Callers validate that
+    /// indices are in range when parsing.
+    pub fn from_sparse(
+        p: usize,
+        send: &[(usize, usize, CellCounts)],
+        recv: &[(usize, usize, CellCounts)],
+    ) -> CommMatrix {
+        let mut m = CommMatrix::new(p);
+        for &(src, dst, c) in send {
+            m.send[src * p + dst].add(c);
+        }
+        for &(dst, src, c) in recv {
+            m.recv[dst * p + src].add(c);
+        }
+        m
+    }
+
+    /// Nonzero send-side cells in row-major `(src, dst, counts)` order.
+    /// Cells that carried only zero-byte messages (barriers) still count —
+    /// "nonzero" means any bytes *or* any messages. This is the sparse wire
+    /// form: at p = 3072 the dense `p²` grids are ~75 MB of JSON while the
+    /// populated cells are a few thousand rows.
+    pub fn nonzero_send(&self) -> Vec<(usize, usize, CellCounts)> {
+        self.nonzero(&self.send)
+    }
+
+    /// Nonzero recv-side cells in row-major `(dst, src, counts)` order.
+    pub fn nonzero_recv(&self) -> Vec<(usize, usize, CellCounts)> {
+        self.nonzero(&self.recv)
+    }
+
+    fn nonzero(&self, cells: &[CellCounts]) -> Vec<(usize, usize, CellCounts)> {
+        cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.bytes > 0 || c.msgs > 0)
+            .map(|(i, &c)| (i / self.p, i % self.p, c))
+            .collect()
+    }
+
     /// Send-side cell: what `src` sent toward `dst`.
     pub fn sent(&self, src: usize, dst: usize) -> CellCounts {
         self.send[src * self.p + dst]
@@ -331,6 +373,37 @@ impl CommMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sparse_cells_round_trip() {
+        let mut m = CommMatrix::new(4);
+        m.set_send_row(
+            1,
+            &[
+                CellCounts::default(),
+                CellCounts::default(),
+                CellCounts { bytes: 64, msgs: 2 },
+                CellCounts { bytes: 0, msgs: 1 }, // zero-byte barrier msg
+            ],
+        );
+        m.set_recv_row(
+            2,
+            &[
+                CellCounts::default(),
+                CellCounts { bytes: 64, msgs: 2 },
+                CellCounts::default(),
+                CellCounts::default(),
+            ],
+        );
+        let send = m.nonzero_send();
+        let recv = m.nonzero_recv();
+        assert_eq!(send.len(), 2, "{send:?}");
+        assert_eq!(send[0], (1, 2, CellCounts { bytes: 64, msgs: 2 }));
+        assert_eq!(send[1], (1, 3, CellCounts { bytes: 0, msgs: 1 }));
+        assert_eq!(recv, vec![(2, 1, CellCounts { bytes: 64, msgs: 2 })]);
+        let back = CommMatrix::from_sparse(4, &send, &recv);
+        assert_eq!(back, m);
+    }
 
     #[test]
     fn bucket_boundaries() {

@@ -19,14 +19,24 @@
 //! Wall and wait seconds depend on the host, so they are gated only by a
 //! **ratio** bound when the policy asks for one, and never across machines.
 
-use crate::metrics::{bucket_label, fmt_bytes, CommMatrix, SizeHistogram};
+use crate::metrics::{bucket_label, fmt_bytes, CellCounts, CommMatrix, SizeHistogram};
 use crate::world::RunReport;
 use jsonlite::Json;
+use netmodel::{Machine, Placement};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Version of the RunReport JSON schema this build writes and reads.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version of the RunReport JSON schema this build writes. Version history:
+///
+/// * **v1** — wall-clock only; the comm matrix is four dense `p×p` grids.
+/// * **v2** — adds `time_domain` (`"wall"` or `"virtual"`) and, for
+///   virtual-time runs, a `sim` block (machine, placement, makespan); the
+///   matrix switches to sparse cell lists (dense grids are ~75 MB of JSON
+///   at p = 3072). The parser still reads v1, implying `"wall"`.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`RunReportDoc::parse`] still reads.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// The `kind` discriminator of RunReport documents.
 pub const REPORT_KIND: &str = "ca3dmm_run_report";
@@ -55,10 +65,18 @@ fn hist_json(h: &SizeHistogram) -> Json {
     ])
 }
 
-fn matrix_grid(p: usize, cell: impl Fn(usize, usize) -> u64) -> Json {
+fn sparse_cells(cells: Vec<(usize, usize, CellCounts)>) -> Json {
     Json::Arr(
-        (0..p)
-            .map(|i| Json::Arr((0..p).map(|j| num_u(cell(i, j))).collect()))
+        cells
+            .into_iter()
+            .map(|(row, col, c)| {
+                Json::Arr(vec![
+                    num_u(row as u64),
+                    num_u(col as u64),
+                    num_u(c.bytes),
+                    num_u(c.msgs),
+                ])
+            })
             .collect(),
     )
 }
@@ -96,9 +114,7 @@ impl RunReport {
         let hists = |m: &BTreeMap<String, SizeHistogram>| {
             Json::Obj(m.iter().map(|(k, h)| (k.clone(), hist_json(h))).collect())
         };
-        let critical_path = if self.timeline.is_empty() {
-            Json::Null
-        } else {
+        let critical_path = if !self.timeline.is_empty() {
             Json::Arr(
                 self.timeline
                     .critical_path()
@@ -116,10 +132,70 @@ impl RunReport {
                     })
                     .collect(),
             )
+        } else if self.sim.is_some() {
+            // Virtual-time runs carry no event trace (spans would measure
+            // the meaningless wall clock), but the per-rank virtual phase
+            // clocks determine the critical path exactly: the slowest rank
+            // of each phase, with its blocked (rendezvous) seconds as the
+            // communication share.
+            Json::Arr(
+                t.phases()
+                    .into_iter()
+                    .map(|ph| {
+                        let (crit_rank, crit_secs) =
+                            (0..p).map(|r| (r, t.phase_secs(r, &ph))).fold(
+                                (0, f64::MIN),
+                                |best, cur| {
+                                    if cur.1 > best.1 {
+                                        cur
+                                    } else {
+                                        best
+                                    }
+                                },
+                            );
+                        let active: Vec<f64> = (0..p)
+                            .map(|r| t.phase_secs(r, &ph))
+                            .filter(|&s| s > 0.0)
+                            .collect();
+                        let mean_secs = if active.is_empty() {
+                            0.0
+                        } else {
+                            active.iter().sum::<f64>() / active.len() as f64
+                        };
+                        let comm_secs = t.wait_secs(crit_rank, &ph);
+                        Json::obj([
+                            ("phase", Json::Str(ph.clone())),
+                            ("crit_secs", num_f(crit_secs)),
+                            ("crit_rank", num_u(crit_rank as u64)),
+                            ("comm_secs", num_f(comm_secs)),
+                            ("comp_secs", num_f(crit_secs - comm_secs)),
+                            ("mean_secs", num_f(mean_secs)),
+                        ])
+                    })
+                    .collect(),
+            )
+        } else {
+            Json::Null
+        };
+        let sim_block = match &self.sim {
+            None => Json::Null,
+            Some(s) => Json::obj([
+                ("machine", s.machine.to_json()),
+                ("placement", s.placement.to_json()),
+                ("execute_compute", Json::Bool(s.execute_compute)),
+                ("makespan_secs", num_f(s.makespan_secs)),
+            ]),
+        };
+        let time_domain = if self.sim.is_some() {
+            "virtual"
+        } else {
+            "wall"
         };
         Json::obj([
             ("schema_version", num_u(SCHEMA_VERSION)),
             ("kind", Json::Str(REPORT_KIND.to_owned())),
+            ("time_domain", Json::Str(time_domain.to_owned())),
+            ("sim", sim_block),
             ("meta", meta),
             (
                 "machine",
@@ -153,19 +229,9 @@ impl RunReport {
             (
                 "matrix",
                 Json::obj([
-                    (
-                        "send_bytes",
-                        matrix_grid(p, |i, j| t.matrix.sent(i, j).bytes),
-                    ),
-                    ("send_msgs", matrix_grid(p, |i, j| t.matrix.sent(i, j).msgs)),
-                    (
-                        "recv_bytes",
-                        matrix_grid(p, |i, j| t.matrix.received(i, j).bytes),
-                    ),
-                    (
-                        "recv_msgs",
-                        matrix_grid(p, |i, j| t.matrix.received(i, j).msgs),
-                    ),
+                    ("format", Json::Str("sparse".to_owned())),
+                    ("send", sparse_cells(t.matrix.nonzero_send())),
+                    ("recv", sparse_cells(t.matrix.nonzero_recv())),
                 ]),
             ),
             (
@@ -244,12 +310,33 @@ pub struct Totals {
     pub max_rank_msgs: u64,
 }
 
+/// The parsed `sim` block of a virtual-time report: what machine the run
+/// was simulated on. Lets `ca3dmm-report netdiff` price the analytic model
+/// on the same machine the measurement used.
+#[derive(Clone, Debug)]
+pub struct SimBlock {
+    /// The machine model the run was charged against.
+    pub machine: Machine,
+    /// The rank→node placement used.
+    pub placement: Placement,
+    /// Whether local GEMMs were actually executed.
+    pub execute_compute: bool,
+    /// Virtual makespan (largest rank clock at exit), seconds.
+    pub makespan_secs: f64,
+}
+
 /// A parsed, shape-validated RunReport document.
 #[derive(Clone, Debug)]
 pub struct RunReportDoc {
-    /// Schema version the file declared (always [`SCHEMA_VERSION`] after a
-    /// successful parse).
+    /// Schema version the file declared (between [`MIN_SCHEMA_VERSION`] and
+    /// [`SCHEMA_VERSION`] after a successful parse).
     pub schema_version: u64,
+    /// `"wall"` or `"virtual"` — which clock the report's seconds are in.
+    /// Schema-v1 files imply `"wall"`.
+    pub time_domain: String,
+    /// The simulation block (`Some` exactly when `time_domain` is
+    /// `"virtual"`).
+    pub sim: Option<SimBlock>,
     /// Caller-provided context, verbatim.
     pub meta: Json,
     /// Machine block, verbatim (arch, os, parallelism).
@@ -325,6 +412,41 @@ fn parse_grid(v: &Json, p: usize, what: &str) -> Result<Vec<Vec<u64>>, String> {
         .collect()
 }
 
+/// Parses one sparse cell list: an array of `[row, col, bytes, msgs]`
+/// quads with both indices in `0..p`.
+fn parse_sparse_cells(
+    v: &Json,
+    p: usize,
+    what: &str,
+) -> Result<Vec<(usize, usize, CellCounts)>, String> {
+    v.as_arr()
+        .ok_or_else(|| format!("{what} is not an array"))?
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let quad = e
+                .as_arr()
+                .filter(|a| a.len() == 4)
+                .ok_or_else(|| format!("{what}[{i}] is not a [row, col, bytes, msgs] quad"))?;
+            let row = want_u64(&quad[0], &format!("{what}[{i}] row"))? as usize;
+            let col = want_u64(&quad[1], &format!("{what}[{i}] col"))? as usize;
+            if row >= p || col >= p {
+                return Err(format!(
+                    "{what}[{i}] indexes rank ({row},{col}) beyond p={p}"
+                ));
+            }
+            Ok((
+                row,
+                col,
+                CellCounts {
+                    bytes: want_u64(&quad[2], &format!("{what}[{i}] bytes"))?,
+                    msgs: want_u64(&quad[3], &format!("{what}[{i}] msgs"))?,
+                },
+            ))
+        })
+        .collect()
+}
+
 fn parse_hists(v: &Json, what: &str) -> Result<BTreeMap<String, SizeHistogram>, String> {
     let obj = v
         .as_obj()
@@ -372,9 +494,10 @@ impl RunReportDoc {
     pub fn parse(text: &str) -> Result<RunReportDoc, String> {
         let doc = Json::parse(text).map_err(|e| e.to_string())?;
         let version = field_u64(&doc, "schema_version", "report")?;
-        if version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "unsupported schema_version {version} (this build reads {SCHEMA_VERSION})"
+                "unsupported schema_version {version} (this build reads \
+                 {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             ));
         }
         let kind = field(&doc, "kind", "report")?
@@ -382,6 +505,38 @@ impl RunReportDoc {
             .ok_or("kind is not a string")?;
         if kind != REPORT_KIND {
             return Err(format!("kind {kind:?} is not {REPORT_KIND:?}"));
+        }
+        // v1 predates the field and was always wall time.
+        let time_domain = match doc.get("time_domain") {
+            None => "wall".to_owned(),
+            Some(v) => {
+                let s = v.as_str().ok_or("time_domain is not a string")?;
+                if s != "wall" && s != "virtual" {
+                    return Err(format!(
+                        "time_domain {s:?} is neither \"wall\" nor \"virtual\""
+                    ));
+                }
+                s.to_owned()
+            }
+        };
+        let sim = match doc.get("sim") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(SimBlock {
+                machine: Machine::from_json(field(v, "machine", "sim")?)
+                    .map_err(|e| format!("sim.machine: {e}"))?,
+                placement: Placement::from_json(field(v, "placement", "sim")?)
+                    .map_err(|e| format!("sim.placement: {e}"))?,
+                execute_compute: field(v, "execute_compute", "sim")?
+                    .as_bool()
+                    .ok_or("sim.execute_compute is not a boolean")?,
+                makespan_secs: field_f64(v, "makespan_secs", "sim")?,
+            }),
+        };
+        if (time_domain == "virtual") != sim.is_some() {
+            return Err(format!(
+                "time_domain {time_domain:?} disagrees with the sim block being {}",
+                if sim.is_some() { "present" } else { "absent" }
+            ));
         }
         let ranks = field_u64(&doc, "ranks", "report")? as usize;
         if ranks == 0 {
@@ -422,19 +577,27 @@ impl RunReportDoc {
         };
 
         let mj = field(&doc, "matrix", "report")?;
-        let sb = parse_grid(
-            field(mj, "send_bytes", "matrix")?,
-            ranks,
-            "matrix.send_bytes",
-        )?;
-        let sm = parse_grid(field(mj, "send_msgs", "matrix")?, ranks, "matrix.send_msgs")?;
-        let rb = parse_grid(
-            field(mj, "recv_bytes", "matrix")?,
-            ranks,
-            "matrix.recv_bytes",
-        )?;
-        let rm = parse_grid(field(mj, "recv_msgs", "matrix")?, ranks, "matrix.recv_msgs")?;
-        let matrix = CommMatrix::from_grids(&sb, &sm, &rb, &rm);
+        let matrix = if mj.get("send").is_some() {
+            // v2 sparse cell lists.
+            let send = parse_sparse_cells(field(mj, "send", "matrix")?, ranks, "matrix.send")?;
+            let recv = parse_sparse_cells(field(mj, "recv", "matrix")?, ranks, "matrix.recv")?;
+            CommMatrix::from_sparse(ranks, &send, &recv)
+        } else {
+            // v1 dense p×p grids.
+            let sb = parse_grid(
+                field(mj, "send_bytes", "matrix")?,
+                ranks,
+                "matrix.send_bytes",
+            )?;
+            let sm = parse_grid(field(mj, "send_msgs", "matrix")?, ranks, "matrix.send_msgs")?;
+            let rb = parse_grid(
+                field(mj, "recv_bytes", "matrix")?,
+                ranks,
+                "matrix.recv_bytes",
+            )?;
+            let rm = parse_grid(field(mj, "recv_msgs", "matrix")?, ranks, "matrix.recv_msgs")?;
+            CommMatrix::from_grids(&sb, &sm, &rb, &rm)
+        };
 
         let hj = field(&doc, "histograms", "report")?;
         let hist_by_phase =
@@ -491,6 +654,8 @@ impl RunReportDoc {
 
         let parsed = RunReportDoc {
             schema_version: version,
+            time_domain,
+            sim,
             meta: field(&doc, "meta", "report")?.clone(),
             machine: field(&doc, "machine", "report")?.clone(),
             ranks,
@@ -563,9 +728,23 @@ impl RunReportDoc {
         let os = self.machine.get("os").and_then(Json::as_str).unwrap_or("?");
         let _ = writeln!(
             out,
-            "RunReport {name} · schema v{} · {} ranks · {arch}/{os}",
-            self.schema_version, self.ranks
+            "RunReport {name} · schema v{} · {} ranks · {arch}/{os} · {} time",
+            self.schema_version, self.ranks, self.time_domain
         );
+        if let Some(sim) = &self.sim {
+            let _ = writeln!(
+                out,
+                "VIRTUAL-TIME RUN: simulated on {} · {} ranks/node · makespan {:.6} s · compute {}",
+                sim.machine.name,
+                sim.placement.ranks_per_node,
+                sim.makespan_secs,
+                if sim.execute_compute {
+                    "executed"
+                } else {
+                    "charged only"
+                }
+            );
+        }
         let _ = writeln!(
             out,
             "totals: {} sent in {} msgs · busiest rank {} / {} msgs\n",
@@ -823,6 +1002,14 @@ pub fn gate(
     policy: &GatePolicy,
 ) -> Result<(), Vec<String>> {
     let mut errs = Vec::new();
+    if reference.time_domain != subject.time_domain {
+        errs.push(format!(
+            "time_domain: reference {:?} vs subject {:?} — a wall-clock run must never be \
+             gated against a virtual-time run",
+            reference.time_domain, subject.time_domain
+        ));
+        return Err(errs);
+    }
     if reference.ranks != subject.ranks {
         errs.push(format!(
             "ranks: reference {} vs subject {}",
@@ -1098,6 +1285,73 @@ mod tests {
         ]);
         let e = RunReportDoc::parse(&wrong_version.to_string()).unwrap_err();
         assert!(e.contains("schema_version"), "{e}");
+    }
+
+    #[test]
+    fn virtual_report_round_trips_with_sim_block() {
+        let machine = netmodel::Machine::uniform();
+        let (_, report) = World::run_sim(2, &machine, crate::SimOptions::default(), |ctx| {
+            let comm = Comm::world(ctx);
+            ctx.set_phase("pp");
+            if comm.rank() == 0 {
+                comm.send(ctx, 1, 0, vec![1.0f64; 64]);
+                let _: Vec<f64> = comm.recv(ctx, 1, 1);
+            } else {
+                let v: Vec<f64> = comm.recv(ctx, 0, 0);
+                comm.send(ctx, 0, 1, v);
+            }
+        });
+        let sim = report.sim.as_ref().expect("sim info");
+        assert!(sim.makespan_secs > 0.0);
+        let text = report
+            .to_json(Json::obj([("name", Json::Str("sim-pp".into()))]))
+            .to_string_pretty();
+        let doc = RunReportDoc::parse(&text).expect("virtual report parses");
+        assert_eq!(doc.time_domain, "virtual");
+        let block = doc.sim.as_ref().expect("sim block survives the round trip");
+        assert_eq!(block.machine.name, "uniform");
+        assert_eq!(block.makespan_secs, sim.makespan_secs);
+        // Untraced, but the virtual clocks synthesize a critical path.
+        let cp = doc
+            .critical_path
+            .as_ref()
+            .expect("synthesized critical path");
+        assert!(cp.iter().any(|c| c.phase == "pp" && c.crit_secs > 0.0));
+        assert_eq!(doc.matrix.sent(0, 1).bytes, 512);
+    }
+
+    #[test]
+    fn v1_dense_report_still_parses_as_wall() {
+        // A minimal hand-built schema-v1 document: no time_domain, no sim,
+        // dense matrix grids. Older committed references must stay readable.
+        let v1 = r#"{
+            "schema_version": 1,
+            "kind": "ca3dmm_run_report",
+            "meta": {"name": "legacy"},
+            "machine": {"arch": "x86_64", "os": "linux"},
+            "ranks": 1,
+            "phases": [],
+            "totals": {"sent_bytes": 0, "sent_msgs": 0,
+                       "max_rank_bytes": 0, "max_rank_msgs": 0},
+            "matrix": {"send_bytes": [[0]], "send_msgs": [[0]],
+                       "recv_bytes": [[0]], "recv_msgs": [[0]]},
+            "histograms": {"by_phase": {}, "by_algo": {}},
+            "wait_per_rank": [{}],
+            "critical_path": null
+        }"#;
+        let doc = RunReportDoc::parse(v1).expect("v1 parses");
+        assert_eq!(doc.schema_version, 1);
+        assert_eq!(doc.time_domain, "wall");
+        assert!(doc.sim.is_none());
+    }
+
+    #[test]
+    fn gate_refuses_cross_domain_comparison() {
+        let wall = sample_doc();
+        let mut fake_virtual = wall.clone();
+        fake_virtual.time_domain = "virtual".to_owned();
+        let errs = gate(&wall, &fake_virtual, &GatePolicy::default()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("time_domain")), "{errs:?}");
     }
 
     #[test]

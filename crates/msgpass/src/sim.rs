@@ -1,0 +1,164 @@
+//! Virtual-time execution: the same rank closures [`crate::World::run`]
+//! executes on OS threads, re-timed under a [`netmodel::Machine`] instead of
+//! the wall clock.
+//!
+//! # How it works
+//!
+//! [`crate::World::run_sim`] spawns the `p` rank threads exactly as a wall
+//! run does — the program under test is *executed*, not interpreted — but
+//! every rank carries a **virtual clock** (seconds since run start) that
+//! advances only when the machine model says time passes:
+//!
+//! * **send** charges the sender `α + β·bytes` (intra- or inter-node α/β
+//!   picked by the placement's node structure) and stamps the message with
+//!   its virtual **arrival time** (the sender's clock after the charge);
+//! * **recv** completes at `max(receiver clock, arrival)`; the excess over
+//!   the receiver's clock is recorded as that rank's *virtual* blocked time
+//!   (the wall seconds the thread spends parked on its mailbox are
+//!   meaningless — the OS interleaves thousands of rank threads);
+//! * **compute** is charged explicitly: the dense-GEMM call sites invoke
+//!   [`crate::RankCtx::charge_flops`], which advances the clock by
+//!   `flops / flops_per_rank` (γ). When [`SimOptions::execute_compute`] is
+//!   false the arithmetic itself is skipped entirely, so paper-scale runs
+//!   cost seconds instead of hours;
+//! * everything else (local bookkeeping, buffer packing, rank arithmetic)
+//!   is **free** — virtual time models the network and the GEMM rate only.
+//!
+//! Collectives need no special handling: every collective in this runtime is
+//! built algorithmically on the same send/recv primitives, so their virtual
+//! cost emerges from the messages they actually exchange.
+//!
+//! # Determinism
+//!
+//! Virtual timestamps are bit-reproducible regardless of how the OS
+//! schedules the threads: each rank's clock is touched only by its own
+//! thread in program order; arrival stamps are computed by the sender before
+//! the message enters the fabric; message matching is keyed by exact
+//! `(source, communicator, tag)` with same-key messages consumed in
+//! per-sender program order (`Envelope::seq`). Two runs with the same
+//! program, machine, and placement therefore produce byte-identical
+//! `RunReport` artifacts.
+
+use crate::world::{RunOptions, RunReport, World};
+use crate::RankCtx;
+use netmodel::{Machine, Placement};
+use std::sync::Arc;
+
+/// Options for [`World::run_sim`].
+#[derive(Clone, Debug)]
+pub struct SimOptions {
+    /// How virtual ranks map onto nodes (and the per-rank GEMM rate). When
+    /// `None`, the machine's pure-MPI placement (one rank per core) is used.
+    pub placement: Option<Placement>,
+    /// Actually perform local GEMMs (so results are numerically checkable).
+    /// Set to `false` for paper-scale runs where only the timing and
+    /// traffic matter: the virtual γ·flops charge is identical either way,
+    /// but the real arithmetic is skipped.
+    pub execute_compute: bool,
+    /// Stack size per rank thread — see [`RunOptions::stack_size`].
+    pub stack_size: usize,
+    /// Kernel threads per rank for executed GEMMs — see
+    /// [`RunOptions::kernel_threads_per_rank`].
+    pub kernel_threads_per_rank: Option<usize>,
+}
+
+impl Default for SimOptions {
+    fn default() -> SimOptions {
+        SimOptions {
+            placement: None,
+            execute_compute: true,
+            stack_size: RunOptions::DEFAULT_STACK_SIZE,
+            kernel_threads_per_rank: None,
+        }
+    }
+}
+
+/// What a virtual-time run ran on — embedded in the [`RunReport`] (and its
+/// schema-v2 JSON `sim` block) so downstream tooling can re-price the
+/// analytic model on the same machine.
+#[derive(Clone, Debug)]
+pub struct SimInfo {
+    /// The machine model the run was charged against.
+    pub machine: Machine,
+    /// The rank→node placement used.
+    pub placement: Placement,
+    /// Whether local GEMMs were actually executed.
+    pub execute_compute: bool,
+    /// Virtual makespan: the largest rank clock at rank exit, seconds.
+    pub makespan_secs: f64,
+}
+
+/// Resolved per-run charging parameters, shared by every rank. Scalars only:
+/// α/β are pre-resolved to one intra-node and one inter-node pair so the
+/// per-message charge is a branch and a multiply-add, even at p = 3072.
+pub(crate) struct SimParams {
+    pub(crate) machine: Machine,
+    pub(crate) placement: Placement,
+    pub(crate) execute_compute: bool,
+    alpha_intra: f64,
+    alpha_inter: f64,
+    beta_intra: f64,
+    /// Inverse inter-node bandwidth at the placement's full link share
+    /// (`ranks_per_node` concurrent senders — the steady state of the bulk
+    /// phases this backend exists to time).
+    beta_inter: f64,
+    ranks_per_node: usize,
+}
+
+impl SimParams {
+    pub(crate) fn new(machine: &Machine, placement: Placement, execute_compute: bool) -> SimParams {
+        let rpn = placement.ranks_per_node.max(1);
+        SimParams {
+            alpha_intra: machine.alpha_intra,
+            alpha_inter: machine.alpha_inter,
+            beta_intra: machine.beta_intra,
+            beta_inter: machine.beta_inter(rpn as f64),
+            ranks_per_node: rpn,
+            machine: machine.clone(),
+            placement,
+            execute_compute,
+        }
+    }
+
+    /// α + β·bytes for one message between two world ranks, α/β picked by
+    /// whether the placement puts them on the same node.
+    pub(crate) fn transfer_secs(&self, src_world: usize, dst_world: usize, bytes: u64) -> f64 {
+        if src_world / self.ranks_per_node == dst_world / self.ranks_per_node {
+            self.alpha_intra + self.beta_intra * bytes as f64
+        } else {
+            self.alpha_inter + self.beta_inter * bytes as f64
+        }
+    }
+
+    /// γ: seconds of local compute for `flops` floating-point operations.
+    pub(crate) fn compute_secs(&self, flops: f64) -> f64 {
+        flops / self.placement.flops_per_rank
+    }
+}
+
+impl World {
+    /// Runs `f` on `p` *virtual* ranks under `machine`, charging virtual
+    /// time for every message and every [`RankCtx::charge_flops`] call; the
+    /// returned [`RunReport`] carries phase times, wait attribution, and
+    /// critical path in **virtual seconds** (`RunReport::sim` is set, and
+    /// the JSON artifact says `"time_domain": "virtual"`).
+    ///
+    /// The closure is the *same* closure a wall-clock [`World::run`] takes;
+    /// programs need no changes beyond routing their GEMM calls through
+    /// [`RankCtx::charge_flops`] / [`RankCtx::executes_compute`] if they
+    /// want compute charged (communication-only programs need nothing).
+    pub fn run_sim<R, F>(p: usize, machine: &Machine, opts: SimOptions, f: F) -> (Vec<R>, RunReport)
+    where
+        R: Send,
+        F: Fn(&RankCtx) -> R + Sync,
+    {
+        let placement = opts.placement.unwrap_or_else(|| machine.pure_mpi());
+        let params = Arc::new(SimParams::new(machine, placement, opts.execute_compute));
+        let run_opts = RunOptions {
+            trace: false,
+            kernel_threads_per_rank: opts.kernel_threads_per_rank,
+            stack_size: opts.stack_size,
+        };
+        World::run_inner(p, run_opts, Some(params), f)
+    }
+}

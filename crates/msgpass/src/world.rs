@@ -4,6 +4,7 @@ use crate::chan::{channel, Receiver, Sender};
 use crate::comm::Envelope;
 use crate::lock_mutex;
 use crate::metrics::{CommMatrix, SizeHistogram};
+use crate::sim::{SimInfo, SimParams};
 use crate::trace::{RawEvent, Recorder, SpanKind, Timeline};
 use crate::traffic::{RankTraffic, TrafficReport};
 use std::cell::{Cell, RefCell};
@@ -21,7 +22,7 @@ pub(crate) struct Fabric {
 }
 
 /// Options for [`World::run_opts`].
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct RunOptions {
     /// Record a begin/end event for every phase region, point-to-point
     /// send/recv, and collective, and assemble them into
@@ -35,9 +36,28 @@ pub struct RunOptions {
     /// 16-core host gives every rank one kernel thread instead of 16 ranks
     /// × 16 threads of oversubscription.
     pub kernel_threads_per_rank: Option<usize>,
+    /// Stack size of each rank thread, bytes. The platform default (often
+    /// 8 MiB) would reserve gigabytes of address space at the virtual-rank
+    /// counts the sim backend runs (p = 3072 ⇒ 24 GiB), so rank threads use
+    /// a small explicit stack instead; rank closures keep bulk data on the
+    /// heap (`Mat`, `Vec`), so [`RunOptions::DEFAULT_STACK_SIZE`] is ample.
+    pub stack_size: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            trace: false,
+            kernel_threads_per_rank: None,
+            stack_size: RunOptions::DEFAULT_STACK_SIZE,
+        }
+    }
 }
 
 impl RunOptions {
+    /// Default per-rank stack: 1 MiB.
+    pub const DEFAULT_STACK_SIZE: usize = 1 << 20;
+
     /// Options with event tracing enabled.
     pub fn traced() -> RunOptions {
         RunOptions {
@@ -54,10 +74,14 @@ impl RunOptions {
 /// `(results, TrafficReport)` return type keeps working unchanged.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
-    /// Per-rank, per-phase bytes/messages and wall seconds.
+    /// Per-rank, per-phase bytes/messages and seconds — wall seconds for
+    /// ordinary runs, **virtual** seconds for [`World::run_sim`] runs.
     pub traffic: TrafficReport,
     /// Per-rank span timeline (empty unless tracing was enabled).
     pub timeline: Timeline,
+    /// Set when this report came from a virtual-time run: the machine,
+    /// placement, and virtual makespan. `None` means wall time.
+    pub sim: Option<SimInfo>,
 }
 
 impl Deref for RunReport {
@@ -84,6 +108,16 @@ pub struct RankCtx {
     /// Wall-clock of the current phase's start (for the per-phase timing
     /// report).
     phase_started: Cell<Instant>,
+    /// Virtual-time charging parameters (`None` in wall-clock runs, where
+    /// every sim hook reduces to an untaken branch).
+    sim: Option<Arc<SimParams>>,
+    /// This rank's virtual clock, seconds since run start (sim runs only).
+    clock: Cell<f64>,
+    /// Virtual clock at the current phase's start (sim runs only).
+    phase_started_v: Cell<f64>,
+    /// Monotonic per-rank send counter; stamps [`Envelope::seq`] so
+    /// same-key message matching has an explicit program-order tie-break.
+    send_seq: Cell<u64>,
     /// Monotonic counter used to derive child communicator contexts.
     pub(crate) ctx_seq: Cell<u64>,
     /// Per-rank trace event recorder (no-op unless the run is traced).
@@ -128,12 +162,18 @@ impl RankCtx {
         *self.phase.borrow_mut() = phase.to_owned();
     }
 
-    /// Accumulates elapsed wall time into the current phase and restarts
-    /// the phase clock. Called on phase switches and at rank exit.
+    /// Accumulates elapsed time into the current phase and restarts the
+    /// phase clock. Called on phase switches and at rank exit. Wall runs
+    /// use the monotonic clock; sim runs use the rank's virtual clock, so
+    /// the per-phase seconds report is in the run's own time domain.
     fn flush_phase_time(&self, now: Instant) {
-        let elapsed = now
-            .duration_since(self.phase_started.replace(now))
-            .as_secs_f64();
+        let elapsed = if self.sim.is_some() {
+            let c = self.clock.get();
+            c - self.phase_started_v.replace(c)
+        } else {
+            now.duration_since(self.phase_started.replace(now))
+                .as_secs_f64()
+        };
         let label = self.phase.borrow().clone();
         if !label.is_empty() {
             *lock_mutex(&self.fabric.times[self.world_rank])
@@ -156,6 +196,64 @@ impl RankCtx {
     /// The current phase label.
     pub fn phase(&self) -> String {
         self.phase.borrow().clone()
+    }
+
+    /// True when this rank runs under virtual time ([`World::run_sim`]).
+    pub fn is_sim(&self) -> bool {
+        self.sim.is_some()
+    }
+
+    /// This rank's virtual clock, seconds since run start. `None` in
+    /// wall-clock runs.
+    pub fn virtual_secs(&self) -> Option<f64> {
+        self.sim.as_ref().map(|_| self.clock.get())
+    }
+
+    /// Charges `flops` floating-point operations of local compute to this
+    /// rank's virtual clock (γ·flops). A no-op in wall-clock runs, where
+    /// compute costs what it costs. Compute-heavy call sites (the dense
+    /// GEMM path) call this *instead of* doing the arithmetic when
+    /// [`RankCtx::executes_compute`] is false.
+    pub fn charge_flops(&self, flops: f64) {
+        if let Some(sim) = &self.sim {
+            self.clock.set(self.clock.get() + sim.compute_secs(flops));
+        }
+    }
+
+    /// Whether compute kernels should actually run. Always true in
+    /// wall-clock runs; in sim runs it follows
+    /// [`crate::sim::SimOptions::execute_compute`].
+    pub fn executes_compute(&self) -> bool {
+        self.sim.as_ref().is_none_or(|s| s.execute_compute)
+    }
+
+    /// Stamps one outgoing message: bumps the per-rank send sequence and,
+    /// under virtual time, charges the sender α + β·bytes and returns the
+    /// message's virtual arrival time (the sender's clock after the
+    /// charge). Wall runs return arrival 0.0.
+    pub(crate) fn stamp_send(&self, dst_world: usize, bytes: u64) -> (f64, u64) {
+        let seq = self.send_seq.get();
+        self.send_seq.set(seq + 1);
+        let arrival = match &self.sim {
+            Some(sim) => {
+                let t = self.clock.get() + sim.transfer_secs(self.world_rank, dst_world, bytes);
+                self.clock.set(t);
+                t
+            }
+            None => 0.0,
+        };
+        (arrival, seq)
+    }
+
+    /// Virtual-time rendezvous for a matched message: the recv completes at
+    /// `max(own clock, arrival)`; advances the clock there and returns the
+    /// virtual seconds this rank was blocked. `None` in wall-clock runs.
+    pub(crate) fn virtual_recv_wait(&self, arrival: f64) -> Option<f64> {
+        self.sim.as_ref()?;
+        let now = self.clock.get();
+        let done = now.max(arrival);
+        self.clock.set(done);
+        Some(done - now)
     }
 
     pub(crate) fn record_send(&self, dst_world: usize, bytes: u64) {
@@ -246,6 +344,21 @@ impl World {
         R: Send,
         F: Fn(&RankCtx) -> R + Sync,
     {
+        Self::run_inner(p, opts, None, f)
+    }
+
+    /// Shared engine behind [`World::run_opts`] (wall time, `sim` = `None`)
+    /// and [`World::run_sim`] (virtual time, `sim` = charging parameters).
+    pub(crate) fn run_inner<R, F>(
+        p: usize,
+        opts: RunOptions,
+        sim: Option<Arc<SimParams>>,
+        f: F,
+    ) -> (Vec<R>, RunReport)
+    where
+        R: Send,
+        F: Fn(&RankCtx) -> R + Sync,
+    {
         assert!(p > 0, "world size must be positive");
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
@@ -266,42 +379,55 @@ impl World {
             .kernel_threads_per_rank
             .map_or_else(|| dense::pool::rank_threads_for(p), |n| n.max(1));
 
-        let (results, streams): (Vec<R>, Vec<Vec<RawEvent>>) = std::thread::scope(|s| {
+        let mut results = Vec::with_capacity(p);
+        let mut streams = Vec::with_capacity(p);
+        let mut clocks = Vec::with_capacity(p);
+        std::thread::scope(|s| {
             let handles: Vec<_> = receivers
                 .into_iter()
                 .enumerate()
                 .map(|(rank, rx)| {
                     let fabric = Arc::clone(&fabric);
+                    let sim = sim.clone();
                     let f = &f;
-                    s.spawn(move || {
-                        // Cap this rank's local-GEMM parallelism so the
-                        // world's ranks together stay within the host's
-                        // kernel-thread budget (the cap is thread-local and
-                        // this thread is fresh, so it cannot leak).
-                        dense::pool::set_rank_gemm_threads(Some(kernel_threads));
-                        let ctx = RankCtx {
-                            world_rank: rank,
-                            world_size: p,
-                            fabric,
-                            rx,
-                            pending: RefCell::new(Vec::new()),
-                            phase: RefCell::new(String::new()),
-                            phase_started: Cell::new(Instant::now()),
-                            ctx_seq: Cell::new(0),
-                            recorder: Recorder::new(opts.trace, epoch),
-                            coll: Cell::new(None),
-                        };
-                        let out = f(&ctx);
-                        let events = ctx.finish();
-                        (out, events)
-                    })
+                    std::thread::Builder::new()
+                        .stack_size(opts.stack_size.max(64 * 1024))
+                        .spawn_scoped(s, move || {
+                            // Cap this rank's local-GEMM parallelism so the
+                            // world's ranks together stay within the host's
+                            // kernel-thread budget (the cap is thread-local
+                            // and this thread is fresh, so it cannot leak).
+                            dense::pool::set_rank_gemm_threads(Some(kernel_threads));
+                            let ctx = RankCtx {
+                                world_rank: rank,
+                                world_size: p,
+                                fabric,
+                                rx,
+                                pending: RefCell::new(Vec::new()),
+                                phase: RefCell::new(String::new()),
+                                phase_started: Cell::new(Instant::now()),
+                                sim,
+                                clock: Cell::new(0.0),
+                                phase_started_v: Cell::new(0.0),
+                                send_seq: Cell::new(0),
+                                ctx_seq: Cell::new(0),
+                                recorder: Recorder::new(opts.trace, epoch),
+                                coll: Cell::new(None),
+                            };
+                            let out = f(&ctx);
+                            let events = ctx.finish();
+                            (out, events, ctx.clock.get())
+                        })
+                        .expect("failed to spawn rank thread")
                 })
                 .collect();
-            handles
-                .into_iter()
-                .enumerate()
-                .map(|(rank, h)| match h.join() {
-                    Ok(r) => r,
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok((out, events, clock)) => {
+                        results.push(out);
+                        streams.push(events);
+                        clocks.push(clock);
+                    }
                     Err(e) => {
                         let msg = e
                             .downcast_ref::<String>()
@@ -310,8 +436,8 @@ impl World {
                             .unwrap_or("<non-string panic>");
                         panic!("rank {rank} panicked: {msg}")
                     }
-                })
-                .unzip()
+                }
+            }
         });
 
         let mut per_rank = Vec::with_capacity(p);
@@ -345,7 +471,20 @@ impl World {
         } else {
             Timeline::empty(p)
         };
-        (results, RunReport { traffic, timeline })
+        let sim_info = sim.map(|params| SimInfo {
+            machine: params.machine.clone(),
+            placement: params.placement,
+            execute_compute: params.execute_compute,
+            makespan_secs: clocks.iter().copied().fold(0.0, f64::max),
+        });
+        (
+            results,
+            RunReport {
+                traffic,
+                timeline,
+                sim: sim_info,
+            },
+        )
     }
 }
 

@@ -9,4 +9,11 @@ for b in fig3_strong_scaling fig4_hybrid fig5_breakdown table1_memory \
   cargo run --release -q -p bench --bin $b > results/$b.txt
 done
 cargo run --release -q --example grid_explorer > results/grid_explorer.txt
+# Executed (virtual-time) strong scaling; also refreshes the schema-v2
+# RunReport that CI's sim-smoke job gates exactly. Deterministic: the
+# regenerated artifact only changes when the algorithm's traffic or the
+# machine model does.
+echo "== fig3_sim"
+cargo run --release -q -p bench --bin fig3_sim -- \
+  --report-out results/REPORT_fig3_sim.json > results/fig3_sim.txt
 echo "done; artifacts in results/"

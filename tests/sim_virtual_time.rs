@@ -1,0 +1,189 @@
+//! End-to-end guarantees of the virtual-time backend (`msgpass::sim`):
+//!
+//! * a 2-rank ping-pong's virtual makespan equals the closed-form
+//!   `2·(α + β·bytes)` — the base charging rule, checked exactly;
+//! * virtual timestamps are deterministic: two simulations of the same
+//!   CA3DMM problem produce **byte-identical** `RunReport` JSON artifacts,
+//!   regardless of how the OS interleaves the rank threads (property test
+//!   over random problems);
+//! * the simulated executor is still the real executor: CA3DMM at p = 768
+//!   virtual ranks with compute executed produces the same numbers as a
+//!   serial GEMM;
+//! * wait attribution is in *virtual* seconds: an imbalanced 4-rank run
+//!   (one rank computes while three wait) shows the imbalance as nonzero
+//!   wait% in its dashboard.
+
+use ca3dmm::{Ca3dmm, Ca3dmmOptions};
+use dense::gemm::{gemm_naive, GemmOp};
+use dense::part::Rect;
+use dense::random::global_block;
+use dense::testing::assert_gemm_close;
+use dense::Mat;
+use gridopt::Problem;
+use jsonlite::Json;
+use layout::Layout;
+use msgpass::{Comm, RunReportDoc, SimOptions, World};
+use netmodel::Machine;
+use proptest::prelude::*;
+
+/// Ping-pong between two ranks: the makespan must be exactly two one-way
+/// transfer times, and each rank's blocked time exactly one. The uniform
+/// machine places one rank per node, so both messages price as inter-node:
+/// `α = 1 µs`, `β = 1 ns/B` at full single-rank bandwidth.
+#[test]
+fn ping_pong_matches_closed_form() {
+    const ELEMS: usize = 64;
+    let bytes = (ELEMS * std::mem::size_of::<f64>()) as f64;
+    let machine = Machine::uniform();
+    let one_way = machine.alpha_inter + machine.beta_inter(1.0) * bytes;
+
+    let (_, report) = World::run_sim(2, &machine, SimOptions::default(), |ctx| {
+        let comm = Comm::world(ctx);
+        ctx.set_phase("pp");
+        if comm.rank() == 0 {
+            comm.send(ctx, 1, 0, vec![1.0f64; ELEMS]);
+            let _: Vec<f64> = comm.recv(ctx, 1, 1);
+        } else {
+            let v: Vec<f64> = comm.recv(ctx, 0, 0);
+            comm.send(ctx, 0, 1, v);
+        }
+    });
+
+    let sim = report.sim.as_ref().expect("sim info");
+    assert_eq!(sim.makespan_secs, 2.0 * one_way, "makespan = 2(α + β·n)");
+    // Rank 1 blocks from virtual 0 until the request arrives at `one_way`;
+    // rank 0 blocks from `one_way` until the reply arrives at `2·one_way`.
+    assert_eq!(report.traffic.wait_secs(1, "pp"), one_way);
+    assert_eq!(report.traffic.wait_secs(0, "pp"), one_way);
+}
+
+/// CA3DMM executed on 768 virtual ranks (with the local GEMMs actually
+/// performed) must equal the serial reference — the sim backend runs the
+/// real algorithm, it does not approximate it.
+#[test]
+fn ca3dmm_at_p768_sim_matches_serial_gemm() {
+    let (m, n, k, p) = (96, 96, 192, 768);
+    let a_full = global_block::<f64>(1, Rect::new(0, 0, m, k));
+    let b_full = global_block::<f64>(2, Rect::new(0, 0, k, n));
+    let a_layout = Layout::one_d_col(m, k, p);
+    let b_layout = Layout::one_d_col(k, n, p);
+    let c_layout = Layout::one_d_col(m, n, p);
+    let mm = Ca3dmm::new(Problem::new(m, n, k, p), &Ca3dmmOptions::default());
+
+    let machine = Machine::phoenix_cpu();
+    let (parts, report) = World::run_sim(p, &machine, SimOptions::default(), |ctx| {
+        let world = Comm::world(ctx);
+        let me = world.rank();
+        let a_blocks = a_layout.extract(&a_full, me);
+        let b_blocks = b_layout.extract(&b_full, me);
+        mm.multiply(
+            ctx,
+            &world,
+            GemmOp::NoTrans,
+            &a_layout,
+            &a_blocks,
+            GemmOp::NoTrans,
+            &b_layout,
+            &b_blocks,
+            &c_layout,
+        )
+    });
+
+    let mut c_ref = Mat::zeros(m, n);
+    gemm_naive(
+        GemmOp::NoTrans,
+        GemmOp::NoTrans,
+        1.0,
+        &a_full,
+        &b_full,
+        0.0,
+        &mut c_ref,
+    );
+    assert_gemm_close(&c_layout.assemble(&parts), &c_ref, k, "sim p=768");
+
+    let sim = report.sim.as_ref().expect("sim info");
+    assert!(sim.execute_compute);
+    assert!(sim.makespan_secs > 0.0);
+    // Compute was charged, not just executed: virtual time includes γ·flops.
+    let gemm_secs = 2.0 * (m * n * k) as f64
+        / sim.placement.flops_per_rank
+        / (report.traffic.per_rank.len() as f64);
+    assert!(sim.makespan_secs > gemm_secs / 2.0);
+}
+
+/// An imbalanced 4-rank run — rank 0 charges a long local compute before
+/// releasing the others — must attribute the idle ranks' time to *virtual*
+/// wait, visible as nonzero wait% in the parsed artifact and its dashboard.
+#[test]
+fn imbalanced_sim_shows_virtual_wait() {
+    let machine = Machine::uniform();
+    let (_, report) = World::run_sim(4, &machine, SimOptions::default(), |ctx| {
+        let comm = Comm::world(ctx);
+        ctx.set_phase("imbalance");
+        if comm.rank() == 0 {
+            ctx.charge_flops(1e9); // 1 virtual second on the uniform machine
+            for dst in 1..4 {
+                comm.send(ctx, dst, 7, vec![0u8; 8]);
+            }
+        } else {
+            let _: Vec<u8> = comm.recv(ctx, 0, 7);
+        }
+    });
+    let text = report
+        .to_json(Json::obj([("name", Json::Str("imbalance".into()))]))
+        .to_string_pretty();
+    let doc = RunReportDoc::parse(&text).expect("artifact parses");
+    assert_eq!(doc.time_domain, "virtual");
+    let row = doc
+        .phases
+        .iter()
+        .find(|r| r.phase == "imbalance")
+        .expect("phase row");
+    assert!(
+        row.wait_max > 0.9,
+        "idle ranks blocked ~1 virtual second, got {}",
+        row.wait_max
+    );
+    assert!(row.secs_max >= row.wait_max);
+
+    let dash = doc.render_dashboard();
+    assert!(dash.contains("virtual time"), "{dash}");
+    let line = dash
+        .lines()
+        .find(|l| l.starts_with("imbalance"))
+        .expect("dashboard phase line");
+    assert!(
+        !line.trim_end().ends_with(" 0.0%"),
+        "wait%% must be nonzero: {line}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Determinism: simulating the same problem twice yields byte-identical
+    /// artifacts, for arbitrary problem shapes (and therefore arbitrary
+    /// grids, group structures, and message interleavings).
+    #[test]
+    fn sim_artifacts_are_byte_identical(
+        m in 8usize..48,
+        n in 8usize..48,
+        k in 8usize..64,
+        p in 2usize..24,
+    ) {
+        let machine = Machine::phoenix_cpu();
+        let alg = Ca3dmm::new(Problem::new(m, n, k, p), &Ca3dmmOptions::default());
+        let run = || {
+            let report = alg.simulate_native(
+                &machine,
+                SimOptions {
+                    execute_compute: false,
+                    ..Default::default()
+                },
+            );
+            report.to_json(alg.report_meta("determinism")).to_string_pretty()
+        };
+        let (first, second) = (run(), run());
+        prop_assert_eq!(first, second);
+    }
+}
