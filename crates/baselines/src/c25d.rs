@@ -270,6 +270,9 @@ impl C25d {
                     grp: NetGroup::strided(s * s, s.min(rpn.max(1)), rpn),
                     rounds: steps, // offset skew + steps-1 shifts
                     bytes_per_round: (mb * kbs + kbs * nb) * elem_bytes,
+                    // the canonical 2.5D shift moves A and B in one
+                    // combined exchange per round
+                    msgs_per_round: 1,
                 },
             );
         }

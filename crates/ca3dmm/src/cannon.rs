@@ -13,15 +13,20 @@
 //! The group communicator indexes ranks in column-major order,
 //! `idx = i + j·s`.
 
-use crate::msg::{from_msg, to_msg};
+use crate::msg::{from_msg, to_msg, SharedBlock};
 use dense::gemm::{gemm, gemm_flops, GemmOp};
 use dense::{Mat, Scalar};
-use msgpass::{Comm, RankCtx};
+use msgpass::{Comm, RankCtx, RecvReq};
+use std::sync::Arc;
 
 /// Message tag for A-block movement.
 const TAG_A: u64 = 101;
 /// Message tag for B-block movement.
 const TAG_B: u64 = 102;
+
+/// One round's `(A, B)` blocks, shared with any in-flight shift of the same
+/// buffers.
+type BlockPair<T> = (Arc<Mat<T>>, Arc<Mat<T>>);
 
 /// `C += A·B`, charged to the rank's virtual clock. Every local GEMM inside
 /// Cannon goes through here: the flop count is always charged (a no-op in
@@ -84,6 +89,63 @@ pub fn cannon<T: Scalar>(
     }
 }
 
+/// [`cannon`] with the §III-F communication/computation overlap: a
+/// double-buffered pipeline on nonblocking point-to-point. Each round
+/// posts the irecvs and isends for round *t+1* **before** running the
+/// round-*t* GEMM, then waits — on real threads the shift proceeds while
+/// the kernel runs, and under virtual time the round is charged
+/// `max(compute, shift)` instead of their sum (the model's
+/// `CannonConfig::overlap` pricing). The initial skew keeps its blocking
+/// path: nothing can overlap it.
+///
+/// Blocks travel as [`SharedBlock`]s, so the isend of the block the GEMM
+/// is reading costs one `Arc` refcount bump, and the received block is
+/// adopted without copying. Results are bitwise identical to [`cannon`]:
+/// the same blocks meet in the same GEMM order.
+#[allow(clippy::too_many_arguments)]
+pub fn cannon_overlapped<T: Scalar>(
+    ctx: &RankCtx,
+    group: &Comm,
+    s: usize,
+    i: usize,
+    j: usize,
+    a0: Mat<T>,
+    b0: Mat<T>,
+    c_out: &mut Mat<T>,
+) {
+    assert_eq!(group.size(), s * s, "Cannon group must have s^2 ranks");
+    assert_eq!(group.rank(), i + j * s, "rank/index mismatch");
+    if s == 1 {
+        charged_gemm(ctx, &a0, &b0, c_out);
+        return;
+    }
+    let idx = |ii: usize, jj: usize| ii + jj * s;
+    let (a_skewed, b_skewed) = skew(ctx, group, s, i, j, a0, b0);
+    let (mut a_cur, mut b_cur) = (Arc::new(a_skewed), Arc::new(b_skewed));
+    let (a_dst, a_src) = (idx(i, (j + s - 1) % s), idx(i, (j + 1) % s));
+    let (b_dst, b_src) = (idx((i + s - 1) % s, j), idx((i + 1) % s, j));
+    for t in 0..s {
+        if t + 1 < s {
+            // Post round-(t+1): receives first, then the sends (which only
+            // bump refcounts — the GEMM below reads the same buffers the
+            // "NIC" is shipping).
+            let ra = group.irecv::<SharedBlock<T>>(ctx, a_src, TAG_A);
+            let rb = group.irecv::<SharedBlock<T>>(ctx, b_src, TAG_B);
+            group
+                .isend(ctx, a_dst, TAG_A, SharedBlock(Arc::clone(&a_cur)))
+                .wait();
+            group
+                .isend(ctx, b_dst, TAG_B, SharedBlock(Arc::clone(&b_cur)))
+                .wait();
+            charged_gemm(ctx, &a_cur, &b_cur, c_out);
+            a_cur = ra.wait(ctx).0;
+            b_cur = rb.wait(ctx).0;
+        } else {
+            charged_gemm(ctx, &a_cur, &b_cur, c_out);
+        }
+    }
+}
+
 /// The initial skew: A(i, j) moves left by `i`, B(i, j) up by `j`.
 fn skew<T: Scalar>(
     ctx: &RankCtx,
@@ -124,6 +186,12 @@ fn skew<T: Scalar>(
 /// `min_k_per_gemm = 0` disables batching. Communication is unchanged —
 /// the same `s` rounds move the same bytes; only the GEMM granularity
 /// changes.
+///
+/// `overlap` selects the §III-F pipeline ([`cannon_overlapped`]-style:
+/// post round *t+1*, flush the round-*t* batch, then wait) versus the
+/// blocking reference (each shift completes before the flush). Either way
+/// blocks circulate as [`SharedBlock`]s — the batch and the send share one
+/// allocation via `Arc`, so no round deep-copies a block.
 #[allow(clippy::too_many_arguments)]
 pub fn cannon_multi_shift<T: Scalar>(
     ctx: &RankCtx,
@@ -135,9 +203,14 @@ pub fn cannon_multi_shift<T: Scalar>(
     b0: Mat<T>,
     c_out: &mut Mat<T>,
     min_k_per_gemm: usize,
+    overlap: bool,
 ) {
     if min_k_per_gemm == 0 {
-        return cannon(ctx, group, s, i, j, a0, b0, c_out);
+        return if overlap {
+            cannon_overlapped(ctx, group, s, i, j, a0, b0, c_out)
+        } else {
+            cannon(ctx, group, s, i, j, a0, b0, c_out)
+        };
     }
     assert_eq!(group.size(), s * s, "Cannon group must have s^2 ranks");
     assert_eq!(group.rank(), i + j * s, "rank/index mismatch");
@@ -146,25 +219,45 @@ pub fn cannon_multi_shift<T: Scalar>(
         return;
     }
     let idx = |ii: usize, jj: usize| ii + jj * s;
-    let (mut a_cur, mut b_cur) = skew(ctx, group, s, i, j, a0, b0);
+    let (a_skewed, b_skewed) = skew(ctx, group, s, i, j, a0, b0);
+    let (mut a_cur, mut b_cur) = (Arc::new(a_skewed), Arc::new(b_skewed));
+    let (a_dst, a_src) = (idx(i, (j + s - 1) % s), idx(i, (j + 1) % s));
+    let (b_dst, b_src) = (idx((i + s - 1) % s, j), idx((i + 1) % s, j));
 
-    let mut batch: Vec<(Mat<T>, Mat<T>)> = Vec::new();
+    /// Round-(t+1) blocks between their shift being issued and the round-t
+    /// flush: already here (blocking mode) or still in flight (overlap).
+    enum Next<T: Scalar> {
+        Ready(Arc<Mat<T>>, Arc<Mat<T>>),
+        Posted(RecvReq<SharedBlock<T>>, RecvReq<SharedBlock<T>>),
+    }
+
+    let mut batch: Vec<BlockPair<T>> = Vec::new();
     let mut batched_k = 0usize;
     for t in 0..s {
         let last = t + 1 == s;
-        // Forward the current blocks first (communication is identical to
-        // plain Cannon — batching only changes GEMM granularity), keeping
-        // a copy in the batch.
+        // Issue the shift first (communication is identical to plain
+        // Cannon — batching only changes GEMM granularity); the batch and
+        // the outgoing message share the block through its `Arc`.
         let next = if last {
             None
+        } else if overlap {
+            let ra = group.irecv::<SharedBlock<T>>(ctx, a_src, TAG_A);
+            let rb = group.irecv::<SharedBlock<T>>(ctx, b_src, TAG_B);
+            group
+                .isend(ctx, a_dst, TAG_A, SharedBlock(Arc::clone(&a_cur)))
+                .wait();
+            group
+                .isend(ctx, b_dst, TAG_B, SharedBlock(Arc::clone(&b_cur)))
+                .wait();
+            Some(Next::Posted(ra, rb))
         } else {
-            let a_dst = idx(i, (j + s - 1) % s);
-            let a_src = idx(i, (j + 1) % s);
-            let b_dst = idx((i + s - 1) % s, j);
-            let b_src = idx((i + 1) % s, j);
-            let a_next = from_msg(group.sendrecv(ctx, a_dst, a_src, TAG_A, to_msg(a_cur.clone())));
-            let b_next = from_msg(group.sendrecv(ctx, b_dst, b_src, TAG_B, to_msg(b_cur.clone())));
-            Some((a_next, b_next))
+            let a_next = group
+                .sendrecv(ctx, a_dst, a_src, TAG_A, SharedBlock(Arc::clone(&a_cur)))
+                .0;
+            let b_next = group
+                .sendrecv(ctx, b_dst, b_src, TAG_B, SharedBlock(Arc::clone(&b_cur)))
+                .0;
+            Some(Next::Ready(a_next, b_next))
         };
         batched_k += a_cur.cols();
         batch.push((a_cur, b_cur));
@@ -173,9 +266,13 @@ pub fn cannon_multi_shift<T: Scalar>(
             batched_k = 0;
         }
         match next {
-            Some((a, b)) => {
+            Some(Next::Ready(a, b)) => {
                 a_cur = a;
                 b_cur = b;
+            }
+            Some(Next::Posted(ra, rb)) => {
+                a_cur = ra.wait(ctx).0;
+                b_cur = rb.wait(ctx).0;
             }
             None => break,
         }
@@ -185,7 +282,7 @@ pub fn cannon_multi_shift<T: Scalar>(
 
 /// Multiplies the batched `(A, B)` block pairs into `c_out` with one GEMM
 /// (concatenating along k) when there is more than one pair.
-fn flush_batch<T: Scalar>(ctx: &RankCtx, batch: &mut Vec<(Mat<T>, Mat<T>)>, c_out: &mut Mat<T>) {
+fn flush_batch<T: Scalar>(ctx: &RankCtx, batch: &mut Vec<BlockPair<T>>, c_out: &mut Mat<T>) {
     match batch.len() {
         0 => {}
         1 => {
@@ -346,8 +443,9 @@ mod tests {
     }
 
     /// Multi-shift batching must give bit-compatible results to plain
-    /// Cannon up to summation-order rounding, for every threshold.
-    fn check_multi_shift(m: usize, n: usize, k: usize, s: usize, min_k: usize) {
+    /// Cannon up to summation-order rounding, for every threshold — in
+    /// both the blocking and the overlapped pipeline.
+    fn check_multi_shift(m: usize, n: usize, k: usize, s: usize, min_k: usize, overlap: bool) {
         let results = World::run(s * s, |ctx| {
             let comm = Comm::world(ctx);
             let me = comm.rank();
@@ -359,7 +457,7 @@ mod tests {
             let a = global_block::<f64>(1, Rect::new(r0, ka0, r1 - r0, ka1 - ka0));
             let b = global_block::<f64>(2, Rect::new(kb0, c0, kb1 - kb0, c1 - c0));
             let mut c = Mat::zeros(r1 - r0, c1 - c0);
-            cannon_multi_shift(ctx, &comm, s, i, j, a, b, &mut c, min_k);
+            cannon_multi_shift(ctx, &comm, s, i, j, a, b, &mut c, min_k, overlap);
             (i, j, c)
         });
         let a_full = global_block::<f64>(1, Rect::new(0, 0, m, k));
@@ -392,15 +490,18 @@ mod tests {
         // thin k per block (12/3 = 4): batch 2 blocks (min_k 8), all blocks
         // (min_k 100), or none (min_k 1, flushes every block)
         for min_k in [1usize, 4, 8, 100] {
-            check_multi_shift(9, 9, 12, 3, min_k);
+            check_multi_shift(9, 9, 12, 3, min_k, false);
+            check_multi_shift(9, 9, 12, 3, min_k, true);
         }
     }
 
     #[test]
     fn multi_shift_uneven_blocks() {
         for min_k in [5usize, 64] {
-            check_multi_shift(10, 11, 13, 3, min_k);
-            check_multi_shift(7, 9, 17, 4, min_k);
+            for overlap in [false, true] {
+                check_multi_shift(10, 11, 13, 3, min_k, overlap);
+                check_multi_shift(7, 9, 17, 4, min_k, overlap);
+            }
         }
     }
 
@@ -422,7 +523,7 @@ mod tests {
                 let a = global_block::<f64>(1, Rect::new(r0, ka0, r1 - r0, ka1 - ka0));
                 let b = global_block::<f64>(2, Rect::new(kb0, c0, kb1 - kb0, c1 - c0));
                 let mut c = Mat::zeros(r1 - r0, c1 - c0);
-                cannon_multi_shift(ctx, &comm, s, i, j, a, b, &mut c, min_k);
+                cannon_multi_shift(ctx, &comm, s, i, j, a, b, &mut c, min_k, false);
             });
             report.max_rank_bytes()
         };

@@ -44,6 +44,11 @@ pub struct PhaseDiff {
     pub measured_bytes: u64,
     /// The model's predicted sent bytes for the maximally loaded rank.
     pub modeled_bytes: f64,
+    /// Measured messages sent by the maximally loaded rank in this phase
+    /// (0 when the artifact predates the field).
+    pub measured_msgs: u64,
+    /// The model's predicted message count (the paper's per-phase `L`).
+    pub modeled_msgs: f64,
 }
 
 impl PhaseDiff {
@@ -58,6 +63,14 @@ impl PhaseDiff {
     /// tests pin this ratio near 1.
     pub fn bytes_ratio(&self) -> f64 {
         self.measured_bytes as f64 / self.modeled_bytes
+    }
+
+    /// `measured / modeled` messages; `NAN` when the model predicts zero.
+    /// Like bytes, message counts are deterministic — the tolerance only
+    /// absorbs collectives whose implementation (ring) differs from the
+    /// model's butterfly count.
+    pub fn msgs_ratio(&self) -> f64 {
+        self.measured_msgs as f64 / self.modeled_msgs
     }
 }
 
@@ -102,28 +115,50 @@ impl ModelDiffReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<16} {:>14} {:>14} {:>8} {:>14} {:>14} {:>8}",
-            "phase", "measured (s)", "modeled (s)", "ratio", "meas (B)", "model (B)", "B ratio"
+            "{:<16} {:>14} {:>14} {:>8} {:>14} {:>14} {:>8} {:>9} {:>9} {:>8}",
+            "phase",
+            "measured (s)",
+            "modeled (s)",
+            "ratio",
+            "meas (B)",
+            "model (B)",
+            "B ratio",
+            "meas (L)",
+            "model (L)",
+            "L ratio"
         );
         for p in &self.phases {
             let _ = writeln!(
                 out,
-                "{:<16} {:>14.6} {:>14.6} {:>8.2} {:>14} {:>14.0} {:>8.2}",
+                "{:<16} {:>14.6} {:>14.6} {:>8.2} {:>14} {:>14.0} {:>8.2} {:>9} {:>9.0} {:>8.2}",
                 p.phase,
                 p.measured_s,
                 p.modeled_s,
                 p.ratio(),
                 p.measured_bytes,
                 p.modeled_bytes,
-                p.bytes_ratio()
+                p.bytes_ratio(),
+                p.measured_msgs,
+                p.modeled_msgs,
+                p.msgs_ratio()
             );
         }
         let meas_bytes: u64 = self.phases.iter().map(|p| p.measured_bytes).sum();
         let model_bytes: f64 = self.phases.iter().map(|p| p.modeled_bytes).sum();
+        let meas_msgs: u64 = self.phases.iter().map(|p| p.measured_msgs).sum();
+        let model_msgs: f64 = self.phases.iter().map(|p| p.modeled_msgs).sum();
         let _ = writeln!(
             out,
-            "{:<16} {:>14.6} {:>14.6} {:>8} {:>14} {:>14.0}",
-            "total", self.measured_total_s, self.modeled_total_s, "", meas_bytes, model_bytes
+            "{:<16} {:>14.6} {:>14.6} {:>8} {:>14} {:>14.0} {:>8} {:>9} {:>9.0}",
+            "total",
+            self.measured_total_s,
+            self.modeled_total_s,
+            "",
+            meas_bytes,
+            model_bytes,
+            "",
+            meas_msgs,
+            model_msgs
         );
         if let (Some(m), Some(p)) = (self.measured_bottleneck(), self.modeled_bottleneck()) {
             let _ = writeln!(
@@ -179,12 +214,19 @@ pub fn diff_model_vs_measured(report: &RunReport, cost: &CostReport) -> ModelDif
                 .filter(|p| model_phase_label(p) == label)
                 .map(|p| report.traffic.phase_bytes_max(p))
                 .sum();
+            let measured_msgs: u64 = runtime_phases
+                .iter()
+                .filter(|p| model_phase_label(p) == label)
+                .map(|p| report.traffic.phase_msgs_max(p))
+                .sum();
             PhaseDiff {
                 modeled_s: cost.label_s(&label),
                 modeled_bytes: cost.label_bytes(&label),
+                modeled_msgs: cost.label_msgs(&label),
                 phase: label,
                 measured_s,
                 measured_bytes,
+                measured_msgs,
             }
         })
         .collect();
@@ -217,17 +259,20 @@ pub fn diff_doc_vs_model(doc: &RunReportDoc, cost: &CostReport) -> ModelDiffRepo
                 .phases
                 .iter()
                 .filter(|r| model_phase_label(&r.phase) == label);
-            let (mut measured_s, mut measured_bytes) = (0.0, 0u64);
+            let (mut measured_s, mut measured_bytes, mut measured_msgs) = (0.0, 0u64, 0u64);
             for r in rows {
                 measured_s += r.secs_max;
                 measured_bytes += r.max_rank_sent_bytes;
+                measured_msgs += r.max_rank_sent_msgs;
             }
             PhaseDiff {
                 modeled_s: cost.label_s(&label),
                 modeled_bytes: cost.label_bytes(&label),
+                modeled_msgs: cost.label_msgs(&label),
                 phase: label,
                 measured_s,
                 measured_bytes,
+                measured_msgs,
             }
         })
         .collect();
@@ -363,6 +408,8 @@ mod tests {
             assert_eq!(a.phase, b.phase);
             assert_eq!(a.measured_bytes, b.measured_bytes, "phase {}", a.phase);
             assert_eq!(a.modeled_bytes, b.modeled_bytes);
+            assert_eq!(a.measured_msgs, b.measured_msgs, "phase {}", a.phase);
+            assert_eq!(a.modeled_msgs, b.modeled_msgs);
         }
         // The model's per-phase byte volumes should track the measured
         // maximally-loaded rank for the traffic-bearing stages.
@@ -379,5 +426,17 @@ mod tests {
             }
         }
         assert!(offline.render().contains("B ratio"));
+        assert!(offline.render().contains("L ratio"));
+        // The cannon message tier is exact: 2 messages per skew/shift round.
+        let cannon = live
+            .phases
+            .iter()
+            .find(|p| p.phase == "cannon")
+            .expect("cannon phase");
+        assert_eq!(
+            cannon.measured_msgs as f64, cannon.modeled_msgs,
+            "cannon L: measured {} modeled {}",
+            cannon.measured_msgs, cannon.modeled_msgs
+        );
     }
 }

@@ -22,6 +22,10 @@ pub struct Ca3dmmOptions {
     /// §III-F multi-shift batching: when the Cannon blocks' k-extent is
     /// below this, several shifts feed one local GEMM. 0 disables.
     pub multi_shift_min_k: usize,
+    /// §III-F communication/computation overlap: run the Cannon shifts as
+    /// a double-buffered nonblocking pipeline (default). `false` is the
+    /// blocking ablation — every shift completes before its GEMM starts.
+    pub overlap: bool,
 }
 
 impl Default for Ca3dmmOptions {
@@ -30,6 +34,7 @@ impl Default for Ca3dmmOptions {
             grid_override: None,
             utilization_floor: gridopt::DEFAULT_UTILIZATION_FLOOR,
             multi_shift_min_k: 0,
+            overlap: true,
         }
     }
 }
@@ -56,6 +61,7 @@ pub struct RunStats {
 pub struct Ca3dmm {
     gc: GridContext,
     multi_shift_min_k: usize,
+    overlap: bool,
 }
 
 impl Ca3dmm {
@@ -72,6 +78,7 @@ impl Ca3dmm {
         Ca3dmm {
             gc: GridContext::new(prob, grid),
             multi_shift_min_k: opts.multi_shift_min_k,
+            overlap: opts.overlap,
         }
     }
 
@@ -94,6 +101,7 @@ impl Ca3dmm {
             ("n", jsonlite::Json::Num(prob.n as f64)),
             ("k", jsonlite::Json::Num(prob.k as f64)),
             ("p", jsonlite::Json::Num(prob.p as f64)),
+            ("overlap", jsonlite::Json::Bool(self.overlap)),
             (
                 "grid",
                 jsonlite::Json::obj([
@@ -292,6 +300,7 @@ impl Ca3dmm {
             b_full,
             &mut c_partial,
             self.multi_shift_min_k,
+            self.overlap,
         );
 
         // Step 7: reduce the pk partial results.

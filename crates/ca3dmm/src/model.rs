@@ -100,13 +100,17 @@ pub fn ca3dmm_schedule(prob: &Problem, grid: &Grid, cfg: &ModelConfig) -> Schedu
     if g.s > 1 {
         // The skew round is part of Cannon proper (eq. 10 counts p_s
         // rounds = 1 skew + s−1 shifts), and the runtime measures it under
-        // "cannon_shift" — so the model prices it under "cannon" too.
+        // "cannon_shift" — so the model prices it under "cannon" too. The
+        // runtime ships the A and B blocks of every round as two separate
+        // messages, so each round pays two α terms and counts two toward
+        // the latency measure L.
         sched.push(
             "cannon",
             Phase::ShiftRounds {
                 grp: cannon_grp,
                 rounds: 1,
                 bytes_per_round: shift_bytes,
+                msgs_per_round: 2,
             },
         );
         if cfg.overlap {
@@ -116,6 +120,7 @@ pub fn ca3dmm_schedule(prob: &Problem, grid: &Grid, cfg: &ModelConfig) -> Schedu
                     grp: cannon_grp,
                     rounds: g.s - 1,
                     bytes_per_round: shift_bytes,
+                    msgs_per_round: 2,
                     flops,
                 },
             );
@@ -126,6 +131,7 @@ pub fn ca3dmm_schedule(prob: &Problem, grid: &Grid, cfg: &ModelConfig) -> Schedu
                     grp: cannon_grp,
                     rounds: g.s - 1,
                     bytes_per_round: shift_bytes,
+                    msgs_per_round: 2,
                 },
             );
             sched.push("cannon", Phase::LocalGemm { flops });
@@ -215,13 +221,15 @@ mod tests {
 
     #[test]
     fn latency_matches_eq10() {
-        // L = log2(c) + p_s + pk - 1 (eq. 10). Our schedule counts the
-        // skew round + (s-1) shifts = s = p_s rounds, log2(c) for the
-        // allgather, pk-1 for the reduce-scatter.
+        // L = log2(c) + p_s + pk - 1 (eq. 10) counts *rounds*; our runtime
+        // ships A and B as two separate messages per round, so the modeled
+        // message count is log2(c) + 2·p_s + pk - 1 — the skew round +
+        // (s-1) shifts = s = p_s rounds at 2 messages each, log2(c) for
+        // the allgather, pk-1 for the reduce-scatter.
         let prob = Problem::new(4096, 4096, 4096, 128);
         let grid = Grid::new(8, 4, 4); // c=2, s=4, pk=4
         let sched = ca3dmm_schedule(&prob, &grid, &cfg());
-        let want = 1.0 /*log2 c*/ + 4.0 /*s*/ + 3.0 /*pk-1*/;
+        let want = 1.0 /*log2 c*/ + 2.0 * 4.0 /*2·s*/ + 3.0 /*pk-1*/;
         assert!((sched.message_count() - want).abs() < 1e-9);
     }
 

@@ -2,6 +2,7 @@
 
 use dense::{Mat, Scalar};
 use msgpass::Payload;
+use std::sync::Arc;
 
 /// A matrix block as a message payload. Dimensions travel with the data
 /// because Cannon's shifts move blocks of varying shape when the matrix
@@ -39,6 +40,24 @@ pub fn to_msg<T: Scalar>(m: Mat<T>) -> BlockMsg<T> {
 /// Unwraps a received matrix.
 pub fn from_msg<T: Scalar>(msg: BlockMsg<T>) -> Mat<T> {
     Mat::from_vec(msg.rows, msg.cols, msg.data)
+}
+
+/// An `Arc`-shared matrix block as a message payload — the zero-copy wire
+/// format of the Cannon shift pipeline. Sending clones a reference count
+/// (so an `isend` can ship a block the local GEMM is still reading), and
+/// on this in-process runtime the receiver adopts the sender's allocation
+/// outright: blocks circulate around the ring with no element copies and
+/// no per-round `Vec` allocations.
+///
+/// Wire bytes still count the full element data (as [`BlockMsg`] does), so
+/// traffic accounting — and therefore the model-vs-measured validation —
+/// is unchanged by the zero-copy representation.
+pub struct SharedBlock<T: Scalar>(pub Arc<Mat<T>>);
+
+impl<T: Scalar> Payload for SharedBlock<T> {
+    fn nbytes(&self) -> usize {
+        self.0.rows() * self.0.cols() * std::mem::size_of::<T>()
+    }
 }
 
 #[cfg(test)]

@@ -110,6 +110,21 @@ impl<T> Receiver<T> {
         self.recv_timed().map(|(v, _)| v)
     }
 
+    /// Non-blocking poll: pops a queued message if one is present,
+    /// returns `Ok(None)` when the queue is empty but senders remain, and
+    /// `Err(RecvError)` once every sender is gone and the queue is drained.
+    /// This is the primitive behind `RecvReq::test`.
+    pub fn try_recv(&self) -> Result<Option<T>, RecvError> {
+        let mut st = lock(&self.shared);
+        if let Some(v) = st.queue.pop_front() {
+            return Ok(Some(v));
+        }
+        if st.senders == 0 {
+            return Err(RecvError);
+        }
+        Ok(None)
+    }
+
     /// Like [`Receiver::recv`], but also reports how many seconds this call
     /// spent *blocked* on the condvar. A message already queued returns
     /// `0.0` without ever reading the clock, so the fast path stays free of

@@ -79,6 +79,20 @@ pub(crate) struct Envelope {
     pub(crate) payload: Box<dyn Any + Send>,
 }
 
+/// One receive posted by [`Comm::irecv`] and not yet completed. Lives in
+/// the rank's posted-receive table; an arriving message whose
+/// `(src, ctx, tag)` key matches an *open* entry (slot empty) fills the
+/// earliest-posted one — MPI's posting-order matching rule.
+pub(crate) struct PostedRecv {
+    pub(crate) src_world: usize,
+    pub(crate) ctx: u64,
+    pub(crate) tag: u64,
+    /// Posting order (from `RankCtx::next_post_id`).
+    pub(crate) id: u64,
+    /// The matched message, once it has arrived.
+    pub(crate) slot: Option<Envelope>,
+}
+
 /// SplitMix64 finalizer — used to derive child communicator contexts
 /// deterministically (every member computes the same value with no
 /// communication).
@@ -240,6 +254,9 @@ impl Comm {
                     .rx
                     .recv()
                     .expect("all senders dropped while waiting for a message");
+                let Some(env) = offer_to_posted(ctx, env) else {
+                    continue;
+                };
                 if env.src_world == src_world && env.ctx == self.ctx_id && env.tag == tag {
                     let waited = ctx.virtual_recv_wait(env.arrival).unwrap_or(0.0);
                     ctx.record_recv(src_world, env.bytes, waited);
@@ -260,6 +277,9 @@ impl Comm {
                 .recv_timed()
                 .expect("all senders dropped while waiting for a message");
             waited += wait;
+            let Some(env) = offer_to_posted(ctx, env) else {
+                continue;
+            };
             if env.src_world == src_world && env.ctx == self.ctx_id && env.tag == tag {
                 ctx.record_recv(src_world, env.bytes, waited);
                 ctx.tracer().end(env.bytes);
@@ -295,6 +315,80 @@ impl Comm {
     ) -> P {
         self.send(ctx, dst, tag, payload);
         self.recv(ctx, src, tag)
+    }
+
+    /// Nonblocking send to communicator rank `dst` — `MPI_Isend`. Sends in
+    /// this runtime are eager (buffered by the receiver's mailbox), so the
+    /// returned [`SendReq`] is complete the moment this returns; it exists
+    /// so call sites keep MPI's post/overlap/wait shape. Under virtual time
+    /// the transfer is scheduled on the sender's NIC injection pipe without
+    /// advancing the compute clock — the sim counterpart of the copy
+    /// proceeding in the background while the rank computes.
+    ///
+    /// # Panics
+    /// If `dst` is out of range or `tag >= MAX_USER_TAG`.
+    pub fn isend<P: Payload>(&self, ctx: &RankCtx, dst: usize, tag: u64, payload: P) -> SendReq {
+        assert!(tag < MAX_USER_TAG, "tag {tag} reserved for collectives");
+        let dst_world = self.ranks[dst];
+        let bytes = payload.nbytes() as u64;
+        ctx.record_send(dst_world, bytes);
+        ctx.tracer()
+            .begin(SpanKind::Send { peer: dst_world }, bytes);
+        let (arrival, seq) = ctx.stamp_isend(dst_world, bytes);
+        let env = Envelope {
+            src_world: ctx.world_rank(),
+            ctx: self.ctx_id,
+            tag,
+            bytes,
+            arrival,
+            seq,
+            payload: Box::new(payload),
+        };
+        ctx.fabric.senders[dst_world]
+            .send(env)
+            .expect("receiving rank has exited with messages in flight");
+        ctx.tracer().end(0);
+        SendReq(())
+    }
+
+    /// Posts a nonblocking receive for the message from communicator rank
+    /// `src` with `tag` — `MPI_Irecv`. The receive may be posted before or
+    /// after the message arrives; arrivals match open posted receives in
+    /// posting order (per-sender program order breaks same-key ties, as for
+    /// [`Comm::recv`]). Complete it with [`RecvReq::wait`] or
+    /// [`RecvReq::test`].
+    ///
+    /// # Panics
+    /// If `src` is out of range or `tag >= MAX_USER_TAG`.
+    pub fn irecv<P: Payload>(&self, ctx: &RankCtx, src: usize, tag: u64) -> RecvReq<P> {
+        assert!(tag < MAX_USER_TAG, "tag {tag} reserved for collectives");
+        let src_world = self.ranks[src];
+        let id = ctx.next_post_id();
+        // Claim an already-buffered match now (smallest sender sequence),
+        // so the pending buffer can never hold a message that an open
+        // posted receive is waiting for.
+        let slot = {
+            let mut pending = ctx.pending.borrow_mut();
+            pending
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.src_world == src_world && e.ctx == self.ctx_id && e.tag == tag)
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(i, _)| i)
+                .map(|i| pending.remove(i))
+        };
+        ctx.posted.borrow_mut().push(PostedRecv {
+            src_world,
+            ctx: self.ctx_id,
+            tag,
+            id,
+            slot,
+        });
+        RecvReq {
+            id,
+            src_world,
+            _payload: std::marker::PhantomData,
+        }
     }
 
     /// Creates sub-communicators from locally known membership: every member
@@ -357,6 +451,164 @@ impl Comm {
             my_idx,
             coll_seq: std::cell::Cell::new(0),
         })
+    }
+}
+
+/// Offers a message just pulled off the mailbox to the posted-receive
+/// table: the earliest-posted *open* entry with a matching key claims it
+/// (returning `None`); otherwise the message is handed back to the caller.
+fn offer_to_posted(ctx: &RankCtx, env: Envelope) -> Option<Envelope> {
+    let mut posted = ctx.posted.borrow_mut();
+    let hit = posted
+        .iter_mut()
+        .filter(|p| {
+            p.slot.is_none() && p.src_world == env.src_world && p.ctx == env.ctx && p.tag == env.tag
+        })
+        .min_by_key(|p| p.id);
+    match hit {
+        Some(p) => {
+            p.slot = Some(env);
+            None
+        }
+        None => Some(env),
+    }
+}
+
+/// Handle for a nonblocking send ([`Comm::isend`]). Sends are eager in this
+/// runtime, so the request is complete from the moment `isend` returns —
+/// `wait` costs nothing and `test` is always true. The handle keeps call
+/// sites shaped like their MPI originals (post, overlap, wait).
+#[must_use = "wait on the send request (or drop it explicitly)"]
+pub struct SendReq(pub(crate) ());
+
+impl SendReq {
+    /// Completes the send. A no-op: eager sends are complete at post time.
+    pub fn wait(self) {}
+
+    /// Whether the send has completed. Always true (see [`SendReq`]).
+    pub fn test(&self) -> bool {
+        true
+    }
+}
+
+/// Handle for a nonblocking receive ([`Comm::irecv`]): an entry in the
+/// rank's posted-receive table. Complete it with [`RecvReq::wait`] (blocks
+/// for the residual only — time the overlapped compute did not hide) or
+/// poll it with [`RecvReq::test`]. Every posted receive must eventually be
+/// completed; a rank exiting with open posted receives panics.
+#[must_use = "a posted receive must be completed with wait() or test()"]
+pub struct RecvReq<P: Payload> {
+    /// Posting-order id keying this request's table entry.
+    id: u64,
+    src_world: usize,
+    _payload: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P: Payload> RecvReq<P> {
+    /// Blocks until the posted receive completes and returns the payload.
+    ///
+    /// Wait attribution is the *residual*: only the seconds this call
+    /// actually blocks count (wall runs: condvar-blocked time; sim runs:
+    /// `max(clock, arrival) − clock`, i.e. the transfer time the compute
+    /// issued between post and wait failed to hide). The trace records it
+    /// as a `wait←src` span, distinct from a blocking `recv←src`.
+    ///
+    /// # Panics
+    /// If the matched message has a different payload type.
+    pub fn wait(self, ctx: &RankCtx) -> P {
+        ctx.tracer().begin(
+            SpanKind::Wait {
+                peer: self.src_world,
+            },
+            0,
+        );
+        let mut waited = 0.0;
+        let env = loop {
+            if let Some(env) = self.take_if_filled(ctx) {
+                break env;
+            }
+            if ctx.is_sim() {
+                // Parked wall seconds are OS-scheduling noise under virtual
+                // time (see `recv_internal`); blocked time comes from the
+                // clock rendezvous below.
+                let env = ctx
+                    .rx
+                    .recv()
+                    .expect("all senders dropped while waiting for a posted receive");
+                if let Some(env) = offer_to_posted(ctx, env) {
+                    ctx.pending.borrow_mut().push(env);
+                }
+            } else {
+                let (env, w) = ctx
+                    .rx
+                    .recv_timed()
+                    .expect("all senders dropped while waiting for a posted receive");
+                waited += w;
+                if let Some(env) = offer_to_posted(ctx, env) {
+                    ctx.pending.borrow_mut().push(env);
+                }
+            }
+        };
+        // Sim: completion is max(clock-at-wait, arrival) — compute issued
+        // since the post has already advanced the clock, so only the
+        // exposed remainder of the transfer is charged (and reported as
+        // wait). Wall: the condvar-blocked residual accumulated above.
+        let wait = ctx.virtual_recv_wait(env.arrival).unwrap_or(waited);
+        ctx.record_recv(self.src_world, env.bytes, wait);
+        ctx.tracer().end(env.bytes);
+        Comm::downcast(env)
+    }
+
+    /// Polls the posted receive: `Ok(payload)` if it can complete now,
+    /// `Err(self)` otherwise (wall runs never block here beyond draining
+    /// already-queued arrivals).
+    ///
+    /// Under virtual time `test` *completes like `wait`*: whether a message
+    /// has physically arrived at some wall instant is OS-scheduling noise
+    /// that must not leak into the deterministic virtual clock, so the sim
+    /// answer to "is it done yet" is to advance to when it is done.
+    pub fn test(self, ctx: &RankCtx) -> Result<P, RecvReq<P>> {
+        if ctx.is_sim() {
+            return Ok(self.wait(ctx));
+        }
+        loop {
+            if let Some(env) = self.take_if_filled(ctx) {
+                ctx.tracer().begin(
+                    SpanKind::Wait {
+                        peer: self.src_world,
+                    },
+                    0,
+                );
+                ctx.record_recv(self.src_world, env.bytes, 0.0);
+                ctx.tracer().end(env.bytes);
+                return Ok(Comm::downcast(env));
+            }
+            match ctx.rx.try_recv() {
+                Ok(Some(env)) => {
+                    if let Some(env) = offer_to_posted(ctx, env) {
+                        ctx.pending.borrow_mut().push(env);
+                    }
+                }
+                // Nothing queued (or all senders gone — the missing message
+                // will surface as a panic in `wait`, not here).
+                Ok(None) | Err(_) => return Err(self),
+            }
+        }
+    }
+
+    /// Removes this request's table entry and returns the message if the
+    /// slot has been filled; leaves the entry in place otherwise.
+    fn take_if_filled(&self, ctx: &RankCtx) -> Option<Envelope> {
+        let mut posted = ctx.posted.borrow_mut();
+        let i = posted
+            .iter()
+            .position(|p| p.id == self.id)
+            .expect("posted receive vanished from the table");
+        if posted[i].slot.is_some() {
+            posted.remove(i).slot
+        } else {
+            None
+        }
     }
 }
 
@@ -519,6 +771,180 @@ mod tests {
                 assert_eq!(comm.recv::<u64>(ctx, 0, 1), 30);
             }
         });
+    }
+
+    #[test]
+    fn irecv_posted_before_send() {
+        World::run(2, |ctx| {
+            let comm = Comm::world(ctx);
+            if comm.rank() == 0 {
+                let req = comm.irecv::<u64>(ctx, 1, 5);
+                comm.send(ctx, 1, 6, 1u64); // tell rank 1 the post happened
+                assert_eq!(req.wait(ctx), 42);
+            } else {
+                let _: u64 = comm.recv(ctx, 0, 6);
+                comm.send(ctx, 0, 5, 42u64);
+            }
+        });
+    }
+
+    #[test]
+    fn irecv_posted_after_arrival() {
+        World::run(2, |ctx| {
+            let comm = Comm::world(ctx);
+            if comm.rank() == 0 {
+                comm.send(ctx, 1, 5, 7u64);
+                comm.send(ctx, 1, 6, 8u64);
+                comm.send(ctx, 1, 7, 0u64); // handshake
+            } else {
+                // Per-sender FIFO: completing the tag-7 recv forces tags 5
+                // and 6 into the pending buffer before any post exists.
+                let _: u64 = comm.recv(ctx, 0, 7);
+                // Post in reverse tag order: matching is by key, not FIFO.
+                let r6 = comm.irecv::<u64>(ctx, 0, 6);
+                let r5 = comm.irecv::<u64>(ctx, 0, 5);
+                assert_eq!(r6.wait(ctx), 8);
+                assert_eq!(r5.wait(ctx), 7);
+            }
+        });
+    }
+
+    #[test]
+    fn same_key_irecvs_match_in_posting_order() {
+        World::run(2, |ctx| {
+            let comm = Comm::world(ctx);
+            if comm.rank() == 0 {
+                for v in [10u64, 20, 30] {
+                    comm.send(ctx, 1, 1, v);
+                }
+            } else {
+                let r1 = comm.irecv::<u64>(ctx, 0, 1);
+                let r2 = comm.irecv::<u64>(ctx, 0, 1);
+                let r3 = comm.irecv::<u64>(ctx, 0, 1);
+                // Waited out of posting order, yet each request gets the
+                // message its posting position earned (sender order).
+                assert_eq!(r3.wait(ctx), 30);
+                assert_eq!(r1.wait(ctx), 10);
+                assert_eq!(r2.wait(ctx), 20);
+            }
+        });
+    }
+
+    #[test]
+    fn isend_then_blocking_recv_interoperate() {
+        // A posted irecv must not be starved by interleaved blocking recvs,
+        // and a blocking recv must not steal the posted receive's message.
+        World::run(2, |ctx| {
+            let comm = Comm::world(ctx);
+            if comm.rank() == 0 {
+                comm.isend(ctx, 1, 3, 111u64).wait();
+                comm.send(ctx, 1, 3, 222u64);
+            } else {
+                let req = comm.irecv::<u64>(ctx, 0, 3); // posted first
+                let later: u64 = comm.recv(ctx, 0, 3); // same key, posted second
+                assert_eq!(req.wait(ctx), 111);
+                assert_eq!(later, 222);
+            }
+        });
+    }
+
+    #[test]
+    fn test_completes_or_hands_back() {
+        World::run(2, |ctx| {
+            let comm = Comm::world(ctx);
+            if comm.rank() == 0 {
+                let _: u64 = comm.recv(ctx, 1, 9); // wait for the go-ahead
+                comm.send(ctx, 1, 4, 5u64);
+            } else {
+                let mut req = comm.irecv::<u64>(ctx, 0, 4);
+                // Nothing sent yet: test must hand the request back.
+                req = match req.test(ctx) {
+                    Ok(_) => panic!("nothing was sent"),
+                    Err(r) => r,
+                };
+                comm.send(ctx, 0, 9, 0u64);
+                // Poll to completion.
+                let got = loop {
+                    match req.test(ctx) {
+                        Ok(v) => break v,
+                        Err(r) => {
+                            req = r;
+                            std::thread::yield_now();
+                        }
+                    }
+                };
+                assert_eq!(got, 5);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "posted receive(s) never waited on")]
+    fn leaked_posted_receive_panics_at_exit() {
+        World::run(2, |ctx| {
+            let comm = Comm::world(ctx);
+            if comm.rank() == 1 {
+                let _ = comm.irecv::<u64>(ctx, 0, 0);
+            }
+        });
+    }
+
+    /// Satellite stress test: 16 ranks, randomized post-before-send and
+    /// send-before-post interleavings (plus test()-polling completions),
+    /// must neither deadlock nor mismatch. XOR pairing makes every round a
+    /// clean pairwise exchange; each endpoint independently draws its own
+    /// operation order from a seeded SplitMix64 stream.
+    #[test]
+    fn randomized_isend_irecv_interleavings_16_ranks() {
+        const P: usize = 16;
+        const ROUNDS: usize = 24;
+        let mix = |mut z: u64| {
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for seed in 0..4u64 {
+            World::run(P, |ctx| {
+                let comm = Comm::world(ctx);
+                let me = comm.rank();
+                let mut state = mix(seed.wrapping_mul(0x9E37).wrapping_add(me as u64 + 1));
+                let mut draw = || {
+                    state = mix(state.wrapping_add(0x9E37_79B9_7F4A_7C15));
+                    state
+                };
+                for round in 0..ROUNDS {
+                    let peer = me ^ (1 + (round % (P - 1)));
+                    let tag = round as u64;
+                    let val = (me * 1000 + round) as u64;
+                    let want = (peer * 1000 + round) as u64;
+                    let post_first = draw() & 1 == 0;
+                    let poll = draw() & 1 == 0;
+                    let req = if post_first {
+                        let r = comm.irecv::<u64>(ctx, peer, tag);
+                        comm.isend(ctx, peer, tag, val).wait();
+                        r
+                    } else {
+                        comm.isend(ctx, peer, tag, val).wait();
+                        comm.irecv::<u64>(ctx, peer, tag)
+                    };
+                    let got = if poll {
+                        let mut req = req;
+                        loop {
+                            match req.test(ctx) {
+                                Ok(v) => break v,
+                                Err(r) => {
+                                    req = r;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    } else {
+                        req.wait(ctx)
+                    };
+                    assert_eq!(got, want, "rank {me} round {round} (seed {seed})");
+                }
+            });
+        }
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod trace;
 pub mod traffic;
 pub mod world;
 
-pub use comm::{Comm, Payload, ReduceElem};
+pub use comm::{Comm, Payload, RecvReq, ReduceElem, SendReq};
 pub use metrics::{CellCounts, CommMatrix, SizeHistogram};
 pub use report::{GatePolicy, ReportDiff, RunReportDoc};
 pub use sim::{SimInfo, SimOptions};

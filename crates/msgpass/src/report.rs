@@ -95,6 +95,7 @@ impl RunReport {
             .map(|ph| {
                 let total = t.phase_total(&ph);
                 let max_sent = (0..p).map(|r| t.phase(r, &ph).bytes).max().unwrap_or(0);
+                let max_msgs = (0..p).map(|r| t.phase(r, &ph).msgs).max().unwrap_or(0);
                 let secs_sum: f64 = (0..p).map(|r| t.phase_secs(r, &ph)).sum();
                 let wait_sum: f64 = (0..p).map(|r| t.wait_secs(r, &ph)).sum();
                 Json::obj([
@@ -104,6 +105,7 @@ impl RunReport {
                     ("recv_bytes", num_u(total.recv_bytes)),
                     ("recv_msgs", num_u(total.recv_msgs)),
                     ("max_rank_sent_bytes", num_u(max_sent)),
+                    ("max_rank_sent_msgs", num_u(max_msgs)),
                     ("secs_max", num_f(t.phase_secs_max(&ph))),
                     ("secs_sum", num_f(secs_sum)),
                     ("wait_max", num_f(t.wait_secs_max(&ph))),
@@ -270,6 +272,9 @@ pub struct PhaseRow {
     pub recv_msgs: u64,
     /// The busiest single rank's sent bytes (the paper's per-phase `Q`).
     pub max_rank_sent_bytes: u64,
+    /// The busiest single rank's sent messages (the paper's per-phase `L`);
+    /// 0 in artifacts written before this field existed.
+    pub max_rank_sent_msgs: u64,
     /// Slowest rank's wall seconds in the phase.
     pub secs_max: f64,
     /// Sum over ranks of wall seconds.
@@ -560,6 +565,13 @@ impl RunReportDoc {
                     recv_bytes: field_u64(ph, "recv_bytes", &what)?,
                     recv_msgs: field_u64(ph, "recv_msgs", &what)?,
                     max_rank_sent_bytes: field_u64(ph, "max_rank_sent_bytes", &what)?,
+                    // absent in artifacts written before the message-count
+                    // tier existed
+                    max_rank_sent_msgs: if ph.get("max_rank_sent_msgs").is_some() {
+                        field_u64(ph, "max_rank_sent_msgs", &what)?
+                    } else {
+                        0
+                    },
                     secs_max: field_f64(ph, "secs_max", &what)?,
                     secs_sum: field_f64(ph, "secs_sum", &what)?,
                     wait_max: field_f64(ph, "wait_max", &what)?,
@@ -1046,6 +1058,7 @@ pub fn gate(
                 p.recv_bytes,
                 p.recv_msgs,
                 p.max_rank_sent_bytes,
+                p.max_rank_sent_msgs,
             )
         };
         if traffic(r) != traffic(s) {

@@ -9,13 +9,26 @@
 //! every rank carries a **virtual clock** (seconds since run start) that
 //! advances only when the machine model says time passes:
 //!
-//! * **send** charges the sender `α + β·bytes` (intra- or inter-node α/β
-//!   picked by the placement's node structure) and stamps the message with
-//!   its virtual **arrival time** (the sender's clock after the charge);
+//! * every **send** is priced by the sender's **NIC pipe**: the transfer
+//!   starts at `max(compute clock, NIC clock)`, takes `α + β·bytes` (intra-
+//!   or inter-node α/β picked by the placement's node structure), and the
+//!   message is stamped with its virtual **arrival time** (the pipe's clock
+//!   after the charge). Back-to-back nonblocking sends therefore serialize
+//!   on the pipe — overlap cannot fabricate bandwidth. A blocking
+//!   [`crate::Comm::send`] additionally advances the compute clock to the
+//!   arrival (so for blocking-only programs NIC clock ≡ compute clock and
+//!   the charging rule is exactly the historical `α + β·bytes` per send);
+//!   a nonblocking [`crate::Comm::isend`] leaves the compute clock alone;
 //! * **recv** completes at `max(receiver clock, arrival)`; the excess over
 //!   the receiver's clock is recorded as that rank's *virtual* blocked time
 //!   (the wall seconds the thread spends parked on its mailbox are
 //!   meaningless — the OS interleaves thousands of rank threads);
+//! * a **posted receive** ([`crate::Comm::irecv`]) charges nothing at post
+//!   time; its `wait` applies the same `max(clock, arrival)` rule *then*.
+//!   Compute charged between post and wait therefore hides the transfer:
+//!   an overlapped round costs `max(compute, communication)`, not the sum —
+//!   the §III-F pipelining rule, and exactly what the cost model's
+//!   `overlap: true` branch prices;
 //! * **compute** is charged explicitly: the dense-GEMM call sites invoke
 //!   [`crate::RankCtx::charge_flops`], which advances the clock by
 //!   `flops / flops_per_rank` (γ). When [`SimOptions::execute_compute`] is
@@ -31,13 +44,15 @@
 //! # Determinism
 //!
 //! Virtual timestamps are bit-reproducible regardless of how the OS
-//! schedules the threads: each rank's clock is touched only by its own
-//! thread in program order; arrival stamps are computed by the sender before
-//! the message enters the fabric; message matching is keyed by exact
-//! `(source, communicator, tag)` with same-key messages consumed in
-//! per-sender program order (`Envelope::seq`). Two runs with the same
-//! program, machine, and placement therefore produce byte-identical
-//! `RunReport` artifacts.
+//! schedules the threads: each rank's clocks (compute and NIC) are touched
+//! only by its own thread in program order; arrival stamps are computed by
+//! the sender before the message enters the fabric; message matching is
+//! keyed by exact `(source, communicator, tag)` with same-key messages
+//! consumed in per-sender program order (`Envelope::seq`), and posted
+//! receives match in posting order. `RecvReq::test` deliberately degrades
+//! to `wait` under simulation — a genuine poll would leak the OS schedule
+//! into virtual time. Two runs with the same program, machine, and
+//! placement therefore produce byte-identical `RunReport` artifacts.
 
 use crate::world::{RunOptions, RunReport, World};
 use crate::RankCtx;

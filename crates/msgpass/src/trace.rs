@@ -35,6 +35,15 @@ pub enum SpanKind {
         /// Source world rank.
         peer: usize,
     },
+    /// The completion wait of a nonblocking receive
+    /// (`RecvReq::wait`); `peer` is the source world rank. Unlike
+    /// [`SpanKind::Recv`], the span covers only the *residual* blocking
+    /// after whatever compute overlapped the transfer — the exposed
+    /// communication the §III-F pipeline failed to hide.
+    Wait {
+        /// Source world rank.
+        peer: usize,
+    },
     /// A collective operation, named after its algorithm
     /// ("ring_allgatherv", "rabenseifner_allreduce", …).
     Collective(&'static str),
@@ -47,6 +56,7 @@ impl SpanKind {
             SpanKind::Phase(name) => name.clone(),
             SpanKind::Send { peer } => format!("send→{peer}"),
             SpanKind::Recv { peer } => format!("recv←{peer}"),
+            SpanKind::Wait { peer } => format!("wait←{peer}"),
             SpanKind::Collective(algo) => (*algo).to_owned(),
         }
     }
@@ -55,7 +65,7 @@ impl SpanKind {
     pub fn category(&self) -> &'static str {
         match self {
             SpanKind::Phase(_) => "phase",
-            SpanKind::Send { .. } | SpanKind::Recv { .. } => "p2p",
+            SpanKind::Send { .. } | SpanKind::Recv { .. } | SpanKind::Wait { .. } => "p2p",
             SpanKind::Collective(_) => "collective",
         }
     }

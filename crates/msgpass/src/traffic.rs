@@ -208,6 +208,15 @@ impl TrafficReport {
             .unwrap_or(0)
     }
 
+    /// Maximum over ranks of the messages *sent* in one phase — the
+    /// maximally-loaded-rank count behind the paper's latency measure `L`.
+    pub fn phase_msgs_max(&self, phase: &str) -> u64 {
+        (0..self.per_rank.len())
+            .map(|r| self.phase(r, phase).msgs)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Wall seconds one rank spent in one phase (0 if never entered).
     pub fn phase_secs(&self, rank: usize, phase: &str) -> f64 {
         self.secs_per_rank

@@ -1,7 +1,7 @@
 //! The world: rank spawning, mailboxes, the shared fabric, and run reports.
 
 use crate::chan::{channel, Receiver, Sender};
-use crate::comm::Envelope;
+use crate::comm::{Envelope, PostedRecv};
 use crate::lock_mutex;
 use crate::metrics::{CommMatrix, SizeHistogram};
 use crate::sim::{SimInfo, SimParams};
@@ -103,6 +103,14 @@ pub struct RankCtx {
     pub(crate) rx: Receiver<Envelope>,
     /// Messages received but not yet matched by a `recv`.
     pub(crate) pending: RefCell<Vec<Envelope>>,
+    /// Nonblocking receives posted by `irecv` and not yet completed by
+    /// `wait`/`test`. Invariant: `pending` never holds a message whose
+    /// `(src, ctx, tag)` key matches an open (unfilled) entry here — every
+    /// arrival is offered to the earliest-posted open entry first.
+    pub(crate) posted: RefCell<Vec<PostedRecv>>,
+    /// Monotonic counter stamping posting order onto [`PostedRecv::id`] —
+    /// MPI's rule that arrivals match posted receives in posting order.
+    post_seq: Cell<u64>,
     /// Label attributed to outgoing traffic.
     phase: RefCell<String>,
     /// Wall-clock of the current phase's start (for the per-phase timing
@@ -113,6 +121,11 @@ pub struct RankCtx {
     sim: Option<Arc<SimParams>>,
     /// This rank's virtual clock, seconds since run start (sim runs only).
     clock: Cell<f64>,
+    /// Virtual time at which this rank's NIC injection pipe frees up (sim
+    /// runs only). Sends serialize on the pipe — an `isend` issued while an
+    /// earlier transfer is still draining starts when that transfer ends —
+    /// but, unlike the compute clock, posting one does not stall the rank.
+    nic_clock: Cell<f64>,
     /// Virtual clock at the current phase's start (sim runs only).
     phase_started_v: Cell<f64>,
     /// Monotonic per-rank send counter; stamps [`Envelope::seq`] so
@@ -185,6 +198,12 @@ impl RankCtx {
     /// Final bookkeeping when the rank's closure returns: closes the open
     /// phase (clock and trace span) and hands back the raw event stream.
     fn finish(&self) -> Vec<RawEvent> {
+        assert!(
+            self.posted.borrow().is_empty(),
+            "rank {} exited with {} posted receive(s) never waited on",
+            self.world_rank,
+            self.posted.borrow().len()
+        );
         let now = Instant::now();
         self.flush_phase_time(now);
         if self.recorder.enabled() && !self.phase.borrow().is_empty() {
@@ -227,22 +246,47 @@ impl RankCtx {
         self.sim.as_ref().is_none_or(|s| s.execute_compute)
     }
 
-    /// Stamps one outgoing message: bumps the per-rank send sequence and,
-    /// under virtual time, charges the sender α + β·bytes and returns the
-    /// message's virtual arrival time (the sender's clock after the
-    /// charge). Wall runs return arrival 0.0.
+    /// Stamps one *blocking* outgoing message: like [`RankCtx::stamp_isend`]
+    /// but the sender's compute clock also advances to the arrival time —
+    /// the rank stands still for the α + β·bytes transfer. Because the NIC
+    /// pipe and the compute clock coincide whenever only blocking sends are
+    /// used, this is exactly the pre-nonblocking charging rule for programs
+    /// that never call `isend`.
     pub(crate) fn stamp_send(&self, dst_world: usize, bytes: u64) -> (f64, u64) {
+        let (arrival, seq) = self.stamp_isend(dst_world, bytes);
+        if self.sim.is_some() {
+            self.clock.set(arrival);
+        }
+        (arrival, seq)
+    }
+
+    /// Stamps one *nonblocking* outgoing message: bumps the per-rank send
+    /// sequence and, under virtual time, schedules the transfer on the
+    /// rank's NIC injection pipe — it starts at `max(clock, nic_clock)`,
+    /// occupies the pipe for α + β·bytes, and the returned arrival is when
+    /// it lands at the receiver. The compute clock is *not* advanced: the
+    /// rank keeps computing while the transfer drains, which is the whole
+    /// point of §III-F overlap. Wall runs return arrival 0.0.
+    pub(crate) fn stamp_isend(&self, dst_world: usize, bytes: u64) -> (f64, u64) {
         let seq = self.send_seq.get();
         self.send_seq.set(seq + 1);
         let arrival = match &self.sim {
             Some(sim) => {
-                let t = self.clock.get() + sim.transfer_secs(self.world_rank, dst_world, bytes);
-                self.clock.set(t);
+                let start = self.clock.get().max(self.nic_clock.get());
+                let t = start + sim.transfer_secs(self.world_rank, dst_world, bytes);
+                self.nic_clock.set(t);
                 t
             }
             None => 0.0,
         };
         (arrival, seq)
+    }
+
+    /// Reserves the next posting-order id for an `irecv`.
+    pub(crate) fn next_post_id(&self) -> u64 {
+        let id = self.post_seq.get();
+        self.post_seq.set(id + 1);
+        id
     }
 
     /// Virtual-time rendezvous for a matched message: the recv completes at
@@ -404,10 +448,13 @@ impl World {
                                 fabric,
                                 rx,
                                 pending: RefCell::new(Vec::new()),
+                                posted: RefCell::new(Vec::new()),
+                                post_seq: Cell::new(0),
                                 phase: RefCell::new(String::new()),
                                 phase_started: Cell::new(Instant::now()),
                                 sim,
                                 clock: Cell::new(0.0),
+                                nic_clock: Cell::new(0.0),
                                 phase_started_v: Cell::new(0.0),
                                 send_seq: Cell::new(0),
                                 ctx_seq: Cell::new(0),

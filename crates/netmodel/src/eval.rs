@@ -81,6 +81,23 @@ fn alpha_beta_pairwise(m: &Machine, grp: &NetGroup) -> (f64, f64) {
     alpha_beta_frac(m, grp, grp.pairwise_intra_fraction())
 }
 
+/// (α, β) for fixed-neighbour *ring* phases (Cannon shifts). A shift round
+/// completes only when every rank has its neighbour's block, so the round
+/// is paced by the ring's slowest hop: if any hop crosses nodes, the
+/// critical rank pays full inter-node α and β — blending intra and inter
+/// hops into an average (right for tree collectives, whose stages
+/// pipeline) would price the round's *mean* hop, not its makespan. The
+/// inter-node β still reflects that only the off-node fraction of each
+/// node's ranks competes for the NIC during the phase.
+fn alpha_beta_ring(m: &Machine, grp: &NetGroup) -> (f64, f64) {
+    let fi = grp.intra_fraction();
+    if grp.size <= 1 || fi >= 1.0 {
+        return (m.alpha_intra, m.beta_intra);
+    }
+    let concurrent = (grp.ranks_per_node as f64 * (1.0 - fi)).max(1.0);
+    (m.alpha_inter, m.beta_inter(concurrent))
+}
+
 fn alpha_beta_frac(m: &Machine, grp: &NetGroup, fi: f64) -> (f64, f64) {
     if grp.size <= 1 {
         return (m.alpha_intra, m.beta_intra);
@@ -183,13 +200,14 @@ pub fn phase_cost(machine: &Machine, flops_per_rank: f64, phase: &Phase) -> Phas
             grp,
             rounds,
             bytes_per_round,
+            msgs_per_round,
         } => {
             if *rounds == 0 {
                 return PhaseCost::default();
             }
-            let (a, b) = alpha_beta(machine, grp);
+            let (a, b) = alpha_beta_ring(machine, grp);
             PhaseCost {
-                comm_s: *rounds as f64 * (a + b * bytes_per_round),
+                comm_s: *rounds as f64 * (*msgs_per_round as f64 * a + b * bytes_per_round),
                 comp_s: 0.0,
             }
         }
@@ -201,6 +219,7 @@ pub fn phase_cost(machine: &Machine, flops_per_rank: f64, phase: &Phase) -> Phas
             grp,
             rounds,
             bytes_per_round,
+            msgs_per_round,
             flops,
         } => {
             let comp = flops / flops_per_rank;
@@ -210,8 +229,8 @@ pub fn phase_cost(machine: &Machine, flops_per_rank: f64, phase: &Phase) -> Phas
                     comp_s: comp,
                 };
             }
-            let (a, b) = alpha_beta(machine, grp);
-            let comm_per_round = a + b * bytes_per_round;
+            let (a, b) = alpha_beta_ring(machine, grp);
+            let comm_per_round = *msgs_per_round as f64 * a + b * bytes_per_round;
             let comp_per_round = comp / (*rounds as f64 + 1.0);
             // Dual buffering (§III-F): each shift overlaps with the GEMM on
             // the previously received blocks, so only the part of the
@@ -339,6 +358,27 @@ mod tests {
     }
 
     #[test]
+    fn shift_alpha_scales_with_msgs_per_round() {
+        let m = Machine::uniform();
+        let mk = |msgs_per_round| {
+            phase_cost(
+                &m,
+                1e9,
+                &Phase::ShiftRounds {
+                    grp: flat(4),
+                    rounds: 3,
+                    bytes_per_round: 1000.0,
+                    msgs_per_round,
+                },
+            )
+        };
+        // Splitting a round into two messages pays one extra α per round —
+        // and nothing else.
+        let (one, two) = (mk(1), mk(2));
+        assert!((two.comm_s - one.comm_s - 3.0 * m.alpha_inter).abs() < 1e-15);
+    }
+
+    #[test]
     fn singleton_groups_cost_nothing() {
         let m = Machine::uniform();
         for ph in [
@@ -371,6 +411,7 @@ mod tests {
                 grp: flat(4),
                 rounds: 3,
                 bytes_per_round: 1000.0,
+                msgs_per_round: 2,
                 flops: 4e6, // 4 s of compute
             },
         );
@@ -383,6 +424,7 @@ mod tests {
                 grp: flat(4),
                 rounds: 3,
                 bytes_per_round: 1e9, // 1 s per round
+                msgs_per_round: 2,
                 flops: 4e3,
             },
         );
@@ -433,6 +475,7 @@ mod tests {
                 grp: flat(4),
                 rounds: 3,
                 bytes_per_round: 10.0,
+                msgs_per_round: 2,
             },
         );
         s.push(
@@ -441,6 +484,7 @@ mod tests {
                 grp: flat(4),
                 rounds: 1,
                 bytes_per_round: 10.0,
+                msgs_per_round: 2,
             },
         );
         let r = evaluate(&m, 1e9, &s);
@@ -448,7 +492,7 @@ mod tests {
         assert!((r.label_bytes("replicate_ab") - 300.0).abs() < 1e-9);
         assert!((r.label_bytes("cannon") - 40.0).abs() < 1e-9);
         assert_eq!(r.label_bytes("gemm"), 0.0);
-        assert!((r.label_msgs("cannon") - 4.0).abs() < 1e-9);
+        assert!((r.label_msgs("cannon") - 8.0).abs() < 1e-9);
         // …and sums back to the schedule-wide totals.
         let byte_sum: f64 = r.bytes_by_label.values().sum();
         let msg_sum: f64 = r.msgs_by_label.values().sum();

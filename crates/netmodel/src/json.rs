@@ -57,6 +57,15 @@ fn get_usize(obj: &Json, key: &str) -> Result<usize, String> {
     Ok(v as usize)
 }
 
+/// `msgs_per_round` of a shift phase; schedules serialized before the field
+/// existed price one message per round.
+fn get_msgs_per_round(obj: &Json) -> Result<usize, String> {
+    if obj.get("msgs_per_round").is_none() {
+        return Ok(1);
+    }
+    get_usize(obj, "msgs_per_round")
+}
+
 fn get_bool(obj: &Json, key: &str) -> Result<bool, String> {
     obj.get(key)
         .and_then(Json::as_bool)
@@ -197,12 +206,14 @@ impl Phase {
                 grp,
                 rounds,
                 bytes_per_round,
+                msgs_per_round,
             } => (
                 "ShiftRounds",
                 Json::obj([
                     ("grp", grp.to_json()),
                     ("rounds", num(*rounds as f64)),
                     ("bytes_per_round", num(*bytes_per_round)),
+                    ("msgs_per_round", num(*msgs_per_round as f64)),
                 ]),
             ),
             Phase::LocalGemm { flops } => ("LocalGemm", Json::obj([("flops", num(*flops))])),
@@ -210,6 +221,7 @@ impl Phase {
                 grp,
                 rounds,
                 bytes_per_round,
+                msgs_per_round,
                 flops,
             } => (
                 "CannonOverlap",
@@ -217,6 +229,7 @@ impl Phase {
                     ("grp", grp.to_json()),
                     ("rounds", num(*rounds as f64)),
                     ("bytes_per_round", num(*bytes_per_round)),
+                    ("msgs_per_round", num(*msgs_per_round as f64)),
                     ("flops", num(*flops)),
                 ]),
             ),
@@ -259,6 +272,7 @@ impl Phase {
                 grp: grp()?,
                 rounds: get_usize(body, "rounds")?,
                 bytes_per_round: get_f64(body, "bytes_per_round")?,
+                msgs_per_round: get_msgs_per_round(body)?,
             }),
             "LocalGemm" => Ok(Phase::LocalGemm {
                 flops: get_f64(body, "flops")?,
@@ -267,6 +281,7 @@ impl Phase {
                 grp: grp()?,
                 rounds: get_usize(body, "rounds")?,
                 bytes_per_round: get_f64(body, "bytes_per_round")?,
+                msgs_per_round: get_msgs_per_round(body)?,
                 flops: get_f64(body, "flops")?,
             }),
             other => Err(format!("unknown phase variant `{other}`")),
@@ -352,6 +367,7 @@ mod tests {
                 grp: NetGroup::contiguous(4, 24),
                 rounds: 3,
                 bytes_per_round: 512.0,
+                msgs_per_round: 2,
                 flops: 1e9,
             },
         );
@@ -370,9 +386,24 @@ mod tests {
                 grp: NetGroup::contiguous(4, 1),
                 rounds: 2,
                 bytes_per_round: 64.0,
+                msgs_per_round: 1,
             },
         );
         s
+    }
+
+    #[test]
+    fn msgs_per_round_defaults_to_one_for_old_artifacts() {
+        // A ShiftRounds phase serialized before `msgs_per_round` existed.
+        let text = r#"{"items": [["cannon", {"ShiftRounds": {
+            "grp": {"size": 4, "stride": 1, "ranks_per_node": 1, "scattered": false},
+            "rounds": 3, "bytes_per_round": 64.0}}]]}"#;
+        let s = Schedule::from_json_str(text).expect("parse legacy schedule");
+        match &s.items[0].1 {
+            Phase::ShiftRounds { msgs_per_round, .. } => assert_eq!(*msgs_per_round, 1),
+            other => panic!("parsed wrong variant: {other:?}"),
+        }
+        assert!((s.message_count() - 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -161,6 +161,10 @@ pub enum Phase {
         rounds: usize,
         /// Payload bytes per round.
         bytes_per_round: f64,
+        /// Messages the modeled rank sends per round. CA3DMM's runtime
+        /// ships the A and B blocks of a shift as two separate messages,
+        /// so its rounds pay 2·α; a combined single-exchange shift pays 1.
+        msgs_per_round: usize,
     },
     /// Local GEMM work.
     LocalGemm {
@@ -178,6 +182,8 @@ pub enum Phase {
         rounds: usize,
         /// Payload bytes per round (an A block + a B block).
         bytes_per_round: f64,
+        /// Messages per round — see [`Phase::ShiftRounds::msgs_per_round`].
+        msgs_per_round: usize,
         /// Total local GEMM flops across all rounds.
         flops: f64,
     },
@@ -223,15 +229,23 @@ impl Phase {
     /// The paper's latency measure `L` for this phase: messages sent by the
     /// modeled rank, using the butterfly-collective counts of §III-D
     /// (`log₂ g` for allgather/broadcast trees, `g − 1` for reduce-scatter
-    /// and pairwise exchange, one per shift round).
+    /// and pairwise exchange, `msgs_per_round` per shift round).
     pub fn message_count(&self) -> f64 {
         match self {
             Phase::Allgather { grp, .. } => (grp.size as f64).log2().ceil(),
             Phase::Bcast { grp, .. } => (grp.size as f64).log2().ceil() + grp.size as f64 - 1.0,
             Phase::ReduceScatter { grp, .. } => grp.size as f64 - 1.0,
             Phase::Alltoallv { peers, .. } => *peers as f64,
-            Phase::ShiftRounds { rounds, .. } => *rounds as f64,
-            Phase::CannonOverlap { rounds, .. } => *rounds as f64,
+            Phase::ShiftRounds {
+                rounds,
+                msgs_per_round,
+                ..
+            }
+            | Phase::CannonOverlap {
+                rounds,
+                msgs_per_round,
+                ..
+            } => (*rounds * *msgs_per_round) as f64,
             Phase::LocalGemm { .. } => 0.0,
         }
     }
@@ -295,9 +309,11 @@ mod tests {
                 grp: NetGroup::flat(3),
                 rounds: 2,
                 bytes_per_round: 10.0,
+                msgs_per_round: 2,
             },
         );
         // 400*3/4 + 500*4/5 + 20 = 300 + 400 + 20
+        // (msgs_per_round scales latency, never bytes)
         assert!((s.sent_bytes() - 720.0).abs() < 1e-9);
     }
 
@@ -320,6 +336,32 @@ mod tests {
             },
         );
         assert!((s.message_count() - (3.0 + 7.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shift_rounds_count_msgs_per_round() {
+        let mut s = Schedule::new();
+        // A Cannon-style shift ships A and B separately: 2 msgs/round.
+        s.push(
+            "shift",
+            Phase::ShiftRounds {
+                grp: NetGroup::flat(4),
+                rounds: 3,
+                bytes_per_round: 10.0,
+                msgs_per_round: 2,
+            },
+        );
+        s.push(
+            "overlap",
+            Phase::CannonOverlap {
+                grp: NetGroup::flat(4),
+                rounds: 3,
+                bytes_per_round: 10.0,
+                msgs_per_round: 2,
+                flops: 1e6,
+            },
+        );
+        assert!((s.message_count() - 12.0).abs() < 1e-9);
     }
 
     #[test]

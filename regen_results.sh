@@ -16,4 +16,10 @@ cargo run --release -q --example grid_explorer > results/grid_explorer.txt
 echo "== fig3_sim"
 cargo run --release -q -p bench --bin fig3_sim -- \
   --report-out results/REPORT_fig3_sim.json > results/fig3_sim.txt
+# The small traced-run RunReport that CI's report-smoke job gates exactly.
+# Traffic is deterministic; only the (ungated) wall times vary run to run.
+echo "== REPORT_fig5_small"
+cargo run --release -q -p bench --bin fig5_breakdown -- \
+  --report-out results/REPORT_fig5_small.json --trace-ranks 4 --trace-size 96 \
+  > /dev/null
 echo "done; artifacts in results/"

@@ -111,6 +111,119 @@ fn ca3dmm_at_p768_sim_matches_serial_gemm() {
     assert!(sim.makespan_secs > gemm_secs / 2.0);
 }
 
+/// The §III-F overlap charging rule: post the transfers, compute, then
+/// wait — the round must cost `max(compute, communication)`, not the sum.
+/// Both regimes are pinned exactly: compute-bound (transfer fully hidden,
+/// zero residual wait) and communication-bound (wait exposes exactly the
+/// remainder of the transfer).
+#[test]
+fn overlap_round_charges_max_of_comm_and_compute() {
+    const ELEMS: usize = 4096;
+    let machine = Machine::uniform();
+    let bytes = (ELEMS * std::mem::size_of::<f64>()) as f64;
+    let one_way = machine.alpha_inter + machine.beta_inter(1.0) * bytes;
+    // On the uniform machine 1e9 flops = 1 virtual second.
+    for comp_secs in [one_way * 4.0, one_way / 4.0] {
+        let (_, report) = World::run_sim(2, &machine, SimOptions::default(), |ctx| {
+            let comm = Comm::world(ctx);
+            ctx.set_phase("round");
+            let peer = 1 - comm.rank();
+            let req = comm.irecv::<Vec<f64>>(ctx, peer, 0);
+            comm.isend(ctx, peer, 0, vec![1.0f64; ELEMS]).wait();
+            ctx.charge_flops(comp_secs * 1e9);
+            let _ = req.wait(ctx);
+        });
+        let sim = report.sim.as_ref().expect("sim info");
+        let want = comp_secs.max(one_way);
+        assert!(
+            (sim.makespan_secs - want).abs() < 1e-12,
+            "overlap round: makespan {} != max(comp {comp_secs}, comm {one_way})",
+            sim.makespan_secs
+        );
+        // Residual wait: what the compute failed to hide.
+        let residual = (one_way - comp_secs).max(0.0);
+        assert!(
+            (report.traffic.wait_secs(0, "round") - residual).abs() < 1e-12,
+            "residual wait {} != {residual}",
+            report.traffic.wait_secs(0, "round")
+        );
+    }
+}
+
+/// Back-to-back nonblocking sends serialize on the sender's NIC pipe: two
+/// isends posted at virtual t=0 arrive at `1·transfer` and `2·transfer`,
+/// not both at `1·transfer` — so overlap cannot fabricate bandwidth.
+#[test]
+fn isends_serialize_on_the_nic_pipe() {
+    const ELEMS: usize = 1024;
+    let machine = Machine::uniform();
+    let bytes = (ELEMS * std::mem::size_of::<f64>()) as f64;
+    let one_way = machine.alpha_inter + machine.beta_inter(1.0) * bytes;
+    let (_, report) = World::run_sim(2, &machine, SimOptions::default(), |ctx| {
+        let comm = Comm::world(ctx);
+        ctx.set_phase("pipe");
+        if comm.rank() == 0 {
+            comm.isend(ctx, 1, 0, vec![0.0f64; ELEMS]).wait();
+            comm.isend(ctx, 1, 1, vec![0.0f64; ELEMS]).wait();
+        } else {
+            let a = comm.irecv::<Vec<f64>>(ctx, 0, 0);
+            let b = comm.irecv::<Vec<f64>>(ctx, 0, 1);
+            let _ = a.wait(ctx);
+            let _ = b.wait(ctx);
+        }
+    });
+    let sim = report.sim.as_ref().expect("sim info");
+    assert!(
+        (sim.makespan_secs - 2.0 * one_way).abs() < 1e-12,
+        "two isends must drain sequentially: {} != {}",
+        sim.makespan_secs,
+        2.0 * one_way
+    );
+}
+
+/// The executed overlap ablation at the CA3DMM level: on the same problem,
+/// machine, and grid, the overlapped pipeline's virtual makespan is never
+/// worse than the blocking one's (and the traffic is identical).
+#[test]
+fn overlapped_ca3dmm_sim_is_no_slower_than_blocking() {
+    let machine = Machine::phoenix_cpu();
+    let prob = Problem::new(96, 96, 192, 48);
+    let run = |overlap: bool| {
+        let alg = Ca3dmm::new(
+            prob,
+            &Ca3dmmOptions {
+                overlap,
+                ..Default::default()
+            },
+        );
+        let report = alg.simulate_native(
+            &machine,
+            SimOptions {
+                execute_compute: false,
+                ..Default::default()
+            },
+        );
+        (
+            report.sim.as_ref().expect("sim info").makespan_secs,
+            report.traffic.max_rank_bytes(),
+        )
+    };
+    let (t_overlap, bytes_overlap) = run(true);
+    let (t_blocking, bytes_blocking) = run(false);
+    assert_eq!(
+        bytes_overlap, bytes_blocking,
+        "overlap must not change traffic"
+    );
+    assert!(
+        t_overlap <= t_blocking + 1e-12,
+        "overlap {t_overlap} must not exceed blocking {t_blocking}"
+    );
+    assert!(
+        t_overlap < t_blocking,
+        "a comm-heavy shape must show a real overlap win ({t_overlap} vs {t_blocking})"
+    );
+}
+
 /// An imbalanced 4-rank run — rank 0 charges a long local compute before
 /// releasing the others — must attribute the idle ranks' time to *virtual*
 /// wait, visible as nonzero wait% in the parsed artifact and its dashboard.
