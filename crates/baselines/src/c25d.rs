@@ -218,7 +218,12 @@ impl C25d {
 
         // Reduce across layers.
         ctx.set_phase("reduce_c");
-        Some(reduce_partial_c(ctx, lc, c_partial))
+        Some(reduce_partial_c(
+            ctx,
+            lc,
+            c_partial,
+            msgpass::collectives::Collectives::Flat,
+        ))
     }
 
     /// Schedule: layer broadcasts, unoverlapped shifts + GEMM, layer

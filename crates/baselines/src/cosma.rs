@@ -261,6 +261,7 @@ impl CosmaLike {
                 .as_ref()
                 .expect("active rank has a reduce group"),
             c_partial,
+            msgpass::collectives::Collectives::Flat,
         ))
     }
 

@@ -212,6 +212,7 @@ impl Orig3d {
             ctx,
             layer_comm.as_ref().expect("active rank has a layer comm"),
             c_partial,
+            msgpass::collectives::Collectives::Flat,
         ))
     }
 

@@ -27,6 +27,7 @@ fn main() {
         elem_bytes: 8.0,
         overlap: true,
         include_redist: false,
+        collectives: ca3dmm::Collectives::Flat,
     };
 
     println!("Ablation 1: dual-buffer overlap in Cannon (§III-F)\n");

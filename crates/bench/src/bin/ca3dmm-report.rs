@@ -37,7 +37,7 @@
 //!   matrix cells, histogram buckets) must match the reference **exactly**;
 //!   times are checked only as a ratio when `--time-ratio` is given.
 
-use ca3dmm::{ca3dmm_schedule, diff_doc_vs_model, ModelConfig};
+use ca3dmm::{ca3dmm_schedule, diff_doc_vs_model, Collectives, ModelConfig};
 use gridopt::{Grid, Problem};
 use jsonlite::Json;
 use msgpass::report::{diff_reports, gate, render_gate_failures};
@@ -160,6 +160,16 @@ fn cmd_netdiff(
         .get("overlap")
         .and_then(Json::as_bool)
         .unwrap_or(false);
+    // Likewise the collective mode the run executed (`meta.collectives`):
+    // the model applies the same structural node-aware selection the
+    // runtime used, so hierarchical artifacts stay byte-exact against the
+    // hierarchical closed forms. Artifacts from before the flag ran flat.
+    let collectives = doc
+        .meta
+        .get("collectives")
+        .and_then(Json::as_str)
+        .and_then(Collectives::parse)
+        .unwrap_or(Collectives::Flat);
     // Wall-clock artifacts: same model configuration as the traced fig5 run
     // that wrote them — a uniform machine, pure-MPI placement, f64 payloads,
     // no redistribution (the run feeds the native layouts directly).
@@ -178,6 +188,7 @@ fn cmd_netdiff(
         elem_bytes: 8.0,
         overlap,
         include_redist: false,
+        collectives,
     };
     let cost = evaluate(
         &machine,

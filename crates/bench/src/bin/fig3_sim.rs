@@ -25,6 +25,18 @@
 //! `RunReport`, the reference CI's `sim-smoke` job gates against.
 //! `--ranks P` simulates a single point instead of the sweep.
 //!
+//! `--collectives flat|hier` selects the collective algorithms the executor
+//! (and the model) use: `hier` routes allgather/reduce-scatter through
+//! two-level node-aware variants wherever a communicator spans several
+//! nodes with co-located members, and falls back to flat elsewhere.
+//! `--ranks-per-node N` overrides the placement's node size (default: the
+//! machine's pure-MPI 24/node) — at the paper's 24/node the replicate and
+//! reduce groups place every member on a distinct node, so fat nodes
+//! (e.g. `--ranks-per-node 384`) are where the hierarchical variants
+//! engage. When either flag is non-default, the CSV series and the
+//! report's `name` gain a `_{flat|hier}_r{N}` suffix so the ablation's
+//! artifacts sit next to the default ones instead of clobbering them.
+//!
 //! The problem is fixed at m = n = 3072, k = 6144: big enough that every
 //! phase moves real traffic, and chosen so the grid the step-1 search
 //! picks at p = 3072 (8×16×24) divides all three dimensions exactly and
@@ -34,7 +46,7 @@
 //! exactly.
 
 use bench::{percent_of_peak, CPU_SWEEP};
-use ca3dmm::{ca3dmm_schedule, Ca3dmm, Ca3dmmOptions, ModelConfig};
+use ca3dmm::{ca3dmm_schedule, Ca3dmm, Ca3dmmOptions, Collectives, ModelConfig};
 use gridopt::Problem;
 use msgpass::SimOptions;
 use netmodel::eval::evaluate;
@@ -48,6 +60,7 @@ const K: usize = 6144;
 fn main() {
     let mut args = std::env::args().skip(1);
     let (mut report_out, mut only_ranks, mut overlap) = (None::<String>, None::<usize>, true);
+    let (mut collectives, mut rpn_override) = (Collectives::Flat, None::<usize>);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
@@ -63,20 +76,40 @@ fn main() {
                     other => panic!("--overlap takes on|off, got {other}"),
                 }
             }
+            "--collectives" => {
+                let v = value("--collectives");
+                collectives = Collectives::parse(&v)
+                    .unwrap_or_else(|| panic!("--collectives takes flat|hier, got {v}"));
+            }
+            "--ranks-per-node" => {
+                rpn_override = Some(value("--ranks-per-node").parse().expect("ranks per node"))
+            }
             other => panic!("unknown argument: {other}"),
         }
     }
 
     let machine = Machine::phoenix_cpu();
-    let placement = machine.pure_mpi();
+    let mut placement = machine.pure_mpi();
+    if let Some(rpn) = rpn_override {
+        assert!(rpn >= 1, "--ranks-per-node must be at least 1");
+        placement.ranks_per_node = rpn;
+    }
+    // Non-default configurations write to suffixed names so the committed
+    // default artifacts stay byte-identical.
+    let variant = if collectives != Collectives::Flat || rpn_override.is_some() {
+        format!("_{}_r{}", collectives.as_str(), placement.ranks_per_node)
+    } else {
+        String::new()
+    };
     let sweep: Vec<usize> = match only_ranks {
         Some(p) => vec![p],
         None => CPU_SWEEP.to_vec(),
     };
     println!(
-        "Figure 3 (executed): CA3DMM {M}x{N}x{K} on {} — virtual time, overlap {}",
+        "Figure 3 (executed): CA3DMM {M}x{N}x{K} on {} — virtual time, overlap {}, {} collectives",
         machine.name,
-        if overlap { "on" } else { "off" }
+        if overlap { "on" } else { "off" },
+        collectives.as_str()
     );
     println!(
         "Pure MPI placement: {} ranks/node.\n",
@@ -87,7 +120,7 @@ fn main() {
         "ranks", "grid", "sim (s)", "% peak", "model (s)", "wall (s)"
     );
 
-    let mut csv = bench::csv_writer("fig3_sim");
+    let mut csv = bench::csv_writer(&format!("fig3_sim{variant}"));
     if let Some(w) = csv.as_mut() {
         use std::io::Write;
         writeln!(w, "cores,grid,sim_secs,pct_peak,model_secs").ok();
@@ -99,6 +132,7 @@ fn main() {
             prob,
             &Ca3dmmOptions {
                 overlap,
+                collectives,
                 ..Default::default()
             },
         );
@@ -108,6 +142,7 @@ fn main() {
         let report = alg.simulate_native(
             &machine,
             SimOptions {
+                placement: Some(placement),
                 execute_compute: false,
                 ..Default::default()
             },
@@ -121,6 +156,8 @@ fn main() {
             // the model's overlap branch must match the executed pipeline
             overlap,
             include_redist: false,
+            // and its collective selection must match the executed mode
+            collectives,
         };
         let model = evaluate(
             &machine,
@@ -144,7 +181,7 @@ fn main() {
         }
 
         if let (Some(path), true) = (report_out.as_deref(), Some(p) == sweep_max(only_ranks)) {
-            let meta = alg.report_meta(&format!("fig3_sim_p{p}"));
+            let meta = alg.report_meta(&format!("fig3_sim{variant}_p{p}"));
             let json = report.to_json(meta).to_string_pretty();
             std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
             println!("run report -> {path}");

@@ -100,6 +100,7 @@ fn traced_run(path: Option<&str>, report_out: Option<&str>, ranks: usize, size: 
         elem_bytes: 8.0,
         overlap: true,
         include_redist: false,
+        collectives: ca3dmm::Collectives::Flat,
     };
     let cost = evaluate(
         &machine,

@@ -87,6 +87,7 @@ pub fn predict_with_grid(
                 elem_bytes: 8.0,
                 overlap: true,
                 include_redist: cfg.custom_layout,
+                collectives: ca3dmm::Collectives::Flat,
             };
             ca3dmm_schedule(prob, &grid, &mc)
         }

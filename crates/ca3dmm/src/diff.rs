@@ -337,6 +337,7 @@ mod tests {
             elem_bytes: 8.0,
             overlap: true,
             include_redist: false,
+            collectives: msgpass::collectives::Collectives::Flat,
         };
         let cost = evaluate(
             &machine,
@@ -388,6 +389,7 @@ mod tests {
             elem_bytes: 8.0,
             overlap: true,
             include_redist: false,
+            collectives: msgpass::collectives::Collectives::Flat,
         };
         let cost = evaluate(
             &machine,

@@ -8,6 +8,7 @@ use dense::gemm::GemmOp;
 use dense::{Mat, Scalar};
 use gridopt::{ca3dmm_grid, Grid, Problem};
 use layout::{redistribute, Layout};
+use msgpass::collectives::Collectives;
 use msgpass::{Comm, RankCtx};
 
 /// Tuning knobs of a CA3DMM run.
@@ -26,6 +27,11 @@ pub struct Ca3dmmOptions {
     /// a double-buffered nonblocking pipeline (default). `false` is the
     /// blocking ablation — every shift completes before its GEMM starts.
     pub overlap: bool,
+    /// Which collective algorithms the replication and reduction phases
+    /// use. `Hier` routes them through the two-level node-aware entry
+    /// points (which fall back to flat per communicator when the topology
+    /// doesn't engage); `Flat` (default) forces the single-level baselines.
+    pub collectives: Collectives,
 }
 
 impl Default for Ca3dmmOptions {
@@ -35,6 +41,7 @@ impl Default for Ca3dmmOptions {
             utilization_floor: gridopt::DEFAULT_UTILIZATION_FLOOR,
             multi_shift_min_k: 0,
             overlap: true,
+            collectives: Collectives::Flat,
         }
     }
 }
@@ -62,6 +69,7 @@ pub struct Ca3dmm {
     gc: GridContext,
     multi_shift_min_k: usize,
     overlap: bool,
+    collectives: Collectives,
 }
 
 impl Ca3dmm {
@@ -79,6 +87,7 @@ impl Ca3dmm {
             gc: GridContext::new(prob, grid),
             multi_shift_min_k: opts.multi_shift_min_k,
             overlap: opts.overlap,
+            collectives: opts.collectives,
         }
     }
 
@@ -102,6 +111,10 @@ impl Ca3dmm {
             ("k", jsonlite::Json::Num(prob.k as f64)),
             ("p", jsonlite::Json::Num(prob.p as f64)),
             ("overlap", jsonlite::Json::Bool(self.overlap)),
+            (
+                "collectives",
+                jsonlite::Json::Str(self.collectives.as_str().to_owned()),
+            ),
             (
                 "grid",
                 jsonlite::Json::obj([
@@ -273,11 +286,25 @@ impl Ca3dmm {
                 .expect("active rank has a replication group");
             if gc.a_replicated {
                 let blk = gc.a_block(&coord);
-                let a = replicate_block(ctx, rc, a_blk, blk.rows, &slice_widths(blk.cols, c));
+                let a = replicate_block(
+                    ctx,
+                    rc,
+                    a_blk,
+                    blk.rows,
+                    &slice_widths(blk.cols, c),
+                    self.collectives,
+                );
                 (a, b_blk)
             } else {
                 let blk = gc.b_block(&coord);
-                let b = replicate_block(ctx, rc, b_blk, blk.rows, &slice_widths(blk.cols, c));
+                let b = replicate_block(
+                    ctx,
+                    rc,
+                    b_blk,
+                    blk.rows,
+                    &slice_widths(blk.cols, c),
+                    self.collectives,
+                );
                 (a_blk, b)
             }
         } else {
@@ -311,6 +338,7 @@ impl Ca3dmm {
                 .as_ref()
                 .expect("active rank has a reduce group"),
             c_partial,
+            self.collectives,
         );
         Some(strip)
     }

@@ -54,3 +54,4 @@ pub use diff::{
 pub use exec::{Ca3dmm, Ca3dmmOptions, RunStats};
 pub use grid_ctx::{GridContext, RankCoord};
 pub use model::{ca3dmm_schedule, memory_elements_per_rank, ModelConfig};
+pub use msgpass::collectives::Collectives;

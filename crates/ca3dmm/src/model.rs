@@ -3,6 +3,7 @@
 //! eq. 11 memory model. This is what the paper-scale experiments evaluate.
 
 use gridopt::{Grid, Problem};
+use msgpass::collectives::Collectives;
 use netmodel::machine::Placement;
 use netmodel::{NetGroup, Phase, Schedule};
 
@@ -20,6 +21,12 @@ pub struct ModelConfig {
     /// layout (the "custom layout" series of Fig. 3). `false` is the
     /// library-native configuration §III-D analyses.
     pub include_redist: bool,
+    /// Which collective family the run used. Must match the executed
+    /// configuration (`Ca3dmmOptions::collectives`): the model applies the
+    /// same structural rule as the runtime — a hierarchical phase is
+    /// emitted only where [`NetGroup::hier_engages`] — so measured and
+    /// modeled byte/message counts stay exact either way.
+    pub collectives: Collectives,
 }
 
 /// Geometry quantities shared by the schedule and memory models.
@@ -82,19 +89,30 @@ pub fn ca3dmm_schedule(prob: &Problem, grid: &Grid, cfg: &ModelConfig) -> Schedu
     // Step 5: replicate A or B across the c Cannon groups (rank stride s²).
     if g.c > 1 {
         let blk = if g.a_replicated { g.a_blk } else { g.b_blk };
+        let grp = NetGroup::strided(g.c, g.s * g.s, rpn);
+        let total_bytes = blk * eb;
         sched.push(
             "replicate_ab",
-            Phase::Allgather {
-                grp: NetGroup::strided(g.c, g.s * g.s, rpn),
-                total_bytes: blk * eb,
+            if cfg.collectives == Collectives::Hier && grp.hier_engages() {
+                Phase::HierAllgather { grp, total_bytes }
+            } else {
+                Phase::Allgather { grp, total_bytes }
             },
         );
     }
 
     // Step 6: Cannon — initial skew + s−1 overlapped shifts. Cannon groups
     // are contiguous ranks; shift partners are mostly a few ranks away, so
-    // model them as a stride-s ring (the column-shift distance).
-    let cannon_grp = NetGroup::strided(g.s * g.s, g.s.min(rpn.max(1)), rpn);
+    // model them as a stride-s ring (the column-shift distance) — unless
+    // the whole s² contiguous group fits on one node, where the stride-s
+    // encoding would overstate the group's span and invent node crossings
+    // that the runtime (whose group occupies s² consecutive ranks) never
+    // makes.
+    let cannon_grp = if g.s * g.s <= rpn.max(1) {
+        NetGroup::contiguous(g.s * g.s, rpn.max(1))
+    } else {
+        NetGroup::strided(g.s * g.s, g.s.min(rpn.max(1)), rpn)
+    };
     let shift_bytes = (g.a_blk + g.b_blk) * eb;
     let flops = 2.0 * g.mb * g.nb * g.kb;
     if g.s > 1 {
@@ -143,12 +161,18 @@ pub fn ca3dmm_schedule(prob: &Problem, grid: &Grid, cfg: &ModelConfig) -> Schedu
     // Step 7: reduce-scatter the pk partial C results.
     if grid.pk > 1 {
         // Reduce groups stride by a whole k-task group (pm·pn ranks).
+        let grp = NetGroup::strided(grid.pk, grid.pm * grid.pn, rpn);
+        let total_bytes = g.mb * g.nb * eb;
         sched.push(
             "reduce_c",
-            Phase::ReduceScatter {
-                grp: NetGroup::strided(grid.pk, grid.pm * grid.pn, rpn),
-                total_bytes: g.mb * g.nb * eb,
-                custom_impl: false,
+            if cfg.collectives == Collectives::Hier && grp.hier_engages() {
+                Phase::HierReduceScatter { grp, total_bytes }
+            } else {
+                Phase::ReduceScatter {
+                    grp,
+                    total_bytes,
+                    custom_impl: false,
+                }
             },
         );
     }
@@ -199,6 +223,7 @@ mod tests {
             elem_bytes: 8.0,
             overlap: true,
             include_redist: false,
+            collectives: Collectives::Flat,
         }
     }
 
@@ -231,6 +256,47 @@ mod tests {
         let sched = ca3dmm_schedule(&prob, &grid, &cfg());
         let want = 1.0 /*log2 c*/ + 2.0 * 4.0 /*2·s*/ + 3.0 /*pk-1*/;
         assert!((sched.message_count() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hier_mode_mirrors_structural_selection() {
+        // The ablation geometry: p = 3072 (grid 8×16×24) on 384-rank nodes.
+        // Reduce groups (stride pm·pn = 128, size pk = 24) span 8 nodes of
+        // 3 members → hierarchical; replicate pairs (stride s² = 64,
+        // size c = 2) always land inside one node → flat fallback even in
+        // hier mode, exactly like the runtime's node_map rule.
+        let prob = Problem::new(3072, 3072, 6144, 3072);
+        let grid = Grid::new(8, 16, 24);
+        let placement = Placement {
+            ranks_per_node: 384,
+            flops_per_rank: 1e9,
+        };
+        let hier_cfg = ModelConfig {
+            placement,
+            collectives: Collectives::Hier,
+            ..cfg()
+        };
+        let sched = ca3dmm_schedule(&prob, &grid, &hier_cfg);
+        let phase_of = |label: &str| {
+            sched
+                .items
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, p)| p)
+                .unwrap_or_else(|| panic!("phase {label} missing"))
+        };
+        assert!(matches!(
+            phase_of("reduce_c"),
+            Phase::HierReduceScatter { .. }
+        ));
+        assert!(matches!(phase_of("replicate_ab"), Phase::Allgather { .. }));
+        // Flat mode on the same placement keeps the flat reduce-scatter.
+        let flat_cfg = ModelConfig { placement, ..cfg() };
+        let flat = ca3dmm_schedule(&prob, &grid, &flat_cfg);
+        assert!(flat
+            .items
+            .iter()
+            .all(|(_, p)| !matches!(p, Phase::HierReduceScatter { .. })));
     }
 
     #[test]

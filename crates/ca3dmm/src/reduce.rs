@@ -8,13 +8,20 @@
 
 use dense::part::{even_range, split_even};
 use dense::{Mat, Scalar};
-use msgpass::collectives::reduce_scatter;
+use msgpass::collectives::{reduce_scatter_mode, Collectives};
 use msgpass::{Comm, RankCtx};
 
 /// Reduces `pk` partial C blocks (one per member of `group`, all the same
 /// shape) and returns this rank's row strip of the sum. `group` orders
-/// members by k-task group index.
-pub fn reduce_partial_c<T: Scalar>(ctx: &RankCtx, group: &Comm, partial: Mat<T>) -> Mat<T> {
+/// members by k-task group index. `mode` picks the reduce-scatter family;
+/// the hierarchical one falls back to flat when the group fits one node or
+/// no topology is attached.
+pub fn reduce_partial_c<T: Scalar>(
+    ctx: &RankCtx,
+    group: &Comm,
+    partial: Mat<T>,
+    mode: Collectives,
+) -> Mat<T> {
     let pk = group.size();
     if pk == 1 {
         return partial;
@@ -22,7 +29,7 @@ pub fn reduce_partial_c<T: Scalar>(ctx: &RankCtx, group: &Comm, partial: Mat<T>)
     let (rows, cols) = partial.shape();
     let strip_rows = split_even(rows, pk);
     let counts: Vec<usize> = strip_rows.iter().map(|r| r * cols).collect();
-    let mine = reduce_scatter(group, ctx, partial.into_vec(), &counts);
+    let mine = reduce_scatter_mode(mode, group, ctx, partial.into_vec(), &counts);
     Mat::from_vec(strip_rows[group.rank()], cols, mine)
 }
 
@@ -47,7 +54,33 @@ mod tests {
         let results = World::run(pk, |ctx| {
             let comm = Comm::world(ctx);
             let part = global_block::<f64>(comm.rank() as u64, Rect::new(0, 0, rows, cols));
-            reduce_partial_c(ctx, &comm, part)
+            reduce_partial_c(ctx, &comm, part, Collectives::Flat)
+        });
+        let mut want = Mat::<f64>::zeros(rows, cols);
+        for kt in 0..pk {
+            want.add_assign(&global_block::<f64>(kt as u64, Rect::new(0, 0, rows, cols)));
+        }
+        for (kt, strip) in results.iter().enumerate() {
+            let (r0, r1) = strip_range(rows, pk, kt);
+            let expect = want.block(Rect::new(r0, 0, r1 - r0, cols));
+            assert!(strip.max_abs_diff(&expect) < 1e-12, "strip {kt}");
+        }
+    }
+
+    #[test]
+    fn hier_mode_sums_identically() {
+        let rows = 8;
+        let cols = 5;
+        let pk = 4;
+        // Two nodes of two ranks each — the hierarchical path engages.
+        let opts = msgpass::RunOptions {
+            ranks_per_node: Some(2),
+            ..Default::default()
+        };
+        let (results, _) = World::run_opts(pk, opts, |ctx| {
+            let comm = Comm::world(ctx);
+            let part = global_block::<f64>(comm.rank() as u64, Rect::new(0, 0, rows, cols));
+            reduce_partial_c(ctx, &comm, part, Collectives::Hier)
         });
         let mut want = Mat::<f64>::zeros(rows, cols);
         for kt in 0..pk {
@@ -65,7 +98,7 @@ mod tests {
         let results = World::run(1, |ctx| {
             let comm = Comm::world(ctx);
             let part = global_block::<f64>(1, Rect::new(0, 0, 4, 4));
-            reduce_partial_c(ctx, &comm, part)
+            reduce_partial_c(ctx, &comm, part, Collectives::Flat)
         });
         assert_eq!(results[0].shape(), (4, 4));
     }
@@ -78,7 +111,7 @@ mod tests {
         let results = World::run(pk, |ctx| {
             let comm = Comm::world(ctx);
             let part = Mat::<f64>::from_fn(rows, 3, |_, _| 1.0);
-            reduce_partial_c(ctx, &comm, part)
+            reduce_partial_c(ctx, &comm, part, Collectives::Flat)
         });
         assert_eq!(results[0].shape(), (1, 3));
         assert_eq!(results[3].shape(), (0, 3));
@@ -94,7 +127,7 @@ mod tests {
             let comm = Comm::world(ctx);
             ctx.set_phase("reduce_c");
             let part = Mat::<f64>::from_fn(rows, cols, |_, _| 1.0);
-            reduce_partial_c(ctx, &comm, part)
+            reduce_partial_c(ctx, &comm, part, Collectives::Flat)
         });
         // ring reduce-scatter: each rank sends (pk-1)/pk of the block
         for r in 0..pk {

@@ -9,20 +9,23 @@
 
 use dense::part::{offsets, split_even};
 use dense::{Mat, Scalar};
-use msgpass::collectives::allgatherv;
+use msgpass::collectives::{allgatherv_mode, Collectives};
 use msgpass::{Comm, RankCtx};
 
 /// Completes a replicated block from its column-slices.
 ///
 /// `group` orders the `c` peers by Cannon-group index; `my_slice` is this
 /// rank's `rows × widths[group.rank()]` column-slice. Returns the full
-/// `rows × Σwidths` block.
+/// `rows × Σwidths` block. `mode` picks the allgather family; the
+/// hierarchical one falls back to flat when the group fits one node or no
+/// topology is attached.
 pub fn replicate_block<T: Scalar>(
     ctx: &RankCtx,
     group: &Comm,
     my_slice: Mat<T>,
     rows: usize,
     widths: &[usize],
+    mode: Collectives,
 ) -> Mat<T> {
     let c = group.size();
     assert_eq!(widths.len(), c, "one slice width per group member");
@@ -36,7 +39,7 @@ pub fn replicate_block<T: Scalar>(
         return my_slice;
     }
     let counts: Vec<usize> = widths.iter().map(|w| rows * w).collect();
-    let gathered = allgatherv(group, ctx, my_slice.into_vec(), &counts);
+    let gathered = allgatherv_mode(mode, group, ctx, my_slice.into_vec(), &counts);
     // Reassemble column-slices into one block.
     let offs = offsets(widths);
     let total_cols = offs[c];
@@ -77,7 +80,31 @@ mod tests {
             let comm = Comm::world(ctx);
             let me = comm.rank();
             let slice = full.block(Rect::new(0, offs[me], rows, widths[me]));
-            replicate_block(ctx, &comm, slice, rows, &widths)
+            replicate_block(ctx, &comm, slice, rows, &widths, Collectives::Flat)
+        });
+        for r in results {
+            assert_eq!(r.max_abs_diff(&full), 0.0);
+        }
+    }
+
+    #[test]
+    fn hier_mode_reassembles_identically() {
+        let rows = 5;
+        let cols = 11;
+        let c = 4;
+        let widths = slice_widths(cols, c);
+        let offs = offsets(&widths);
+        let full = global_block::<f64>(9, Rect::new(0, 0, rows, cols));
+        // Two nodes of two ranks each — the hierarchical path engages.
+        let opts = msgpass::RunOptions {
+            ranks_per_node: Some(2),
+            ..Default::default()
+        };
+        let (results, _) = World::run_opts(c, opts, |ctx| {
+            let comm = Comm::world(ctx);
+            let me = comm.rank();
+            let slice = full.block(Rect::new(0, offs[me], rows, widths[me]));
+            replicate_block(ctx, &comm, slice, rows, &widths, Collectives::Hier)
         });
         for r in results {
             assert_eq!(r.max_abs_diff(&full), 0.0);
@@ -89,7 +116,7 @@ mod tests {
         let full = global_block::<f32>(3, Rect::new(0, 0, 4, 4));
         let results = World::run(1, |ctx| {
             let comm = Comm::world(ctx);
-            replicate_block(ctx, &comm, full.clone(), 4, &[4])
+            replicate_block(ctx, &comm, full.clone(), 4, &[4], Collectives::Flat)
         });
         assert_eq!(results[0].max_abs_diff(&full), 0.0);
     }
@@ -107,7 +134,7 @@ mod tests {
             let comm = Comm::world(ctx);
             let me = comm.rank();
             let slice = full.block(Rect::new(0, offs[me], rows, widths[me]));
-            replicate_block(ctx, &comm, slice, rows, &widths)
+            replicate_block(ctx, &comm, slice, rows, &widths, Collectives::Flat)
         });
         for r in results {
             assert_eq!(r.max_abs_diff(&full), 0.0);
@@ -130,7 +157,7 @@ mod tests {
             ctx.set_phase("replicate_ab");
             let me = comm.rank();
             let slice = full.block(Rect::new(0, offs[me], rows, widths[me]));
-            replicate_block(ctx, &comm, slice, rows, &widths)
+            replicate_block(ctx, &comm, slice, rows, &widths, Collectives::Flat)
         });
         for r in 0..c {
             assert_eq!(

@@ -311,6 +311,7 @@ impl Ca3dmmSumma {
             ctx,
             reduce_comm.as_ref().expect("active rank has a reduce comm"),
             c_partial,
+            msgpass::collectives::Collectives::Flat,
         ))
     }
 }

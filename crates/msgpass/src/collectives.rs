@@ -368,6 +368,476 @@ pub fn gatherv<T: Copy + Send + 'static>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Two-level (node-aware) collectives.
+//
+// When the run knows its node layout ([`RankCtx::ranks_per_node`], set by the
+// sim placement or by `RunOptions::ranks_per_node`), the `*_hier` entry
+// points below route each collective through a node-leader structure:
+// members send to their node's leader over the (cheap) intra-node fabric,
+// the leaders run the inter-node stage among themselves — one ring or tree
+// over *nodes* instead of *ranks* — and the leaders fan results back out
+// intra-node. Inter-node message count per group drops from Θ(P) to
+// Θ(#nodes), which is the latency tier the flat rings pay at scale.
+//
+// Selection is structural and identical on every member (it is a pure
+// function of the communicator's world ranks and the topology), so a
+// communicator never splits between the two paths: hier engages only when
+// the group spans ≥ 2 nodes AND at least one node holds ≥ 2 members.
+// Otherwise the flat algorithm is the right one already — a single-node
+// group never crosses the network, and an all-singleton group gains nothing
+// from leaders (every rank *is* its node's leader) — so the flat path runs
+// and the traffic is attributed to the flat algorithm name.
+
+/// Node-grouped view of a communicator: which members share nodes, under the
+/// block `node = world_rank / ranks_per_node` mapping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeMap {
+    /// Communicator rank indices grouped by node, nodes in first-appearance
+    /// order of the comm rank order, members ascending. `nodes[j][0]` is
+    /// node `j`'s leader.
+    pub nodes: Vec<Vec<usize>>,
+    /// Index into `nodes` of the calling rank's node.
+    pub my_node: usize,
+    /// The calling rank's position within its node group (0 = leader).
+    pub my_slot: usize,
+}
+
+impl NodeMap {
+    /// Number of nodes the communicator spans.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Largest number of members any node holds.
+    pub fn max_members(&self) -> usize {
+        self.nodes.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// The two-level selection rule: `Some(map)` when the hierarchical path
+/// engages for this communicator, `None` when the flat algorithms should run
+/// (no topology attached, single-node communicator, or all nodes holding a
+/// single member). Every member computes the same answer.
+pub fn node_map(comm: &Comm, ctx: &RankCtx) -> Option<NodeMap> {
+    let rpn = ctx.ranks_per_node()?;
+    let g = comm.size();
+    let me = comm.rank();
+    let mut node_ids: Vec<usize> = Vec::new();
+    let mut nodes: Vec<Vec<usize>> = Vec::new();
+    let mut my_node = 0;
+    let mut my_slot = 0;
+    for idx in 0..g {
+        let node = comm.world_rank_of(idx) / rpn;
+        let j = match node_ids.iter().position(|&n| n == node) {
+            Some(j) => j,
+            None => {
+                node_ids.push(node);
+                nodes.push(Vec::new());
+                nodes.len() - 1
+            }
+        };
+        if idx == me {
+            my_node = j;
+            my_slot = nodes[j].len();
+        }
+        nodes[j].push(idx);
+    }
+    if nodes.len() < 2 || nodes.iter().all(|v| v.len() == 1) {
+        return None;
+    }
+    Some(NodeMap {
+        nodes,
+        my_node,
+        my_slot,
+    })
+}
+
+/// Prefix offsets of `counts`.
+fn offsets_of(counts: &[usize]) -> Vec<usize> {
+    counts
+        .iter()
+        .scan(0, |acc, &c| {
+            let o = *acc;
+            *acc += c;
+            Some(o)
+        })
+        .collect()
+}
+
+/// Two-level allgather with equal contribution sizes: hierarchical when the
+/// topology engages ([`node_map`]), flat ring otherwise.
+pub fn allgather_hier<T: Copy + Send + 'static>(
+    comm: &Comm,
+    ctx: &RankCtx,
+    mine: Vec<T>,
+) -> Vec<T> {
+    let counts = vec![mine.len(); comm.size()];
+    allgatherv_hier(comm, ctx, mine, &counts)
+}
+
+/// Two-level allgatherv: members ship their piece to the node leader, the
+/// leaders ring-exchange whole node blocks (one inter-node message per ring
+/// step instead of one per member), and each leader hands the assembled
+/// buffer back to its members. Falls back to the flat ring when [`node_map`]
+/// declines.
+pub fn allgatherv_hier<T: Copy + Send + 'static>(
+    comm: &Comm,
+    ctx: &RankCtx,
+    mine: Vec<T>,
+    counts: &[usize],
+) -> Vec<T> {
+    let Some(map) = node_map(comm, ctx) else {
+        return allgatherv(comm, ctx, mine, counts);
+    };
+    let _span = ctx.collective_scope("hier_allgatherv", || {
+        (counts.iter().sum::<usize>() * std::mem::size_of::<T>()) as u64
+    });
+    let g = comm.size();
+    let me = comm.rank();
+    assert_eq!(counts.len(), g, "counts must have one entry per rank");
+    assert_eq!(
+        mine.len(),
+        counts[me],
+        "my contribution length disagrees with counts"
+    );
+    let t_up = comm.next_coll_tag();
+    let t_ring = comm.next_coll_tag();
+    let t_down = comm.next_coll_tag();
+    let members = &map.nodes[map.my_node];
+    let leader = members[0];
+    if me != leader {
+        comm.send_internal(ctx, leader, t_up, mine);
+        return comm.recv_internal(ctx, leader, t_down);
+    }
+    // Leader: collect the node's segments, then ring over leaders with one
+    // packed block per node per step.
+    let mut segments: Vec<Option<Vec<T>>> = (0..g).map(|_| None).collect();
+    segments[me] = Some(mine);
+    for &m in &members[1..] {
+        let got: Vec<T> = comm.recv_internal(ctx, m, t_up);
+        assert_eq!(got.len(), counts[m], "allgatherv count mismatch");
+        segments[m] = Some(got);
+    }
+    let l = map.my_node;
+    let lc = map.nodes.len();
+    let right = map.nodes[(l + 1) % lc][0];
+    let left = map.nodes[(l + lc - 1) % lc][0];
+    for t in 0..lc - 1 {
+        let send_node = (l + lc - t) % lc;
+        let recv_node = (l + lc - t - 1) % lc;
+        let mut block: Vec<T> = Vec::new();
+        for &m in &map.nodes[send_node] {
+            block.extend_from_slice(segments[m].as_ref().expect("block to forward present"));
+        }
+        comm.send_internal(ctx, right, t_ring, block);
+        let got: Vec<T> = comm.recv_internal(ctx, left, t_ring);
+        let mut off = 0;
+        for &m in &map.nodes[recv_node] {
+            segments[m] = Some(got[off..off + counts[m]].to_vec());
+            off += counts[m];
+        }
+        assert_eq!(off, got.len(), "node block length mismatch");
+    }
+    // Assemble in comm rank order and fan out to the node's members.
+    let total: usize = counts.iter().sum();
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    for s in segments {
+        out.extend_from_slice(&s.expect("all segments gathered"));
+    }
+    for &m in &members[1..] {
+        comm.send_internal(ctx, m, t_down, out.clone());
+    }
+    out
+}
+
+/// Two-level reduce-scatter: members ship their full contribution to the
+/// node leader, which pre-reduces intra-node; the leaders then ring
+/// reduce-scatter whole node blocks (already node-combined, so each block
+/// crosses the network once per ring hop instead of once per member), and
+/// each leader scatters its node's finished segments back. Falls back to the
+/// flat ring when [`node_map`] declines.
+pub fn reduce_scatter_hier<T: ReduceElem>(
+    comm: &Comm,
+    ctx: &RankCtx,
+    data: Vec<T>,
+    counts: &[usize],
+) -> Vec<T> {
+    let Some(map) = node_map(comm, ctx) else {
+        return reduce_scatter(comm, ctx, data, counts);
+    };
+    let _span = ctx.collective_scope("hier_reduce_scatter", || data.nbytes() as u64);
+    let g = comm.size();
+    let me = comm.rank();
+    assert_eq!(counts.len(), g, "counts must have one entry per rank");
+    let total: usize = counts.iter().sum();
+    assert_eq!(data.len(), total, "data length must equal sum of counts");
+    let t_up = comm.next_coll_tag();
+    let t_ring = comm.next_coll_tag();
+    let t_down = comm.next_coll_tag();
+    let offsets = offsets_of(counts);
+    let members = &map.nodes[map.my_node];
+    let leader = members[0];
+    if me != leader {
+        comm.send_internal(ctx, leader, t_up, data);
+        return comm.recv_internal(ctx, leader, t_down);
+    }
+    // Leader: pre-reduce the node's contributions elementwise.
+    let mut acc = data;
+    for &m in &members[1..] {
+        let got: Vec<T> = comm.recv_internal(ctx, m, t_up);
+        assert_eq!(got.len(), acc.len(), "reduce_scatter length mismatch");
+        for (s, d) in acc.iter_mut().zip(&got) {
+            *s += *d;
+        }
+    }
+    // Ring reduce-scatter over node blocks among the leaders; the block of
+    // node `b` is the concatenation of its members' segments.
+    let l = map.my_node;
+    let lc = map.nodes.len();
+    let right = map.nodes[(l + 1) % lc][0];
+    let left = map.nodes[(l + lc - 1) % lc][0];
+    let pack = |acc: &[T], node: usize| -> Vec<T> {
+        let mut block = Vec::new();
+        for &m in &map.nodes[node] {
+            block.extend_from_slice(&acc[offsets[m]..offsets[m] + counts[m]]);
+        }
+        block
+    };
+    let mut carry: Vec<T> = Vec::new();
+    for t in 0..lc - 1 {
+        let send_node = (l + 2 * lc - 1 - t) % lc;
+        let recv_node = (l + 2 * lc - 2 - t) % lc;
+        let payload: Vec<T> = if t == 0 {
+            pack(&acc, send_node)
+        } else {
+            std::mem::take(&mut carry)
+        };
+        comm.send_internal(ctx, right, t_ring, payload);
+        let mut sum: Vec<T> = comm.recv_internal(ctx, left, t_ring);
+        // Add my node's (pre-reduced) contribution for that block.
+        let mut off = 0;
+        for &m in &map.nodes[recv_node] {
+            for (s, d) in sum[off..off + counts[m]]
+                .iter_mut()
+                .zip(&acc[offsets[m]..offsets[m] + counts[m]])
+            {
+                *s += *d;
+            }
+            off += counts[m];
+        }
+        assert_eq!(off, sum.len(), "node block length mismatch");
+        carry = sum;
+    }
+    // `carry` is the fully reduced block of my node: scatter the segments.
+    let mut off = 0;
+    let mut mine_out: Vec<T> = Vec::new();
+    for &m in members {
+        let piece = &carry[off..off + counts[m]];
+        if m == me {
+            mine_out = piece.to_vec();
+        } else {
+            comm.send_internal(ctx, m, t_down, piece.to_vec());
+        }
+        off += counts[m];
+    }
+    mine_out
+}
+
+/// Two-level broadcast: binomial tree among node representatives (the root
+/// for its own node, the leader elsewhere) — so each node receives the
+/// payload over the network exactly once — then a linear intra-node fan-out.
+/// Falls back to the flat binomial tree when [`node_map`] declines.
+pub fn bcast_hier<P: Payload + Clone>(
+    comm: &Comm,
+    ctx: &RankCtx,
+    root: usize,
+    mine: Option<P>,
+) -> P {
+    let Some(map) = node_map(comm, ctx) else {
+        return bcast(comm, ctx, root, mine);
+    };
+    let _span = ctx.collective_scope("hier_bcast", || {
+        mine.as_ref().map_or(0, |v| v.nbytes() as u64)
+    });
+    let me = comm.rank();
+    assert_eq!(
+        me == root,
+        mine.is_some(),
+        "exactly the root must provide the broadcast value"
+    );
+    let t_inter = comm.next_coll_tag();
+    let t_down = comm.next_coll_tag();
+    // Node representatives: the root stands in for its node so the payload
+    // never makes an extra intra-node hop before going out.
+    let root_node = map
+        .nodes
+        .iter()
+        .position(|v| v.contains(&root))
+        .expect("root is in some node");
+    let rep = |node: usize| -> usize {
+        if node == root_node {
+            root
+        } else {
+            map.nodes[node][0]
+        }
+    };
+    let my_rep = rep(map.my_node);
+    let lc = map.nodes.len();
+    let mut value: Option<P> = mine;
+    if me == my_rep {
+        // Binomial over node indices, rooted at root_node (MPICH child
+        // order: largest subtree first).
+        let vr = (map.my_node + lc - root_node) % lc;
+        let mut mask = 1usize;
+        while mask < lc {
+            if vr & mask != 0 {
+                let src = rep((vr - mask + root_node) % lc);
+                value = Some(comm.recv_internal(ctx, src, t_inter));
+                break;
+            }
+            mask <<= 1;
+        }
+        let got = value.expect("broadcast value must have arrived");
+        mask >>= 1;
+        let mut children = Vec::new();
+        while mask > 0 {
+            if vr & mask == 0 && vr + mask < lc {
+                children.push(rep((vr + mask + root_node) % lc));
+            }
+            mask >>= 1;
+        }
+        for &dst in &children {
+            comm.send_internal(ctx, dst, t_inter, got.clone());
+        }
+        // Intra-node fan-out.
+        for &m in &map.nodes[map.my_node] {
+            if m != me {
+                comm.send_internal(ctx, m, t_down, got.clone());
+            }
+        }
+        got
+    } else {
+        comm.recv_internal(ctx, my_rep, t_down)
+    }
+}
+
+/// Two-level large-message broadcast: same leader structure as
+/// [`bcast_hier`] (the vector crosses the network once per node). Falls back
+/// to the van de Geijn scatter+allgather when [`node_map`] declines.
+pub fn bcast_large_hier<T: Copy + Send + 'static>(
+    comm: &Comm,
+    ctx: &RankCtx,
+    root: usize,
+    mine: Option<Vec<T>>,
+    len: usize,
+) -> Vec<T> {
+    if node_map(comm, ctx).is_some() {
+        if let Some(data) = &mine {
+            assert_eq!(data.len(), len, "root data length disagrees with len");
+        }
+        bcast_hier(comm, ctx, root, mine)
+    } else {
+        bcast_large(comm, ctx, root, mine, len)
+    }
+}
+
+/// Two-level allreduce: Rabenseifner's decomposition over the hierarchical
+/// primitives — node-combining reduce-scatter, then node-block allgather.
+/// Falls back to the flat pair when [`node_map`] declines.
+pub fn allreduce_hier<T: ReduceElem>(comm: &Comm, ctx: &RankCtx, data: Vec<T>) -> Vec<T> {
+    let g = comm.size();
+    if g == 1 {
+        return data;
+    }
+    let n = data.len();
+    let base = n / g;
+    let extra = n % g;
+    let counts: Vec<usize> = (0..g)
+        .map(|i| if i < extra { base + 1 } else { base })
+        .collect();
+    let mine = reduce_scatter_hier(comm, ctx, data, &counts);
+    allgatherv_hier(comm, ctx, mine, &counts)
+}
+
+/// Which collective algorithm family a program requests. `Hier` routes the
+/// bandwidth-bound collectives through the two-level node-aware entry
+/// points, which themselves fall back to the flat algorithms whenever
+/// [`node_map`] declines — so `Hier` is always safe to request, and `Flat`
+/// exists to force the topology-oblivious baselines (the ablation control).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Collectives {
+    /// Single-level ring/tree algorithms, regardless of topology.
+    #[default]
+    Flat,
+    /// Two-level node-aware algorithms where the communicator spans ≥ 2
+    /// nodes with ≥ 2 ranks on one of them; flat otherwise.
+    Hier,
+}
+
+impl Collectives {
+    /// Canonical lowercase name, as written to report `meta` blocks and
+    /// accepted by the CLI `--collectives` flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Collectives::Flat => "flat",
+            Collectives::Hier => "hier",
+        }
+    }
+
+    /// Parses [`Collectives::as_str`] output.
+    pub fn parse(s: &str) -> Option<Collectives> {
+        match s {
+            "flat" => Some(Collectives::Flat),
+            "hier" => Some(Collectives::Hier),
+            _ => None,
+        }
+    }
+}
+
+/// [`allgatherv`] or [`allgatherv_hier`], by mode.
+pub fn allgatherv_mode<T: Copy + Send + 'static>(
+    mode: Collectives,
+    comm: &Comm,
+    ctx: &RankCtx,
+    mine: Vec<T>,
+    counts: &[usize],
+) -> Vec<T> {
+    match mode {
+        Collectives::Flat => allgatherv(comm, ctx, mine, counts),
+        Collectives::Hier => allgatherv_hier(comm, ctx, mine, counts),
+    }
+}
+
+/// [`reduce_scatter`] or [`reduce_scatter_hier`], by mode.
+pub fn reduce_scatter_mode<T: ReduceElem>(
+    mode: Collectives,
+    comm: &Comm,
+    ctx: &RankCtx,
+    data: Vec<T>,
+    counts: &[usize],
+) -> Vec<T> {
+    match mode {
+        Collectives::Flat => reduce_scatter(comm, ctx, data, counts),
+        Collectives::Hier => reduce_scatter_hier(comm, ctx, data, counts),
+    }
+}
+
+/// [`bcast_large`] or [`bcast_large_hier`], by mode.
+pub fn bcast_large_mode<T: Copy + Send + 'static>(
+    mode: Collectives,
+    comm: &Comm,
+    ctx: &RankCtx,
+    root: usize,
+    mine: Option<Vec<T>>,
+    len: usize,
+) -> Vec<T> {
+    match mode {
+        Collectives::Flat => bcast_large(comm, ctx, root, mine, len),
+        Collectives::Hier => bcast_large_hier(comm, ctx, root, mine, len),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,5 +1067,181 @@ mod tests {
             }
             barrier(&comm, ctx);
         });
+    }
+
+    use crate::world::RunOptions;
+
+    /// Run options with a node layout attached (wall-clock run).
+    fn topo(rpn: usize) -> RunOptions {
+        RunOptions {
+            ranks_per_node: Some(rpn),
+            ..RunOptions::default()
+        }
+    }
+
+    fn topo_traced(rpn: usize) -> RunOptions {
+        RunOptions {
+            trace: true,
+            ranks_per_node: Some(rpn),
+            ..RunOptions::default()
+        }
+    }
+
+    #[test]
+    fn node_map_selection_rules() {
+        // No topology attached → flat.
+        World::run(4, |ctx| {
+            let comm = Comm::world(ctx);
+            assert!(node_map(&comm, ctx).is_none());
+        });
+        // All nodes singleton (1 rank per node) → flat.
+        World::run_opts(4, topo(1), |ctx| {
+            let comm = Comm::world(ctx);
+            assert!(node_map(&comm, ctx).is_none());
+        });
+        // Whole communicator inside one node → flat.
+        World::run_opts(4, topo(8), |ctx| {
+            let comm = Comm::world(ctx);
+            assert!(node_map(&comm, ctx).is_none());
+        });
+        // 3 nodes × 2 members → hier, leaders are the even ranks.
+        World::run_opts(6, topo(2), |ctx| {
+            let comm = Comm::world(ctx);
+            let map = node_map(&comm, ctx).expect("hier engages");
+            assert_eq!(map.nodes, vec![vec![0, 1], vec![2, 3], vec![4, 5]]);
+            assert_eq!(map.my_node, comm.rank() / 2);
+            assert_eq!(map.my_slot, comm.rank() % 2);
+            assert_eq!(map.node_count(), 3);
+            assert_eq!(map.max_members(), 2);
+        });
+        // Subgroups see their own layout: {0,1,4} on 4-rank nodes spans two
+        // nodes with one multi-member node → hier; {0,2} (both on node 0 of
+        // 4-rank nodes) → flat.
+        World::run_opts(6, topo(4), |ctx| {
+            let comm = Comm::world(ctx);
+            let groups = vec![vec![0, 1, 4], vec![2, 3, 5]];
+            let sub = comm.subgroup(ctx, &groups).unwrap();
+            let map = node_map(&sub, ctx);
+            if comm.rank() == 0 || comm.rank() == 1 || comm.rank() == 4 {
+                let map = map.expect("hier engages on {0,1,4}");
+                assert_eq!(map.nodes, vec![vec![0, 1], vec![2]]);
+            } else {
+                // {2,3,5}: members on node 0 (ranks 2,3) and node 1 (rank 5).
+                let map = map.expect("hier engages on {2,3,5}");
+                assert_eq!(map.nodes, vec![vec![0, 1], vec![2]]);
+            }
+        });
+    }
+
+    #[test]
+    fn hier_matches_flat_results() {
+        // 3 nodes × 2 ranks: every hierarchical collective must produce the
+        // same values the flat one does.
+        World::run_opts(6, topo(2), |ctx| {
+            let comm = Comm::world(ctx);
+            let me = comm.rank();
+            let p = comm.size();
+
+            // allgatherv, uneven counts (one empty contribution).
+            let counts = [3usize, 0, 2, 1, 4, 2];
+            let mine: Vec<u32> = (0..counts[me]).map(|i| (me * 100 + i) as u32).collect();
+            let want: Vec<u32> = (0..p)
+                .flat_map(|r| (0..counts[r]).map(move |i| (r * 100 + i) as u32))
+                .collect();
+            assert_eq!(allgatherv_hier(&comm, ctx, mine, &counts), want);
+
+            // reduce_scatter, distinct segments, integer-valued f64 so the
+            // association order cannot change bits.
+            let counts = [2usize, 2, 2, 2, 2, 2];
+            let data: Vec<f64> = (0..12).map(|i| (me * 1000 + i) as f64).collect();
+            let got = reduce_scatter_hier(&comm, ctx, data, &counts);
+            let rank_sum = (0..p).map(|r| r * 1000).sum::<usize>() as f64;
+            for (k, &v) in got.iter().enumerate() {
+                let i = me * 2 + k;
+                assert_eq!(v, rank_sum + (p * i) as f64, "segment value at {i}");
+            }
+
+            // bcast from a non-leader root, and bcast_large.
+            for root in [0usize, 3] {
+                let mine = (me == root).then(|| vec![root as u64, 77]);
+                assert_eq!(bcast_hier(&comm, ctx, root, mine), vec![root as u64, 77]);
+                let want: Vec<u64> = (0..23).collect();
+                let mine = (me == root).then(|| want.clone());
+                assert_eq!(bcast_large_hier(&comm, ctx, root, mine, 23), want);
+            }
+
+            // allreduce.
+            let data: Vec<f64> = (0..7).map(|i| ((me + 1) * i) as f64).collect();
+            let got = allreduce_hier(&comm, ctx, data);
+            let scale = (p * (p + 1) / 2) as f64;
+            for (i, &v) in got.iter().enumerate() {
+                assert_eq!(v, scale * i as f64);
+            }
+        });
+    }
+
+    #[test]
+    fn hier_without_topology_is_flat() {
+        // The *_hier entry points are safe defaults: with no node layout they
+        // run the flat algorithms (same results, flat attribution).
+        let (_, report) = World::run_traced(4, |ctx| {
+            let comm = Comm::world(ctx);
+            let v = allgather_hier(&comm, ctx, vec![comm.rank() as u64]);
+            assert_eq!(v, vec![0, 1, 2, 3]);
+        });
+        assert!(report.hist_by_algo.contains_key("ring_allgatherv"));
+        assert!(!report.hist_by_algo.contains_key("hier_allgatherv"));
+    }
+
+    #[test]
+    fn hier_allgather_volume_matches_leader_formula() {
+        // 3 nodes × 2 ranks, even blocks of B elements: a member sends its
+        // own block up (B); a leader sends L−1 ring blocks (total − next
+        // node's block = 6B − 2B = 4B) plus the assembled buffer down to its
+        // member (6B) — 10B. Message counts: member 1, leader (L−1)+(m−1)=3.
+        let b = 16usize;
+        let (_, report) = World::run_opts(6, topo_traced(2), |ctx| {
+            let comm = Comm::world(ctx);
+            ctx.set_phase("ag");
+            let _ = allgather_hier(&comm, ctx, vec![0u64; b]);
+        });
+        for r in 0..6 {
+            let c = report.phase(r, "ag");
+            if r % 2 == 0 {
+                assert_eq!(c.bytes as usize, 10 * b * 8, "leader {r}");
+                assert_eq!(c.msgs, 3, "leader {r}");
+            } else {
+                assert_eq!(c.bytes as usize, b * 8, "member {r}");
+                assert_eq!(c.msgs, 1, "member {r}");
+            }
+        }
+        assert!(report.hist_by_algo.contains_key("hier_allgatherv"));
+        assert!(!report.hist_by_algo.contains_key("ring_allgatherv"));
+    }
+
+    #[test]
+    fn hier_reduce_scatter_volume_matches_leader_formula() {
+        // 3 nodes × 2 ranks, segments of S elements (total 6S): a member
+        // sends its whole vector up (6S, 1 msg); a leader sends L−1 ring
+        // blocks (total − own node block = 6S − 2S = 4S) plus its member's
+        // segment down (S) — 5S, (L−1)+(m−1) = 3 msgs.
+        let s = 8usize;
+        let (_, report) = World::run_opts(6, topo_traced(2), |ctx| {
+            let comm = Comm::world(ctx);
+            ctx.set_phase("rs");
+            let counts = vec![s; 6];
+            let _ = reduce_scatter_hier(&comm, ctx, vec![1.0f64; 6 * s], &counts);
+        });
+        for r in 0..6 {
+            let c = report.phase(r, "rs");
+            if r % 2 == 0 {
+                assert_eq!(c.bytes as usize, 5 * s * 8, "leader {r}");
+                assert_eq!(c.msgs, 3, "leader {r}");
+            } else {
+                assert_eq!(c.bytes as usize, 6 * s * 8, "member {r}");
+                assert_eq!(c.msgs, 1, "member {r}");
+            }
+        }
+        assert!(report.hist_by_algo.contains_key("hier_reduce_scatter"));
     }
 }

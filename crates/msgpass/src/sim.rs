@@ -135,6 +135,12 @@ impl SimParams {
         }
     }
 
+    /// Ranks per node of the sim placement (≥ 1) — the node layout exposed
+    /// to the topology-aware collectives via [`crate::RankCtx`].
+    pub(crate) fn ranks_per_node(&self) -> usize {
+        self.ranks_per_node
+    }
+
     /// α + β·bytes for one message between two world ranks, α/β picked by
     /// whether the placement puts them on the same node.
     pub(crate) fn transfer_secs(&self, src_world: usize, dst_world: usize, bytes: u64) -> f64 {
@@ -173,6 +179,9 @@ impl World {
             trace: false,
             kernel_threads_per_rank: opts.kernel_threads_per_rank,
             stack_size: opts.stack_size,
+            // Redundant with the sim params (which win in run_inner), but
+            // keeps the options self-describing.
+            ranks_per_node: Some(placement.ranks_per_node),
         };
         World::run_inner(p, run_opts, Some(params), f)
     }

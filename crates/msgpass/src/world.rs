@@ -42,6 +42,12 @@ pub struct RunOptions {
     /// a small explicit stack instead; rank closures keep bulk data on the
     /// heap (`Mat`, `Vec`), so [`RunOptions::DEFAULT_STACK_SIZE`] is ample.
     pub stack_size: usize,
+    /// Node topology for wall-clock runs: ranks per node under the block
+    /// mapping (`node = world_rank / ranks_per_node`). `None` means the
+    /// machine layout is unknown, so topology-aware collectives stay on
+    /// their flat paths. Virtual-time runs ignore this — the sim's
+    /// [`crate::sim::SimOptions::placement`] is authoritative there.
+    pub ranks_per_node: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -50,6 +56,7 @@ impl Default for RunOptions {
             trace: false,
             kernel_threads_per_rank: None,
             stack_size: RunOptions::DEFAULT_STACK_SIZE,
+            ranks_per_node: None,
         }
     }
 }
@@ -139,6 +146,10 @@ pub struct RankCtx {
     /// bare point-to-point traffic). Keys the per-algorithm size histograms
     /// to the path the collective actually took.
     coll: Cell<Option<&'static str>>,
+    /// Ranks per node under the block mapping, when the machine layout is
+    /// known (from the sim placement, or [`RunOptions::ranks_per_node`] in
+    /// wall runs). Drives the two-level collective selection.
+    topo_rpn: Option<usize>,
 }
 
 impl RankCtx {
@@ -220,6 +231,21 @@ impl RankCtx {
     /// True when this rank runs under virtual time ([`World::run_sim`]).
     pub fn is_sim(&self) -> bool {
         self.sim.is_some()
+    }
+
+    /// Ranks per node under the block mapping (`node = world_rank /
+    /// ranks_per_node`), when the run knows its machine layout: virtual-time
+    /// runs take it from the sim placement, wall runs from
+    /// [`RunOptions::ranks_per_node`]. `None` means no topology is attached
+    /// and topology-aware collectives must fall back to their flat paths.
+    pub fn ranks_per_node(&self) -> Option<usize> {
+        self.topo_rpn.filter(|&rpn| rpn >= 1)
+    }
+
+    /// Node index of a world rank under the block mapping, when topology is
+    /// known.
+    pub fn node_of(&self, world_rank: usize) -> Option<usize> {
+        self.ranks_per_node().map(|rpn| world_rank / rpn)
     }
 
     /// This rank's virtual clock, seconds since run start. `None` in
@@ -422,6 +448,12 @@ impl World {
         let kernel_threads = opts
             .kernel_threads_per_rank
             .map_or_else(|| dense::pool::rank_threads_for(p), |n| n.max(1));
+        // Sim placement is authoritative when present: the collectives must
+        // group ranks by the same node boundaries the sim charges β across.
+        let topo_rpn = sim
+            .as_ref()
+            .map(|s| s.ranks_per_node())
+            .or(opts.ranks_per_node);
 
         let mut results = Vec::with_capacity(p);
         let mut streams = Vec::with_capacity(p);
@@ -460,6 +492,7 @@ impl World {
                                 ctx_seq: Cell::new(0),
                                 recorder: Recorder::new(opts.trace, epoch),
                                 coll: Cell::new(None),
+                                topo_rpn,
                             };
                             let out = f(&ctx);
                             let events = ctx.finish();

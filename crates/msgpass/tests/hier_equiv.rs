@@ -1,0 +1,222 @@
+//! Property tests for the two-level node-aware collectives: on ANY topology
+//! — uneven node sizes, non-power-of-two leader counts, single-rank nodes,
+//! subgroup communicators whose members straddle nodes arbitrarily — the
+//! hierarchical algorithms must return bitwise-identical results to the
+//! flat ones they replace. Reductions use integer-valued `f64` payloads so
+//! a different association order could not hide behind rounding: any
+//! deviation changes bits.
+//!
+//! A final (non-property) test pins the leader-ring inter-node traffic of
+//! the virtual-time simulator to the closed form the `netmodel` phases
+//! price: `(L − 1) · total` bytes across the wire for both the allgather
+//! and the reduce-scatter, where `L` is the node count.
+
+use msgpass::collectives::{
+    allgatherv, allgatherv_hier, allreduce, allreduce_hier, bcast_large, bcast_large_hier,
+    node_map, reduce_scatter, reduce_scatter_hier,
+};
+use msgpass::world::RunOptions;
+use msgpass::{Comm, SimOptions, World};
+use netmodel::machine::Placement;
+use netmodel::Machine;
+use proptest::prelude::*;
+
+/// Wall-clock run options carrying a node layout.
+fn topo(rpn: usize) -> RunOptions {
+    RunOptions {
+        ranks_per_node: Some(rpn),
+        ..RunOptions::default()
+    }
+}
+
+/// Deterministic per-rank counts from a seed: 0..=3 elements each, so empty
+/// contributions and uneven segments both occur.
+fn counts_from_seed(seed: u64, p: usize) -> Vec<usize> {
+    (0..p)
+        .map(|r| ((seed >> (2 * (r % 32))) & 3) as usize)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// allgatherv: hier == flat on the world communicator. `p` need not
+    /// divide by `rpn` (the last node is short), `rpn = 1` exercises the
+    /// all-singleton flat fallback, and `rpn >= p` the single-node one.
+    #[test]
+    fn hier_allgatherv_matches_flat(
+        p in 2usize..12,
+        rpn in 1usize..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let counts = counts_from_seed(seed, p);
+        World::run_opts(p, topo(rpn), |ctx| {
+            let comm = Comm::world(ctx);
+            let me = comm.rank();
+            let mine: Vec<u64> =
+                (0..counts[me]).map(|i| (me * 100 + i) as u64).collect();
+            let flat = allgatherv(&comm, ctx, mine.clone(), &counts);
+            let hier = allgatherv_hier(&comm, ctx, mine, &counts);
+            assert_eq!(flat, hier, "p={p} rpn={rpn} seed={seed:#x}");
+        });
+    }
+
+    /// reduce_scatter: hier pre-reduces on leaders, so its association
+    /// order differs from the flat ring's — integer-valued f64 makes the
+    /// comparison exact anyway.
+    #[test]
+    fn hier_reduce_scatter_matches_flat(
+        p in 2usize..12,
+        rpn in 1usize..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let counts = counts_from_seed(seed, p);
+        let total: usize = counts.iter().sum();
+        World::run_opts(p, topo(rpn), |ctx| {
+            let comm = Comm::world(ctx);
+            let me = comm.rank();
+            let data: Vec<f64> =
+                (0..total).map(|i| ((me + 1) * (i + 1)) as f64).collect();
+            let flat = reduce_scatter(&comm, ctx, data.clone(), &counts);
+            let hier = reduce_scatter_hier(&comm, ctx, data, &counts);
+            assert_eq!(flat, hier, "p={p} rpn={rpn} seed={seed:#x}");
+        });
+    }
+
+    /// bcast_large from every-other root: the two-level tree must deliver
+    /// the same buffer the flat scatter+allgather does, including roots
+    /// that are not their node's leader.
+    #[test]
+    fn hier_bcast_large_matches_flat(
+        p in 2usize..12,
+        rpn in 1usize..6,
+        len in 0usize..40,
+        root in 0u64..u64::MAX,
+    ) {
+        let root = (root as usize) % p;
+        World::run_opts(p, topo(rpn), |ctx| {
+            let comm = Comm::world(ctx);
+            let me = comm.rank();
+            let payload: Vec<u64> = (0..len).map(|i| (root * 1000 + i) as u64).collect();
+            let flat = bcast_large(&comm, ctx, root, (me == root).then(|| payload.clone()), len);
+            let hier =
+                bcast_large_hier(&comm, ctx, root, (me == root).then(|| payload.clone()), len);
+            assert_eq!(flat, payload);
+            assert_eq!(hier, payload, "p={p} rpn={rpn} root={root} len={len}");
+        });
+    }
+
+    /// allreduce equivalence, again with integer-valued f64.
+    #[test]
+    fn hier_allreduce_matches_flat(
+        p in 2usize..12,
+        rpn in 1usize..6,
+        len in 1usize..16,
+    ) {
+        World::run_opts(p, topo(rpn), |ctx| {
+            let comm = Comm::world(ctx);
+            let me = comm.rank();
+            let data: Vec<f64> = (0..len).map(|i| ((me + 2) * (i + 1)) as f64).collect();
+            let flat = allreduce(&comm, ctx, data.clone());
+            let hier = allreduce_hier(&comm, ctx, data);
+            assert_eq!(flat, hier, "p={p} rpn={rpn} len={len}");
+        });
+    }
+
+    /// Subgroup communicators: pick a seed-driven subset of the world (at
+    /// least 2 ranks) so node membership inside the subgroup is arbitrary —
+    /// leaders need not be node-aligned with the world, nodes can hold 1
+    /// member, and the leader count is whatever the subset happens to span.
+    #[test]
+    fn hier_matches_flat_on_subgroups(
+        p in 3usize..12,
+        rpn in 1usize..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut members: Vec<usize> =
+            (0..p).filter(|r| (seed >> (r % 64)) & 1 == 1).collect();
+        if members.len() < 2 {
+            members = vec![0, p - 1];
+        }
+        let counts: Vec<usize> = members
+            .iter()
+            .map(|&r| ((seed >> ((2 * r + 1) % 64)) & 3) as usize)
+            .collect();
+        let groups = vec![members.clone()];
+        World::run_opts(p, topo(rpn), |ctx| {
+            let comm = Comm::world(ctx);
+            let Some(sub) = comm.subgroup(ctx, &groups) else {
+                return;
+            };
+            let me = sub.rank();
+            let mine: Vec<u64> = (0..counts[me]).map(|i| (me * 10 + i) as u64).collect();
+            let flat = allgatherv(&sub, ctx, mine.clone(), &counts);
+            let hier = allgatherv_hier(&sub, ctx, mine, &counts);
+            assert_eq!(flat, hier, "p={p} rpn={rpn} members={members:?}");
+
+            let total: usize = counts.iter().sum();
+            let data: Vec<f64> = (0..total).map(|i| ((me + 1) * (i + 3)) as f64).collect();
+            let flat = reduce_scatter(&sub, ctx, data.clone(), &counts);
+            let hier = reduce_scatter_hier(&sub, ctx, data, &counts);
+            assert_eq!(flat, hier, "p={p} rpn={rpn} members={members:?}");
+        });
+    }
+}
+
+/// The leader ring is the only inter-node traffic the hierarchical
+/// collectives generate, and its volume has a closed form: over the whole
+/// communicator, `(L − 1) · total` bytes cross node boundaries — each of
+/// the `L` leaders ships `L − 1` node blocks of `total / L` bytes. This is
+/// exactly what the `netmodel` hier phases charge, and the virtual-time
+/// simulator must measure it to the byte.
+#[test]
+fn sim_leader_hop_bytes_match_closed_form() {
+    let machine = Machine::phoenix_cpu();
+    let (p, rpn, seg) = (12usize, 3usize, 16usize); // 4 nodes x 3 members
+    let placement = Placement {
+        ranks_per_node: rpn,
+        ..machine.pure_mpi()
+    };
+    let opts = || SimOptions {
+        placement: Some(placement),
+        execute_compute: false,
+        ..Default::default()
+    };
+    let inter_bytes = |report: &msgpass::RunReport| -> u64 {
+        let mut total = 0;
+        for src in 0..p {
+            for dst in 0..p {
+                if src / rpn != dst / rpn {
+                    total += report.traffic.matrix.sent(src, dst).bytes;
+                }
+            }
+        }
+        total
+    };
+    let counts = vec![seg; p];
+    let total_bytes = (p * seg * std::mem::size_of::<u64>()) as u64;
+    let nodes = (p / rpn) as u64;
+
+    let (_, report) = World::run_sim(p, &machine, opts(), |ctx| {
+        let comm = Comm::world(ctx);
+        assert!(node_map(&comm, ctx).is_some(), "topology must engage");
+        let mine: Vec<u64> = vec![comm.rank() as u64; seg];
+        let _ = allgatherv_hier(&comm, ctx, mine, &counts);
+    });
+    assert_eq!(
+        inter_bytes(&report),
+        (nodes - 1) * total_bytes,
+        "allgather leader-hop bytes"
+    );
+
+    let (_, report) = World::run_sim(p, &machine, opts(), |ctx| {
+        let comm = Comm::world(ctx);
+        let data: Vec<u64> = (0..p * seg).map(|i| i as u64).collect();
+        let _ = reduce_scatter_hier(&comm, ctx, data, &counts);
+    });
+    assert_eq!(
+        inter_bytes(&report),
+        (nodes - 1) * total_bytes,
+        "reduce-scatter leader-hop bytes"
+    );
+}

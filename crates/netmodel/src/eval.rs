@@ -87,14 +87,16 @@ fn alpha_beta_pairwise(m: &Machine, grp: &NetGroup) -> (f64, f64) {
 /// critical rank pays full inter-node α and β — blending intra and inter
 /// hops into an average (right for tree collectives, whose stages
 /// pipeline) would price the round's *mean* hop, not its makespan. The
-/// inter-node β still reflects that only the off-node fraction of each
-/// node's ranks competes for the NIC during the phase.
+/// inter-node β charges the full per-node NIC share: a shift round is a
+/// synchronized burst in which every rank of the node injects at once,
+/// which is also exactly what the virtual-time simulator charges — so the
+/// netdiff seconds comparison prices the same transport on both sides.
 fn alpha_beta_ring(m: &Machine, grp: &NetGroup) -> (f64, f64) {
     let fi = grp.intra_fraction();
     if grp.size <= 1 || fi >= 1.0 {
         return (m.alpha_intra, m.beta_intra);
     }
-    let concurrent = (grp.ranks_per_node as f64 * (1.0 - fi)).max(1.0);
+    let concurrent = (grp.ranks_per_node as f64).max(1.0);
     (m.alpha_inter, m.beta_inter(concurrent))
 }
 
@@ -211,6 +213,77 @@ pub fn phase_cost(machine: &Machine, flops_per_rank: f64, phase: &Phase) -> Phas
                 comp_s: 0.0,
             }
         }
+        Phase::HierAllgather { grp, total_bytes } => {
+            if grp.size <= 1 {
+                return PhaseCost::default();
+            }
+            let (l, m) = grp.node_layout();
+            let (lf, mf) = (l as f64, m as f64);
+            // Three serial stages, priced exactly as the virtual-time
+            // backend charges them: intra hops at (α_intra, β_intra),
+            // leader ring hops at α_inter and the full-share inter-node β
+            // (every node's leaders contend for the NIC).
+            let bi = machine.beta_inter(grp.ranks_per_node.max(1) as f64);
+            // Members ship their piece to the leader concurrently — the
+            // stage is paced by one segment's transfer.
+            let up = if m > 1 {
+                machine.alpha_intra + machine.beta_intra * total_bytes / grp.size as f64
+            } else {
+                0.0
+            };
+            // Leaders ring whole node blocks.
+            let ring = (lf - 1.0) * machine.alpha_inter + bi * total_bytes * (lf - 1.0) / lf;
+            // The leader fans the assembled buffer back out, serialized on
+            // its NIC pipe.
+            let down = (mf - 1.0) * (machine.alpha_intra + machine.beta_intra * total_bytes);
+            PhaseCost {
+                comm_s: up + ring + down,
+                comp_s: 0.0,
+            }
+        }
+        Phase::HierReduceScatter { grp, total_bytes } => {
+            if grp.size <= 1 {
+                return PhaseCost::default();
+            }
+            let (l, m) = grp.node_layout();
+            let (lf, mf) = (l as f64, m as f64);
+            let bi = machine.beta_inter(grp.ranks_per_node.max(1) as f64);
+            // Members ship their whole contribution up (concurrent sends,
+            // paced by one full vector), the leader pre-reduces for free.
+            let up = if m > 1 {
+                machine.alpha_intra + machine.beta_intra * total_bytes
+            } else {
+                0.0
+            };
+            // Leaders ring-reduce-scatter node blocks.
+            let ring = (lf - 1.0) * machine.alpha_inter + bi * total_bytes * (lf - 1.0) / lf;
+            // The leader scatters its node block minus its own segment.
+            let down_bytes = (total_bytes / lf - total_bytes / grp.size as f64).max(0.0);
+            let down = if m > 1 {
+                (mf - 1.0) * machine.alpha_intra + machine.beta_intra * down_bytes
+            } else {
+                0.0
+            };
+            PhaseCost {
+                comm_s: up + ring + down,
+                comp_s: 0.0,
+            }
+        }
+        Phase::HierBcast { grp, bytes } => {
+            if grp.size <= 1 {
+                return PhaseCost::default();
+            }
+            let (l, m) = grp.node_layout();
+            let bi = machine.beta_inter(grp.ranks_per_node.max(1) as f64);
+            // Binomial tree over node representatives, then a linear
+            // intra-node fan-out on the root's node (the worst case).
+            let tree = (l as f64).log2().ceil() * (machine.alpha_inter + bi * bytes);
+            let fan = (m as f64 - 1.0) * (machine.alpha_intra + machine.beta_intra * bytes);
+            PhaseCost {
+                comm_s: tree + fan,
+                comp_s: 0.0,
+            }
+        }
         Phase::LocalGemm { flops } => PhaseCost {
             comm_s: 0.0,
             comp_s: flops / flops_per_rank,
@@ -242,6 +315,27 @@ pub fn phase_cost(machine: &Machine, flops_per_rank: f64, phase: &Phase) -> Phas
                 comp_s: comp,
             }
         }
+    }
+}
+
+/// Of two modelings of the same logical collective (typically the flat and
+/// the hierarchical variant of one phase), returns the one [`phase_cost`]
+/// prices cheaper on this machine — ties go to `a`.
+///
+/// The CA3DMM schedule builder does **not** call this for its committed
+/// phases: runtime selection is structural (hierarchy engages whenever the
+/// group spans ≥ 2 nodes with ≥ 2 ranks on one of them), and the model
+/// mirrors that rule so `netdiff` stays byte-exact. This helper exposes the
+/// pricing comparison for what-if studies — e.g. showing the payload size
+/// below which the extra α of the two-level allgather outweighs its
+/// inter-node byte savings.
+pub fn cheaper_phase(machine: &Machine, flops_per_rank: f64, a: Phase, b: Phase) -> Phase {
+    let ca = phase_cost(machine, flops_per_rank, &a).total();
+    let cb = phase_cost(machine, flops_per_rank, &b).total();
+    if cb < ca {
+        b
+    } else {
+        a
     }
 }
 
@@ -523,6 +617,96 @@ mod tests {
             },
         );
         assert!(fast.comm_s < slow.comm_s / 100.0);
+    }
+
+    #[test]
+    fn hier_allgather_priced_as_three_serial_stages() {
+        let m = Machine::phoenix_cpu();
+        // 8 ranks over nodes of 4: 2 nodes × 4 members.
+        let grp = NetGroup::contiguous(8, 4);
+        assert_eq!(grp.node_layout(), (2, 4));
+        let total = 1e6;
+        let c = phase_cost(
+            &m,
+            1e9,
+            &Phase::HierAllgather {
+                grp,
+                total_bytes: total,
+            },
+        );
+        let up = m.alpha_intra + m.beta_intra * total / 8.0;
+        let ring = m.alpha_inter + m.beta_inter(4.0) * total / 2.0;
+        let down = 3.0 * (m.alpha_intra + m.beta_intra * total);
+        assert!((c.comm_s - (up + ring + down)).abs() < 1e-15);
+        assert_eq!(c.comp_s, 0.0);
+    }
+
+    #[test]
+    fn hier_reduce_scatter_member_is_byte_max() {
+        // The gate geometry: a pk = 24 reduce group strided by pm·pn = 128
+        // over 384-rank nodes → 8 nodes × 3 members. The member that ships
+        // its whole vector up is the byte-max rank; the leader is the
+        // message-max rank.
+        let grp = NetGroup::strided(24, 128, 384);
+        assert_eq!(grp.node_layout(), (8, 3));
+        let total = 589_824.0;
+        let ph = Phase::HierReduceScatter {
+            grp,
+            total_bytes: total,
+        };
+        assert!((ph.sent_bytes() - total).abs() < 1e-9);
+        assert!((ph.message_count() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cheaper_phase_crossover_tiny_vs_bulk_payloads() {
+        let m = Machine::phoenix_cpu();
+        let grp = NetGroup::contiguous(8, 4);
+        // Tiny allgather: the two-level variant pays (l−1)+(m−1)+1 α
+        // against the butterfly's log₂ g — flat wins.
+        let pick = cheaper_phase(
+            &m,
+            1e9,
+            Phase::Allgather {
+                grp,
+                total_bytes: 64.0,
+            },
+            Phase::HierAllgather {
+                grp,
+                total_bytes: 64.0,
+            },
+        );
+        assert!(matches!(pick, Phase::Allgather { .. }));
+        // Tiny bcast: flat pays log₂ g + g − 1 α while the two-level tree
+        // pays log₂ l + m − 1 — hierarchy wins on latency alone.
+        let pick = cheaper_phase(
+            &m,
+            1e9,
+            Phase::Bcast { grp, bytes: 64.0 },
+            Phase::HierBcast { grp, bytes: 64.0 },
+        );
+        assert!(matches!(pick, Phase::HierBcast { .. }));
+    }
+
+    #[test]
+    fn hier_singleton_groups_cost_nothing() {
+        let m = Machine::uniform();
+        for ph in [
+            Phase::HierAllgather {
+                grp: flat(1),
+                total_bytes: 1e9,
+            },
+            Phase::HierReduceScatter {
+                grp: flat(1),
+                total_bytes: 1e9,
+            },
+            Phase::HierBcast {
+                grp: flat(1),
+                bytes: 1e9,
+            },
+        ] {
+            assert_eq!(phase_cost(&m, 1e9, &ph), PhaseCost::default());
+        }
     }
 
     #[test]

@@ -216,6 +216,18 @@ impl Phase {
                     ("msgs_per_round", num(*msgs_per_round as f64)),
                 ]),
             ),
+            Phase::HierAllgather { grp, total_bytes } => (
+                "HierAllgather",
+                Json::obj([("grp", grp.to_json()), ("total_bytes", num(*total_bytes))]),
+            ),
+            Phase::HierReduceScatter { grp, total_bytes } => (
+                "HierReduceScatter",
+                Json::obj([("grp", grp.to_json()), ("total_bytes", num(*total_bytes))]),
+            ),
+            Phase::HierBcast { grp, bytes } => (
+                "HierBcast",
+                Json::obj([("grp", grp.to_json()), ("bytes", num(*bytes))]),
+            ),
             Phase::LocalGemm { flops } => ("LocalGemm", Json::obj([("flops", num(*flops))])),
             Phase::CannonOverlap {
                 grp,
@@ -273,6 +285,18 @@ impl Phase {
                 rounds: get_usize(body, "rounds")?,
                 bytes_per_round: get_f64(body, "bytes_per_round")?,
                 msgs_per_round: get_msgs_per_round(body)?,
+            }),
+            "HierAllgather" => Ok(Phase::HierAllgather {
+                grp: grp()?,
+                total_bytes: get_f64(body, "total_bytes")?,
+            }),
+            "HierReduceScatter" => Ok(Phase::HierReduceScatter {
+                grp: grp()?,
+                total_bytes: get_f64(body, "total_bytes")?,
+            }),
+            "HierBcast" => Ok(Phase::HierBcast {
+                grp: grp()?,
+                bytes: get_f64(body, "bytes")?,
             }),
             "LocalGemm" => Ok(Phase::LocalGemm {
                 flops: get_f64(body, "flops")?,
@@ -380,6 +404,27 @@ mod tests {
             },
         );
         s.push("local_gemm", Phase::LocalGemm { flops: 2e9 });
+        s.push(
+            "replicate_ab",
+            Phase::HierAllgather {
+                grp: NetGroup::contiguous(8, 4),
+                total_bytes: 3.2e4,
+            },
+        );
+        s.push(
+            "reduce_c",
+            Phase::HierReduceScatter {
+                grp: NetGroup::strided(24, 128, 384),
+                total_bytes: 589_824.0,
+            },
+        );
+        s.push(
+            "replicate_ab",
+            Phase::HierBcast {
+                grp: NetGroup::contiguous(6, 3),
+                bytes: 1024.0,
+            },
+        );
         s.push(
             "cannon",
             Phase::ShiftRounds {

@@ -89,6 +89,42 @@ impl NetGroup {
         ((members_on_node as f64 - 1.0) / (self.size as f64 - 1.0)).clamp(0.0, 1.0)
     }
 
+    /// Node layout `(node_count, max_members_per_node)` of the group's
+    /// arithmetic progression, with the base taken at a node boundary. This
+    /// mirrors `msgpass::collectives::node_map` for CA3DMM's groups: the
+    /// runtime's group bases are always smaller than the member stride (or
+    /// land the whole group inside one node), so the base-0 layout is the
+    /// layout every group of the phase actually has. Groups with exotic
+    /// bases could differ; CA3DMM's column-major rank order never produces
+    /// them.
+    pub fn node_layout(&self) -> (usize, usize) {
+        let rpn = self.ranks_per_node.max(1);
+        let mut nodes = 0usize;
+        let mut members = 0usize;
+        let mut max_members = 0usize;
+        let mut last_node = usize::MAX;
+        for i in 0..self.size {
+            let node = i * self.stride / rpn;
+            if node != last_node {
+                nodes += 1;
+                members = 0;
+                last_node = node;
+            }
+            members += 1;
+            max_members = max_members.max(members);
+        }
+        (nodes, max_members)
+    }
+
+    /// The two-level selection rule the runtime applies
+    /// (`msgpass::collectives::node_map`): hierarchical collectives engage
+    /// when the group spans ≥ 2 nodes and at least one node holds ≥ 2
+    /// members.
+    pub fn hier_engages(&self) -> bool {
+        let (nodes, max_members) = self.node_layout();
+        nodes >= 2 && max_members >= 2
+    }
+
     /// Fraction of this group's traffic that stays within a node.
     pub fn intra_fraction(&self) -> f64 {
         let rpn = self.ranks_per_node.max(1);
@@ -166,6 +202,35 @@ pub enum Phase {
         /// so its rounds pay 2·α; a combined single-exchange shift pays 1.
         msgs_per_round: usize,
     },
+    /// Two-level `MPI_Allgather(v)`: members ship their piece to the node
+    /// leader intra-node, leaders ring whole node blocks inter-node, leaders
+    /// fan the assembled buffer back out intra-node. The modeled rank is the
+    /// leader of the fullest node (the busiest role).
+    HierAllgather {
+        /// Group it runs in (must satisfy [`NetGroup::hier_engages`]).
+        grp: NetGroup,
+        /// Total gathered bytes.
+        total_bytes: f64,
+    },
+    /// Two-level `MPI_Reduce_scatter`: members ship their full contribution
+    /// to the node leader (pre-reduced there), leaders ring node blocks,
+    /// leaders scatter finished segments back. The modeled rank for bytes is
+    /// a non-leader member (it ships the whole vector up); for messages,
+    /// the leader.
+    HierReduceScatter {
+        /// Group it runs in (must satisfy [`NetGroup::hier_engages`]).
+        grp: NetGroup,
+        /// Total reduced bytes.
+        total_bytes: f64,
+    },
+    /// Two-level broadcast: binomial tree over node representatives, linear
+    /// intra-node fan-out; the payload crosses the network once per node.
+    HierBcast {
+        /// Group it runs in (must satisfy [`NetGroup::hier_engages`]).
+        grp: NetGroup,
+        /// Broadcast payload bytes.
+        bytes: f64,
+    },
     /// Local GEMM work.
     LocalGemm {
         /// Multiply-add flops ×2 (i.e. `2·m·n·k` for the local block).
@@ -222,6 +287,30 @@ impl Phase {
                 bytes_per_round,
                 ..
             } => *rounds as f64 * bytes_per_round,
+            Phase::HierAllgather { grp, total_bytes } => {
+                // Leader of the fullest node: L−1 ring blocks (total minus
+                // the next node's block) plus the whole buffer to each of
+                // its m−1 members. Exactly the runtime's leader volume under
+                // even node blocks.
+                let (l, m) = grp.node_layout();
+                total_bytes * (1.0 - 1.0 / l as f64) + (m as f64 - 1.0) * total_bytes
+            }
+            Phase::HierReduceScatter { grp, total_bytes } => {
+                // A member ships its whole contribution up (total); the
+                // leader ships (L−1)/L·total around the ring plus m−1
+                // segments down. The member is the byte-max in the even
+                // case; take the max so uneven layouts stay safe.
+                let (l, m) = grp.node_layout();
+                let leader = total_bytes * (1.0 - 1.0 / l as f64)
+                    + (m as f64 - 1.0) * total_bytes / grp.size as f64;
+                total_bytes.max(leader)
+            }
+            Phase::HierBcast { grp, bytes } => {
+                // Worst case: the root sits on the fullest node — ⌈log₂L⌉
+                // tree sends plus m−1 intra-node copies, all of `bytes`.
+                let (l, m) = grp.node_layout();
+                bytes * ((l as f64).log2().ceil() + m as f64 - 1.0)
+            }
             Phase::LocalGemm { .. } => 0.0,
         }
     }
@@ -246,6 +335,16 @@ impl Phase {
                 msgs_per_round,
                 ..
             } => (*rounds * *msgs_per_round) as f64,
+            Phase::HierAllgather { grp, .. } | Phase::HierReduceScatter { grp, .. } => {
+                // Leader of the fullest node: L−1 ring steps plus m−1
+                // intra-node fan-out (or fan-in) messages.
+                let (l, m) = grp.node_layout();
+                (l - 1) as f64 + (m - 1) as f64
+            }
+            Phase::HierBcast { grp, .. } => {
+                let (l, m) = grp.node_layout();
+                (l as f64).log2().ceil() + (m - 1) as f64
+            }
             Phase::LocalGemm { .. } => 0.0,
         }
     }

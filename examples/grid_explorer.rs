@@ -41,6 +41,7 @@ fn main() {
                 elem_bytes: 8.0,
                 overlap: true,
                 include_redist: false,
+                collectives: ca3dmm::Collectives::Flat,
             };
             let sched = ca3dmm_schedule(&prob, &ca.grid, &cfg);
             let cost = evaluate(&machine, placement.flops_per_rank, &sched);

@@ -1,25 +1,66 @@
 #!/usr/bin/env bash
 # Regenerates every experiment artifact in results/ (text + CSV).
+#
+# `--sim-only` regenerates only the deterministic virtual-time artifacts
+# (REPORT_fig3_sim*.json and fig3_sim*.csv). Those are exact functions of
+# the algorithm, the machine model, and the placement — no host timing
+# enters them — so CI's artifact-freshness job re-runs this mode and fails
+# if the committed copies drift from what HEAD produces. The text tables
+# carry a host wall-clock column and are left untouched in this mode.
 set -e
 cd "$(dirname "$0")"
 export BENCH_CSV_DIR=results
-for b in fig3_strong_scaling fig4_hybrid fig5_breakdown table1_memory \
-         table2_grids table3_gpu ablation_l ablation_2d_algo ablation_design; do
-  echo "== $b"
-  cargo run --release -q -p bench --bin $b > results/$b.txt
-done
-cargo run --release -q --example grid_explorer > results/grid_explorer.txt
+
+SIM_ONLY=0
+if [ "${1:-}" = "--sim-only" ]; then
+  SIM_ONLY=1
+fi
+
+# In --sim-only mode, stdout tables (which embed wall times) go to /dev/null.
+sim_txt() {
+  if [ "$SIM_ONLY" = 1 ]; then echo /dev/null; else echo "results/$1"; fi
+}
+
+if [ "$SIM_ONLY" = 0 ]; then
+  for b in fig3_strong_scaling fig4_hybrid fig5_breakdown table1_memory \
+           table2_grids table3_gpu ablation_l ablation_2d_algo ablation_design; do
+    echo "== $b"
+    cargo run --release -q -p bench --bin $b > results/$b.txt
+  done
+  cargo run --release -q --example grid_explorer > results/grid_explorer.txt
+fi
+
 # Executed (virtual-time) strong scaling; also refreshes the schema-v2
 # RunReport that CI's sim-smoke job gates exactly. Deterministic: the
 # regenerated artifact only changes when the algorithm's traffic or the
 # machine model does.
 echo "== fig3_sim"
 cargo run --release -q -p bench --bin fig3_sim -- \
-  --report-out results/REPORT_fig3_sim.json > results/fig3_sim.txt
-# The small traced-run RunReport that CI's report-smoke job gates exactly.
-# Traffic is deterministic; only the (ungated) wall times vary run to run.
-echo "== REPORT_fig5_small"
-cargo run --release -q -p bench --bin fig5_breakdown -- \
-  --report-out results/REPORT_fig5_small.json --trace-ranks 4 --trace-size 96 \
-  > /dev/null
+  --report-out results/REPORT_fig3_sim.json > "$(sim_txt fig3_sim.txt)"
+
+# Collectives ablation on fat nodes (384 ranks/node = 8 nodes at p = 3072):
+# flat vs two-level node-aware collectives, same problem and sweep. The
+# paper's 24/node placement puts every reduce-group member on a distinct
+# node, so the hierarchical variants only engage — and their inter-node
+# win only shows — when several members share a node. CI's sim-smoke job
+# recomputes both artifacts and gates that hier moves strictly fewer
+# inter-node bytes (and at most half the inter-node messages) than flat.
+echo "== fig3_sim collectives ablation (flat vs hier, 384 ranks/node)"
+cargo run --release -q -p bench --bin fig3_sim -- \
+  --ranks-per-node 384 --collectives flat \
+  --report-out results/REPORT_fig3_sim_flat_r384.json \
+  > "$(sim_txt fig3_sim_flat_r384.txt)"
+cargo run --release -q -p bench --bin fig3_sim -- \
+  --ranks-per-node 384 --collectives hier \
+  --report-out results/REPORT_fig3_sim_hier_r384.json \
+  > "$(sim_txt fig3_sim_hier_r384.txt)"
+
+if [ "$SIM_ONLY" = 0 ]; then
+  # The small traced-run RunReport that CI's report-smoke job gates exactly.
+  # Traffic is deterministic; only the (ungated) wall times vary run to run.
+  echo "== REPORT_fig5_small"
+  cargo run --release -q -p bench --bin fig5_breakdown -- \
+    --report-out results/REPORT_fig5_small.json --trace-ranks 4 --trace-size 96 \
+    > /dev/null
+fi
 echo "done; artifacts in results/"

@@ -43,6 +43,7 @@ fn measure_ca3dmm(m: usize, n: usize, k: usize, p: usize, grid: Grid) -> (u64, f
         elem_bytes: 8.0,
         overlap: true,
         include_redist: false,
+        collectives: ca3dmm::Collectives::Flat,
     };
     let sched = ca3dmm_schedule(&prob, &grid, &cfg);
     (report.max_rank_bytes(), sched.sent_bytes())
@@ -198,6 +199,7 @@ fn schedules_serde_round_trip() {
         elem_bytes: 8.0,
         overlap: true,
         include_redist: true,
+        collectives: ca3dmm::Collectives::Flat,
     };
     let sched = ca3dmm_schedule(&prob, &grid, &cfg);
     let json = sched.to_json_string();

@@ -167,6 +167,7 @@ fn model_diff_covers_all_phases() {
         elem_bytes: 8.0,
         overlap: true,
         include_redist: false,
+        collectives: ca3dmm::Collectives::Flat,
     };
     let prob = Problem::new(m, n, k, p);
     let cost = evaluate(
