@@ -1,12 +1,19 @@
 //! Local GEMM kernel throughput (the role MKL plays in the artifact):
-//! the packed register-blocked kernel vs the pre-PR `gemm_unpacked` kernel
-//! vs the naive triple loop, across the paper's Table 1 shape regimes
-//! (square, skinny/flat, k-dominant).
+//! the blocked multi-core kernel vs the pre-PR `gemm_unpacked` kernel vs
+//! the naive triple loop, across the paper's Table 1 shape regimes
+//! (square 256–2048, flat 2048×2048×64, k-dominant 64×64×4096), each in
+//! f32 and f64.
 //!
-//! Entry labels follow `kernel/MxNxK/type/tN` (N = kernel-thread width) so
-//! the JSON written to `BENCH_gemm.json` can be validated mechanically by
-//! `bin/validate_bench_json.rs`. `GEMM_BENCH_SMOKE=1` runs the short CI
-//! variant: 512³ only, packed vs naive vs unpacked.
+//! Entry labels follow `kernel/MxNxK/type/tN` (N = kernel-thread width;
+//! `tauto` = the host's full budget). Every shape gets a t1/t2/t4/tauto
+//! tier sweep of the blocked kernel; each multi-thread tier carries
+//! `threads` (the width actually used) and `scaling_efficiency`
+//! (gflops_tN / (N · gflops_t1)) extra fields. The JSON written to
+//! `BENCH_gemm.json` is validated mechanically by
+//! `bin/validate_bench_json.rs` (`--gemm-tiers` mode refuses t1-only
+//! artifacts). `GEMM_BENCH_SMOKE=1` runs the short CI variant: the
+//! packed-vs-naive anti-regression trio at 512³ plus the t1/tauto pair at
+//! 1024³ that the CI parallel-scaling gate reads.
 
 use bench::timing::{bench_throughput, BenchReport};
 use dense::gemm::{gemm, gemm_naive, gemm_unpacked, GemmOp};
@@ -15,6 +22,9 @@ use dense::{pool, Mat};
 
 type Kernel<T> = fn(GemmOp, GemmOp, T, &Mat<T>, &Mat<T>, T, &mut Mat<T>);
 
+/// Times one `kernel` instance at `m×n×k` with the given kernel-thread cap
+/// (`None` = the host's auto width), records it, and returns the achieved
+/// gflops and the width that was actually used.
 fn run_case<T: dense::Scalar>(
     report: &mut BenchReport,
     kernel_name: &str,
@@ -23,11 +33,12 @@ fn run_case<T: dense::Scalar>(
     n: usize,
     k: usize,
     threads: Option<usize>,
-) {
+) -> (f64, usize) {
     let a = random_mat::<T>(m, k, 1);
     let b = random_mat::<T>(k, n, 2);
     let flops = (2 * m * n * k) as f64;
     pool::set_rank_gemm_threads(threads);
+    let width = pool::gemm_threads();
     let tlabel = threads.map_or("auto".to_owned(), |t| t.to_string());
     let ty = std::any::type_name::<T>();
     let label = format!("{kernel_name}/{m}x{n}x{k}/{ty}/t{tlabel}");
@@ -46,56 +57,78 @@ fn run_case<T: dense::Scalar>(
     });
     pool::set_rank_gemm_threads(None);
     report.push_throughput(&label, stats, flops);
+    (flops / stats.median_s / 1e9, width)
+}
+
+/// The full t1/t2/t4/tauto tier sweep of the blocked kernel at one shape:
+/// every tier entry is annotated with the width used; multi-thread tiers
+/// also get `scaling_efficiency` relative to the t1 run.
+fn run_tiers<T: dense::Scalar>(report: &mut BenchReport, m: usize, n: usize, k: usize) {
+    let (g1, _) = run_case::<T>(report, "packed", gemm, m, n, k, Some(1));
+    report.annotate_last("threads", 1.0);
+    for tier in [Some(2), Some(4), None] {
+        let (g, width) = run_case::<T>(report, "packed", gemm, m, n, k, tier);
+        report.annotate_last("threads", width as f64);
+        report.annotate_last("scaling_efficiency", g / (width as f64 * g1));
+    }
 }
 
 fn main() {
     let smoke = std::env::var("GEMM_BENCH_SMOKE").is_ok_and(|v| v == "1");
     let mut report = BenchReport::new("gemm");
     println!(
-        "local_gemm: packed kernel vs pre-PR unpacked kernel (pool workers cap = {})",
-        pool::base_gemm_threads()
+        "local_gemm: blocked kernel thread tiers vs pre-PR unpacked kernel \
+         (base kernel-thread budget = {}, blocking f64 = {:?})",
+        pool::base_gemm_threads(),
+        dense::tune::blocking::<f64>(),
     );
 
     if smoke {
-        // CI anti-regression guard: packed must beat naive by a wide margin
-        // at 512³ (asserted by validate_bench_json, not here).
+        // CI anti-regression guards (asserted by validate_bench_json, not
+        // here): packed must beat naive by a wide margin at 512³, and
+        // tauto must beat t1 by the scaling gate at 1024³.
         let (m, n, k) = (512usize, 512usize, 512usize);
         run_case::<f64>(&mut report, "naive", gemm_naive, m, n, k, Some(1));
         run_case::<f64>(&mut report, "unpacked", gemm_unpacked, m, n, k, Some(1));
         run_case::<f64>(&mut report, "packed", gemm, m, n, k, Some(1));
+        let (g1, _) = run_case::<f64>(&mut report, "packed", gemm, 1024, 1024, 1024, Some(1));
+        report.annotate_last("threads", 1.0);
+        let (ga, width) = run_case::<f64>(&mut report, "packed", gemm, 1024, 1024, 1024, None);
+        report.annotate_last("threads", width as f64);
+        report.annotate_last("scaling_efficiency", ga / (width as f64 * g1));
     } else {
         // Naive is only affordable at small sizes; it anchors the scale.
         run_case::<f64>(&mut report, "naive", gemm_naive, 256, 256, 256, Some(1));
 
-        // Square regime (single-thread head-to-head, then auto threads).
-        for &s in &[256usize, 512, 1024] {
-            run_case::<f64>(&mut report, "unpacked", gemm_unpacked, s, s, s, Some(1));
-            run_case::<f64>(&mut report, "packed", gemm, s, s, s, Some(1));
-        }
-        run_case::<f64>(&mut report, "packed", gemm, 1024, 1024, 1024, None);
-
-        // Flat / skinny-k regime (2048×2048×64) and k-dominant regime
-        // (64×64×4096): the paper's Table 1 extremes.
-        for &(m, n, k) in &[(2048usize, 2048usize, 64usize), (64, 64, 4096)] {
+        // Single-thread head-to-head vs the pre-PR kernel (square, flat,
+        // k-dominant), f64 and f32.
+        for &(m, n, k) in &[
+            (512usize, 512usize, 512usize),
+            (2048, 2048, 64),
+            (64, 64, 4096),
+        ] {
             run_case::<f64>(&mut report, "unpacked", gemm_unpacked, m, n, k, Some(1));
-            run_case::<f64>(&mut report, "packed", gemm, m, n, k, Some(1));
+            run_case::<f32>(&mut report, "unpacked", gemm_unpacked, m, n, k, Some(1));
         }
 
-        // f32 instantiation of the same microkernel.
-        run_case::<f32>(
-            &mut report,
-            "unpacked",
-            gemm_unpacked,
-            512,
-            512,
-            512,
-            Some(1),
-        );
-        run_case::<f32>(&mut report, "packed", gemm, 512, 512, 512, Some(1));
+        // Thread-tier sweeps of the blocked kernel for every shape regime.
+        for &s in &[256usize, 512, 1024, 2048] {
+            run_tiers::<f64>(&mut report, s, s, s);
+            run_tiers::<f32>(&mut report, s, s, s);
+        }
+        for &(m, n, k) in &[(2048usize, 2048usize, 64usize), (64, 64, 4096)] {
+            run_tiers::<f64>(&mut report, m, n, k);
+            run_tiers::<f32>(&mut report, m, n, k);
+        }
     }
 
+    // Fatal, not a warning: CI and regen_results.sh consume this JSON, and a
+    // silent write failure leaves a stale artifact that the gates then bless.
     match report.write() {
         Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write bench JSON: {e}"),
+        Err(e) => panic!(
+            "could not write bench JSON to {}: {e}",
+            report.path().display()
+        ),
     }
 }

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! validate_bench_json <path> [<baseline-label> <subject-label> <min-ratio>]
+//! validate_bench_json --gemm-tiers <path>
 //! validate_bench_json --run-report <path>
 //! ```
 //!
@@ -12,8 +13,15 @@
 //! the optional triple, additionally asserts that the subject entry's
 //! `gflops` is at least `min-ratio` times the baseline entry's — the
 //! `gemm-bench-smoke` job uses this as a coarse anti-regression guard
-//! (packed kernel ≥ 5× naive at 512³), deliberately a ratio rather than a
-//! flaky absolute threshold.
+//! (packed kernel ≥ 5× naive at 512³ and tauto ≥ 2.5× t1 at 1024³),
+//! deliberately a ratio rather than a flaky absolute threshold.
+//!
+//! `--gemm-tiers` additionally enforces the full GEMM artifact contract on
+//! a committed `BENCH_gemm.json`: every `(shape, type)` the blocked kernel
+//! was benchmarked at must carry the complete `t1/t2/t4/tauto` thread-tier
+//! sweep, and every multi-thread tier must record `gflops`, `threads`, and
+//! `scaling_efficiency`. This is what stops the artifact from silently
+//! regressing to t1-only entries again.
 //!
 //! `--run-report` instead validates a `RunReport` artifact (the
 //! `--report-out` output of the fig/bench bins): schema version, full shape,
@@ -63,11 +71,65 @@ fn validate_run_report(path: &str) -> ExitCode {
     }
 }
 
+/// The `--gemm-tiers` contract: thread tiers every blocked-kernel shape
+/// must carry, and the extra fields each multi-thread tier must record.
+fn validate_gemm_tiers(path: &str, entries: &[Json]) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    const REQUIRED_TIERS: [&str; 4] = ["t1", "t2", "t4", "tauto"];
+
+    let mut tiers_by_case: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for e in entries {
+        let label = e.get("label").and_then(Json::as_str).unwrap_or_default();
+        let parts: Vec<&str> = label.split('/').collect();
+        let ["packed", shape, ty, tier] = parts.as_slice() else {
+            continue;
+        };
+        tiers_by_case
+            .entry(format!("{shape}/{ty}"))
+            .or_default()
+            .push((*tier).to_owned());
+        if *tier != "t1" {
+            for field in ["gflops", "threads", "scaling_efficiency"] {
+                let v = e.get(field).and_then(Json::as_f64);
+                match v {
+                    Some(v) if v.is_finite() && v > 0.0 => {}
+                    _ => {
+                        return Err(format!(
+                            "{path}: entry {label:?} lacks a positive numeric {field:?}"
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    if tiers_by_case.is_empty() {
+        return Err(format!(
+            "{path}: no packed/<shape>/<type>/tN entries at all"
+        ));
+    }
+    for (case, tiers) in &tiers_by_case {
+        for required in REQUIRED_TIERS {
+            if !tiers.iter().any(|t| t == required) {
+                return Err(format!(
+                    "{path}: packed/{case} is missing thread tier {required:?} \
+                     (has {tiers:?}) — multi-thread sweep regressed to partial tiers"
+                ));
+            }
+        }
+    }
+    println!(
+        "{path}: {} packed shape/type cases, all with t1/t2/t4/tauto tiers and scaling fields",
+        tiers_by_case.len()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (path, ratio_check) = match args.as_slice() {
+    let (path, ratio_check, gemm_tiers) = match args.as_slice() {
         [flag, path] if flag == "--run-report" => return validate_run_report(path),
-        [path] => (path.clone(), None),
+        [flag, path] if flag == "--gemm-tiers" => (path.clone(), None, true),
+        [path] => (path.clone(), None, false),
         [path, base, subject, min_ratio] => {
             let Ok(min_ratio) = min_ratio.parse::<f64>() else {
                 return fail(&format!("min-ratio {min_ratio:?} is not a number"));
@@ -75,10 +137,12 @@ fn main() -> ExitCode {
             (
                 path.clone(),
                 Some((base.clone(), subject.clone(), min_ratio)),
+                false,
             )
         }
         _ => return fail(
             "usage: validate_bench_json <path> [<baseline-label> <subject-label> <min-ratio>]\n\
+                 \x20      validate_bench_json --gemm-tiers <path>\n\
                  \x20      validate_bench_json --run-report <path>",
         ),
     };
@@ -118,6 +182,12 @@ fn main() -> ExitCode {
         "{path}: bench {bench_name:?}, {} entries, shape OK",
         entries.len()
     );
+
+    if gemm_tiers {
+        if let Err(e) = validate_gemm_tiers(&path, entries) {
+            return fail(&e);
+        }
+    }
 
     if let Some((base, subject, min_ratio)) = ratio_check {
         let base_g = match entry_field(entries, &base, "gflops") {

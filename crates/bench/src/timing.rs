@@ -12,7 +12,7 @@
 //! be diffed mechanically (`bin/validate_bench_json.rs` consumes it in CI).
 
 use jsonlite::Json;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Default number of timed samples per benchmark.
@@ -119,11 +119,21 @@ fn fmt_secs(s: f64) -> String {
 ///
 /// `gflops` is present only for throughput entries (work / median). Labels
 /// are free-form but the GEMM bench uses `kernel/MxNxK/type/tN` so the CI
-/// validator can address entries positionally.
+/// validator can address entries positionally. Entries may carry extra
+/// numeric fields (e.g. `scaling_efficiency`, `threads` on the GEMM
+/// multi-thread tiers) via [`BenchReport::annotate_last`].
 #[derive(Clone, Debug)]
 pub struct BenchReport {
     name: String,
-    entries: Vec<(String, Stats, Option<f64>)>,
+    entries: Vec<Entry>,
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    label: String,
+    stats: Stats,
+    gflops: Option<f64>,
+    extra: Vec<(String, f64)>,
 }
 
 impl BenchReport {
@@ -137,14 +147,39 @@ impl BenchReport {
 
     /// Records a timed entry.
     pub fn push(&mut self, label: &str, stats: Stats) {
-        self.entries.push((label.to_owned(), stats, None));
+        self.entries.push(Entry {
+            label: label.to_owned(),
+            stats,
+            gflops: None,
+            extra: Vec::new(),
+        });
     }
 
     /// Records a throughput entry (`work` in flops/ops; stored as Gop/s of
     /// the median sample).
     pub fn push_throughput(&mut self, label: &str, stats: Stats, work: f64) {
         let gflops = work / stats.median_s / 1e9;
-        self.entries.push((label.to_owned(), stats, Some(gflops)));
+        self.entries.push(Entry {
+            label: label.to_owned(),
+            stats,
+            gflops: Some(gflops),
+            extra: Vec::new(),
+        });
+    }
+
+    /// Attaches an extra numeric field to the most recently pushed entry —
+    /// for derived quantities only known after the run is recorded (the
+    /// GEMM bench adds `threads` and `scaling_efficiency` to each
+    /// multi-thread tier this way).
+    ///
+    /// # Panics
+    /// If no entry has been pushed yet.
+    pub fn annotate_last(&mut self, key: &str, value: f64) {
+        self.entries
+            .last_mut()
+            .expect("annotate_last requires a previously pushed entry")
+            .extra
+            .push((key.to_owned(), value));
     }
 
     /// The shared JSON shape (see the type docs).
@@ -152,17 +187,24 @@ impl BenchReport {
         let entries: Vec<Json> = self
             .entries
             .iter()
-            .map(|(label, s, gflops)| {
+            .map(|e| {
+                let s = &e.stats;
                 let mut pairs = vec![
-                    ("label", Json::Str(label.clone())),
+                    ("label", Json::Str(e.label.clone())),
                     ("min_s", Json::Num(s.min_s)),
                     ("median_s", Json::Num(s.median_s)),
                     ("p95_s", Json::Num(s.p95_s)),
                     ("mean_s", Json::Num(s.mean_s)),
                 ];
-                if let Some(g) = gflops {
-                    pairs.push(("gflops", Json::Num(*g)));
+                if let Some(g) = e.gflops {
+                    pairs.push(("gflops", Json::Num(g)));
                 }
+                let extra: Vec<(&str, Json)> = e
+                    .extra
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), Json::Num(*v)))
+                    .collect();
+                pairs.extend(extra);
                 Json::obj(pairs)
             })
             .collect();
@@ -175,19 +217,22 @@ impl BenchReport {
 
     /// Where [`write`](Self::write) puts the file: `BENCH_<name>.json`
     /// under `$BENCH_JSON_DIR`, else `results/` when that directory exists
-    /// (i.e. when run from the repository root), else the current
-    /// directory.
+    /// here or in an ancestor, else the current directory. Relative
+    /// directories are resolved upward because `cargo bench` runs bench
+    /// binaries from the *package* directory (`crates/bench`), not the
+    /// workspace root — `BENCH_JSON_DIR=results` should still find the
+    /// repo-root `results/`.
     pub fn path(&self) -> PathBuf {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
         let dir = std::env::var("BENCH_JSON_DIR").map_or_else(
             |_| {
-                let results = PathBuf::from("results");
-                if results.is_dir() {
-                    results
-                } else {
-                    PathBuf::from(".")
-                }
+                resolve_upward(&PathBuf::from("results"), &cwd)
+                    .unwrap_or_else(|| PathBuf::from("."))
             },
-            PathBuf::from,
+            |d| {
+                let d = PathBuf::from(d);
+                resolve_upward(&d, &cwd).unwrap_or(d)
+            },
         );
         dir.join(format!("BENCH_{}.json", self.name))
     }
@@ -198,6 +243,18 @@ impl BenchReport {
         std::fs::write(&path, self.to_json().to_string_pretty())?;
         Ok(path)
     }
+}
+
+/// Resolves a relative directory against `cwd` and each of its ancestors,
+/// returning the first existing match. Absolute existing directories pass
+/// through unchanged; `None` if nothing exists.
+fn resolve_upward(dir: &Path, cwd: &Path) -> Option<PathBuf> {
+    if dir.is_absolute() {
+        return dir.is_dir().then(|| dir.to_path_buf());
+    }
+    cwd.ancestors()
+        .map(|a| a.join(dir))
+        .find(|cand| cand.is_dir())
 }
 
 #[cfg(test)]
@@ -233,6 +290,8 @@ mod tests {
         };
         rep.push("plain", s);
         rep.push_throughput("tput", s, 4e9);
+        rep.annotate_last("threads", 4.0);
+        rep.annotate_last("scaling_efficiency", 0.9);
         let text = rep.to_json().to_string_pretty();
         let parsed = Json::parse(&text).expect("report must be valid JSON");
         let Json::Obj(top) = &parsed else {
@@ -248,5 +307,33 @@ mod tests {
         };
         assert_eq!(tput.get("gflops"), Some(&Json::Num(2.0)));
         assert_eq!(tput.get("p95_s"), Some(&Json::Num(3.0)));
+        assert_eq!(tput.get("threads"), Some(&Json::Num(4.0)));
+        assert_eq!(tput.get("scaling_efficiency"), Some(&Json::Num(0.9)));
+    }
+
+    #[test]
+    fn resolve_upward_climbs_to_ancestor_dirs() {
+        let base =
+            std::env::temp_dir().join(format!("bench_timing_resolve_{}", std::process::id()));
+        let target = base.join("results");
+        let nested = base.join("crates").join("bench");
+        std::fs::create_dir_all(&target).unwrap();
+        std::fs::create_dir_all(&nested).unwrap();
+
+        // From the nested package dir, a relative name resolves to the
+        // ancestor's existing directory — the `cargo bench` cwd situation.
+        assert_eq!(
+            resolve_upward(&PathBuf::from("results"), &nested),
+            Some(target.clone())
+        );
+        // A relative name that exists nowhere up the tree stays unresolved.
+        assert_eq!(
+            resolve_upward(&PathBuf::from("no_such_dir_xyz"), &nested),
+            None
+        );
+        // Absolute paths pass through (when they exist) without climbing.
+        assert_eq!(resolve_upward(&target, &nested), Some(target.clone()));
+
+        std::fs::remove_dir_all(&base).unwrap();
     }
 }

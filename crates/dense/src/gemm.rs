@@ -3,44 +3,86 @@
 //! Plays the role of the OpenMP-parallel BLAS library in the paper's
 //! artifact (§III-F: "Local (shared-memory) matrix multiplications are
 //! handled by an OpenMP-parallelized BLAS library"). The implementation is
-//! the classic packed-panel design:
+//! the canonical five-loop blocked design (Goto & van de Geijn; BLIS),
+//! with cache-blocking parameters derived at runtime by
+//! [`tune`](crate::tune):
 //!
-//! * [`pack`](crate::pack) copies `alpha·op(A)` into `MR`-row panels and
-//!   `op(B)` into `NR`-column panels — transposes are absorbed during the
-//!   copy (no full transpose is materialized) and ragged edges are
-//!   zero-padded so the hot loop never branches;
-//! * a register-blocked `MR×NR` [`microkernel`] accumulates over the whole
-//!   inner dimension with fixed-trip loops the compiler unrolls and
-//!   vectorizes, touching `(MR+NR)` loads per `MR·NR` multiply-adds instead
-//!   of the 3 loads/stores per multiply-add of a saxpy-style update;
-//! * row-panel chunks of `C` are distributed over the persistent
-//!   [`pool`](crate::pool) worker threads (no per-call thread spawn); each
-//!   chunk's product is computed into a private buffer and merged into `C`
-//!   by the calling thread, so the kernel is data-race free safe Rust;
-//! * the parallel width honours [`pool::gemm_threads`] — process-wide
+//! ```text
+//! loop 5  jc over n in steps of NC      (B slab column panel)
+//! loop 4  pc over k in steps of KC      (depth slab; packs Bp = KC×NC)
+//! loop 3  ic over m in steps of MC      (A block;     packs Ap = MC×KC)
+//! loop 2  jr over NC in steps of NR     (B strip, L1-resident)
+//! loop 1  ir over MC in steps of MR     (microkernel: MR×NR registers)
+//! ```
+//!
+//! * Only one `KC×NC` slab of `op(B)` and one `MC×KC` block of
+//!   `alpha·op(A)` are ever packed at a time (see [`pack`](crate::pack)) —
+//!   the packed working set is bounded by the cache-derived blocking, not
+//!   by the matrix sizes, unlike the previous whole-operand pack whose
+//!   footprint was `O(mk + kn)`.
+//! * Both pack phases and the macro-tile compute phase are parallelized
+//!   over the persistent [`pool`](crate::pool) with the shared
+//!   chunk-counter scheme ([`pool::parallel_chunks`]): B-slab strips are
+//!   packed cooperatively, then the `(jc, ic)` macro-tiles of `C` are
+//!   claimed dynamically — every thread works from the *same* packed B
+//!   slab and owns a contiguous `MC`-row band of `C`, packing its own A
+//!   block into thread-local scratch.
+//! * The parallel width honours [`pool::gemm_threads`] — process-wide
 //!   `set_gemm_threads()` / `DENSE_GEMM_THREADS`, divided per rank by
 //!   `msgpass::World::run` so P ranks do not oversubscribe the host.
 //!
 //! Every `C` element is accumulated in the same order regardless of the
-//! thread width, so results are bitwise identical for any thread count
-//! (pinned by a test).
+//! thread width — depth slabs arrive in ascending `pc` order, each applied
+//! exactly once per element, and the microkernel sums `l` in order within a
+//! slab — so results are bitwise identical for any thread count (pinned by
+//! tests). `MC` is allowed to shrink with the thread width (for scheduling
+//! grain) precisely because the per-element summation order depends only on
+//! `KC`, never on `MC`/`NC`.
 
 use crate::mat::Mat;
 use crate::pack::{self, MR, NR};
 use crate::pool;
 use crate::scalar::Scalar;
+use crate::tune;
 use std::any::Any;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
 
 std::thread_local! {
-    /// Reused packing buffers for the serial path (type-erased because
-    /// `gemm` is generic): repeated single-thread GEMM calls skip the
-    /// `(m+n)·k`-element allocation and its page faults. The parallel path
-    /// cannot reuse them — its packed panels move into the `Arc`-shared
-    /// job.
-    static PACK_SCRATCH: RefCell<Option<Box<dyn Any>>> = const { RefCell::new(None) };
+    /// Reused packed-B slab buffer for the thread *submitting* a GEMM
+    /// (type-erased because `gemm` is generic): steady-state iteration
+    /// (e.g. Cannon shifts) never re-allocates it.
+    static BP_SCRATCH: RefCell<Option<Box<dyn Any>>> = const { RefCell::new(None) };
+    /// Reused packed-A block buffer, one per participating thread (pool
+    /// workers and submitters alike pack their own A blocks).
+    static AP_SCRATCH: RefCell<Option<Box<dyn Any>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's reusable `Vec<T>` scratch from `cell`,
+/// growing it to at least `len` elements first (never shrinking, so
+/// steady-state repeats do not re-allocate).
+fn with_scratch<T: Scalar, R>(
+    cell: &'static std::thread::LocalKey<RefCell<Option<Box<dyn Any>>>>,
+    len: usize,
+    f: impl FnOnce(&mut Vec<T>) -> R,
+) -> R {
+    cell.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        if slot
+            .as_mut()
+            .and_then(|b| b.downcast_mut::<Vec<T>>())
+            .is_none()
+        {
+            *slot = Some(Box::new(Vec::<T>::new()));
+        }
+        let buf = slot
+            .as_mut()
+            .and_then(|b| b.downcast_mut::<Vec<T>>())
+            .expect("scratch was just installed for this scalar type");
+        if buf.len() < len {
+            buf.resize(len, T::ZERO);
+        }
+        f(buf)
+    })
 }
 
 /// Whether an operand is used as-is or transposed (the `op()` of
@@ -72,27 +114,35 @@ impl GemmOp {
     }
 }
 
-/// A-panel strips per parallel chunk (`CHUNK_STRIPS * MR` C rows each).
-const CHUNK_STRIPS: usize = 8;
+/// Below this many flops (`2mnk`) the kernel stays single-threaded: the
+/// fork-join submit/wake cost would exceed the win. Roughly an 80³ f64
+/// multiply (~30 µs on one AVX-512 core).
+const PARALLEL_FLOP_CUTOFF: usize = 1 << 20;
 
-/// Everything a worker needs to compute chunks of one GEMM call. `Arc`-held
-/// so the type-erased pool jobs are `'static` without borrowing the
-/// caller's stack.
-struct GemmJob<T: Scalar> {
-    pa: Vec<T>,
-    pb: Vec<T>,
-    m: usize,
-    n: usize,
-    k: usize,
-    nchunks: usize,
-    /// Shared chunk counter: the submitting thread and the pool workers
-    /// claim chunks from the same sequence, so progress never depends on a
-    /// worker being available.
-    next: AtomicUsize,
+/// A raw matrix pointer that may cross into pool workers. All dereferences
+/// target regions proven disjoint per claimed chunk (B-slab strips during
+/// packing, `MC`-row C bands during compute), and `pool::parallel_chunks`
+/// guarantees the pointee outlives every dereference.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `SendPtr` — edition-2021 disjoint capture would otherwise move just
+    /// the raw pointer field, which is not `Sync`.
+    fn get(self) -> *mut T {
+        self.0
+    }
 }
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
 
 /// The `MR×NR` register block: accumulates
-/// `acc[i][j] += apanel[l][i] * bpanel[l][j]` over the full packed depth.
+/// `acc[i][j] += apanel[l][i] * bpanel[l][j]` over the packed slab depth.
 /// Panels are `l`-major (see [`pack`](crate::pack)), so both loads are
 /// contiguous and every loop has a fixed trip count.
 #[inline]
@@ -109,83 +159,49 @@ fn microkernel<T: Scalar>(apanel: &[T], bpanel: &[T], acc: &mut [[T; NR]; MR]) {
     }
 }
 
-/// Computes the product block for `chunk` (rows `chunk*CHUNK_STRIPS*MR ..`)
-/// into `out` (`rows_here × n`, fully overwritten). This is
-/// `alpha·op(A)·op(B)` only — `beta·C` is applied at merge time so the
-/// floating-point order per element is independent of who computed the
-/// chunk.
-fn compute_chunk<T: Scalar>(
-    pa: &[T],
-    pb: &[T],
-    m: usize,
-    n: usize,
-    k: usize,
-    chunk: usize,
-    out: &mut Vec<T>,
+/// Loops 2 + 1: multiplies one packed `rows×kk` A block against one packed
+/// `kk×nc_here` B slab and folds the result into the `C` tile at
+/// `(i0, jc)`: `C = beta·C + Ap·Bp` (the caller passes `beta` on the first
+/// depth slab and `1` afterwards, so `beta·C` is applied exactly once).
+///
+/// # Safety
+/// `c` must point at the start of a `ldc`-pitch row-major matrix with at
+/// least `i0 + rows` rows and `jc + nc_here` columns, and no other thread
+/// may touch rows `i0 .. i0+rows` of columns `jc .. jc+nc_here` while this
+/// runs (the compute phase partitions C into disjoint `MC`-row bands).
+#[allow(clippy::too_many_arguments)]
+unsafe fn macro_kernel<T: Scalar>(
+    ap: &[T],
+    bp: &[T],
+    rows: usize,
+    kk: usize,
+    nc_here: usize,
+    beta: T,
+    c: SendPtr<T>,
+    ldc: usize,
+    i0: usize,
+    jc: usize,
 ) {
-    let a_strips = m.div_ceil(MR);
-    let s0 = chunk * CHUNK_STRIPS;
-    let s1 = (s0 + CHUNK_STRIPS).min(a_strips);
-    let r0 = s0 * MR;
-    let rows = (s1 * MR).min(m) - r0;
-    out.clear();
-    out.resize(rows * n, T::ZERO);
-    let b_strips = n.div_ceil(NR);
-    // B strip outer / A strip inner: the chunk's A panels stay cache-hot
-    // across the whole sweep while each B strip is streamed exactly once
-    // per chunk.
-    for t in 0..b_strips {
-        let bpanel = &pb[t * k * NR..(t + 1) * k * NR];
-        let j0 = t * NR;
-        let cols = NR.min(n - j0);
-        for s in s0..s1 {
-            let apanel = &pa[s * k * MR..(s + 1) * k * MR];
+    let a_strips = rows.div_ceil(MR);
+    let b_strips = nc_here.div_ceil(NR);
+    for jr in 0..b_strips {
+        let bpanel = &bp[jr * kk * NR..(jr + 1) * kk * NR];
+        let j0 = jr * NR;
+        let cols = NR.min(nc_here - j0);
+        for ir in 0..a_strips {
+            let apanel = &ap[ir * kk * MR..(ir + 1) * kk * MR];
             let mut acc = [[T::ZERO; NR]; MR];
             microkernel(apanel, bpanel, &mut acc);
             // Clipped store: the zero-padded panels make the kernel
             // edge-free; partial blocks are trimmed only here.
-            let ri = s * MR - r0;
-            let rows_here = MR.min(rows - ri);
+            let r0 = ir * MR;
+            let rows_here = MR.min(rows - r0);
             for (i, acc_row) in acc.iter().enumerate().take(rows_here) {
-                let dst = &mut out[(ri + i) * n + j0..(ri + i) * n + j0 + cols];
-                dst.copy_from_slice(&acc_row[..cols]);
-            }
-        }
-    }
-}
-
-/// Single-thread variant of [`compute_chunk`] + [`merge_chunk`]: stores
-/// each accumulator block straight into `C` (`beta·C + acc`), skipping the
-/// intermediate product buffer. Per element this performs the exact same
-/// operations in the exact same order as the buffered path, so serial and
-/// parallel results stay bitwise identical.
-fn compute_chunk_direct<T: Scalar>(
-    pa: &[T],
-    pb: &[T],
-    n: usize,
-    k: usize,
-    chunk: usize,
-    beta: T,
-    c: &mut Mat<T>,
-) {
-    let m = c.rows();
-    let a_strips = m.div_ceil(MR);
-    let s0 = chunk * CHUNK_STRIPS;
-    let s1 = (s0 + CHUNK_STRIPS).min(a_strips);
-    let b_strips = n.div_ceil(NR);
-    let cm = c.as_mut_slice();
-    for t in 0..b_strips {
-        let bpanel = &pb[t * k * NR..(t + 1) * k * NR];
-        let j0 = t * NR;
-        let cols = NR.min(n - j0);
-        for s in s0..s1 {
-            let apanel = &pa[s * k * MR..(s + 1) * k * MR];
-            let mut acc = [[T::ZERO; NR]; MR];
-            microkernel(apanel, bpanel, &mut acc);
-            let r0 = s * MR;
-            let rows_here = MR.min(m - r0);
-            for (i, acc_row) in acc.iter().enumerate().take(rows_here) {
-                let dst = &mut cm[(r0 + i) * n + j0..(r0 + i) * n + j0 + cols];
+                // SAFETY: rows i0+r0+i < i0+rows and cols jc+j0 .. +cols
+                // <= jc+nc_here are inside C and owned by this tile.
+                let dst = unsafe {
+                    std::slice::from_raw_parts_mut(c.get().add((i0 + r0 + i) * ldc + jc + j0), cols)
+                };
                 if beta == T::ZERO {
                     dst.copy_from_slice(&acc_row[..cols]);
                 } else if beta == T::ONE {
@@ -198,23 +214,6 @@ fn compute_chunk_direct<T: Scalar>(
                     }
                 }
             }
-        }
-    }
-}
-
-/// Folds one computed chunk into `C`: `c_rows = beta * c_rows + product`.
-fn merge_chunk<T: Scalar>(c: &mut Mat<T>, n: usize, beta: T, chunk: usize, buf: &[T]) {
-    let r0 = chunk * CHUNK_STRIPS * MR;
-    let dst = &mut c.as_mut_slice()[r0 * n..r0 * n + buf.len()];
-    if beta == T::ZERO {
-        dst.copy_from_slice(buf);
-    } else if beta == T::ONE {
-        for (d, s) in dst.iter_mut().zip(buf) {
-            *d += *s;
-        }
-    } else {
-        for (d, s) in dst.iter_mut().zip(buf) {
-            *d = beta * *d + *s;
         }
     }
 }
@@ -232,6 +231,19 @@ fn scale_in_place<T: Scalar>(c: &mut Mat<T>, beta: T) {
     }
 }
 
+/// The `MC` actually used: the tuned value, shrunk when the thread width
+/// would otherwise leave fewer than ~3 macro-tiles per thread to claim
+/// (dynamic chunk scheduling needs slack to balance). Safe to vary freely:
+/// the per-element summation order depends only on `KC`, so results stay
+/// bitwise identical across widths (and across the `MC` values they pick).
+fn effective_mc(mc: usize, m: usize, width: usize) -> usize {
+    if width <= 1 {
+        return mc;
+    }
+    let cap = m.div_ceil(3 * width).next_multiple_of(MR);
+    mc.min(cap).max(MR)
+}
+
 /// The floating-point operation count of one `m×k · k×n` GEMM — the
 /// standard `2mnk` (one multiply + one add per inner-product term). This is
 /// the quantity a virtual-time run charges its clock with in place of
@@ -241,8 +253,10 @@ pub fn gemm_flops(m: usize, n: usize, k: usize) -> f64 {
     2.0 * m as f64 * n as f64 * k as f64
 }
 
-/// `C = alpha * op(A) * op(B) + beta * C`, packed, register-blocked, and
-/// parallel over the persistent [`pool`](crate::pool).
+/// `C = alpha * op(A) * op(B) + beta * C`, cache-blocked (five-loop
+/// Goto/BLIS structure, KC/MC/NC from [`tune`](crate::tune)), packed,
+/// register-blocked, and parallel over the persistent
+/// [`pool`](crate::pool).
 ///
 /// Shapes after applying the ops must agree:
 /// `op(A): m×k`, `op(B): k×n`, `C: m×n`.
@@ -275,91 +289,112 @@ pub fn gemm<T: Scalar>(
         return;
     }
 
-    let a_strips = m.div_ceil(MR);
-    let nchunks = a_strips.div_ceil(CHUNK_STRIPS);
-    let width = pool::gemm_threads().min(nchunks).max(1);
+    let bl = tune::blocking::<T>();
+    let width = if m.saturating_mul(n).saturating_mul(k).saturating_mul(2) < PARALLEL_FLOP_CUTOFF {
+        1
+    } else {
+        pool::gemm_threads().max(1)
+    };
+    let kc = bl.kc;
+    let nc = bl.nc;
+    let mc = effective_mc(bl.mc, m, width);
+    let tiles = m.div_ceil(mc);
+    let ldc = n;
+    let c_ptr = SendPtr(c.as_mut_slice().as_mut_ptr());
 
-    if width == 1 {
-        PACK_SCRATCH.with(|cell| {
-            let mut slot = cell.borrow_mut();
-            if slot
-                .as_mut()
-                .and_then(|b| b.downcast_mut::<(Vec<T>, Vec<T>)>())
-                .is_none()
-            {
-                *slot = Some(Box::new((Vec::<T>::new(), Vec::<T>::new())));
-            }
-            let (pa, pb) = slot
-                .as_mut()
-                .and_then(|b| b.downcast_mut::<(Vec<T>, Vec<T>)>())
-                .expect("scratch was just installed for this scalar type");
-            pack::pack_a_into(op_a, alpha, a, m, k, pa);
-            pack::pack_b_into(op_b, b, k, n, pb);
-            for chunk in 0..nchunks {
-                compute_chunk_direct(pa, pb, n, k, chunk, beta, c);
-            }
-        });
-        return;
-    }
+    // Largest B slab this call packs; grown once, reused across slabs and
+    // across calls via the thread-local scratch.
+    let bp_cap = nc.min(n.next_multiple_of(NR)) * kc.min(k);
+    with_scratch(&BP_SCRATCH, bp_cap, |bp: &mut Vec<T>| {
+        let bp_ptr = SendPtr(bp.as_mut_ptr());
+        let mut jc = 0;
+        while jc < n {
+            let nc_here = nc.min(n - jc);
+            let b_strips = nc_here.div_ceil(NR);
+            let mut pc = 0;
+            let mut slab = 0usize;
+            while pc < k {
+                let kc_here = kc.min(k - pc);
+                let beta_here = if slab == 0 { beta } else { T::ONE };
 
-    let pa = pack::pack_a(op_a, alpha, a, m, k);
-    let pb = pack::pack_b(op_b, b, k, n);
-
-    let job = Arc::new(GemmJob {
-        pa,
-        pb,
-        m,
-        n,
-        k,
-        nchunks,
-        next: AtomicUsize::new(0),
-    });
-    let (tx, rx) = mpsc::channel::<(usize, Vec<T>)>();
-    let tasks = (0..width - 1)
-        .map(|_| {
-            let job = Arc::clone(&job);
-            let tx = tx.clone();
-            Box::new(move || {
-                loop {
-                    let chunk = job.next.fetch_add(1, Ordering::Relaxed);
-                    if chunk >= job.nchunks {
-                        break;
+                // Loop 4 prologue: pack Bp = op(B)[pc.., jc..] (KC×NC)
+                // cooperatively — strips are independent, zero-padded by
+                // the packer, and land in disjoint regions of the slab.
+                let strip_group = b_strips.div_ceil(4 * width).max(1);
+                let pack_chunks = b_strips.div_ceil(strip_group);
+                pool::parallel_chunks(width, pack_chunks, &move |chunk| {
+                    let t0 = chunk * strip_group;
+                    let t1 = (t0 + strip_group).min(b_strips);
+                    for t in t0..t1 {
+                        // SAFETY: strip t owns bp[t*kc_here*NR ..
+                        // (t+1)*kc_here*NR); strips are disjoint and the
+                        // buffer holds b_strips*kc_here*NR <= bp_cap
+                        // elements.
+                        let strip = unsafe {
+                            std::slice::from_raw_parts_mut(
+                                bp_ptr.get().add(t * kc_here * NR),
+                                kc_here * NR,
+                            )
+                        };
+                        let j0 = t * NR;
+                        pack::pack_b_strip_into(
+                            op_b,
+                            b,
+                            pc,
+                            jc + j0,
+                            kc_here,
+                            NR.min(nc_here - j0),
+                            strip,
+                        );
                     }
-                    let mut buf = Vec::new();
-                    compute_chunk(&job.pa, &job.pb, job.m, job.n, job.k, chunk, &mut buf);
-                    // The receiver disappears only when the caller already
-                    // merged every chunk (or panicked); stop quietly.
-                    if tx.send((chunk, buf)).is_err() {
-                        break;
-                    }
-                }
-            }) as pool::Job
-        })
-        .collect();
-    drop(tx);
-    pool::submit(tasks);
+                });
 
-    // The caller claims chunks from the same counter (so it always makes
-    // progress), merging its own results directly and workers' results as
-    // they arrive.
-    let mut merged = 0;
-    let mut scratch = Vec::new();
-    loop {
-        let chunk = job.next.fetch_add(1, Ordering::Relaxed);
-        if chunk >= nchunks {
-            break;
+                // Loop 3: claim (jc, ic) macro-tiles dynamically; each
+                // tile packs its own A block into per-thread scratch and
+                // folds Ap·Bp into its private MC-row band of C.
+                let bp_view: &[T] = &bp[..b_strips * kc_here * NR];
+                pool::parallel_chunks(width, tiles, &move |tile| {
+                    let i0 = tile * mc;
+                    let rows = mc.min(m - i0);
+                    let ap_len = rows.div_ceil(MR) * kc_here * MR;
+                    with_scratch(&AP_SCRATCH, ap_len, |ap: &mut Vec<T>| {
+                        pack::pack_a_block_into(
+                            op_a,
+                            alpha,
+                            a,
+                            i0,
+                            pc,
+                            rows,
+                            kc_here,
+                            &mut ap[..ap_len],
+                        );
+                        // SAFETY: this tile exclusively owns C rows
+                        // i0..i0+rows (tiles partition 0..m) within the
+                        // current jc column band; see macro_kernel's
+                        // contract.
+                        unsafe {
+                            macro_kernel(
+                                &ap[..ap_len],
+                                bp_view,
+                                rows,
+                                kc_here,
+                                nc_here,
+                                beta_here,
+                                c_ptr,
+                                ldc,
+                                i0,
+                                jc,
+                            );
+                        }
+                    });
+                });
+
+                pc += kc_here;
+                slab += 1;
+            }
+            jc += nc_here;
         }
-        compute_chunk(&job.pa, &job.pb, m, n, k, chunk, &mut scratch);
-        merge_chunk(c, n, beta, chunk, &scratch);
-        merged += 1;
-    }
-    while merged < nchunks {
-        let (chunk, buf) = rx
-            .recv()
-            .expect("a dense-gemm pool worker died mid-multiply");
-        merge_chunk(c, n, beta, chunk, &buf);
-        merged += 1;
-    }
+    });
 }
 
 /// The pre-packing kernel this repository shipped before the packed
@@ -481,6 +516,7 @@ pub fn gemm_naive<T: Scalar>(
 mod tests {
     use super::*;
     use crate::random::fill_random;
+    use crate::tune::{set_gemm_blocking, Blocking};
 
     fn check_against_naive(
         m: usize,
@@ -547,18 +583,35 @@ mod tests {
     }
 
     #[test]
-    fn sizes_crossing_block_boundaries() {
-        // Around the MR/NR register blocks and the CHUNK_STRIPS*MR chunk.
+    fn sizes_crossing_register_block_boundaries() {
+        // Around the MR/NR register blocks.
         check_against_naive(65, 300, 200, GemmOp::NoTrans, GemmOp::NoTrans, 1.0, 0.0);
         check_against_naive(1, 1, 513, GemmOp::NoTrans, GemmOp::NoTrans, 1.0, 0.0);
         check_against_naive(513, 1, 1, GemmOp::NoTrans, GemmOp::NoTrans, 1.0, 0.0);
         for d in [MR - 1, MR, MR + 1, NR - 1, NR, NR + 1] {
             check_against_naive(d, d, d, GemmOp::NoTrans, GemmOp::NoTrans, 1.0, 0.0);
         }
-        let chunk_rows = CHUNK_STRIPS * MR;
-        for m in [chunk_rows - 1, chunk_rows, chunk_rows + 1, 2 * chunk_rows] {
-            check_against_naive(m, 7, 9, GemmOp::Trans, GemmOp::NoTrans, 1.0, 1.0);
+    }
+
+    #[test]
+    fn sizes_crossing_cache_block_boundaries() {
+        // Pin a tiny blocking so m/n/k cross the MC/NC/KC block boundaries
+        // with cheap shapes: KC = 8, MC = 8, NC = 32.
+        set_gemm_blocking(Some(Blocking {
+            mc: 8,
+            kc: 8,
+            nc: 32,
+        }));
+        for k in [7, 8, 9, 16, 17, 25] {
+            check_against_naive(13, 21, k, GemmOp::Trans, GemmOp::NoTrans, 1.0, 1.0);
         }
+        for m in [7, 8, 9, 24, 25] {
+            check_against_naive(m, 33, 20, GemmOp::NoTrans, GemmOp::Trans, 1.0, -0.5);
+        }
+        for n in [31, 32, 33, 64, 65] {
+            check_against_naive(9, n, 12, GemmOp::NoTrans, GemmOp::NoTrans, 2.0, 0.0);
+        }
+        set_gemm_blocking(None);
     }
 
     #[test]
@@ -614,9 +667,27 @@ mod tests {
     }
 
     #[test]
+    fn effective_mc_preserves_grain_and_alignment() {
+        // Serial keeps the tuned value; parallel shrinks to >= 3 tiles per
+        // thread, MR-aligned, never below MR.
+        assert_eq!(effective_mc(512, 1024, 1), 512);
+        let mc4 = effective_mc(512, 1024, 4);
+        assert!(mc4 <= 512 && mc4.is_multiple_of(MR));
+        assert!(1024usize.div_ceil(mc4) >= 3 * 4);
+        assert_eq!(effective_mc(512, 2, 8), MR);
+    }
+
+    #[test]
     fn forced_parallel_width_matches_serial() {
-        // Pin a width wider than the host so the pool path really runs,
-        // then check bitwise equality against width 1.
+        // Pin a width wider than the host and a small blocking so the pool
+        // path and several cache blocks really engage, then check bitwise
+        // equality against width 1. (The matrix clears the parallel flop
+        // cutoff.)
+        set_gemm_blocking(Some(Blocking {
+            mc: 32,
+            kc: 16,
+            nc: 48,
+        }));
         let mut a = Mat::<f64>::zeros(130, 70);
         let mut b = Mat::<f64>::zeros(70, 90);
         let mut c1 = Mat::<f64>::zeros(130, 90);
@@ -630,6 +701,7 @@ mod tests {
         crate::pool::set_rank_gemm_threads(Some(4));
         gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.5, &a, &b, 0.5, &mut c4);
         crate::pool::set_rank_gemm_threads(None);
+        set_gemm_blocking(None);
         assert_eq!(c1.as_slice(), c4.as_slice(), "thread width changed bits");
     }
 }

@@ -13,6 +13,9 @@
 //!   ([`gemm::gemm_unpacked`]) used as the before/after benchmark baseline;
 //! * [`pack`] — operand packing into microkernel panels (where transposes
 //!   and `alpha` are absorbed);
+//! * [`tune`] — the one-shot runtime autotuner that derives the KC/MC/NC
+//!   cache blocking from sysfs cache topology (overridable via
+//!   `DENSE_GEMM_TUNE=mc:kc:nc` or [`tune::set_gemm_blocking`]);
 //! * [`pool`] — the lazy global worker pool and the kernel-thread knobs
 //!   (`DENSE_GEMM_THREADS`, [`pool::set_gemm_threads`], and the per-rank cap
 //!   `msgpass::World::run` applies via [`pool::set_rank_gemm_threads`]);
@@ -35,9 +38,11 @@ pub mod pool;
 pub mod random;
 pub mod scalar;
 pub mod testing;
+pub mod tune;
 
 pub use gemm::{gemm, gemm_naive, gemm_unpacked, GemmOp};
 pub use mat::Mat;
 pub use part::{split_even, Rect};
 pub use pool::{gemm_threads, set_gemm_threads};
 pub use scalar::Scalar;
+pub use tune::{set_gemm_blocking, Blocking};

@@ -1,10 +1,11 @@
 //! Operand packing for the register-blocked GEMM kernel.
 //!
 //! The classic packed-panel design (Goto & van de Geijn; BLIS): before the
-//! arithmetic starts, `op(A)` is copied into *row panels* of [`MR`]
-//! consecutive rows and `op(B)` into *column panels* of [`NR`] consecutive
-//! columns, both laid out so the microkernel's inner loop walks each panel
-//! with stride 1. Packing is where all the irregularity is absorbed:
+//! arithmetic starts, a block of `op(A)` is copied into *row panels* of
+//! [`MR`] consecutive rows and a slab of `op(B)` into *column panels* of
+//! [`NR`] consecutive columns, both laid out so the microkernel's inner
+//! loop walks each panel with stride 1. Packing is where all the
+//! irregularity is absorbed:
 //!
 //! * `Trans` operands are handled by index arithmetic during the copy, so
 //!   the kernel never sees a strided operand and no full transpose is ever
@@ -15,12 +16,21 @@
 //!   microkernel always runs fixed-trip loops — the scalar tail handling
 //!   moves to the *store* of the accumulator block, not the hot loop.
 //!
-//! Panel layouts (`k` is the inner dimension):
+//! Since the five-loop blocked rewrite the packers are *block-wise*: the
+//! unit of A packing is an `MC×KC` block ([`pack_a_block_into`]) and the
+//! unit of B packing is a single `KC×NR` strip ([`pack_b_strip_into`]), so
+//! a GEMM call only ever materializes one cache-sized slab of each operand
+//! (never a full `m×k`/`k×n` packed copy) and the strips can be packed in
+//! parallel by the [`pool`](crate::pool) workers. The whole-operand
+//! packers ([`pack_a`] / [`pack_b`]) remain as the degenerate one-block
+//! case for tests and callers that want the full panels.
 //!
-//! * packed A: strip `s` holds rows `s*MR .. s*MR+MR` of `op(A)`, stored
-//!   `l`-major — element `(i, l)` of the strip at `(s*k + l)*MR + i`;
-//! * packed B: strip `t` holds columns `t*NR .. t*NR+NR` of `op(B)`, stored
-//!   `l`-major — element `(l, j)` of the strip at `(t*k + l)*NR + j`.
+//! Panel layouts (`kk` is the packed depth of the slab):
+//!
+//! * packed A block: strip `s` holds rows `s*MR .. s*MR+MR` of the block,
+//!   stored `l`-major — element `(i, l)` of the strip at `(s*kk + l)*MR + i`;
+//! * packed B slab: strip `t` holds columns `t*NR .. t*NR+NR` of the slab,
+//!   stored `l`-major — element `(l, j)` of the strip at `(t*kk + l)*NR + j`.
 //!
 //! Both loads in the microkernel are therefore contiguous `MR`- and
 //! `NR`-wide runs advancing together down `l`.
@@ -38,13 +48,110 @@ pub const MR: usize = 4;
 /// on x86-64; anything larger spills and collapses throughput.
 pub const NR: usize = 16;
 
-/// Packs `alpha * op(A)` (`m × k` after the op) into MR-row panels.
+/// Packs the `rows × kk` block of `alpha * op(A)` starting at row `i0`,
+/// depth `p0`, into MR-row panels in `buf`.
+///
+/// `buf` must hold exactly `rows.div_ceil(MR) * kk * MR` elements; every
+/// element is written (rows beyond `rows` are zeroed), so the buffer needs
+/// no pre-clearing.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_a_block_into<T: Scalar>(
+    op: GemmOp,
+    alpha: T,
+    a: &Mat<T>,
+    i0: usize,
+    p0: usize,
+    rows: usize,
+    kk: usize,
+    buf: &mut [T],
+) {
+    let strips = rows.div_ceil(MR);
+    assert_eq!(buf.len(), strips * kk * MR, "A pack buffer size mismatch");
+    let ld = a.cols();
+    let src = a.as_slice();
+    for s in 0..strips {
+        let r0 = s * MR;
+        let rows_here = MR.min(rows - r0);
+        let panel = &mut buf[s * kk * MR..(s + 1) * kk * MR];
+        if rows_here < MR {
+            panel.fill(T::ZERO);
+        }
+        match op {
+            // op(A)[i][l] = a[i][l]: gather MR rows, interleaving them
+            // l-major.
+            GemmOp::NoTrans => {
+                for di in 0..rows_here {
+                    let row = &src[(i0 + r0 + di) * ld + p0..(i0 + r0 + di) * ld + p0 + kk];
+                    for (l, &v) in row.iter().enumerate() {
+                        panel[l * MR + di] = alpha * v;
+                    }
+                }
+            }
+            // op(A)[i][l] = a[l][i] (a stored k × m): each source row l
+            // already holds the MR destination values contiguously.
+            GemmOp::Trans => {
+                for l in 0..kk {
+                    let run = &src[(p0 + l) * ld + i0 + r0..(p0 + l) * ld + i0 + r0 + rows_here];
+                    for (di, &v) in run.iter().enumerate() {
+                        panel[l * MR + di] = alpha * v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs one `kk × NR` strip of `op(B)` — columns `j0 .. j0+cols_here`,
+/// depth `p0 .. p0+kk` — into `buf` (`kk * NR` elements, `l`-major).
+///
+/// Every element is written (columns beyond `cols_here` are zeroed), so
+/// strips can be packed independently — and therefore in parallel — into
+/// disjoint regions of one slab buffer.
+pub fn pack_b_strip_into<T: Scalar>(
+    op: GemmOp,
+    b: &Mat<T>,
+    p0: usize,
+    j0: usize,
+    kk: usize,
+    cols_here: usize,
+    buf: &mut [T],
+) {
+    assert_eq!(buf.len(), kk * NR, "B strip buffer size mismatch");
+    let ld = b.cols();
+    let src = b.as_slice();
+    match op {
+        // op(B)[l][j] = b[l][j]: each source row l holds the NR destination
+        // values contiguously.
+        GemmOp::NoTrans => {
+            for l in 0..kk {
+                let run = &src[(p0 + l) * ld + j0..(p0 + l) * ld + j0 + cols_here];
+                let dst = &mut buf[l * NR..(l + 1) * NR];
+                dst[..cols_here].copy_from_slice(run);
+                dst[cols_here..].fill(T::ZERO);
+            }
+        }
+        // op(B)[l][j] = b[j][l] (b stored n × k): gather NR rows,
+        // interleaving them l-major.
+        GemmOp::Trans => {
+            if cols_here < NR {
+                buf.fill(T::ZERO);
+            }
+            for dj in 0..cols_here {
+                let row = &src[(j0 + dj) * ld + p0..(j0 + dj) * ld + p0 + kk];
+                for (l, &v) in row.iter().enumerate() {
+                    buf[l * NR + dj] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Packs all of `alpha * op(A)` (`m × k` after the op) into MR-row panels.
 ///
 /// The returned buffer has `m.div_ceil(MR) * MR * k` elements; rows beyond
-/// `m` are zero.
+/// `m` are zero. This is the degenerate one-block case of
+/// [`pack_a_block_into`], kept for tests and whole-operand callers.
 pub fn pack_a<T: Scalar>(op: GemmOp, alpha: T, a: &Mat<T>, m: usize, k: usize) -> Vec<T> {
-    // `vec![ZERO; n]` hits the zeroed-page allocation fast path; the
-    // `_into` variant's resize would write the zeros explicitly.
     let mut buf = vec![T::ZERO; m.div_ceil(MR) * k * MR];
     pack_a_into(op, alpha, a, m, k, &mut buf);
     buf
@@ -60,49 +167,13 @@ pub fn pack_a_into<T: Scalar>(
     k: usize,
     buf: &mut Vec<T>,
 ) {
-    let strips = m.div_ceil(MR);
-    let size = strips * k * MR;
-    if buf.len() == size {
-        // Reused buffer: the fill loops below write every element except
-        // the ragged tail strip's padding rows, so only that panel needs
-        // clearing.
-        if !m.is_multiple_of(MR) {
-            buf[(strips - 1) * k * MR..].fill(T::ZERO);
-        }
-    } else {
-        buf.clear();
-        buf.resize(size, T::ZERO);
-    }
-    let src = a.as_slice();
-    for s in 0..strips {
-        let i0 = s * MR;
-        let rows_here = MR.min(m - i0);
-        let panel = &mut buf[s * k * MR..(s + 1) * k * MR];
-        match op {
-            // op(A)[i][l] = a[i][l]: gather MR rows, interleaving them l-major.
-            GemmOp::NoTrans => {
-                for di in 0..rows_here {
-                    let row = &src[(i0 + di) * k..(i0 + di) * k + k];
-                    for (l, &v) in row.iter().enumerate() {
-                        panel[l * MR + di] = alpha * v;
-                    }
-                }
-            }
-            // op(A)[i][l] = a[l][i] (a stored k × m): each source row l
-            // already holds the MR destination values contiguously.
-            GemmOp::Trans => {
-                for l in 0..k {
-                    let run = &src[l * m + i0..l * m + i0 + rows_here];
-                    for (di, &v) in run.iter().enumerate() {
-                        panel[l * MR + di] = alpha * v;
-                    }
-                }
-            }
-        }
-    }
+    let size = m.div_ceil(MR) * k * MR;
+    buf.clear();
+    buf.resize(size, T::ZERO);
+    pack_a_block_into(op, alpha, a, 0, 0, m, k, buf);
 }
 
-/// Packs `op(B)` (`k × n` after the op) into NR-column panels.
+/// Packs all of `op(B)` (`k × n` after the op) into NR-column panels.
 ///
 /// The returned buffer has `n.div_ceil(NR) * NR * k` elements; columns
 /// beyond `n` are zero.
@@ -117,39 +188,20 @@ pub fn pack_b<T: Scalar>(op: GemmOp, b: &Mat<T>, k: usize, n: usize) -> Vec<T> {
 pub fn pack_b_into<T: Scalar>(op: GemmOp, b: &Mat<T>, k: usize, n: usize, buf: &mut Vec<T>) {
     let strips = n.div_ceil(NR);
     let size = strips * k * NR;
-    if buf.len() == size {
-        if !n.is_multiple_of(NR) {
-            buf[(strips - 1) * k * NR..].fill(T::ZERO);
-        }
-    } else {
-        buf.clear();
-        buf.resize(size, T::ZERO);
-    }
-    let src = b.as_slice();
+    buf.clear();
+    buf.resize(size, T::ZERO);
     for t in 0..strips {
         let j0 = t * NR;
         let cols_here = NR.min(n - j0);
-        let panel = &mut buf[t * k * NR..(t + 1) * k * NR];
-        match op {
-            // op(B)[l][j] = b[l][j]: each source row l holds the NR
-            // destination values contiguously.
-            GemmOp::NoTrans => {
-                for l in 0..k {
-                    let run = &src[l * n + j0..l * n + j0 + cols_here];
-                    panel[l * NR..l * NR + cols_here].copy_from_slice(run);
-                }
-            }
-            // op(B)[l][j] = b[j][l] (b stored n × k): gather NR rows,
-            // interleaving them l-major.
-            GemmOp::Trans => {
-                for dj in 0..cols_here {
-                    let row = &src[(j0 + dj) * k..(j0 + dj) * k + k];
-                    for (l, &v) in row.iter().enumerate() {
-                        panel[l * NR + dj] = v;
-                    }
-                }
-            }
-        }
+        pack_b_strip_into(
+            op,
+            b,
+            0,
+            j0,
+            k,
+            cols_here,
+            &mut buf[t * k * NR..(t + 1) * k * NR],
+        );
     }
 }
 
@@ -224,6 +276,67 @@ mod tests {
                             want,
                             "{op:?} t={t} l={l} j={dj}"
                         );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A sub-block pack must equal the corresponding window of the
+    /// whole-operand pack — the interior-block case the five-loop kernel
+    /// depends on.
+    #[test]
+    fn pack_a_block_matches_full_pack_window() {
+        let (m, k) = (3 * MR + 2, 17);
+        let (i0, p0, rows, kk) = (MR, 5, MR + 3, 7); // unaligned interior
+        for op in [GemmOp::NoTrans, GemmOp::Trans] {
+            let a = match op {
+                GemmOp::NoTrans => Mat::from_fn(m, k, |i, j| (i * 31 + j) as f64),
+                GemmOp::Trans => Mat::from_fn(k, m, |i, j| (j * 31 + i) as f64),
+            };
+            let mut buf = vec![9.0; rows.div_ceil(MR) * kk * MR];
+            pack_a_block_into(op, 2.0, &a, i0, p0, rows, kk, &mut buf);
+            for s in 0..rows.div_ceil(MR) {
+                for l in 0..kk {
+                    for di in 0..MR {
+                        let want = if s * MR + di < rows {
+                            2.0 * op_a_ref(op, &a, i0 + s * MR + di, p0 + l)
+                        } else {
+                            0.0
+                        };
+                        assert_eq!(
+                            buf[(s * kk + l) * MR + di],
+                            want,
+                            "{op:?} s={s} l={l} i={di}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Strip packing at an interior (p0, j0) offset, including the padded
+    /// ragged-tail case, for both ops.
+    #[test]
+    fn pack_b_strip_interior_offsets() {
+        let (k, n) = (11usize, 2 * NR + 5);
+        let (p0, kk) = (3usize, 6usize);
+        for op in [GemmOp::NoTrans, GemmOp::Trans] {
+            let b = match op {
+                GemmOp::NoTrans => Mat::from_fn(k, n, |i, j| (i * 100 + j) as f64),
+                GemmOp::Trans => Mat::from_fn(n, k, |i, j| (j * 100 + i) as f64),
+            };
+            for (j0, cols_here) in [(NR, NR), (2 * NR, 5)] {
+                let mut buf = vec![7.0; kk * NR];
+                pack_b_strip_into(op, &b, p0, j0, kk, cols_here, &mut buf);
+                for l in 0..kk {
+                    for dj in 0..NR {
+                        let want = if dj < cols_here {
+                            ((p0 + l) * 100 + j0 + dj) as f64
+                        } else {
+                            0.0
+                        };
+                        assert_eq!(buf[l * NR + dj], want, "{op:?} j0={j0} l={l} j={dj}");
                     }
                 }
             }

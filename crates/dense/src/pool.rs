@@ -12,18 +12,26 @@
 //!   `available_parallelism()`, further overridden per rank thread by
 //!   [`set_rank_gemm_threads`] — which `msgpass::World::run` sets to
 //!   `base / world_size` so P concurrent ranks never ask for more kernel
-//!   threads than the machine has cores.
+//!   threads than the machine has cores;
+//! * [`parallel_chunks`] — the fork-join primitive the blocked GEMM builds
+//!   its pack and macro-tile phases from: a chunk counter shared between
+//!   the submitting thread and `width - 1` pool workers.
 //!
 //! Work distribution is a chunked queue: a parallel region shares one
 //! atomic chunk counter between the submitting thread and the workers, so
 //! the submitter always makes progress even when every worker is busy (or
-//! when the pool is empty on a 1-core host) — there is no hand-off that
-//! can deadlock. Jobs are type-erased `FnOnce` closures over `Arc`-owned
-//! state, which keeps the whole pool safe Rust: workers never borrow the
-//! caller's stack.
+//! when the pool is empty on a 1-core host) — no phase ever *requires* a
+//! worker, and no enqueued job ever blocks waiting for another job, so
+//! there is no hand-off that can deadlock even when many ranks submit
+//! concurrently. `submit` wakes exactly as many workers as it enqueued
+//! jobs (counted `notify_one`s, not `notify_all`): waking the whole pool
+//! for a two-job region would stampede every parked thread through the
+//! queue lock just to go back to sleep — measurable contention when many
+//! ranks submit small GEMMs at once.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -68,8 +76,8 @@ fn worker_loop(shared: Arc<Shared>) {
             }
         };
         // A panicking job must not kill the (permanent) worker; the
-        // submitter observes the failure through its closed result channel.
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        // submitter observes the failure through the region's panic flag.
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(job));
     }
 }
 
@@ -102,6 +110,9 @@ fn ensure_workers(want: usize) {
 }
 
 /// Enqueues `jobs` for the pool, growing it up to `jobs.len()` workers.
+/// Wakes exactly `jobs.len()` parked workers — one `notify_one` per job —
+/// instead of `notify_all`, so concurrent small submissions from many rank
+/// threads do not stampede the whole pool through the queue lock.
 pub(crate) fn submit(jobs: Vec<Job>) {
     if jobs.is_empty() {
         return;
@@ -112,10 +123,173 @@ pub(crate) fn submit(jobs: Vec<Job>) {
     let n = jobs.len();
     queue.extend(jobs);
     drop(queue);
-    if n == 1 {
+    // Counted wakeups sized to the job count. Spurious extra notifies (a
+    // notified worker may grab two jobs before another wakes) are harmless:
+    // a woken worker with an empty queue just re-parks.
+    for _ in 0..n {
         sh.available.notify_one();
-    } else {
-        sh.available.notify_all();
+    }
+}
+
+/// Shared state of one [`parallel_chunks`] region.
+struct Region {
+    /// Next chunk to claim (shared by the caller and the helper jobs).
+    next: AtomicUsize,
+    /// Total chunks in the region.
+    total: usize,
+    /// (chunks finished, helper jobs exited) — both guarded together so a
+    /// single condvar covers the two completion criteria.
+    progress: Mutex<(usize, usize)>,
+    done: Condvar,
+    /// Set when any chunk body panicked.
+    panicked: AtomicBool,
+}
+
+impl Region {
+    fn bump_finished(&self) {
+        let mut p = self.progress.lock().unwrap_or_else(|e| e.into_inner());
+        p.0 += 1;
+        drop(p);
+        self.done.notify_all();
+    }
+
+    fn bump_jobs_exited(&self) {
+        let mut p = self.progress.lock().unwrap_or_else(|e| e.into_inner());
+        p.1 += 1;
+        drop(p);
+        self.done.notify_all();
+    }
+
+    /// Runs the claim loop on the current thread. Every claimed chunk is
+    /// counted as finished even if its body panics (the flag records the
+    /// failure); claiming stops early once a panic is observed.
+    fn claim_loop(&self, body: &(dyn Fn(usize) + Sync)) {
+        while !self.panicked.load(Ordering::Relaxed) {
+            let chunk = self.next.fetch_add(1, Ordering::Relaxed);
+            if chunk >= self.total {
+                break;
+            }
+            let ok = std::panic::catch_unwind(AssertUnwindSafe(|| body(chunk))).is_ok();
+            if !ok {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+            self.bump_finished();
+        }
+    }
+}
+
+/// Runs `body(chunk)` for every `chunk in 0..nchunks`, distributed over the
+/// calling thread plus up to `width - 1` pool workers, and returns only
+/// once every chunk has completed. This is the fork-join primitive under
+/// the blocked GEMM's parallel pack and macro-tile phases.
+///
+/// Chunks are claimed dynamically from one shared atomic counter — the
+/// classic chunk-counter scheme — so the caller always makes progress even
+/// if every pool worker is busy with other ranks' regions, and load
+/// imbalance between chunks self-schedules. Helper jobs never block inside
+/// the region (there are no barriers), so regions from concurrent ranks
+/// can interleave on the pool without any risk of deadlock.
+///
+/// If any chunk body panics (on a worker or on the caller), the region
+/// drains safely — remaining participants stop claiming, in-flight bodies
+/// finish — and the panic is re-raised on the caller.
+///
+/// # Safety (internal)
+///
+/// `body` may borrow the caller's stack (`'a`, not `'static`); the
+/// lifetime is erased to hand it to the pool. Soundness rests on the
+/// completion protocol, which guarantees no job can touch `body` after
+/// this function returns:
+///
+/// * the normal path returns only after `finished == nchunks`; at that
+///   point the counter is exhausted, so a still-queued helper job's first
+///   claim fails and it exits without ever invoking `body`;
+/// * the panic path (caller's own chunk panicked) poisons the counter and
+///   waits for every helper *job* to exit before unwinding;
+/// * helper jobs only dereference the erased pointer to invoke `body` for
+///   a successfully claimed chunk (`chunk < total`).
+pub(crate) fn parallel_chunks<'a>(
+    width: usize,
+    nchunks: usize,
+    body: &(dyn Fn(usize) + Sync + 'a),
+) {
+    if nchunks == 0 {
+        return;
+    }
+    let width = width.min(nchunks).max(1);
+    if width == 1 {
+        for chunk in 0..nchunks {
+            body(chunk);
+        }
+        return;
+    }
+
+    let region = Arc::new(Region {
+        next: AtomicUsize::new(0),
+        total: nchunks,
+        progress: Mutex::new((0, 0)),
+        done: Condvar::new(),
+        panicked: AtomicBool::new(false),
+    });
+
+    // SAFETY: see the function docs — the completion protocol below keeps
+    // `body` alive for as long as any job can possibly invoke it.
+    let body_erased: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(body) };
+
+    let helpers = width - 1;
+    let jobs: Vec<Job> = (0..helpers)
+        .map(|_| {
+            let region = Arc::clone(&region);
+            Box::new(move || {
+                region.claim_loop(body_erased);
+                region.bump_jobs_exited();
+            }) as Job
+        })
+        .collect();
+    submit(jobs);
+
+    // The caller participates through the same counter, so the region
+    // completes even if no worker ever picks the helper jobs up.
+    let caller_result = std::panic::catch_unwind(AssertUnwindSafe(|| region.claim_loop(body)));
+
+    if let Err(payload) = caller_result {
+        // `claim_loop` contains each chunk's panic; reaching here means the
+        // machinery itself failed. Poison the counter so stale jobs exit at
+        // their first claim, then wait for every helper job to leave the
+        // region before unwinding frees the borrows behind `body`.
+        region.panicked.store(true, Ordering::Relaxed);
+        region.next.store(usize::MAX / 2, Ordering::Relaxed);
+        let mut p = region.progress.lock().unwrap_or_else(|e| e.into_inner());
+        while p.1 < helpers {
+            p = region.done.wait(p).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(p);
+        std::panic::resume_unwind(payload);
+    }
+
+    // Wait for completion. Normally that is "every chunk finished"; after a
+    // body panic the participants stop claiming, so the finished count can
+    // stall short of `nchunks` — then the exit condition is "every helper
+    // job has left the region" (the caller's own claim loop has already
+    // returned), which equally guarantees nobody can still touch `body`.
+    // (Helper jobs still queued behind other ranks' work find the counter
+    // exhausted and exit without touching `body`; they only hold the Arc'd
+    // region.)
+    let mut p = region.progress.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if p.0 >= nchunks {
+            break;
+        }
+        if region.panicked.load(Ordering::Relaxed) && p.1 >= helpers {
+            break;
+        }
+        p = region.done.wait(p).unwrap_or_else(|e| e.into_inner());
+    }
+    drop(p);
+
+    if region.panicked.load(Ordering::Relaxed) {
+        panic!("a dense-gemm parallel region chunk panicked");
     }
 }
 
@@ -231,5 +405,65 @@ mod tests {
             rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
             42
         );
+    }
+
+    #[test]
+    fn parallel_chunks_covers_every_chunk_exactly_once() {
+        const N: usize = 97;
+        let hits: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+        parallel_chunks(4, N, &|chunk| {
+            hits[chunk].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_width_one_runs_inline() {
+        let before = pool_workers();
+        let order = Mutex::new(Vec::new());
+        parallel_chunks(1, 5, &|chunk| {
+            order.lock().unwrap().push(chunk);
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(pool_workers(), before, "width 1 must not grow the pool");
+    }
+
+    #[test]
+    fn parallel_chunks_propagates_body_panic() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_chunks(3, 16, &|chunk| {
+                if chunk == 7 {
+                    panic!("chunk 7 exploded");
+                }
+            });
+        });
+        assert!(result.is_err(), "region must re-raise the chunk panic");
+        // And the pool must still be serviceable afterwards.
+        let ran = AtomicUsize::new(0);
+        parallel_chunks(3, 8, &|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_and_concurrent_regions_complete() {
+        // Many submitter threads sharing the pool at once — the scenario
+        // the counted notify_one wakeups target (16 ranks, small GEMMs).
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        parallel_chunks(3, 11, &|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16 * 8 * 11);
     }
 }

@@ -1,13 +1,15 @@
-//! Property tests for the packed register-blocked GEMM against the
-//! reference `gemm_naive`, plus the thread-width determinism pin.
+//! Property tests for the blocked multi-core GEMM against the reference
+//! `gemm_naive`, plus the thread-width determinism pins.
 //!
-//! Shapes are drawn so that m/n/k cross the MR (4), NR (16), and
-//! chunk (CHUNK_STRIPS * MR = 32 rows) boundaries in both directions, all
-//! four `op(A)`/`op(B)` combinations appear, and alpha/beta sweep the edge
-//! cases 0, 1, and negative values.
+//! Shapes are drawn so that m/n/k cross the MR (4) / NR (16) register
+//! blocks and — with a pinned tiny KC/MC/NC blocking — the cache-block
+//! boundaries of the five-loop kernel (k = KC and KC±1, m < MR, n < NR,
+//! single-tile and multi-tile shapes), for both f32 and f64. All four
+//! `op(A)`/`op(B)` combinations appear and alpha/beta sweep the edge cases
+//! 0, 1, and negative values.
 
 use dense::gemm::GemmOp;
-use dense::{gemm, gemm_naive, Mat};
+use dense::{gemm, gemm_naive, Blocking, Mat};
 use proptest::prelude::*;
 
 /// Deterministic value stream for matrix entries in roughly [-1, 1).
@@ -22,6 +24,29 @@ fn fill(seed: u64, rows: usize, cols: usize) -> Mat<f64> {
         z ^= z >> 31;
         (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
     })
+}
+
+/// f32 variant of [`fill`] (same SplitMix64 stream, narrowed).
+fn fill32(seed: u64, rows: usize, cols: usize) -> Mat<f32> {
+    let wide = fill(seed, rows, cols);
+    Mat::from_fn(rows, cols, |i, j| wide.get(i, j) as f32)
+}
+
+/// Pins a small per-thread KC/MC/NC blocking for the duration of a test
+/// case; restores the autotuned blocking on drop (also on assert failure,
+/// so a failing case cannot leak its blocking into later cases on the same
+/// test thread).
+struct BlockingPin;
+impl BlockingPin {
+    fn new(mc: usize, kc: usize, nc: usize) -> Self {
+        dense::set_gemm_blocking(Some(Blocking { mc, kc, nc }));
+        BlockingPin
+    }
+}
+impl Drop for BlockingPin {
+    fn drop(&mut self) {
+        dense::set_gemm_blocking(None);
+    }
 }
 
 fn op_of(t: bool) -> GemmOp {
@@ -74,6 +99,44 @@ fn check_against_naive(m: usize, n: usize, k: usize, ta: bool, tb: bool, ab_idx:
     }
 }
 
+/// f32 twin of [`check_against_naive`] with a correspondingly wider
+/// summation-order tolerance.
+fn check_against_naive_f32(
+    m: usize,
+    n: usize,
+    k: usize,
+    ta: bool,
+    tb: bool,
+    ab_idx: usize,
+    seed: u64,
+) {
+    let (op_a, op_b) = (op_of(ta), op_of(tb));
+    let (alpha64, beta64) = AB_CASES[ab_idx % AB_CASES.len()];
+    let (alpha, beta) = (alpha64 as f32, beta64 as f32);
+    let (ar, ac) = storage(op_a, m, k);
+    let (br, bc) = storage(op_b, k, n);
+    let a = fill32(seed ^ 0xA5A5, ar, ac);
+    let b = fill32(seed ^ 0x5A5A, br, bc);
+    let c0 = fill32(seed ^ 0xC3C3, m, n);
+
+    let mut c_packed = c0.clone();
+    gemm(op_a, op_b, alpha, &a, &b, beta, &mut c_packed);
+    let mut c_naive = c0.clone();
+    gemm_naive(op_a, op_b, alpha, &a, &b, beta, &mut c_naive);
+
+    let tol = 3e-6f32 * (k.max(1) as f32) + 1e-6;
+    for i in 0..m {
+        for j in 0..n {
+            let (got, want) = (c_packed.get(i, j), c_naive.get(i, j));
+            prop_assert!(
+                (got - want).abs() <= tol,
+                "C[{i}][{j}]: packed {got} vs naive {want} \
+                 (m={m} n={n} k={k} ta={ta} tb={tb} alpha={alpha} beta={beta})"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -109,14 +172,54 @@ proptest! {
         let k = [1, 4, 16, 33][ki];
         check_against_naive(m, n, k, ta, tb, ab_idx, seed);
     }
+
+    /// Cache-block boundary cases of the five-loop kernel, with a pinned
+    /// tiny blocking (MC = 8, KC = 12, NC = 32): k exactly KC and KC±1
+    /// (single vs multiple depth slabs), m < MR and one-off around MC
+    /// (single-tile vs multi-tile), n < NR and one-off around NC (single
+    /// vs multiple column bands), f64.
+    #[test]
+    fn blocked_matches_naive_at_cache_boundaries_f64(
+        mi in 0usize..6,
+        ni in 0usize..6,
+        ki in 0usize..6,
+        ta in proptest::bool::ANY,
+        tb in proptest::bool::ANY,
+        ab_idx in 0usize..5,
+        seed in 1u64..u64::MAX,
+    ) {
+        let _pin = BlockingPin::new(8, 12, 32);
+        let m = [3, 7, 8, 9, 16, 17][mi];
+        let n = [15, 16, 31, 32, 33, 65][ni];
+        let k = [1, 11, 12, 13, 24, 25][ki];
+        check_against_naive(m, n, k, ta, tb, ab_idx, seed);
+    }
+
+    /// Same cache-boundary sweep instantiated at f32.
+    #[test]
+    fn blocked_matches_naive_at_cache_boundaries_f32(
+        mi in 0usize..6,
+        ni in 0usize..6,
+        ki in 0usize..6,
+        ta in proptest::bool::ANY,
+        tb in proptest::bool::ANY,
+        ab_idx in 0usize..5,
+        seed in 1u64..u64::MAX,
+    ) {
+        let _pin = BlockingPin::new(8, 12, 32);
+        let m = [3, 7, 8, 9, 16, 17][mi];
+        let n = [15, 16, 31, 32, 33, 65][ni];
+        let k = [1, 11, 12, 13, 24, 25][ki];
+        check_against_naive_f32(m, n, k, ta, tb, ab_idx, seed);
+    }
 }
 
 /// The issue's determinism pin: `set_gemm_threads(1)` and
 /// `set_gemm_threads(4)` must produce bitwise-identical C.
 #[test]
 fn thread_width_is_bitwise_deterministic() {
-    // Big enough that width 4 really splits into multiple chunks
-    // (> 4 * CHUNK_STRIPS * MR = 128 rows).
+    // Big enough to clear the parallel flop cutoff and split into several
+    // macro-tiles at width 4.
     let (m, n, k) = (301, 97, 53);
     let a = fill(11, m, k);
     let b = fill(22, k, n);
@@ -157,5 +260,61 @@ fn thread_width_is_bitwise_deterministic() {
             x.to_bits(),
             y.to_bits()
         );
+    }
+}
+
+/// The stronger five-loop determinism pin: with a pinned tiny blocking the
+/// shape spans many KC depth slabs, several MC tiles, and two NC column
+/// bands — and the result must still be bitwise identical across kernel
+/// widths 1, 3, and 4, because the per-element summation order depends
+/// only on the KC slab sequence, never on MC/NC or the claim order.
+#[test]
+fn multi_slab_thread_width_is_bitwise_deterministic() {
+    let _pin = BlockingPin::new(16, 8, 32);
+    let (m, n, k) = (123, 67, 53); // 7 KC slabs, 8 MC tiles, 3 NC bands
+    let a = fill(44, m, k);
+    let b = fill(55, n, k); // stored n×k: used as op(B) = Bᵀ below
+    let c0 = fill(66, m, n);
+
+    let mut reference: Option<Mat<f64>> = None;
+    for width in [1usize, 3, 4] {
+        let mut c = c0.clone();
+        dense::pool::set_rank_gemm_threads(Some(width));
+        gemm(GemmOp::NoTrans, GemmOp::Trans, -0.75, &a, &b, 2.0, &mut c);
+        dense::pool::set_rank_gemm_threads(None);
+        match &reference {
+            None => reference = Some(c),
+            Some(r) => {
+                for (i, (x, y)) in r.as_slice().iter().zip(c.as_slice()).enumerate() {
+                    assert!(
+                        x.to_bits() == y.to_bits(),
+                        "element {i}: width 1 {x:?} vs width {width} {y:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    // And the f32 instantiation through the same multi-slab path.
+    let a = fill32(77, k, m); // stored k×m: used as op(A) = Aᵀ below
+    let b = fill32(88, k, n);
+    let c0 = fill32(99, m, n);
+    let mut reference: Option<Mat<f32>> = None;
+    for width in [1usize, 4] {
+        let mut c = c0.clone();
+        dense::pool::set_rank_gemm_threads(Some(width));
+        gemm(GemmOp::Trans, GemmOp::NoTrans, 1.5, &a, &b, 0.0, &mut c);
+        dense::pool::set_rank_gemm_threads(None);
+        match &reference {
+            None => reference = Some(c),
+            Some(r) => {
+                for (i, (x, y)) in r.as_slice().iter().zip(c.as_slice()).enumerate() {
+                    assert!(
+                        x.to_bits() == y.to_bits(),
+                        "element {i}: width 1 {x:?} vs width {width} {y:?}"
+                    );
+                }
+            }
+        }
     }
 }

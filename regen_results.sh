@@ -28,6 +28,17 @@ if [ "$SIM_ONLY" = 0 ]; then
     cargo run --release -q -p bench --bin $b > results/$b.txt
   done
   cargo run --release -q --example grid_explorer > results/grid_explorer.txt
+
+  # Local GEMM thread-tier sweep -> results/BENCH_gemm.json. The absolute
+  # gflops are host-specific; what the committed artifact pins is the tier
+  # contract (t1/t2/t4/tauto + scaling_efficiency for every shape/type),
+  # which CI checks structurally via `validate_bench_json --gemm-tiers`.
+  echo "== local_gemm (BENCH_gemm.json)"
+  # Absolute path: `cargo bench` runs the binary from crates/bench, not here.
+  # A failed JSON write panics the bench (nonzero exit), so stderr can stay
+  # on the terminal and the committed txt stays free of compiler warnings.
+  BENCH_JSON_DIR="$PWD/results" BENCH_SAMPLES="${BENCH_SAMPLES:-5}" \
+    cargo bench -q -p bench --bench local_gemm > results/local_gemm.txt
 fi
 
 # Executed (virtual-time) strong scaling; also refreshes the schema-v2
