@@ -11,7 +11,10 @@
 //!
 //! * `show` validates the artifact (schema + internal consistency: matrix
 //!   row/column sums and histogram totals must reconcile with the per-phase
-//!   table) and renders the text dashboard.
+//!   table) and renders the text dashboard. For a schema-v3 artifact from a
+//!   profiled run (`DENSE_GEMM_PROF=1` / `--prof`), the dashboard appends
+//!   the per-rank compute-attribution table: Gflop/s vs probed peak,
+//!   pack/compute/idle split, imbalance, and pool wake latency.
 //! * `diff` compares two *measured* runs phase by phase; `--threshold`
 //!   (default 10%) marks phases whose bytes or slowest-rank seconds moved
 //!   more than that, and `--fail` turns any marked phase into a nonzero
@@ -36,6 +39,10 @@
 //! * `gate` is the CI regression gate: deterministic traffic (bytes, msgs,
 //!   matrix cells, histogram buckets) must match the reference **exactly**;
 //!   times are checked only as a ratio when `--time-ratio` is given.
+//!   Compute (profiler) blocks are never compared numerically — they are
+//!   host timing — but the gate refuses outright to compare a profiled
+//!   report against an unprofiled one, or across schema versions when
+//!   either side carries a compute block.
 
 use ca3dmm::{ca3dmm_schedule, diff_doc_vs_model, Collectives, ModelConfig};
 use gridopt::{Grid, Problem};

@@ -20,6 +20,12 @@
 //! the input format of the `ca3dmm-report` dashboard and CI gate; it
 //! implies a traced run even without `--trace-out`.
 //!
+//! `--prof` (or `DENSE_GEMM_PROF=1` in the environment) enables the
+//! `dense::prof` kernel profiler for the traced run: the artifact gains the
+//! schema-v3 `compute` block (per-rank GEMM phase split, roofline, pool
+//! telemetry), the Chrome trace gains per-rank kernel-thread tracks, and a
+//! per-rank compute-attribution summary is printed.
+//!
 //! `--overlap-bench` instead wall-clock times the full multiply at
 //! `--trace-ranks` ranks (default 16) on a communication-heavy shape, once
 //! with the §III-F dual-buffered Cannon pipeline and once with the blocking
@@ -77,7 +83,10 @@ fn traced_run(path: Option<&str>, report_out: Option<&str>, ranks: usize, size: 
         report.timeline.span_count(),
     );
     if let Some(path) = path {
-        let json = report.timeline.to_chrome_json();
+        // RunReport-level export: merges kernel-thread tracks (profiled
+        // runs) under each rank; identical to the plain timeline export
+        // when profiling is off.
+        let json = report.to_chrome_json();
         std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("chrome trace -> {path}");
     }
@@ -86,6 +95,30 @@ fn traced_run(path: Option<&str>, report_out: Option<&str>, ranks: usize, size: 
         let json = report.to_json(meta).to_string_pretty();
         std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("run report -> {path}");
+    }
+    if report.compute.iter().any(Option::is_some) {
+        println!("\ncompute attribution (kernel profiler):");
+        for (rank, cp) in report.compute.iter().enumerate() {
+            let Some(cp) = cp else {
+                println!("  rank {rank}: no profiled GEMM");
+                continue;
+            };
+            let k = &cp.profile;
+            let (pack, comp, idle) = k.pct_split();
+            println!(
+                "  rank {rank}: {} calls · {:.2} Gflop/s ({:.1}% of {:.2} peak) · \
+                 pack {pack:.1}% comp {comp:.1}% idle {idle:.1}% · imbalance {:.2}",
+                k.gemm_calls,
+                k.achieved_gflops,
+                if k.peak_gflops > 0.0 {
+                    100.0 * k.achieved_gflops / k.peak_gflops
+                } else {
+                    0.0
+                },
+                k.peak_gflops,
+                k.imbalance,
+            );
+        }
     }
 
     println!(
@@ -188,6 +221,7 @@ fn main() {
             "--trace-ranks" => trace_ranks = value("--trace-ranks").parse().expect("rank count"),
             "--trace-size" => trace_size = value("--trace-size").parse().expect("problem size"),
             "--overlap-bench" => overlap_bench_mode = true,
+            "--prof" => dense::set_gemm_profiling(true),
             other => panic!("unknown argument: {other}"),
         }
     }

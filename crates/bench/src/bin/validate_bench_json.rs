@@ -21,7 +21,10 @@
 //! was benchmarked at must carry the complete `t1/t2/t4/tauto` thread-tier
 //! sweep, and every multi-thread tier must record `gflops`, `threads`, and
 //! `scaling_efficiency`. This is what stops the artifact from silently
-//! regressing to t1-only entries again.
+//! regressing to t1-only entries again. It also requires at least one
+//! `packed_prof/...` entry whose `prof_overhead_pct` (profiled-vs-unprofiled
+//! cost of the `dense::prof` capture path, measured as interleaved pairs
+//! compared min-to-min so shared-host drift cancels) is finite and below 5%.
 //!
 //! `--run-report` instead validates a `RunReport` artifact (the
 //! `--report-out` output of the fig/bench bins): schema version, full shape,
@@ -117,8 +120,39 @@ fn validate_gemm_tiers(path: &str, entries: &[Json]) -> Result<(), String> {
             }
         }
     }
+
+    // Profiler-overhead contract: at least one `packed_prof` entry must
+    // record `prof_overhead_pct`, and every recorded overhead must stay
+    // under 5% — the profiler's capture path regressing into the hot loop
+    // shows up here before it shows up in application runs.
+    let mut overheads = 0usize;
+    for e in entries {
+        let label = e.get("label").and_then(Json::as_str).unwrap_or_default();
+        if !label.starts_with("packed_prof/") {
+            continue;
+        }
+        let Some(pct) = e.get("prof_overhead_pct").and_then(Json::as_f64) else {
+            return Err(format!(
+                "{path}: entry {label:?} lacks a numeric \"prof_overhead_pct\""
+            ));
+        };
+        if !pct.is_finite() || pct >= 5.0 {
+            return Err(format!(
+                "{path}: entry {label:?} records {pct:.2}% profiling overhead (limit 5%)"
+            ));
+        }
+        overheads += 1;
+    }
+    if overheads == 0 {
+        return Err(format!(
+            "{path}: no packed_prof entry with \"prof_overhead_pct\" — the \
+             profiling-overhead measurement is missing from the artifact"
+        ));
+    }
+
     println!(
-        "{path}: {} packed shape/type cases, all with t1/t2/t4/tauto tiers and scaling fields",
+        "{path}: {} packed shape/type cases, all with t1/t2/t4/tauto tiers and scaling \
+         fields; {overheads} profiled entries within the 5% overhead bound",
         tiers_by_case.len()
     );
     Ok(())

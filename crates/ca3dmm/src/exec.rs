@@ -112,6 +112,10 @@ impl Ca3dmm {
             ("p", jsonlite::Json::Num(prob.p as f64)),
             ("overlap", jsonlite::Json::Bool(self.overlap)),
             (
+                "gemm_prof",
+                jsonlite::Json::Bool(dense::profiling_enabled()),
+            ),
+            (
                 "collectives",
                 jsonlite::Json::Str(self.collectives.as_str().to_owned()),
             ),

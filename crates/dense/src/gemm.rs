@@ -42,10 +42,12 @@
 use crate::mat::Mat;
 use crate::pack::{self, MR, NR};
 use crate::pool;
+use crate::prof;
 use crate::scalar::Scalar;
 use crate::tune;
 use std::any::Any;
 use std::cell::RefCell;
+use std::sync::atomic::Ordering;
 
 std::thread_local! {
     /// Reused packed-B slab buffer for the thread *submitting* a GEMM
@@ -146,7 +148,7 @@ impl<T> Copy for SendPtr<T> {}
 /// Panels are `l`-major (see [`pack`](crate::pack)), so both loads are
 /// contiguous and every loop has a fixed trip count.
 #[inline]
-fn microkernel<T: Scalar>(apanel: &[T], bpanel: &[T], acc: &mut [[T; NR]; MR]) {
+pub(crate) fn microkernel<T: Scalar>(apanel: &[T], bpanel: &[T], acc: &mut [[T; NR]; MR]) {
     for (al, bl) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
         let al: &[T; MR] = al.try_into().expect("A panel is MR-aligned");
         let bl: &[T; NR] = bl.try_into().expect("B panel is NR-aligned");
@@ -302,6 +304,13 @@ pub fn gemm<T: Scalar>(
     let ldc = n;
     let c_ptr = SendPtr(c.as_mut_slice().as_mut_ptr());
 
+    // Kernel profiling (off: one relaxed load, `cp` stays `None` and every
+    // instrumentation site below is an untaken branch). The counters live
+    // on this stack frame; region closures bump them through `cpr`.
+    let cp = prof::call_begin();
+    let cpr = cp.as_ref();
+    let elem = std::mem::size_of::<T>();
+
     // Largest B slab this call packs; grown once, reused across slabs and
     // across calls via the thread-local scratch.
     let bp_cap = nc.min(n.next_multiple_of(NR)) * kc.min(k);
@@ -323,6 +332,7 @@ pub fn gemm<T: Scalar>(
                 let strip_group = b_strips.div_ceil(4 * width).max(1);
                 let pack_chunks = b_strips.div_ceil(strip_group);
                 pool::parallel_chunks(width, pack_chunks, &move |chunk| {
+                    let prof_t0 = cpr.map(|_| prof::now_ns());
                     let t0 = chunk * strip_group;
                     let t1 = (t0 + strip_group).min(b_strips);
                     for t in t0..t1 {
@@ -347,6 +357,13 @@ pub fn gemm<T: Scalar>(
                             strip,
                         );
                     }
+                    if let (Some(cp), Some(p0)) = (cpr, prof_t0) {
+                        let p1 = prof::now_ns();
+                        cp.pack_b_ns.fetch_add(p1 - p0, Ordering::Relaxed);
+                        cp.pack_bytes
+                            .fetch_add(((t1 - t0) * kc_here * NR * elem) as u64, Ordering::Relaxed);
+                        prof::record_span(&cp.inner, prof::SpanPhase::PackB, p0, p1);
+                    }
                 });
 
                 // Loop 3: claim (jc, ic) macro-tiles dynamically; each
@@ -358,6 +375,7 @@ pub fn gemm<T: Scalar>(
                     let rows = mc.min(m - i0);
                     let ap_len = rows.div_ceil(MR) * kc_here * MR;
                     with_scratch(&AP_SCRATCH, ap_len, |ap: &mut Vec<T>| {
+                        let prof_t0 = cpr.map(|_| prof::now_ns());
                         pack::pack_a_block_into(
                             op_a,
                             alpha,
@@ -368,6 +386,15 @@ pub fn gemm<T: Scalar>(
                             kc_here,
                             &mut ap[..ap_len],
                         );
+                        let prof_t1 = cpr.map(|cp| {
+                            let p1 = prof::now_ns();
+                            let p0 = prof_t0.expect("pack timestamp taken above");
+                            cp.pack_a_ns.fetch_add(p1 - p0, Ordering::Relaxed);
+                            cp.pack_bytes
+                                .fetch_add((ap_len * elem) as u64, Ordering::Relaxed);
+                            prof::record_span(&cp.inner, prof::SpanPhase::PackA, p0, p1);
+                            p1
+                        });
                         // SAFETY: this tile exclusively owns C rows
                         // i0..i0+rows (tiles partition 0..m) within the
                         // current jc column band; see macro_kernel's
@@ -386,6 +413,11 @@ pub fn gemm<T: Scalar>(
                                 jc,
                             );
                         }
+                        if let (Some(cp), Some(p1)) = (cpr, prof_t1) {
+                            let p2 = prof::now_ns();
+                            cp.compute_ns.fetch_add(p2 - p1, Ordering::Relaxed);
+                            prof::record_span(&cp.inner, prof::SpanPhase::Compute, p1, p2);
+                        }
                     });
                 });
 
@@ -395,6 +427,22 @@ pub fn gemm<T: Scalar>(
             jc += nc_here;
         }
     });
+
+    if let Some(cp) = cp {
+        // The analytic packed-working-set bound: every (jc, pc) slab packs
+        // at most one padded KC×NC B slab plus `tiles` padded MC×KC A
+        // blocks. Measured pack traffic must stay ≤ this.
+        let slabs = n.div_ceil(nc) * k.div_ceil(kc);
+        let per_slab = kc.min(k) * nc.min(n.next_multiple_of(NR))
+            + tiles * mc.next_multiple_of(MR) * kc.min(k);
+        prof::call_end(
+            cp,
+            width,
+            gemm_flops(m, n, k),
+            (slabs * per_slab * elem) as u64,
+            elem,
+        );
+    }
 }
 
 /// The pre-packing kernel this repository shipped before the packed

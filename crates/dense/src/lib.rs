@@ -19,6 +19,11 @@
 //! * [`pool`] — the lazy global worker pool and the kernel-thread knobs
 //!   (`DENSE_GEMM_THREADS`, [`pool::set_gemm_threads`], and the per-rank cap
 //!   `msgpass::World::run` applies via [`pool::set_rank_gemm_threads`]);
+//! * [`prof`] — kernel-level observability: a per-thread lock-free span
+//!   recorder plus pool telemetry, aggregated per capture into a
+//!   [`prof::KernelProfile`] with a roofline summary (enable with
+//!   `DENSE_GEMM_PROF` or [`prof::set_gemm_profiling`]; near-zero cost when
+//!   off);
 //! * [`part`] — block-partition arithmetic: [`part::split_even`] (the
 //!   paper's ⌈d/p⌉ / ⌊d/p⌋ partitioning), [`part::Rect`] rectangle algebra
 //!   used by the redistribution subroutine;
@@ -35,6 +40,7 @@ pub mod mat;
 pub mod pack;
 pub mod part;
 pub mod pool;
+pub mod prof;
 pub mod random;
 pub mod scalar;
 pub mod testing;
@@ -44,5 +50,6 @@ pub use gemm::{gemm, gemm_naive, gemm_unpacked, GemmOp};
 pub use mat::Mat;
 pub use part::{split_even, Rect};
 pub use pool::{gemm_threads, set_gemm_threads};
+pub use prof::{profiling_enabled, set_gemm_profiling, KernelProfile, PoolTelemetry, ProfSpan};
 pub use scalar::Scalar;
-pub use tune::{set_gemm_blocking, Blocking};
+pub use tune::{probed_peak_gflops, set_gemm_blocking, Blocking};

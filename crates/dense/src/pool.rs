@@ -29,12 +29,45 @@
 //! queue lock just to go back to sleep — measurable contention when many
 //! ranks submit small GEMMs at once.
 
+use crate::prof;
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+/// One queued unit of pool work: the closure plus (when kernel profiling
+/// is capturing) the submitter's capture handle and the enqueue timestamp,
+/// so the popping worker can attribute the submit→wake gap.
+pub(crate) struct Job {
+    run: Box<dyn FnOnce() + Send + 'static>,
+    prof: Option<JobProf>,
+}
+
+struct JobProf {
+    inner: Arc<prof::CaptureInner>,
+    enqueue_ns: u64,
+}
+
+impl Job {
+    /// An unprofiled job (the only kind tests and non-capturing submitters
+    /// create).
+    pub(crate) fn new(run: impl FnOnce() + Send + 'static) -> Self {
+        Job {
+            run: Box::new(run),
+            prof: None,
+        }
+    }
+
+    fn profiled(run: impl FnOnce() + Send + 'static, inner: Arc<prof::CaptureInner>) -> Self {
+        Job {
+            run: Box::new(run),
+            prof: Some(JobProf {
+                inner,
+                enqueue_ns: prof::now_ns(),
+            }),
+        }
+    }
+}
 
 struct Shared {
     queue: Mutex<VecDeque<Job>>,
@@ -75,9 +108,13 @@ fn worker_loop(shared: Arc<Shared>) {
                     .unwrap_or_else(|e| e.into_inner());
             }
         };
+        let Job { run, prof: jp } = job;
+        if let Some(jp) = jp {
+            prof::note_wake(&jp.inner, jp.enqueue_ns);
+        }
         // A panicking job must not kill the (permanent) worker; the
         // submitter observes the failure through the region's panic flag.
-        let _ = std::panic::catch_unwind(AssertUnwindSafe(job));
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(run));
     }
 }
 
@@ -119,9 +156,15 @@ pub(crate) fn submit(jobs: Vec<Job>) {
     }
     ensure_workers(jobs.len());
     let sh = shared();
+    let handle = jobs
+        .iter()
+        .find_map(|j| j.prof.as_ref().map(|p| Arc::clone(&p.inner)));
     let mut queue = sh.queue.lock().unwrap_or_else(|e| e.into_inner());
     let n = jobs.len();
     queue.extend(jobs);
+    if let Some(h) = handle {
+        prof::note_queue_depth(&h, queue.len());
+    }
     drop(queue);
     // Counted wakeups sized to the job count. Spurious extra notifies (a
     // notified worker may grab two jobs before another wakes) are harmless:
@@ -237,14 +280,23 @@ pub(crate) fn parallel_chunks<'a>(
     let body_erased: &'static (dyn Fn(usize) + Sync) =
         unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(body) };
 
+    let prof_handle = prof::active_handle();
+    if let Some(h) = &prof_handle {
+        prof::note_region(h);
+    }
+
     let helpers = width - 1;
     let jobs: Vec<Job> = (0..helpers)
         .map(|_| {
             let region = Arc::clone(&region);
-            Box::new(move || {
+            let run = move || {
                 region.claim_loop(body_erased);
                 region.bump_jobs_exited();
-            }) as Job
+            };
+            match &prof_handle {
+                Some(h) => Job::profiled(run, Arc::clone(h)),
+                None => Job::new(run),
+            }
         })
         .collect();
     submit(jobs);
@@ -276,6 +328,7 @@ pub(crate) fn parallel_chunks<'a>(
     // (Helper jobs still queued behind other ranks' work find the counter
     // exhausted and exit without touching `body`; they only hold the Arc'd
     // region.)
+    let wait_t0 = prof_handle.as_ref().map(|_| prof::now_ns());
     let mut p = region.progress.lock().unwrap_or_else(|e| e.into_inner());
     loop {
         if p.0 >= nchunks {
@@ -287,6 +340,9 @@ pub(crate) fn parallel_chunks<'a>(
         p = region.done.wait(p).unwrap_or_else(|e| e.into_inner());
     }
     drop(p);
+    if let (Some(h), Some(t0)) = (&prof_handle, wait_t0) {
+        prof::note_barrier(h, t0);
+    }
 
     if region.panicked.load(Ordering::Relaxed) {
         panic!("a dense-gemm parallel region chunk panicked");
@@ -381,9 +437,9 @@ mod tests {
         let jobs: Vec<Job> = (0..4)
             .map(|i| {
                 let tx = tx.clone();
-                Box::new(move || {
+                Job::new(move || {
                     tx.send(i).unwrap();
-                }) as Job
+                })
             })
             .collect();
         submit(jobs);
@@ -395,12 +451,12 @@ mod tests {
 
     #[test]
     fn panicking_job_does_not_kill_workers() {
-        submit(vec![Box::new(|| panic!("job panic")) as Job]);
+        submit(vec![Job::new(|| panic!("job panic"))]);
         // The pool must still process subsequent jobs.
         let (tx, rx) = mpsc::channel();
-        submit(vec![Box::new(move || {
+        submit(vec![Job::new(move || {
             tx.send(42u8).unwrap();
-        }) as Job]);
+        })]);
         assert_eq!(
             rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
             42
@@ -446,6 +502,51 @@ mod tests {
             ran.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ran.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn poisoned_region_drains_and_pool_stays_usable_for_gemm() {
+        use crate::gemm::{gemm, gemm_naive, GemmOp};
+        use crate::mat::Mat;
+        use crate::random::fill_random;
+
+        set_rank_gemm_threads(Some(4));
+        // A chunk body panics mid-region: the region must poison, every
+        // participant must drain, and the panic must re-surface here.
+        let result = std::panic::catch_unwind(|| {
+            parallel_chunks(4, 64, &|chunk| {
+                if chunk == 13 {
+                    panic!("chunk 13 exploded");
+                }
+                std::thread::yield_now();
+            });
+        });
+        assert!(result.is_err(), "region must re-raise the chunk panic");
+
+        // The drain left no stale jobs claiming into freed stack frames and
+        // the workers survived the unwind: the next *multiply* on the same
+        // pool must run the full parallel path and stay correct.
+        let mut a = Mat::<f64>::zeros(130, 70);
+        let mut b = Mat::<f64>::zeros(70, 90);
+        let mut c = Mat::<f64>::zeros(130, 90);
+        let mut c_ref = Mat::<f64>::zeros(130, 90);
+        fill_random(&mut a, 21);
+        fill_random(&mut b, 22);
+        gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a, &b, 0.0, &mut c);
+        gemm_naive(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c_ref,
+        );
+        set_rank_gemm_threads(None);
+        assert!(
+            c.max_abs_diff(&c_ref) < 1e-10,
+            "post-panic multiply is wrong: the pool did not recover"
+        );
     }
 
     #[test]

@@ -283,6 +283,73 @@ pub fn blocking<T: Scalar>() -> Blocking {
     derived(std::mem::size_of::<T>())
 }
 
+/// Measures this core's peak arithmetic rate in Gflop/s by timing the
+/// *actual* `MR×NR` register microkernel ([`gemm`](crate::gemm)'s inner
+/// loop) on L1-resident packed panels — the roofline ceiling
+/// [`prof`](crate::prof) reports achieved GEMM throughput against. This is
+/// deliberately a single-core figure: the profile's achieved rate is
+/// per-busy-core too, so the two are directly comparable.
+///
+/// Probed once per element size (a few milliseconds) and cached.
+pub fn probed_peak_gflops<T: Scalar>() -> f64 {
+    static PEAK_4: OnceLock<f64> = OnceLock::new();
+    static PEAK_8: OnceLock<f64> = OnceLock::new();
+    match std::mem::size_of::<T>() {
+        4 => *PEAK_4.get_or_init(probe_peak::<T>),
+        8 => *PEAK_8.get_or_init(probe_peak::<T>),
+        _ => probe_peak::<T>(),
+    }
+}
+
+/// By-size dispatch for callers that erased the scalar type (the profiler
+/// stores only the element width); 0.0 for widths no kernel uses.
+pub(crate) fn probed_peak_gflops_for_elem(elem: usize) -> f64 {
+    match elem {
+        4 => probed_peak_gflops::<f32>(),
+        8 => probed_peak_gflops::<f64>(),
+        _ => 0.0,
+    }
+}
+
+fn probe_peak<T: Scalar>() -> f64 {
+    const KK: usize = 128; // panel depth: KC-like, comfortably L1-resident
+    let mut x = T::ONE;
+    let apanel: Vec<T> = (0..KK * MR)
+        .map(|_| {
+            // Mildly varied values so no multiply folds to a constant.
+            x += T::ONE;
+            x
+        })
+        .collect();
+    let bpanel: Vec<T> = apanel.iter().rev().copied().collect();
+    let mut acc = [[T::ZERO; NR]; MR];
+    let flops_per_pass = (2 * MR * NR * KK) as f64;
+    // Calibrate the rep count until one timed pass lasts ≥ 1 ms, then keep
+    // the best (least-interrupted) of three measured passes.
+    let mut reps = 64usize;
+    loop {
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            crate::gemm::microkernel(&apanel, &bpanel, &mut acc);
+            std::hint::black_box(&mut acc);
+        }
+        if t0.elapsed().as_secs_f64() >= 1e-3 || reps >= (1 << 22) {
+            break;
+        }
+        reps *= 2;
+    }
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            crate::gemm::microkernel(&apanel, &bpanel, &mut acc);
+            std::hint::black_box(&mut acc);
+        }
+        best = best.max(flops_per_pass * reps as f64 / t0.elapsed().as_secs_f64() / 1e9);
+    }
+    best.max(f64::MIN_POSITIVE)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -61,9 +61,9 @@ pub use comm::{Comm, Payload, RecvReq, ReduceElem, SendReq};
 pub use metrics::{CellCounts, CommMatrix, SizeHistogram};
 pub use report::{GatePolicy, ReportDiff, RunReportDoc};
 pub use sim::{SimInfo, SimOptions};
-pub use trace::{CriticalPathReport, PhaseCritical, Span, SpanKind, Timeline};
+pub use trace::{CriticalPathReport, KernelSpan, PhaseCritical, Span, SpanKind, Timeline};
 pub use traffic::{PhaseCounts, TrafficReport};
-pub use world::{RankCtx, RunOptions, RunReport, World};
+pub use world::{ComputeProfile, RankCtx, RunOptions, RunReport, World};
 
 /// Locks a mutex, recovering the data if a panicking rank poisoned it (the
 /// original panic is what should surface, not a secondary `PoisonError`).

@@ -33,7 +33,13 @@ use std::fmt::Write as _;
 ///   virtual-time runs, a `sim` block (machine, placement, makespan); the
 ///   matrix switches to sparse cell lists (dense grids are ~75 MB of JSON
 ///   at p = 3072). The parser still reads v1, implying `"wall"`.
-pub const SCHEMA_VERSION: u64 = 2;
+/// * **v3** — adds the `compute` block: per-rank kernel profiles (GEMM
+///   phase split, pack-volume bound, roofline, pool telemetry) captured
+///   when `DENSE_GEMM_PROF` was on during a wall-clock run; `null` when
+///   profiling was off. Aggregates only — raw spans stay in the Chrome
+///   trace. The parser still reads v1/v2, implying no compute block, and
+///   [`gate`] refuses to compare compute across schema versions.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version [`RunReportDoc::parse`] still reads.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -193,6 +199,61 @@ impl RunReport {
         } else {
             "wall"
         };
+        // Aggregates only: spans are deliberately NOT serialized (they go to
+        // the Chrome trace instead; a profiled run retains up to
+        // threads × RING_CAPACITY of them).
+        let compute = if self.compute.iter().any(Option::is_some) {
+            Json::Arr(
+                self.compute
+                    .iter()
+                    .map(|c| match c {
+                        None => Json::Null,
+                        Some(cp) => {
+                            let k = &cp.profile;
+                            Json::obj([
+                                ("gemm_calls", num_u(k.gemm_calls)),
+                                ("flops", num_f(k.flops)),
+                                ("gemm_wall_secs", num_f(k.gemm_wall_secs)),
+                                ("thread_secs", num_f(k.thread_secs)),
+                                ("pack_a_secs", num_f(k.pack_a_secs)),
+                                ("pack_b_secs", num_f(k.pack_b_secs)),
+                                ("compute_secs", num_f(k.compute_secs)),
+                                ("idle_secs", num_f(k.idle_secs)),
+                                ("pack_bytes", num_u(k.pack_bytes)),
+                                ("pack_bound_bytes", num_u(k.pack_bound_bytes)),
+                                ("achieved_gflops", num_f(k.achieved_gflops)),
+                                ("peak_gflops", num_f(k.peak_gflops)),
+                                ("max_width", num_u(k.max_width as u64)),
+                                ("imbalance", num_f(k.imbalance)),
+                                ("coverage", num_f(k.coverage)),
+                                ("dropped_spans", num_u(k.dropped_spans)),
+                                (
+                                    "pool",
+                                    Json::obj([
+                                        ("queue_depth_hwm", num_u(k.pool.queue_depth_hwm)),
+                                        ("submit_wake_secs", num_f(k.pool.submit_wake_secs)),
+                                        ("jobs", num_u(k.pool.jobs)),
+                                        ("regions", num_u(k.pool.regions)),
+                                        (
+                                            "jobs_per_worker",
+                                            Json::Arr(
+                                                k.pool
+                                                    .jobs_per_worker
+                                                    .iter()
+                                                    .map(|&j| num_u(j))
+                                                    .collect(),
+                                            ),
+                                        ),
+                                    ]),
+                                ),
+                            ])
+                        }
+                    })
+                    .collect(),
+            )
+        } else {
+            Json::Null
+        };
         Json::obj([
             ("schema_version", num_u(SCHEMA_VERSION)),
             ("kind", Json::Str(REPORT_KIND.to_owned())),
@@ -253,6 +314,7 @@ impl RunReport {
                 ),
             ),
             ("critical_path", critical_path),
+            ("compute", compute),
         ])
     }
 }
@@ -330,6 +392,87 @@ pub struct SimBlock {
     pub makespan_secs: f64,
 }
 
+/// One rank's parsed `compute` entry: the kernel profiler's aggregates for
+/// that rank's local GEMMs (schema v3+, profiled wall-clock runs only).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComputeRow {
+    /// Number of `dense::gemm` calls folded into this profile.
+    pub gemm_calls: u64,
+    /// Useful floating-point operations (2·m·n·k summed over calls).
+    pub flops: f64,
+    /// Wall seconds inside `dense::gemm` on the rank thread.
+    pub gemm_wall_secs: f64,
+    /// Σ over calls of `width × wall` — the thread-seconds the kernel had
+    /// available. `pack_a + pack_b + compute + idle` reconciles to this.
+    pub thread_secs: f64,
+    /// Thread-seconds packing A macro-tiles.
+    pub pack_a_secs: f64,
+    /// Thread-seconds packing B strips.
+    pub pack_b_secs: f64,
+    /// Thread-seconds in the microkernel macro-tile loop.
+    pub compute_secs: f64,
+    /// Derived idle thread-seconds (`thread_secs − busy`), clamped ≥ 0.
+    pub idle_secs: f64,
+    /// Bytes actually written into pack buffers.
+    pub pack_bytes: u64,
+    /// The O(MC·KC + KC·NC)-per-slab packing bound for the same calls.
+    pub pack_bound_bytes: u64,
+    /// `flops / compute_secs / 1e9` — per-busy-core achieved rate.
+    pub achieved_gflops: f64,
+    /// The autotuner's probed microkernel peak for the element width.
+    pub peak_gflops: f64,
+    /// Widest parallel region seen during the capture.
+    pub max_width: u64,
+    /// Max-over-mean per-thread busy seconds (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Fraction of exact busy seconds retained as spans (ring truncation
+    /// drops the oldest spans first; aggregates are always exact).
+    pub coverage: f64,
+    /// Span writes that overwrote unharvested ring entries.
+    pub dropped_spans: u64,
+    /// Pool telemetry for the capture.
+    pub pool: PoolRow,
+}
+
+/// The parsed `compute[].pool` telemetry block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PoolRow {
+    /// Deepest the submit queue got during the capture.
+    pub queue_depth_hwm: u64,
+    /// Σ submit→wake latency over pool jobs, seconds.
+    pub submit_wake_secs: f64,
+    /// Pool jobs executed for the capture.
+    pub jobs: u64,
+    /// `parallel_chunks` regions entered.
+    pub regions: u64,
+    /// Jobs executed per profiled worker slot (trailing zeros trimmed).
+    pub jobs_per_worker: Vec<u64>,
+}
+
+impl ComputeRow {
+    /// Percentage split of `thread_secs` into pack / compute / idle.
+    pub fn pct_split(&self) -> (f64, f64, f64) {
+        if self.thread_secs <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let s = 100.0 / self.thread_secs;
+        (
+            (self.pack_a_secs + self.pack_b_secs) * s,
+            self.compute_secs * s,
+            self.idle_secs * s,
+        )
+    }
+
+    /// Achieved fraction of the probed microkernel peak.
+    pub fn roofline_frac(&self) -> f64 {
+        if self.peak_gflops > 0.0 {
+            self.achieved_gflops / self.peak_gflops
+        } else {
+            0.0
+        }
+    }
+}
+
 /// A parsed, shape-validated RunReport document.
 #[derive(Clone, Debug)]
 pub struct RunReportDoc {
@@ -362,6 +505,9 @@ pub struct RunReportDoc {
     pub wait_per_rank: Vec<BTreeMap<String, f64>>,
     /// Critical-path rows (None for untraced runs).
     pub critical_path: Option<Vec<CritRow>>,
+    /// Per-rank kernel profiles (None for v1/v2 artifacts and unprofiled
+    /// runs; entries are None for ranks that ran no profiled GEMM).
+    pub compute: Option<Vec<Option<ComputeRow>>>,
 }
 
 fn want_u64(v: &Json, what: &str) -> Result<u64, String> {
@@ -664,6 +810,88 @@ impl RunReportDoc {
             _ => return Err("critical_path is neither null nor an array".to_owned()),
         };
 
+        // v1/v2 predate the compute block; in v3 it is `null` unless the run
+        // was profiled.
+        let compute = match doc.get("compute") {
+            None | Some(Json::Null) => None,
+            Some(Json::Arr(rows)) => {
+                if rows.len() != ranks {
+                    return Err(format!(
+                        "compute has {} entries, expected {ranks}",
+                        rows.len()
+                    ));
+                }
+                Some(
+                    rows.iter()
+                        .enumerate()
+                        .map(|(r, c)| {
+                            if matches!(c, Json::Null) {
+                                return Ok(None);
+                            }
+                            let what = format!("compute[{r}]");
+                            let pool = field(c, "pool", &what)?;
+                            let pwhat = format!("{what}.pool");
+                            let row = ComputeRow {
+                                gemm_calls: field_u64(c, "gemm_calls", &what)?,
+                                flops: field_f64(c, "flops", &what)?,
+                                gemm_wall_secs: field_f64(c, "gemm_wall_secs", &what)?,
+                                thread_secs: field_f64(c, "thread_secs", &what)?,
+                                pack_a_secs: field_f64(c, "pack_a_secs", &what)?,
+                                pack_b_secs: field_f64(c, "pack_b_secs", &what)?,
+                                compute_secs: field_f64(c, "compute_secs", &what)?,
+                                idle_secs: field_f64(c, "idle_secs", &what)?,
+                                pack_bytes: field_u64(c, "pack_bytes", &what)?,
+                                pack_bound_bytes: field_u64(c, "pack_bound_bytes", &what)?,
+                                achieved_gflops: field_f64(c, "achieved_gflops", &what)?,
+                                peak_gflops: field_f64(c, "peak_gflops", &what)?,
+                                max_width: field_u64(c, "max_width", &what)?,
+                                imbalance: field_f64(c, "imbalance", &what)?,
+                                coverage: field_f64(c, "coverage", &what)?,
+                                dropped_spans: field_u64(c, "dropped_spans", &what)?,
+                                pool: PoolRow {
+                                    queue_depth_hwm: field_u64(pool, "queue_depth_hwm", &pwhat)?,
+                                    submit_wake_secs: field_f64(pool, "submit_wake_secs", &pwhat)?,
+                                    jobs: field_u64(pool, "jobs", &pwhat)?,
+                                    regions: field_u64(pool, "regions", &pwhat)?,
+                                    jobs_per_worker: field(pool, "jobs_per_worker", &pwhat)?
+                                        .as_arr()
+                                        .ok_or_else(|| {
+                                            format!("{pwhat}.jobs_per_worker is not an array")
+                                        })?
+                                        .iter()
+                                        .enumerate()
+                                        .map(|(i, j)| {
+                                            want_u64(j, &format!("{pwhat}.jobs_per_worker[{i}]"))
+                                        })
+                                        .collect::<Result<Vec<_>, String>>()?,
+                                },
+                            };
+                            // The profiler derives idle as the remainder, so
+                            // the four shares must rebuild thread_secs; a
+                            // larger gap means the file was hand-edited.
+                            let rebuilt = row.pack_a_secs
+                                + row.pack_b_secs
+                                + row.compute_secs
+                                + row.idle_secs;
+                            if (rebuilt - row.thread_secs).abs() > 0.05 * row.thread_secs.max(1e-12)
+                            {
+                                return Err(format!(
+                                    "{what}: pack+compute+idle = {rebuilt:.6}s does not \
+                                     reconcile with thread_secs = {:.6}s (±5%)",
+                                    row.thread_secs
+                                ));
+                            }
+                            Ok(Some(row))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                )
+            }
+            Some(_) => return Err("compute is neither null nor an array".to_owned()),
+        };
+        if compute.is_some() && time_domain != "wall" {
+            return Err("compute block present on a virtual-time report".to_owned());
+        }
+
         let parsed = RunReportDoc {
             schema_version: version,
             time_domain,
@@ -678,6 +906,7 @@ impl RunReportDoc {
             hist_by_algo,
             wait_per_rank,
             critical_path,
+            compute,
         };
         parsed.check_internal_consistency()?;
         Ok(parsed)
@@ -788,6 +1017,38 @@ impl RunReportDoc {
                 p.wait_max,
                 wait_pct
             );
+        }
+
+        if let Some(compute) = &self.compute {
+            let _ = writeln!(out, "\ncompute attribution (kernel profiler):");
+            let _ = writeln!(
+                out,
+                "{:<5} {:>6} {:>9} {:>7} {:>6} {:>6} {:>6} {:>6} {:>9}",
+                "rank", "calls", "gflop/s", "peak%", "pack%", "comp%", "idle%", "imbal", "wake ms"
+            );
+            for (rank, row) in compute.iter().enumerate() {
+                match row {
+                    None => {
+                        let _ = writeln!(out, "{rank:<5} {:>6}", "-");
+                    }
+                    Some(c) => {
+                        let (pack, comp, idle) = c.pct_split();
+                        let _ = writeln!(
+                            out,
+                            "{:<5} {:>6} {:>9.2} {:>6.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>6.2} {:>9.3}",
+                            rank,
+                            c.gemm_calls,
+                            c.achieved_gflops,
+                            100.0 * c.roofline_frac(),
+                            pack,
+                            comp,
+                            idle,
+                            c.imbalance,
+                            1e3 * c.pool.submit_wake_secs
+                        );
+                    }
+                }
+            }
         }
 
         let _ = writeln!(out, "\ncommunication matrix:");
@@ -1019,6 +1280,37 @@ pub fn gate(
             "time_domain: reference {:?} vs subject {:?} — a wall-clock run must never be \
              gated against a virtual-time run",
             reference.time_domain, subject.time_domain
+        ));
+        return Err(errs);
+    }
+    // Compute blocks carry machine-specific timings and only exist from
+    // schema v3 on, so they are never numerically gated — but comparing a
+    // profiled report against a reference whose schema predates the block
+    // (or vice versa) silently ignores the entire compute side. Refuse.
+    if (reference.compute.is_some() || subject.compute.is_some())
+        && reference.schema_version != subject.schema_version
+    {
+        errs.push(format!(
+            "compute: cannot compare across schema versions (reference v{}, subject v{}) \
+             when either side carries a compute block — regenerate the reference",
+            reference.schema_version, subject.schema_version
+        ));
+        return Err(errs);
+    }
+    if reference.compute.is_some() != subject.compute.is_some() {
+        errs.push(format!(
+            "compute block {} in reference but {} in subject — profiled and unprofiled \
+             runs are not comparable",
+            if reference.compute.is_some() {
+                "present"
+            } else {
+                "absent"
+            },
+            if subject.compute.is_some() {
+                "present"
+            } else {
+                "absent"
+            }
         ));
         return Err(errs);
     }
@@ -1356,6 +1648,141 @@ mod tests {
         assert_eq!(doc.schema_version, 1);
         assert_eq!(doc.time_domain, "wall");
         assert!(doc.sim.is_none());
+    }
+
+    #[test]
+    fn profiled_report_round_trips_compute_block() {
+        dense::set_gemm_profiling(true);
+        let (_, report) = World::run_traced(2, |ctx| {
+            ctx.set_phase("mult");
+            let a = dense::random::random_mat::<f64>(96, 96, 7);
+            let b = dense::random::random_mat::<f64>(96, 96, 8);
+            let mut c = dense::Mat::<f64>::zeros(96, 96);
+            dense::gemm(
+                dense::GemmOp::NoTrans,
+                dense::GemmOp::NoTrans,
+                1.0,
+                &a,
+                &b,
+                0.0,
+                &mut c,
+            );
+            crate::collectives::barrier(&Comm::world(ctx), ctx);
+        });
+        dense::set_gemm_profiling(false);
+        assert_eq!(report.compute.len(), 2, "both ranks captured");
+        let text = report
+            .to_json(Json::obj([("name", Json::Str("prof".into()))]))
+            .to_string_pretty();
+        let doc = RunReportDoc::parse(&text).expect("profiled report parses");
+        assert_eq!(doc.schema_version, SCHEMA_VERSION);
+        let compute = doc.compute.as_ref().expect("compute block survives");
+        assert_eq!(compute.len(), 2);
+        for row in compute
+            .iter()
+            .map(|r| r.as_ref().expect("both ranks ran a gemm"))
+        {
+            assert!(row.gemm_calls >= 1);
+            assert!(row.flops >= 2.0 * 96.0 * 96.0 * 96.0);
+            let rebuilt = row.pack_a_secs + row.pack_b_secs + row.compute_secs + row.idle_secs;
+            assert!(
+                (rebuilt - row.thread_secs).abs() <= 0.05 * row.thread_secs,
+                "split {rebuilt} vs thread_secs {}",
+                row.thread_secs
+            );
+            assert!(row.pack_bytes <= row.pack_bound_bytes);
+            assert!(row.peak_gflops > 0.0);
+            let (pack, comp, idle) = row.pct_split();
+            assert!((pack + comp + idle - 100.0).abs() < 1e-6);
+        }
+        let dash = doc.render_dashboard();
+        assert!(dash.contains("compute attribution"), "{dash}");
+        // Self-gate passes with compute on both sides.
+        assert!(gate(&doc, &doc, &GatePolicy::default()).is_ok());
+    }
+
+    #[test]
+    fn v2_artifact_still_parses_without_compute() {
+        // A minimal schema-v2 document (no `compute` key at all), as written
+        // by the previous build. It must keep parsing, implying no compute.
+        let v2 = r#"{
+            "schema_version": 2,
+            "kind": "ca3dmm_run_report",
+            "time_domain": "wall",
+            "sim": null,
+            "meta": {"name": "v2-legacy"},
+            "machine": {"arch": "x86_64", "os": "linux"},
+            "ranks": 1,
+            "phases": [],
+            "totals": {"sent_bytes": 0, "sent_msgs": 0,
+                       "max_rank_bytes": 0, "max_rank_msgs": 0},
+            "matrix": {"format": "sparse", "send": [], "recv": []},
+            "histograms": {"by_phase": {}, "by_algo": {}},
+            "wait_per_rank": [{}],
+            "critical_path": null
+        }"#;
+        let doc = RunReportDoc::parse(v2).expect("v2 parses");
+        assert_eq!(doc.schema_version, 2);
+        assert!(doc.compute.is_none());
+        // The dashboard simply omits the compute table.
+        assert!(!doc.render_dashboard().contains("compute attribution"));
+    }
+
+    #[test]
+    fn gate_refuses_cross_schema_compute_comparison() {
+        let doc = sample_doc();
+        let mut profiled = doc.clone();
+        profiled.compute = Some(vec![None, None]);
+
+        // Same schema, compute present on one side only → refused.
+        let errs = gate(&doc, &profiled, &GatePolicy::default()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("compute block")), "{errs:?}");
+
+        // Compute present but schema versions differ → refused before any
+        // field comparison.
+        let mut old = doc.clone();
+        old.schema_version = 2;
+        let errs = gate(&old, &profiled, &GatePolicy::default()).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("schema versions")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_tampered_compute_split() {
+        // A compute row whose shares cannot rebuild thread_secs is a
+        // hand-edited artifact; the parser must reject it.
+        let bad = r#"{
+            "schema_version": 3,
+            "kind": "ca3dmm_run_report",
+            "time_domain": "wall",
+            "sim": null,
+            "meta": {"name": "tampered"},
+            "machine": {"arch": "x86_64", "os": "linux"},
+            "ranks": 1,
+            "phases": [],
+            "totals": {"sent_bytes": 0, "sent_msgs": 0,
+                       "max_rank_bytes": 0, "max_rank_msgs": 0},
+            "matrix": {"format": "sparse", "send": [], "recv": []},
+            "histograms": {"by_phase": {}, "by_algo": {}},
+            "wait_per_rank": [{}],
+            "critical_path": null,
+            "compute": [{
+                "gemm_calls": 1, "flops": 1000.0,
+                "gemm_wall_secs": 1.0, "thread_secs": 4.0,
+                "pack_a_secs": 0.1, "pack_b_secs": 0.1,
+                "compute_secs": 0.5, "idle_secs": 0.5,
+                "pack_bytes": 10, "pack_bound_bytes": 20,
+                "achieved_gflops": 1.0, "peak_gflops": 2.0,
+                "max_width": 4, "imbalance": 1.0, "coverage": 1.0,
+                "dropped_spans": 0,
+                "pool": {"queue_depth_hwm": 0, "submit_wake_secs": 0.0,
+                         "jobs": 0, "regions": 0, "jobs_per_worker": []}
+            }]
+        }"#;
+        let e = RunReportDoc::parse(bad).unwrap_err();
+        assert!(e.contains("reconcile"), "{e}");
     }
 
     #[test]

@@ -53,6 +53,12 @@
 //! to `wait` under simulation — a genuine poll would leak the OS schedule
 //! into virtual time. Two runs with the same program, machine, and
 //! placement therefore produce byte-identical `RunReport` artifacts.
+//!
+//! For the same reason, virtual-time runs never capture `dense::prof`
+//! kernel profiles even when `DENSE_GEMM_PROF` is set: the profiler
+//! timestamps the wall clock, which simulation makes meaningless (and it
+//! would break the byte-identical-artifact guarantee). The `compute` block
+//! of a sim report is always absent.
 
 use crate::world::{RunOptions, RunReport, World};
 use crate::RankCtx;

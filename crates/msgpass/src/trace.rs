@@ -328,6 +328,16 @@ impl Timeline {
     /// Spans become `B`/`E` duration-event pairs (one `tid` per rank);
     /// thread-name metadata events label each rank.
     pub fn to_chrome_json(&self) -> String {
+        self.to_chrome_json_with_kernel(&[])
+    }
+
+    /// [`Timeline::to_chrome_json`] plus per-rank *kernel-thread* tracks:
+    /// `kernel[rank]` holds that rank's GEMM profiler spans (see
+    /// `msgpass::ComputeProfile::kernel_spans`), rendered as extra threads
+    /// `tid = 1000·(rank+1) + track` under the same process so Perfetto
+    /// shows communication and compute interleaved. Ranks beyond
+    /// `kernel.len()`, and empty span lists, get no kernel tracks.
+    pub fn to_chrome_json_with_kernel(&self, kernel: &[Vec<KernelSpan>]) -> String {
         let mut events = String::new();
         for rank in 0..self.ranks() {
             if !events.is_empty() {
@@ -351,6 +361,9 @@ impl Timeline {
             }
             while let Some(top) = open.pop() {
                 push_end(&mut events, rank, top.t1);
+            }
+            if let Some(spans) = kernel.get(rank) {
+                push_kernel_tracks(&mut events, rank, spans);
             }
         }
         format!(
@@ -397,6 +410,63 @@ impl Timeline {
             })
             .collect();
         CriticalPathReport { phases }
+    }
+}
+
+/// A kernel-profiler span rebased onto the run epoch, ready to render as a
+/// kernel-thread track under a rank in the Chrome export. `thread` is the
+/// profiler's worker-slot id (0 = the span was recorded on the rank thread
+/// itself or the first pool slot it touched — slots are process-global, so
+/// the ids are opaque labels, not pool indices).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelSpan {
+    /// Profiler worker-slot id the span was recorded on.
+    pub thread: usize,
+    /// Phase label (`pack_a`, `pack_b`, `compute`, `wake`, `barrier`).
+    pub label: &'static str,
+    /// Span start, seconds on the run epoch.
+    pub t0: f64,
+    /// Span end, seconds on the run epoch.
+    pub t1: f64,
+}
+
+/// Emits one flat `B`/`E` track per distinct kernel thread seen in `spans`,
+/// as `tid = 1000·(rank+1) + track` (track = order of first appearance, so
+/// tids stay compact regardless of which process-global pool slots the rank
+/// happened to use). Wake spans start at *enqueue* time and can overlap the
+/// same worker's previous span, so each track is sorted by `t0` and clamped
+/// to be non-overlapping (spans fully swallowed by a predecessor are
+/// dropped).
+fn push_kernel_tracks(out: &mut String, rank: usize, spans: &[KernelSpan]) {
+    let mut tracks: Vec<(usize, Vec<KernelSpan>)> = Vec::new();
+    for s in spans {
+        match tracks.iter_mut().find(|(slot, _)| *slot == s.thread) {
+            Some((_, v)) => v.push(*s),
+            None => tracks.push((s.thread, vec![*s])),
+        }
+    }
+    for (track, (slot, mut spans)) in tracks.into_iter().enumerate() {
+        let tid = 1000 * (rank + 1) + track;
+        let _ = write!(
+            out,
+            r#",{{"name":"thread_name","ph":"M","pid":0,"tid":{tid},"args":{{"name":"rank {rank} kern {slot}"}}}}"#
+        );
+        spans.sort_by(|a, b| a.t0.total_cmp(&b.t0));
+        let mut prev_t1 = f64::NEG_INFINITY;
+        for s in spans {
+            let t0 = s.t0.max(prev_t1);
+            if s.t1 <= t0 {
+                continue;
+            }
+            let name = jsonlite::Json::Str(s.label.to_string()).to_string();
+            let _ = write!(
+                out,
+                r#",{{"name":{name},"cat":"kernel","ph":"B","ts":{},"pid":0,"tid":{tid}}},{{"ph":"E","ts":{},"pid":0,"tid":{tid}}}"#,
+                micros(t0),
+                micros(s.t1)
+            );
+            prev_t1 = s.t1;
+        }
     }
 }
 
@@ -578,6 +648,100 @@ mod tests {
         assert_eq!(report.bottleneck().unwrap().phase, "x");
         assert_eq!(report.critical_total_secs(), 5.0);
         assert!(report.render().contains("bottleneck: x"));
+    }
+
+    #[test]
+    fn chrome_export_merges_kernel_tracks() {
+        let stream = vec![
+            raw_begin(0.0, SpanKind::Phase("mult".into())),
+            raw_end(4.0, 0),
+        ];
+        let tl = Timeline::from_raw(vec![stream.clone(), stream]);
+        // Rank 0: two kernel threads, with a wake span overlapping slot 3's
+        // previous span (starts at enqueue time) and one fully-swallowed
+        // span. Rank 1: none.
+        let kernel = vec![
+            vec![
+                KernelSpan {
+                    thread: 3,
+                    label: "compute",
+                    t0: 1.0,
+                    t1: 2.0,
+                },
+                KernelSpan {
+                    thread: 3,
+                    label: "wake",
+                    t0: 1.5,
+                    t1: 2.5,
+                },
+                KernelSpan {
+                    thread: 3,
+                    label: "pack_a",
+                    t0: 1.2,
+                    t1: 1.8,
+                },
+                KernelSpan {
+                    thread: 7,
+                    label: "pack_b",
+                    t0: 0.5,
+                    t1: 1.0,
+                },
+            ],
+            Vec::new(),
+        ];
+        let text = tl.to_chrome_json_with_kernel(&kernel);
+        let doc = jsonlite::Json::parse(&text).expect("exported trace parses");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // Compact track ids under rank 0: slots {3, 7} → tids 1000, 1001.
+        let tids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter_map(|e| e.get("tid").and_then(|t| t.as_f64()))
+            .map(|t| t as u64)
+            .collect();
+        assert!(tids.contains(&1000) && tids.contains(&1001), "{tids:?}");
+        assert!(!tids.contains(&2000), "rank 1 has no kernel spans");
+        let track_label = events
+            .iter()
+            .find(|e| {
+                e.get("tid").and_then(|t| t.as_f64()) == Some(1000.0)
+                    && e.get("ph").and_then(|p| p.as_str()) == Some("M")
+            })
+            .and_then(|e| e.get("args")?.get("name")?.as_str().map(str::to_owned));
+        assert_eq!(track_label.as_deref(), Some("rank 0 kern 3"));
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| {
+                e.get("tid").and_then(|t| t.as_f64()) == Some(1000.0)
+                    && e.get("ph").and_then(|p| p.as_str()) == Some("B")
+            })
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        // The pack_a span (1.2..1.8) is swallowed by compute (1.0..2.0) and
+        // dropped; the wake span is clamped to start at compute's end.
+        assert!(names.contains(&"compute") && names.contains(&"wake"));
+        assert!(!names.contains(&"pack_a"));
+        // Per kernel tid the flat B/E pairs are balanced and monotone.
+        for tid in [1000.0, 1001.0] {
+            let mut depth = 0i64;
+            let mut last_ts = f64::MIN;
+            for ev in events {
+                if ev.get("tid").and_then(|t| t.as_f64()) != Some(tid) {
+                    continue;
+                }
+                match ev.get("ph").and_then(|p| p.as_str()) {
+                    Some("B") => depth += 1,
+                    Some("E") => depth -= 1,
+                    _ => continue,
+                }
+                let ts = ev.get("ts").unwrap().as_f64().unwrap();
+                assert!(ts >= last_ts, "kernel timestamps must be monotone");
+                last_ts = ts;
+                assert!((0..=1).contains(&depth), "kernel tracks are flat");
+            }
+            assert_eq!(depth, 0);
+        }
+        // Without kernel spans the export is byte-identical to the plain one.
+        assert_eq!(tl.to_chrome_json(), tl.to_chrome_json_with_kernel(&[]));
     }
 
     #[test]

@@ -89,6 +89,12 @@ pub struct RunReport {
     /// Set when this report came from a virtual-time run: the machine,
     /// placement, and virtual makespan. `None` means wall time.
     pub sim: Option<SimInfo>,
+    /// Per-rank kernel profiles, captured when `dense` GEMM profiling
+    /// (`DENSE_GEMM_PROF` / [`dense::prof::set_gemm_profiling`]) was enabled
+    /// during a *wall-clock* run. Empty for unprofiled and virtual-time runs
+    /// (virtual time makes wall-clock kernel spans meaningless, so sim runs
+    /// never capture). Serialized as the schema-v3 `compute` block.
+    pub compute: Vec<Option<ComputeProfile>>,
 }
 
 impl Deref for RunReport {
@@ -96,6 +102,53 @@ impl Deref for RunReport {
 
     fn deref(&self) -> &TrafficReport {
         &self.traffic
+    }
+}
+
+impl RunReport {
+    /// Chrome-trace JSON with per-rank *kernel-thread* tracks merged under
+    /// the comm timeline, so one Perfetto view shows communication and
+    /// compute interleaved. Identical to `self.timeline.to_chrome_json()`
+    /// when no rank captured a kernel profile.
+    pub fn to_chrome_json(&self) -> String {
+        let kernel: Vec<Vec<crate::trace::KernelSpan>> = (0..self.timeline.ranks())
+            .map(|rank| {
+                self.compute
+                    .get(rank)
+                    .and_then(Option::as_ref)
+                    .map_or_else(Vec::new, ComputeProfile::kernel_spans)
+            })
+            .collect();
+        self.timeline.to_chrome_json_with_kernel(&kernel)
+    }
+}
+
+/// One rank's captured kernel profile, plus the offset rebasing its span
+/// timestamps (nanoseconds since [`dense::prof::epoch`]) onto the run's own
+/// epoch (the trace timeline's `t = 0`).
+#[derive(Clone, Debug)]
+pub struct ComputeProfile {
+    /// The aggregated profile (see [`dense::prof::KernelProfile`]).
+    pub profile: dense::prof::KernelProfile,
+    /// Seconds to add to a span's `t_ns · 1e-9` to express it on the run
+    /// epoch.
+    pub epoch_offset_secs: f64,
+}
+
+impl ComputeProfile {
+    /// The profile's retained spans rebased onto the run epoch, ready for
+    /// [`Timeline::to_chrome_json_with_kernel`].
+    pub fn kernel_spans(&self) -> Vec<crate::trace::KernelSpan> {
+        self.profile
+            .spans
+            .iter()
+            .map(|s| crate::trace::KernelSpan {
+                thread: s.thread,
+                label: s.phase.label(),
+                t0: (s.t0_ns as f64 * 1e-9 + self.epoch_offset_secs).max(0.0),
+                t1: (s.t1_ns as f64 * 1e-9 + self.epoch_offset_secs).max(0.0),
+            })
+            .collect()
     }
 }
 
@@ -458,6 +511,7 @@ impl World {
         let mut results = Vec::with_capacity(p);
         let mut streams = Vec::with_capacity(p);
         let mut clocks = Vec::with_capacity(p);
+        let mut profiles: Vec<Option<dense::prof::KernelProfile>> = Vec::with_capacity(p);
         std::thread::scope(|s| {
             let handles: Vec<_> = receivers
                 .into_iter()
@@ -474,6 +528,14 @@ impl World {
                             // kernel-thread budget (the cap is thread-local
                             // and this thread is fresh, so it cannot leak).
                             dense::pool::set_rank_gemm_threads(Some(kernel_threads));
+                            // Kernel profiling only makes sense on wall-clock
+                            // runs: under virtual time the rank "compute" is
+                            // charged on the sim clock, not executed at the
+                            // profiled wall speed.
+                            let prof_on = sim.is_none() && dense::prof::profiling_enabled();
+                            if prof_on {
+                                dense::prof::begin_capture();
+                            }
                             let ctx = RankCtx {
                                 world_rank: rank,
                                 world_size: p,
@@ -496,17 +558,23 @@ impl World {
                             };
                             let out = f(&ctx);
                             let events = ctx.finish();
-                            (out, events, ctx.clock.get())
+                            let profile = if prof_on {
+                                dense::prof::end_capture()
+                            } else {
+                                None
+                            };
+                            (out, events, ctx.clock.get(), profile)
                         })
                         .expect("failed to spawn rank thread")
                 })
                 .collect();
             for (rank, h) in handles.into_iter().enumerate() {
                 match h.join() {
-                    Ok((out, events, clock)) => {
+                    Ok((out, events, clock, profile)) => {
                         results.push(out);
                         streams.push(events);
                         clocks.push(clock);
+                        profiles.push(profile);
                     }
                     Err(e) => {
                         let msg = e
@@ -557,12 +625,34 @@ impl World {
             execute_compute: params.execute_compute,
             makespan_secs: clocks.iter().copied().fold(0.0, f64::max),
         });
+        let compute = if profiles.iter().any(Option::is_some) {
+            // Rebase profiler timestamps (ns since the profiler's process-wide
+            // epoch) onto this run's epoch. The profiler epoch may pre- or
+            // post-date the run epoch depending on which was touched first.
+            let prof_epoch = dense::prof::epoch();
+            let offset = match epoch.checked_duration_since(prof_epoch) {
+                Some(d) => -d.as_secs_f64(),
+                None => prof_epoch.duration_since(epoch).as_secs_f64(),
+            };
+            profiles
+                .into_iter()
+                .map(|p| {
+                    p.map(|profile| ComputeProfile {
+                        profile,
+                        epoch_offset_secs: offset,
+                    })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         (
             results,
             RunReport {
                 traffic,
                 timeline,
                 sim: sim_info,
+                compute,
             },
         )
     }

@@ -73,5 +73,17 @@ if [ "$SIM_ONLY" = 0 ]; then
   cargo run --release -q -p bench --bin fig5_breakdown -- \
     --report-out results/REPORT_fig5_small.json --trace-ranks 4 --trace-size 96 \
     > /dev/null
+
+  # The profiled counterpart: the same 4-rank run with the dense::prof
+  # kernel profiler capturing, so the committed artifact carries a
+  # schema-v3 compute block (per-rank pack/compute/idle attribution and
+  # roofline numbers). CI's artifact-freshness job regenerates this to
+  # /tmp and gates the *traffic* exactly against the committed copy —
+  # compute timings are host-specific and are only checked for presence
+  # and internal reconciliation (which RunReportDoc::parse enforces).
+  echo "== REPORT_fig5_prof"
+  DENSE_GEMM_PROF=1 cargo run --release -q -p bench --bin fig5_breakdown -- \
+    --report-out results/REPORT_fig5_prof.json --trace-ranks 4 --trace-size 96 \
+    > /dev/null
 fi
 echo "done; artifacts in results/"

@@ -2,7 +2,11 @@
 //! partition `u64` exactly (property test), and on a real 4-rank CA3DMM run
 //! every redundant view of the traffic — per-phase counters, the rank×rank
 //! communication matrix, the size histograms, the JSON artifact — reconciles
-//! with every other.
+//! with every other. A profiled run additionally exercises the schema-v3
+//! `compute` block end to end: round-trip, reconciliation against the rank
+//! GEMM wall time, v2 backward compatibility, and a property test that the
+//! profiler's retained spans cover exactly its stated `coverage` fraction
+//! of the exact busy time.
 
 use ca3dmm::{Ca3dmm, Ca3dmmOptions};
 use dense::part::Rect;
@@ -156,6 +160,136 @@ fn comm_matrix_reconciles_with_phase_totals() {
         assert!(
             tot.bytes + tot.recv_bytes > 0,
             "rank {r} shows no traffic at all"
+        );
+    }
+}
+
+/// A profiled run's schema-v3 artifact: every rank gets a compute row, the
+/// pack/compute/idle split reconciles with the rank's GEMM wall time
+/// (thread-seconds) within 5%, and the dashboard renders the compute table.
+#[test]
+fn profiled_run_report_compute_block_reconciles() {
+    dense::set_gemm_profiling(true);
+    let (alg, report) = traced_ca3dmm_run();
+    // `report_meta` snapshots the profiling flag, so build the meta before
+    // turning it back off.
+    let meta = alg.report_meta("metrics_report_prof");
+    dense::set_gemm_profiling(false);
+    assert_eq!(report.compute.len(), 4, "all ranks captured");
+
+    let text = report.to_json(meta).to_string_pretty();
+    let doc = RunReportDoc::parse(&text).expect("profiled artifact parses");
+    assert_eq!(doc.schema_version, msgpass::report::SCHEMA_VERSION);
+    assert_eq!(
+        doc.meta.get("gemm_prof").and_then(jsonlite::Json::as_bool),
+        Some(true),
+        "meta records that the run was profiled"
+    );
+    let compute = doc.compute.as_ref().expect("schema-v3 compute block");
+    assert_eq!(compute.len(), 4);
+    let mut ranks_with_gemms = 0;
+    for (rank, row) in compute.iter().enumerate() {
+        let row = row.as_ref().expect("every rank captured");
+        if row.gemm_calls == 0 {
+            continue;
+        }
+        ranks_with_gemms += 1;
+        // Acceptance: pack + compute + idle rebuild the rank's GEMM
+        // thread-seconds (width × wall summed per call) within 5%.
+        let rebuilt = row.pack_a_secs + row.pack_b_secs + row.compute_secs + row.idle_secs;
+        assert!(
+            (rebuilt - row.thread_secs).abs() <= 0.05 * row.thread_secs.max(1e-12),
+            "rank {rank}: split {rebuilt} vs thread_secs {}",
+            row.thread_secs
+        );
+        assert!(
+            row.thread_secs >= 0.999 * row.gemm_wall_secs,
+            "rank {rank}: thread-seconds below single-width wall time"
+        );
+        assert!((0.0..=1.0 + 1e-9).contains(&row.coverage), "rank {rank}");
+        assert!(row.pack_bytes <= row.pack_bound_bytes, "rank {rank}");
+        assert!(row.peak_gflops > 0.0 && row.achieved_gflops > 0.0);
+    }
+    assert!(ranks_with_gemms > 0, "some rank multiplied");
+    assert!(doc.render_dashboard().contains("compute attribution"));
+
+    // Self-gate passes with the compute block on both sides.
+    msgpass::report::gate(&doc, &doc, &GatePolicy::default()).expect("profiled self gate");
+}
+
+/// Backward compatibility: a schema-v2 artifact (written by the previous
+/// build, no `compute` key) still parses, implying no compute block.
+#[test]
+fn v2_artifact_parses_without_compute_block() {
+    let v2 = r#"{
+        "schema_version": 2,
+        "kind": "ca3dmm_run_report",
+        "time_domain": "wall",
+        "sim": null,
+        "meta": {"name": "v2"},
+        "machine": {"arch": "x86_64", "os": "linux"},
+        "ranks": 1,
+        "phases": [],
+        "totals": {"sent_bytes": 0, "sent_msgs": 0,
+                   "max_rank_bytes": 0, "max_rank_msgs": 0},
+        "matrix": {"format": "sparse", "send": [], "recv": []},
+        "histograms": {"by_phase": {}, "by_algo": {}},
+        "wait_per_rank": [{}],
+        "critical_path": null
+    }"#;
+    let doc = RunReportDoc::parse(v2).expect("v2 artifact parses");
+    assert_eq!(doc.schema_version, 2);
+    assert!(doc.compute.is_none());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Direct-capture property: for random GEMM shapes, the profiler's
+    /// retained busy spans sum to exactly its stated `coverage` fraction of
+    /// the exact busy time (both come from the same timestamps), and the
+    /// derived idle closes the thread-seconds identity.
+    #[test]
+    fn profiler_spans_cover_stated_busy_fraction(
+        m in 8usize..56,
+        n in 8usize..56,
+        k in 8usize..56,
+    ) {
+        dense::set_gemm_profiling(true);
+        dense::prof::begin_capture();
+        let a = dense::random::random_mat::<f64>(m, k, 3);
+        let b = dense::random::random_mat::<f64>(k, n, 4);
+        let mut c = Mat::<f64>::zeros(m, n);
+        dense::gemm(
+            dense::GemmOp::NoTrans,
+            dense::GemmOp::NoTrans,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c,
+        );
+        let profile = dense::prof::end_capture().expect("capture was active");
+        dense::set_gemm_profiling(false);
+
+        let busy_exact = profile.pack_a_secs + profile.pack_b_secs + profile.compute_secs;
+        let span_busy: f64 = profile
+            .spans
+            .iter()
+            .filter(|s| s.phase.is_busy())
+            .map(|s| (s.t1_ns - s.t0_ns) as f64 * 1e-9)
+            .sum();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&profile.coverage));
+        prop_assert!(
+            (span_busy - profile.coverage * busy_exact).abs() <= 1e-9 + 1e-6 * busy_exact,
+            "span sum {span_busy} vs coverage {} x busy {busy_exact}",
+            profile.coverage
+        );
+        let rebuilt = busy_exact + profile.idle_secs;
+        prop_assert!(
+            (rebuilt - profile.thread_secs).abs() <= 0.05 * profile.thread_secs.max(1e-12),
+            "identity {rebuilt} vs {}",
+            profile.thread_secs
         );
     }
 }

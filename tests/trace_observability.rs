@@ -1,8 +1,9 @@
 //! End-to-end tests of the event-tracing subsystem: a real CA3DMM run is
 //! traced, the resulting timeline must agree with the traffic report's
 //! independent phase clock, the Chrome-trace export must be valid JSON with
-//! perfectly matched B/E pairs, and the critical-path and model-diff
-//! reports must be self-consistent.
+//! perfectly matched B/E pairs (including the kernel-thread tracks a
+//! profiled run merges in), and the critical-path and model-diff reports
+//! must be self-consistent.
 
 use ca3dmm::{ca3dmm_schedule, diff_model_vs_measured, Ca3dmm, Ca3dmmOptions, ModelConfig};
 use dense::part::Rect;
@@ -124,6 +125,79 @@ fn chrome_export_is_valid_and_balanced() {
     assert!(names.iter().any(|n| n.contains("reduce_c")));
     // pk = 2 means the reduce phase runs its reduce-scatter collective
     assert!(names.iter().any(|n| n.contains("reduce_scatter")));
+}
+
+/// A profiled run's `RunReport::to_chrome_json` export merges kernel-thread
+/// tracks (tid ≥ 1000, `tid = 1000·(rank+1) + track`) under the comm
+/// timeline: the tracks exist, carry the profiler's phase labels, and keep
+/// every tid's B/E pairs balanced with monotone timestamps.
+#[test]
+fn profiled_chrome_export_has_kernel_thread_tracks() {
+    let p = 4;
+    dense::set_gemm_profiling(true);
+    let report = traced_ca3dmm(64, 64, 64, p, Grid::new(2, 1, 2));
+    dense::set_gemm_profiling(false);
+    assert_eq!(report.compute.len(), p, "all ranks captured");
+
+    let text = report.to_chrome_json();
+    let json = Json::parse(&text).expect("profiled chrome trace must be valid JSON");
+    let events = json
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+
+    let mut kernel_tids = std::collections::BTreeSet::new();
+    let mut kernel_labels = std::collections::BTreeSet::new();
+    let mut depth: std::collections::BTreeMap<i64, i64> = Default::default();
+    let mut last_ts: std::collections::BTreeMap<i64, f64> = Default::default();
+    for ev in events {
+        let tid = ev.get("tid").and_then(Json::as_f64).expect("tid") as i64;
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        if tid < 1000 {
+            assert!((tid as usize) < p, "comm tid {tid} out of range");
+            continue;
+        }
+        // Kernel track: rank index recoverable from the tid scheme.
+        let rank = (tid as usize) / 1000 - 1;
+        assert!(rank < p, "kernel tid {tid} maps to bad rank {rank}");
+        if ph == "M" {
+            continue;
+        }
+        kernel_tids.insert(tid);
+        let ts = ev.get("ts").and_then(Json::as_f64).expect("ts");
+        assert!(ts >= 0.0, "kernel span before the run epoch");
+        let prev = last_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+        assert!(ts >= *prev, "kernel timestamps monotone per tid");
+        *prev = ts;
+        let d = depth.entry(tid).or_insert(0);
+        match ph {
+            "B" => {
+                *d += 1;
+                let name = ev.get("name").and_then(Json::as_str).expect("name");
+                kernel_labels.insert(name.to_owned());
+            }
+            "E" => *d -= 1,
+            other => panic!("unexpected kernel event phase {other}"),
+        }
+        assert!((0..=1).contains(d), "kernel tracks must be flat");
+    }
+    for (tid, d) in &depth {
+        assert_eq!(*d, 0, "unbalanced kernel B/E on tid {tid}");
+    }
+    assert!(
+        !kernel_tids.is_empty(),
+        "a profiled run must emit kernel-thread tracks"
+    );
+    // The GEMMs here run below the parallel cutoff, so the rank thread
+    // itself records pack/compute spans — those labels must appear.
+    assert!(
+        kernel_labels.contains("compute"),
+        "kernel labels: {kernel_labels:?}"
+    );
+    assert!(
+        kernel_labels.iter().any(|l| l.starts_with("pack")),
+        "kernel labels: {kernel_labels:?}"
+    );
 }
 
 /// The critical-path analyzer names a real phase, its per-phase split sums
