@@ -1,11 +1,21 @@
-//! Grid-search cost. The paper (§III-F): "In any practical case, the cost
-//! of the enumeration is less than 1% of the actual parallel matrix
-//! multiplication time." These benches time the search at the paper's
-//! largest scale (P = 3072); compare against the multiply times in
-//! Table II (hundreds of milliseconds to seconds).
+//! Grid-search and plan-construction cost. The paper (§III-F): "In any
+//! practical case, the cost of the enumeration is less than 1% of the
+//! actual parallel matrix multiplication time." The `ca3dmm/` and `cosma/`
+//! entries time the bare search at the paper's largest scale (P = 3072);
+//! compare against the multiply times in Table II (hundreds of
+//! milliseconds to seconds).
+//!
+//! The `plan_build/` entries time the *full* serving plan — grid search
+//! plus the three redistribution programs (`ca3dmm::Plan::build`) — at
+//! daemon scale. This is exactly what `ca3dmm-serve`'s LRU plan cache
+//! amortizes: a cache hit replaces this entire cost with a map lookup, so
+//! these numbers bound the per-request saving a repeated-shape stream sees.
 
 use bench::timing::{bench, BenchReport};
+use ca3dmm::{Ca3dmmOptions, Dtype, Plan};
+use dense::gemm::GemmOp;
 use gridopt::{ca3dmm_grid, cosma_grid, Problem, DEFAULT_UTILIZATION_FLOOR};
+use layout::Layout;
 
 fn main() {
     println!("grid_search at P = 3072");
@@ -28,6 +38,35 @@ fn main() {
         });
         report.push(&label, s);
     }
+
+    let p = 64;
+    println!("plan_build (search + redistribution programs) at P = {p}");
+    let plan_shapes = [
+        ("square", 4096usize, 4096usize, 4096usize),
+        ("large-K", 512, 512, 65_536),
+        ("flat", 8192, 8192, 256),
+    ];
+    for (name, m, n, k) in plan_shapes {
+        let prob = Problem::new(m, n, k, p);
+        let la = Layout::one_d_col(m, k, p);
+        let lb = Layout::one_d_col(k, n, p);
+        let lc = Layout::one_d_col(m, n, p);
+        let label = format!("plan_build/{name}-p{p}");
+        let s = bench(&label, || {
+            std::hint::black_box(Plan::build(
+                prob,
+                &Ca3dmmOptions::default(),
+                Dtype::F64,
+                GemmOp::NoTrans,
+                &la,
+                GemmOp::NoTrans,
+                &lb,
+                &lc,
+            ));
+        });
+        report.push(&label, s);
+    }
+
     match report.write() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write bench JSON: {e}"),

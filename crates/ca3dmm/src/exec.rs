@@ -6,7 +6,7 @@ use crate::reduce::reduce_partial_c;
 use crate::replicate::{replicate_block, slice_widths};
 use dense::gemm::GemmOp;
 use dense::{Mat, Scalar};
-use gridopt::{ca3dmm_grid, Grid, Problem};
+use gridopt::{ca3dmm_grid_timed, Grid, Problem};
 use layout::{redistribute, Layout};
 use msgpass::collectives::Collectives;
 use msgpass::{Comm, RankCtx};
@@ -70,6 +70,71 @@ pub struct Ca3dmm {
     multi_shift_min_k: usize,
     overlap: bool,
     collectives: Collectives,
+    /// Wall seconds the step-1 grid search took (0 for a forced grid).
+    /// Re-running the search is exactly the cost a plan cache amortizes.
+    grid_search_secs: f64,
+    /// Precomputed sub-communicator membership (steps 2–3). Pure
+    /// arithmetic, identical on every rank — solved once at construction
+    /// instead of once per multiply.
+    groups: SubgroupLists,
+}
+
+/// The three sub-communicator group lists of one grid: every Cannon group,
+/// replication group, and reduction group, as world-rank lists.
+#[derive(Clone, Debug)]
+struct SubgroupLists {
+    cannon: Vec<Vec<usize>>,
+    repl: Vec<Vec<usize>>,
+    reduce: Vec<Vec<usize>>,
+}
+
+impl SubgroupLists {
+    fn new(gc: &GridContext) -> Self {
+        let grid = gc.grid();
+        let (pk, c, s) = (grid.pk, gc.c, gc.s);
+        let cannon: Vec<Vec<usize>> = (0..pk)
+            .flat_map(|kt| (0..c).map(move |cg| gc.cannon_group(kt, cg)))
+            .collect();
+        let repl: Vec<Vec<usize>> = (0..pk)
+            .flat_map(|kt| {
+                (0..s * s).map(move |idx| {
+                    gc.replication_group(&crate::grid_ctx::RankCoord {
+                        i: idx % s,
+                        j: idx / s,
+                        cg: 0,
+                        kt,
+                    })
+                })
+            })
+            .collect();
+        let reduce: Vec<Vec<usize>> = (0..c)
+            .flat_map(|cg| {
+                (0..s * s).map(move |idx| {
+                    gc.reduce_group(&crate::grid_ctx::RankCoord {
+                        i: idx % s,
+                        j: idx / s,
+                        cg,
+                        kt: 0,
+                    })
+                })
+            })
+            .collect();
+        SubgroupLists {
+            cannon,
+            repl,
+            reduce,
+        }
+    }
+}
+
+/// The sub-communicators of one multiply, built collectively by
+/// [`Ca3dmm::comms`]. Building them is itself collective over the world, so
+/// a batch of same-shape multiplies can share one set instead of paying
+/// three `subgroup` exchanges per multiply.
+pub struct MultiplyComms {
+    cannon: Option<Comm>,
+    repl: Option<Comm>,
+    reduce: Option<Comm>,
 }
 
 impl Ca3dmm {
@@ -79,21 +144,35 @@ impl Ca3dmm {
     /// # Panics
     /// If a forced grid violates eq. 7 or exceeds `P`.
     pub fn new(prob: Problem, opts: &Ca3dmmOptions) -> Self {
-        let grid = match opts.grid_override {
-            Some(g) => g,
-            None => ca3dmm_grid(&prob, opts.utilization_floor).grid,
+        let (grid, search_secs) = match opts.grid_override {
+            Some(g) => (g, 0.0),
+            None => {
+                let solved = ca3dmm_grid_timed(&prob, opts.utilization_floor);
+                (solved.choice.grid, solved.search_secs)
+            }
         };
+        let gc = GridContext::new(prob, grid);
+        let groups = SubgroupLists::new(&gc);
         Ca3dmm {
-            gc: GridContext::new(prob, grid),
+            gc,
             multi_shift_min_k: opts.multi_shift_min_k,
             overlap: opts.overlap,
             collectives: opts.collectives,
+            grid_search_secs: search_secs,
+            groups,
         }
     }
 
     /// The geometry of this run.
     pub fn grid_context(&self) -> &GridContext {
         &self.gc
+    }
+
+    /// Wall seconds Algorithm 1 step 1 (the grid enumeration) took at
+    /// construction; 0 when the grid was forced. This is the dominant
+    /// per-construction cost a plan cache saves on repeat shapes.
+    pub fn grid_search_secs(&self) -> f64 {
+        self.grid_search_secs
     }
 
     /// The `meta` block for a `RunReport` artifact
@@ -128,6 +207,27 @@ impl Ca3dmm {
                 ]),
             ),
         ])
+    }
+
+    /// [`Ca3dmm::report_meta`] plus plan-construction provenance: the wall
+    /// seconds the grid search took (`grid_search_secs`) and, when the
+    /// caller ran through a plan cache, whether this run reused a cached
+    /// plan. Kept separate from `report_meta` because timings are
+    /// host-dependent — the deterministic figure artifacts (which CI diffs
+    /// byte-for-byte) must not embed them, while serving reports want them
+    /// front and center.
+    pub fn report_meta_serving(&self, name: &str, plan_cached: Option<bool>) -> jsonlite::Json {
+        let mut meta = self.report_meta(name);
+        if let jsonlite::Json::Obj(m) = &mut meta {
+            m.insert(
+                "grid_search_secs".to_owned(),
+                jsonlite::Json::Num(self.grid_search_secs),
+            );
+            if let Some(hit) = plan_cached {
+                m.insert("plan_cached".to_owned(), jsonlite::Json::Bool(hit));
+            }
+        }
+        meta
     }
 
     /// The partition-info summary.
@@ -184,6 +284,7 @@ impl Ca3dmm {
             (prob.m, prob.n),
             "C layout shape mismatch"
         );
+        let comms = self.comms(ctx, world);
 
         // Step 4: redistribute inputs into the native layouts.
         ctx.set_phase("redist");
@@ -193,9 +294,10 @@ impl Ca3dmm {
         let b_local = redistribute(world, ctx, b_layout, b_blocks, &lb, op_b);
 
         // Steps 5–7 on the active ranks.
-        let c_strip = self.multiply_native(
+        let c_strip = self.multiply_native_in(
             ctx,
             world,
+            &comms,
             a_local.into_iter().next(),
             b_local.into_iter().next(),
         );
@@ -205,6 +307,21 @@ impl Ca3dmm {
         let lc = self.gc.layout_c();
         let c_blocks: Vec<Mat<T>> = c_strip.into_iter().filter(|m| !m.is_empty()).collect();
         redistribute(world, ctx, &lc, &c_blocks, c_layout, GemmOp::NoTrans)
+    }
+
+    /// Builds the three sub-communicators of this grid (Cannon, replication
+    /// and reduction groups). Collective over `world`; the membership lists
+    /// were already solved at construction, so this only performs the
+    /// `subgroup` context exchanges. A batch of multiplies on the same grid
+    /// can reuse one [`MultiplyComms`] across every item — that is the
+    /// "same-shape requests share one grid launch" half of the serving
+    /// batcher.
+    pub fn comms(&self, ctx: &RankCtx, world: &Comm) -> MultiplyComms {
+        MultiplyComms {
+            cannon: world.subgroup(ctx, &self.groups.cannon),
+            repl: world.subgroup(ctx, &self.groups.repl),
+            reduce: world.subgroup(ctx, &self.groups.reduce),
+        }
     }
 
     /// Steps 5–7 only: inputs already in the native layouts
@@ -223,44 +340,28 @@ impl Ca3dmm {
         a_init: Option<Mat<T>>,
         b_init: Option<Mat<T>>,
     ) -> Option<Mat<T>> {
+        let comms = self.comms(ctx, world);
+        self.multiply_native_in(ctx, world, &comms, a_init, b_init)
+    }
+
+    /// Steps 5–7 with caller-provided sub-communicators (see
+    /// [`Ca3dmm::comms`]). Collective over `world`.
+    pub fn multiply_native_in<T: Scalar>(
+        &self,
+        ctx: &RankCtx,
+        world: &Comm,
+        comms: &MultiplyComms,
+        a_init: Option<Mat<T>>,
+        b_init: Option<Mat<T>>,
+    ) -> Option<Mat<T>> {
         let gc = &self.gc;
-        let grid = gc.grid();
-        let (pk, c, s) = (grid.pk, gc.c, gc.s);
-
-        // Sub-communicators; the group lists are pure arithmetic, identical
-        // on every rank.
-        let cannon_groups: Vec<Vec<usize>> = (0..pk)
-            .flat_map(|kt| (0..c).map(move |cg| gc.cannon_group(kt, cg)))
-            .collect();
-        let cannon_comm = world.subgroup(ctx, &cannon_groups);
-
-        let repl_groups: Vec<Vec<usize>> = (0..pk)
-            .flat_map(|kt| {
-                (0..s * s).map(move |idx| {
-                    gc.replication_group(&crate::grid_ctx::RankCoord {
-                        i: idx % s,
-                        j: idx / s,
-                        cg: 0,
-                        kt,
-                    })
-                })
-            })
-            .collect();
-        let repl_comm = world.subgroup(ctx, &repl_groups);
-
-        let reduce_groups: Vec<Vec<usize>> = (0..c)
-            .flat_map(|cg| {
-                (0..s * s).map(move |idx| {
-                    gc.reduce_group(&crate::grid_ctx::RankCoord {
-                        i: idx % s,
-                        j: idx / s,
-                        cg,
-                        kt: 0,
-                    })
-                })
-            })
-            .collect();
-        let reduce_comm = world.subgroup(ctx, &reduce_groups);
+        let c = gc.c;
+        let s = gc.s;
+        let MultiplyComms {
+            cannon: cannon_comm,
+            repl: repl_comm,
+            reduce: reduce_comm,
+        } = comms;
 
         if !gc.is_active(world.rank()) {
             return None;

@@ -43,6 +43,7 @@ pub mod exec;
 pub mod grid_ctx;
 pub mod model;
 pub mod msg;
+pub mod plan;
 pub mod reduce;
 pub mod replicate;
 pub mod summa2d;
@@ -51,7 +52,8 @@ pub use cannon::{cannon, cannon_multi_shift, cannon_overlapped};
 pub use diff::{
     diff_doc_vs_model, diff_model_vs_measured, model_phase_label, ModelDiffReport, PhaseDiff,
 };
-pub use exec::{Ca3dmm, Ca3dmmOptions, RunStats};
+pub use exec::{Ca3dmm, Ca3dmmOptions, MultiplyComms, RunStats};
 pub use grid_ctx::{GridContext, RankCoord};
 pub use model::{ca3dmm_schedule, memory_elements_per_rank, ModelConfig};
 pub use msgpass::collectives::Collectives;
+pub use plan::{Dtype, Plan, PlanKey};

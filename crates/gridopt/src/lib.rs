@@ -25,4 +25,7 @@ mod search;
 
 pub use baselines::{cube_grid, grid_25d, summa_grid};
 pub use grid::{Grid, GridChoice, Problem};
-pub use search::{brute_force_grid, ca3dmm_grid, cosma_grid, DEFAULT_UTILIZATION_FLOOR};
+pub use search::{
+    brute_force_grid, ca3dmm_grid, ca3dmm_grid_timed, cosma_grid, SolvedGrid,
+    DEFAULT_UTILIZATION_FLOOR,
+};

@@ -49,6 +49,37 @@ impl Layout {
         self.rects[rank].iter().map(Rect::area).sum()
     }
 
+    /// A structural fingerprint of the layout (FNV-1a over the shape and
+    /// every rank's rectangle list, in order). Two layouts with the same
+    /// fingerprint describe the same distribution for all practical
+    /// purposes; plan caches use this as the layout component of their key
+    /// so equal requests hash equal without storing whole layouts in the
+    /// key.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.rows as u64);
+        mix(self.cols as u64);
+        mix(self.rects.len() as u64);
+        for per_rank in &self.rects {
+            mix(per_rank.len() as u64);
+            for r in per_rank {
+                mix(r.row0 as u64);
+                mix(r.col0 as u64);
+                mix(r.rows as u64);
+                mix(r.cols as u64);
+            }
+        }
+        h
+    }
+
     /// Checks the partition property.
     ///
     /// # Panics

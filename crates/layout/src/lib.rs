@@ -18,4 +18,4 @@ pub mod dist;
 pub mod redist;
 
 pub use dist::Layout;
-pub use redist::redistribute;
+pub use redist::{redistribute, redistribute_planned, RankRedistPlan, RedistPlan};

@@ -1,4 +1,12 @@
 //! Redistribution between arbitrary layouts (Algorithm 1 steps 4 and 8).
+//!
+//! Two entry points share one engine: [`redistribute`] computes the
+//! rectangle intersections on the fly (one-shot calls), while a
+//! [`RedistPlan`] precomputes them once per `(src, dst, op)` triple so an
+//! iterative caller — or the `ca3dmm-serve` plan cache — pays the geometry
+//! only on the first multiply of a shape. Both paths pack, exchange, and
+//! unpack in exactly the same order, so their results are bitwise
+//! identical.
 
 use crate::dist::Layout;
 use dense::gemm::GemmOp;
@@ -7,6 +15,208 @@ use dense::{Mat, Scalar};
 use msgpass::collectives::alltoallv;
 use msgpass::{Comm, RankCtx};
 
+/// One packing step of a rank's send program: copy the `inter_dst` region
+/// (destination coordinates) out of local source block `si`.
+#[derive(Clone, Debug)]
+struct SendPiece {
+    si: usize,
+    src_rect: Rect,
+    inter_dst: Rect,
+}
+
+/// One unpacking step of a rank's receive program: fill the `inter_dst`
+/// region of local destination block `di`.
+#[derive(Clone, Debug)]
+struct RecvPiece {
+    di: usize,
+    inter_dst: Rect,
+}
+
+/// One rank's precomputed redistribution program for a fixed
+/// `(src, dst, op)` triple: which pieces it packs for every peer and which
+/// pieces it unpacks from every peer, in the exact order [`redistribute`]
+/// would compute them on the fly.
+#[derive(Clone, Debug)]
+pub struct RankRedistPlan {
+    op: GemmOp,
+    nranks: usize,
+    /// This rank's source rectangles (for validating the caller's blocks).
+    src_rects: Vec<Rect>,
+    /// This rank's destination rectangles (allocation shapes of the output).
+    dst_rects: Vec<Rect>,
+    /// Per peer: the pieces packed into the buffer sent to that peer.
+    sends: Vec<Vec<SendPiece>>,
+    /// Per peer: the pieces unpacked from the buffer received from it.
+    recvs: Vec<Vec<RecvPiece>>,
+}
+
+impl RankRedistPlan {
+    /// Builds rank `me`'s program. Validates the layout pair once;
+    /// executing the plan re-validates only the local blocks.
+    ///
+    /// # Panics
+    /// If the layouts disagree with each other or with the communicator
+    /// size implied by `src`.
+    pub fn new(src: &Layout, dst: &Layout, op: GemmOp, me: usize) -> Self {
+        let p = src.nranks();
+        assert_eq!(
+            dst.nranks(),
+            p,
+            "src/dst layouts span different rank counts"
+        );
+        let (sr, sc) = src.shape();
+        assert_eq!(
+            dst.shape(),
+            op.apply_shape(sr, sc),
+            "dst layout shape must equal op(src) shape"
+        );
+        assert!(me < p, "rank {me} outside the {p}-rank layouts");
+        // Send side: for each peer, intersections in (dst rect index,
+        // src rect index) order — the wire order both sides agree on.
+        let sends = (0..p)
+            .map(|peer| {
+                let mut pieces = Vec::new();
+                for dst_rect in dst.owned(peer) {
+                    for (si, src_rect) in src.owned(me).iter().enumerate() {
+                        if let Some(inter_dst) = intersect_in_dst(dst_rect, src_rect, op) {
+                            pieces.push(SendPiece {
+                                si,
+                                src_rect: *src_rect,
+                                inter_dst,
+                            });
+                        }
+                    }
+                }
+                pieces
+            })
+            .collect();
+        // Receive side: the mirror image, per source peer.
+        let recvs = (0..p)
+            .map(|peer| {
+                let mut pieces = Vec::new();
+                for (di, dst_rect) in dst.owned(me).iter().enumerate() {
+                    for src_rect in src.owned(peer) {
+                        if let Some(inter_dst) = intersect_in_dst(dst_rect, src_rect, op) {
+                            pieces.push(RecvPiece { di, inter_dst });
+                        }
+                    }
+                }
+                pieces
+            })
+            .collect();
+        RankRedistPlan {
+            op,
+            nranks: p,
+            src_rects: src.owned(me).to_vec(),
+            dst_rects: dst.owned(me).to_vec(),
+            sends,
+            recvs,
+        }
+    }
+
+    /// Total elements this rank packs (bytes on the wire / element size).
+    pub fn send_elems(&self) -> usize {
+        self.sends
+            .iter()
+            .flatten()
+            .map(|piece| piece.inter_dst.area())
+            .sum()
+    }
+}
+
+/// A full redistribution plan: every rank's [`RankRedistPlan`] for one
+/// `(src, dst, op)` triple. Built once (outside the parallel region, like a
+/// [`Layout`]) and shared by all rank threads.
+#[derive(Clone, Debug)]
+pub struct RedistPlan {
+    per_rank: Vec<RankRedistPlan>,
+}
+
+impl RedistPlan {
+    /// Precomputes the program of every rank.
+    pub fn new(src: &Layout, dst: &Layout, op: GemmOp) -> Self {
+        RedistPlan {
+            per_rank: (0..src.nranks())
+                .map(|me| RankRedistPlan::new(src, dst, op, me))
+                .collect(),
+        }
+    }
+
+    /// Rank `me`'s program.
+    pub fn for_rank(&self, me: usize) -> &RankRedistPlan {
+        &self.per_rank[me]
+    }
+
+    /// Number of ranks the plan spans.
+    pub fn nranks(&self) -> usize {
+        self.per_rank.len()
+    }
+}
+
+/// Executes a precomputed redistribution program. Collective over `comm`
+/// (which must span the plan's rank count); semantically identical to
+/// [`redistribute`] on the layouts the plan was built from, without
+/// recomputing any rectangle intersection.
+///
+/// # Panics
+/// If the local blocks disagree with the plan's source rectangles.
+pub fn redistribute_planned<T: Scalar>(
+    comm: &Comm,
+    ctx: &RankCtx,
+    plan: &RankRedistPlan,
+    src_blocks: &[Mat<T>],
+) -> Vec<Mat<T>> {
+    let p = comm.size();
+    assert_eq!(plan.nranks, p, "plan rank count != communicator size");
+    assert_eq!(
+        src_blocks.len(),
+        plan.src_rects.len(),
+        "one local block per owned src rect required"
+    );
+    for (b, r) in src_blocks.iter().zip(&plan.src_rects) {
+        assert_eq!(b.shape(), (r.rows, r.cols), "local block shape mismatch");
+    }
+
+    // Pack each peer's buffer following the precomputed program.
+    let mut sends: Vec<Vec<T>> = Vec::with_capacity(p);
+    for pieces in &plan.sends {
+        let mut buf = Vec::new();
+        for piece in pieces {
+            pack(
+                &mut buf,
+                &src_blocks[piece.si],
+                &piece.src_rect,
+                &piece.inter_dst,
+                plan.op,
+            );
+        }
+        sends.push(buf);
+    }
+
+    let recvs = alltoallv(comm, ctx, sends);
+
+    // Unpack: mirror of the packing order, per source rank.
+    let mut out: Vec<Mat<T>> = plan
+        .dst_rects
+        .iter()
+        .map(|r| Mat::zeros(r.rows, r.cols))
+        .collect();
+    for (peer, buf) in recvs.iter().enumerate() {
+        let mut pos = 0usize;
+        for piece in &plan.recvs[peer] {
+            pos = unpack(
+                &mut out[piece.di],
+                &plan.dst_rects[piece.di],
+                &piece.inter_dst,
+                buf,
+                pos,
+            );
+        }
+        assert_eq!(pos, buf.len(), "unconsumed bytes from rank {peer}");
+    }
+    out
+}
+
 /// Moves a distributed matrix from `src` (describing `X`) to `dst`
 /// (describing `op(X)`), applying the transpose during packing when
 /// `op == Trans`. Collective over `comm`; every rank passes its local
@@ -14,7 +224,9 @@ use msgpass::{Comm, RankCtx};
 /// its local blocks of the destination layout.
 ///
 /// This is the paper's pack → `MPI_Neighbor_alltoallv` → unpack subroutine
-/// (§III-F); it is deliberately unoptimized, as in the artifact.
+/// (§III-F); it is deliberately unoptimized, as in the artifact. Internally
+/// it builds this rank's [`RankRedistPlan`] on the fly and executes it, so
+/// it is bitwise identical to the planned path.
 ///
 /// # Panics
 /// On shape mismatches between the layouts, the communicator, and the local
@@ -27,70 +239,13 @@ pub fn redistribute<T: Scalar>(
     dst: &Layout,
     op: GemmOp,
 ) -> Vec<Mat<T>> {
-    let p = comm.size();
     assert_eq!(
         src.nranks(),
-        p,
+        comm.size(),
         "src layout rank count != communicator size"
     );
-    assert_eq!(
-        dst.nranks(),
-        p,
-        "dst layout rank count != communicator size"
-    );
-    let (sr, sc) = src.shape();
-    let want_dst = op.apply_shape(sr, sc);
-    assert_eq!(
-        dst.shape(),
-        want_dst,
-        "dst layout shape must equal op(src) shape"
-    );
-    let me = comm.rank();
-    assert_eq!(
-        src_blocks.len(),
-        src.owned(me).len(),
-        "one local block per owned src rect required"
-    );
-    for (b, r) in src_blocks.iter().zip(src.owned(me)) {
-        assert_eq!(b.shape(), (r.rows, r.cols), "local block shape mismatch");
-    }
-
-    // Pack: for each destination rank, the intersections of my src rects
-    // with its dst rects, serialized in (dst rect index, src rect index)
-    // order, each intersection row-major in *destination* coordinates.
-    let mut sends: Vec<Vec<T>> = Vec::with_capacity(p);
-    for peer in 0..p {
-        let mut buf = Vec::new();
-        for dst_rect in dst.owned(peer) {
-            for (si, src_rect) in src.owned(me).iter().enumerate() {
-                if let Some(inter_dst) = intersect_in_dst(dst_rect, src_rect, op) {
-                    pack(&mut buf, &src_blocks[si], src_rect, &inter_dst, op);
-                }
-            }
-        }
-        sends.push(buf);
-    }
-
-    let recvs = alltoallv(comm, ctx, sends);
-
-    // Unpack: mirror of the packing order, per source rank.
-    let mut out: Vec<Mat<T>> = dst
-        .owned(me)
-        .iter()
-        .map(|r| Mat::zeros(r.rows, r.cols))
-        .collect();
-    for (peer, buf) in recvs.iter().enumerate() {
-        let mut pos = 0usize;
-        for (di, dst_rect) in dst.owned(me).iter().enumerate() {
-            for src_rect in src.owned(peer) {
-                if let Some(inter_dst) = intersect_in_dst(dst_rect, src_rect, op) {
-                    pos = unpack(&mut out[di], dst_rect, &inter_dst, buf, pos);
-                }
-            }
-        }
-        assert_eq!(pos, buf.len(), "unconsumed bytes from rank {peer}");
-    }
-    out
+    let plan = RankRedistPlan::new(src, dst, op, comm.rank());
+    redistribute_planned(comm, ctx, &plan, src_blocks)
 }
 
 /// The overlap of a destination rectangle (in `op(X)` coordinates) with a
@@ -286,6 +441,36 @@ mod tests {
             Layout::one_d_row(4, 2, 5),
             GemmOp::NoTrans,
         );
+    }
+
+    #[test]
+    fn planned_path_is_bitwise_identical_to_direct() {
+        // The daemon's plan cache depends on this: a precomputed
+        // RedistPlan must produce exactly the bytes the on-the-fly path
+        // produces, block for block.
+        let (rows, cols, p) = (11, 13, 5);
+        let src = Layout::one_d_col(rows, cols, p);
+        let dst = Layout::two_d_block(cols, rows, 5, 1);
+        let op = GemmOp::Trans;
+        let plan = RedistPlan::new(&src, &dst, op);
+        assert_eq!(plan.nranks(), p);
+        let global = random_mat::<f64>(rows, cols, 99);
+        let direct = World::run(p, |ctx| {
+            let comm = Comm::world(ctx);
+            let mine = src.extract(&global, comm.rank());
+            redistribute(&comm, ctx, &src, &mine, &dst, op)
+        });
+        let planned = World::run(p, |ctx| {
+            let comm = Comm::world(ctx);
+            let mine = src.extract(&global, comm.rank());
+            redistribute_planned(&comm, ctx, plan.for_rank(comm.rank()), &mine)
+        });
+        for (rank, (d, pl)) in direct.iter().zip(&planned).enumerate() {
+            assert_eq!(d.len(), pl.len(), "rank {rank} block count");
+            for (a, b) in d.iter().zip(pl) {
+                assert_eq!(a.as_slice(), b.as_slice(), "rank {rank} differs");
+            }
+        }
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub(crate) mod chan;
 pub mod collectives;
 pub mod comm;
 pub mod metrics;
+pub mod persist;
 pub mod report;
 pub mod sim;
 pub mod trace;
@@ -59,6 +60,7 @@ pub mod world;
 
 pub use comm::{Comm, Payload, RecvReq, ReduceElem, SendReq};
 pub use metrics::{CellCounts, CommMatrix, SizeHistogram};
+pub use persist::{JobPanic, PersistentWorld};
 pub use report::{GatePolicy, ReportDiff, RunReportDoc};
 pub use sim::{SimInfo, SimOptions};
 pub use trace::{CriticalPathReport, KernelSpan, PhaseCritical, Span, SpanKind, Timeline};

@@ -1,0 +1,367 @@
+//! A reusable world: long-lived rank threads that run many jobs.
+//!
+//! [`crate::World::run`] spawns and joins `p` scoped threads per call —
+//! right for tests, wasteful for a daemon that multiplies thousands of
+//! times. A [`PersistentWorld`] spawns its rank workers **once**; each
+//! [`PersistentWorld::run_job`] hands every worker one closure over a fresh
+//! per-job fabric, so jobs are fully isolated from each other (separate
+//! mailboxes, traffic counters, and [`RunReport`]s) while the threads — and
+//! the warmed kernel pool underneath them — persist.
+//!
+//! # Panic containment
+//!
+//! A rank panic inside a job is caught (`catch_unwind`) and surfaced as
+//! [`JobPanic`] instead of crashing the process, and the workers survive to
+//! take the next job. The same caveat as [`crate::World::run`] applies: if
+//! a panic fires on *some* ranks only, the others may block forever waiting
+//! for messages that will never come — so callers (the `ca3dmm-serve`
+//! request path) must validate inputs up front, leaving only
+//! deterministic-across-ranks panics possible inside a job.
+
+use crate::chan::Receiver;
+use crate::comm::Envelope;
+use crate::trace::RawEvent;
+use crate::world::{assemble_report, Fabric, RankCtx, RunOptions, RunReport};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// One rank of one job: runs on the worker thread owning that rank slot.
+type Job = Box<dyn FnOnce() + Send>;
+
+/// What one rank sends back for one job: its closure result plus the trace
+/// stream, clock, and kernel profile the report assembler needs — or the
+/// stringified panic payload.
+type RankOutcome<R> = Result<(R, Vec<RawEvent>, f64, Option<dense::prof::KernelProfile>), String>;
+
+/// A rank panicked inside a [`PersistentWorld::run_job`] job.
+#[derive(Clone, Debug)]
+pub struct JobPanic {
+    /// Lowest-numbered rank that panicked.
+    pub rank: usize,
+    /// Its panic payload, stringified.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} panicked: {}", self.rank, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+struct Worker {
+    tx: mpsc::Sender<Job>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// `p` long-lived rank threads, fed one [`Job`] per rank per
+/// [`PersistentWorld::run_job`]. Dropping the world closes the job channels
+/// and joins the workers.
+pub struct PersistentWorld {
+    p: usize,
+    workers: Vec<Worker>,
+    /// Stack size the workers were built with (per-job options cannot
+    /// change it, so [`PersistentWorld::run_job`] ignores
+    /// [`RunOptions::stack_size`]).
+    stack_size: usize,
+    /// Serializes jobs: two concurrent `run_job` calls on one world would
+    /// interleave their rank closures across the same worker set and
+    /// deadlock. Held for the full duration of a job.
+    gate: Mutex<()>,
+}
+
+impl PersistentWorld {
+    /// Spawns `p` rank workers with the default stack size.
+    pub fn new(p: usize) -> PersistentWorld {
+        PersistentWorld::with_stack_size(p, RunOptions::DEFAULT_STACK_SIZE)
+    }
+
+    /// Spawns `p` rank workers with an explicit per-thread stack size.
+    pub fn with_stack_size(p: usize, stack_size: usize) -> PersistentWorld {
+        assert!(p > 0, "world size must be positive");
+        let stack_size = stack_size.max(64 * 1024);
+        let workers = (0..p)
+            .map(|rank| {
+                let (tx, rx) = mpsc::channel::<Job>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("pworld-rank-{rank}"))
+                    .stack_size(stack_size)
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn persistent rank worker");
+                Worker {
+                    tx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        PersistentWorld {
+            p,
+            workers,
+            stack_size,
+            gate: Mutex::new(()),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// Stack size of the rank workers, bytes.
+    pub fn stack_size(&self) -> usize {
+        self.stack_size
+    }
+
+    /// Runs `f` once per rank over a fresh fabric, like
+    /// [`crate::World::run_opts`], but on the persistent workers. Returns
+    /// the per-rank results in rank order plus the job's own [`RunReport`].
+    ///
+    /// Jobs on one world serialize (an internal gate); give concurrent
+    /// streams their own `PersistentWorld` each. `opts.stack_size` is
+    /// ignored — the workers' stacks were sized at construction.
+    ///
+    /// # Errors
+    /// [`JobPanic`] if any rank's closure panicked; the workers remain
+    /// usable for subsequent jobs.
+    pub fn run_job<R, F>(&self, opts: RunOptions, f: F) -> Result<(Vec<R>, RunReport), JobPanic>
+    where
+        R: Send + 'static,
+        F: Fn(&RankCtx) -> R + Send + Sync + 'static,
+    {
+        let _job = crate::lock_mutex(&self.gate);
+        let p = self.p;
+        let (fabric, receivers) = Fabric::new(p);
+        let epoch = Instant::now();
+        let kernel_threads = opts
+            .kernel_threads_per_rank
+            .map_or_else(|| dense::pool::rank_threads_for(p), |n| n.max(1));
+        let topo_rpn = opts.ranks_per_node;
+        let f = Arc::new(f);
+
+        let (res_tx, res_rx) = mpsc::channel::<(usize, RankOutcome<R>)>();
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let fabric = Arc::clone(&fabric);
+            let f = Arc::clone(&f);
+            let res_tx = res_tx.clone();
+            let job: Job = Box::new(move || {
+                run_rank_job(
+                    rank,
+                    p,
+                    fabric,
+                    rx,
+                    kernel_threads,
+                    opts,
+                    epoch,
+                    topo_rpn,
+                    f,
+                    res_tx,
+                );
+            });
+            self.workers[rank]
+                .tx
+                .send(job)
+                .expect("persistent rank worker died");
+        }
+        drop(res_tx);
+
+        let mut slots: Vec<Option<R>> = (0..p).map(|_| None).collect();
+        let mut streams: Vec<Vec<RawEvent>> = vec![Vec::new(); p];
+        let mut clocks = vec![0.0; p];
+        let mut profiles: Vec<Option<dense::prof::KernelProfile>> = vec![None; p];
+        let mut first_panic: Option<JobPanic> = None;
+        for _ in 0..p {
+            let (rank, out) = res_rx.recv().expect("rank worker dropped its result");
+            match out {
+                Ok((r, events, clock, profile)) => {
+                    slots[rank] = Some(r);
+                    streams[rank] = events;
+                    clocks[rank] = clock;
+                    profiles[rank] = profile;
+                }
+                Err(message) => {
+                    let candidate = JobPanic { rank, message };
+                    if first_panic.as_ref().is_none_or(|p| candidate.rank < p.rank) {
+                        first_panic = Some(candidate);
+                    }
+                }
+            }
+        }
+        if let Some(panic) = first_panic {
+            return Err(panic);
+        }
+        let results: Vec<R> = slots
+            .into_iter()
+            .map(|r| r.expect("every rank reported ok"))
+            .collect();
+        let report = assemble_report(&fabric, opts.trace, epoch, None, streams, clocks, profiles);
+        Ok((results, report))
+    }
+}
+
+impl Drop for PersistentWorld {
+    fn drop(&mut self) {
+        // Closing the channels ends each worker's recv loop.
+        for w in &mut self.workers {
+            let (dead_tx, _) = mpsc::channel();
+            w.tx = dead_tx;
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// One rank's execution of one job, on its worker thread.
+#[allow(clippy::too_many_arguments)]
+fn run_rank_job<R, F>(
+    rank: usize,
+    p: usize,
+    fabric: Arc<Fabric>,
+    rx: Receiver<Envelope>,
+    kernel_threads: usize,
+    opts: RunOptions,
+    epoch: Instant,
+    topo_rpn: Option<usize>,
+    f: Arc<F>,
+    res_tx: mpsc::Sender<(usize, RankOutcome<R>)>,
+) where
+    R: Send + 'static,
+    F: Fn(&RankCtx) -> R + Send + Sync + 'static,
+{
+    // Re-assert the per-job kernel budget every job: the thread persists,
+    // so the cap set by the previous job (possibly a different width) is
+    // still in place.
+    dense::pool::set_rank_gemm_threads(Some(kernel_threads));
+    let prof_on = dense::prof::profiling_enabled();
+    if prof_on {
+        dense::prof::begin_capture();
+    }
+    let out = catch_unwind(AssertUnwindSafe(|| {
+        let ctx = RankCtx::fresh(rank, p, fabric, rx, None, opts.trace, epoch, topo_rpn);
+        let r = f(&ctx);
+        let events = ctx.finish();
+        let clock = ctx.clock_secs();
+        (r, events, clock)
+    }));
+    // Always close the capture so a panicking job cannot leak an open
+    // capture into the next job on this thread.
+    let profile = if prof_on {
+        dense::prof::end_capture()
+    } else {
+        None
+    };
+    let msg = match out {
+        Ok((r, events, clock)) => Ok((r, events, clock, profile)),
+        Err(e) => Err(e
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| e.downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string panic>")
+            .to_owned()),
+    };
+    // The receiver may be gone if the caller bailed early; nothing to do.
+    let _ = res_tx.send((rank, msg));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Comm;
+
+    #[test]
+    fn jobs_reuse_the_same_workers() {
+        let w = PersistentWorld::new(4);
+        let (ids_a, _) = w
+            .run_job(RunOptions::default(), |_ctx| {
+                std::thread::current().name().map(str::to_owned)
+            })
+            .unwrap();
+        let (ids_b, _) = w
+            .run_job(RunOptions::default(), |ctx| {
+                let _ = ctx.world_rank();
+                std::thread::current().name().map(str::to_owned)
+            })
+            .unwrap();
+        assert_eq!(ids_a, ids_b);
+        assert_eq!(ids_a[2].as_deref(), Some("pworld-rank-2"));
+    }
+
+    #[test]
+    fn jobs_communicate_and_report_independently() {
+        let w = PersistentWorld::new(3);
+        for round in 0..3u64 {
+            let (sums, report) = w
+                .run_job(RunOptions::default(), move |ctx| {
+                    ctx.set_phase("ring");
+                    let world = Comm::world(ctx);
+                    let me = world.rank();
+                    let p = world.size();
+                    let payload = vec![round + me as u64];
+                    let got: Vec<u64> =
+                        world.sendrecv(ctx, (me + 1) % p, (me + p - 1) % p, 7, payload);
+                    got[0]
+                })
+                .unwrap();
+            let expect: Vec<u64> = (0..3).map(|me| round + ((me + 2) % 3) as u64).collect();
+            assert_eq!(sums, expect);
+            // each job's report counts only its own traffic: 3 sends of 8 bytes
+            assert_eq!(report.phase_total("ring").msgs, 3);
+            assert_eq!(report.phase_total("ring").bytes, 3 * 8);
+        }
+    }
+
+    #[test]
+    fn panics_are_contained_and_workers_survive() {
+        let w = PersistentWorld::new(2);
+        let err = w
+            .run_job(RunOptions::default(), |_ctx| {
+                panic!("deterministic validation failure");
+            })
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.message.contains("deterministic validation failure"));
+        assert_eq!(err.rank, 0, "lowest panicking rank wins");
+        // the world still works
+        let (vals, _) = w
+            .run_job(RunOptions::default(), |ctx| ctx.world_rank() * 10)
+            .unwrap();
+        assert_eq!(vals, vec![0, 10]);
+    }
+
+    #[test]
+    fn kernel_budget_is_reasserted_per_job() {
+        let w = PersistentWorld::new(2);
+        let opts = RunOptions {
+            kernel_threads_per_rank: Some(3),
+            ..RunOptions::default()
+        };
+        let (widths, _) = w.run_job(opts, |_| dense::pool::gemm_threads()).unwrap();
+        assert_eq!(widths, vec![3, 3]);
+        let (widths, _) = w
+            .run_job(RunOptions::default(), |_| dense::pool::gemm_threads())
+            .unwrap();
+        let expect = dense::pool::rank_threads_for(2);
+        assert_eq!(widths, vec![expect, expect]);
+    }
+
+    #[test]
+    fn traced_jobs_build_timelines() {
+        let w = PersistentWorld::new(2);
+        let (_, report) = w
+            .run_job(RunOptions::traced(), |ctx| {
+                ctx.set_phase("work");
+            })
+            .unwrap();
+        assert_eq!(report.timeline.ranks(), 2);
+        assert!(report.timeline.phase_secs(0, "work") >= 0.0);
+        assert_eq!(report.timeline.phases(), vec!["work".to_owned()]);
+    }
+}

@@ -21,6 +21,27 @@ pub(crate) struct Fabric {
     pub(crate) times: Vec<Mutex<BTreeMap<String, f64>>>,
 }
 
+impl Fabric {
+    /// A fresh `p`-rank fabric plus each rank's receiving end. One fabric
+    /// serves exactly one run (its traffic counters become that run's
+    /// report), so persistent worlds build a new one per job.
+    pub(crate) fn new(p: usize) -> (Arc<Fabric>, Vec<Receiver<Envelope>>) {
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let fabric = Arc::new(Fabric {
+            senders,
+            traffic: (0..p).map(|_| RankTraffic::new(p)).collect(),
+            times: (0..p).map(|_| Mutex::new(BTreeMap::new())).collect(),
+        });
+        (fabric, receivers)
+    }
+}
+
 /// Options for [`World::run_opts`].
 #[derive(Clone, Copy, Debug)]
 pub struct RunOptions {
@@ -206,6 +227,42 @@ pub struct RankCtx {
 }
 
 impl RankCtx {
+    /// Builds one rank's context for one run (or one persistent-world job).
+    /// `epoch` is the shared trace origin; `sim` carries the virtual-time
+    /// parameters (`None` for wall clock).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn fresh(
+        rank: usize,
+        p: usize,
+        fabric: Arc<Fabric>,
+        rx: Receiver<Envelope>,
+        sim: Option<Arc<SimParams>>,
+        trace: bool,
+        epoch: Instant,
+        topo_rpn: Option<usize>,
+    ) -> RankCtx {
+        RankCtx {
+            world_rank: rank,
+            world_size: p,
+            fabric,
+            rx,
+            pending: RefCell::new(Vec::new()),
+            posted: RefCell::new(Vec::new()),
+            post_seq: Cell::new(0),
+            phase: RefCell::new(String::new()),
+            phase_started: Cell::new(Instant::now()),
+            sim,
+            clock: Cell::new(0.0),
+            nic_clock: Cell::new(0.0),
+            phase_started_v: Cell::new(0.0),
+            send_seq: Cell::new(0),
+            ctx_seq: Cell::new(0),
+            recorder: Recorder::new(trace, epoch),
+            coll: Cell::new(None),
+            topo_rpn,
+        }
+    }
+
     /// This rank's index in the world, `0..world_size`.
     pub fn world_rank(&self) -> usize {
         self.world_rank
@@ -261,7 +318,7 @@ impl RankCtx {
 
     /// Final bookkeeping when the rank's closure returns: closes the open
     /// phase (clock and trace span) and hands back the raw event stream.
-    fn finish(&self) -> Vec<RawEvent> {
+    pub(crate) fn finish(&self) -> Vec<RawEvent> {
         assert!(
             self.posted.borrow().is_empty(),
             "rank {} exited with {} posted receive(s) never waited on",
@@ -299,6 +356,11 @@ impl RankCtx {
     /// known.
     pub fn node_of(&self, world_rank: usize) -> Option<usize> {
         self.ranks_per_node().map(|rpn| world_rank / rpn)
+    }
+
+    /// Raw virtual clock value (0.0 in wall-clock runs) — report plumbing.
+    pub(crate) fn clock_secs(&self) -> f64 {
+        self.clock.get()
     }
 
     /// This rank's virtual clock, seconds since run start. `None` in
@@ -483,18 +545,7 @@ impl World {
         F: Fn(&RankCtx) -> R + Sync,
     {
         assert!(p > 0, "world size must be positive");
-        let mut senders = Vec::with_capacity(p);
-        let mut receivers = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = channel();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let fabric = Arc::new(Fabric {
-            senders,
-            traffic: (0..p).map(|_| RankTraffic::new(p)).collect(),
-            times: (0..p).map(|_| Mutex::new(BTreeMap::new())).collect(),
-        });
+        let (fabric, receivers) = Fabric::new(p);
         // One epoch for the whole world so per-rank timestamps are mutually
         // comparable in the merged timeline.
         let epoch = Instant::now();
@@ -536,26 +587,9 @@ impl World {
                             if prof_on {
                                 dense::prof::begin_capture();
                             }
-                            let ctx = RankCtx {
-                                world_rank: rank,
-                                world_size: p,
-                                fabric,
-                                rx,
-                                pending: RefCell::new(Vec::new()),
-                                posted: RefCell::new(Vec::new()),
-                                post_seq: Cell::new(0),
-                                phase: RefCell::new(String::new()),
-                                phase_started: Cell::new(Instant::now()),
-                                sim,
-                                clock: Cell::new(0.0),
-                                nic_clock: Cell::new(0.0),
-                                phase_started_v: Cell::new(0.0),
-                                send_seq: Cell::new(0),
-                                ctx_seq: Cell::new(0),
-                                recorder: Recorder::new(opts.trace, epoch),
-                                coll: Cell::new(None),
-                                topo_rpn,
-                            };
+                            let ctx = RankCtx::fresh(
+                                rank, p, fabric, rx, sim, opts.trace, epoch, topo_rpn,
+                            );
                             let out = f(&ctx);
                             let events = ctx.finish();
                             let profile = if prof_on {
@@ -588,73 +622,87 @@ impl World {
             }
         });
 
-        let mut per_rank = Vec::with_capacity(p);
-        let mut wait_per_rank = Vec::with_capacity(p);
-        let mut matrix = CommMatrix::new(p);
-        let mut hist_by_phase: BTreeMap<String, SizeHistogram> = BTreeMap::new();
-        let mut hist_by_algo: BTreeMap<String, SizeHistogram> = BTreeMap::new();
-        for (rank, t) in fabric.traffic.iter().enumerate() {
-            let st = lock_mutex(&t.stats);
-            per_rank.push(st.by_phase.clone());
-            wait_per_rank.push(st.wait_by_phase.clone());
-            matrix.set_send_row(rank, &st.sent_to);
-            matrix.set_recv_row(rank, &st.recv_from);
-            for (k, h) in &st.hist_by_phase {
-                hist_by_phase.entry(k.clone()).or_default().merge(h);
-            }
-            for (k, h) in &st.hist_by_algo {
-                hist_by_algo.entry(k.clone()).or_default().merge(h);
-            }
+        let report = assemble_report(&fabric, opts.trace, epoch, sim, streams, clocks, profiles);
+        (results, report)
+    }
+}
+
+/// Aggregates one run's fabric counters, raw trace streams, virtual clocks,
+/// and kernel profiles into its [`RunReport`]. Shared by the scoped
+/// [`World::run_inner`] and the job-based [`crate::persist::PersistentWorld`].
+pub(crate) fn assemble_report(
+    fabric: &Fabric,
+    trace: bool,
+    epoch: Instant,
+    sim: Option<Arc<SimParams>>,
+    streams: Vec<Vec<RawEvent>>,
+    clocks: Vec<f64>,
+    profiles: Vec<Option<dense::prof::KernelProfile>>,
+) -> RunReport {
+    let p = fabric.traffic.len();
+    let mut per_rank = Vec::with_capacity(p);
+    let mut wait_per_rank = Vec::with_capacity(p);
+    let mut matrix = CommMatrix::new(p);
+    let mut hist_by_phase: BTreeMap<String, SizeHistogram> = BTreeMap::new();
+    let mut hist_by_algo: BTreeMap<String, SizeHistogram> = BTreeMap::new();
+    for (rank, t) in fabric.traffic.iter().enumerate() {
+        let st = lock_mutex(&t.stats);
+        per_rank.push(st.by_phase.clone());
+        wait_per_rank.push(st.wait_by_phase.clone());
+        matrix.set_send_row(rank, &st.sent_to);
+        matrix.set_recv_row(rank, &st.recv_from);
+        for (k, h) in &st.hist_by_phase {
+            hist_by_phase.entry(k.clone()).or_default().merge(h);
         }
-        let traffic = TrafficReport {
-            per_rank,
-            secs_per_rank: fabric.times.iter().map(|t| lock_mutex(t).clone()).collect(),
-            wait_per_rank,
-            matrix,
-            hist_by_phase,
-            hist_by_algo,
+        for (k, h) in &st.hist_by_algo {
+            hist_by_algo.entry(k.clone()).or_default().merge(h);
+        }
+    }
+    let traffic = TrafficReport {
+        per_rank,
+        secs_per_rank: fabric.times.iter().map(|t| lock_mutex(t).clone()).collect(),
+        wait_per_rank,
+        matrix,
+        hist_by_phase,
+        hist_by_algo,
+    };
+    let timeline = if trace {
+        Timeline::from_raw(streams)
+    } else {
+        Timeline::empty(p)
+    };
+    let sim_info = sim.map(|params| SimInfo {
+        machine: params.machine.clone(),
+        placement: params.placement,
+        execute_compute: params.execute_compute,
+        makespan_secs: clocks.iter().copied().fold(0.0, f64::max),
+    });
+    let compute = if profiles.iter().any(Option::is_some) {
+        // Rebase profiler timestamps (ns since the profiler's process-wide
+        // epoch) onto this run's epoch. The profiler epoch may pre- or
+        // post-date the run epoch depending on which was touched first.
+        let prof_epoch = dense::prof::epoch();
+        let offset = match epoch.checked_duration_since(prof_epoch) {
+            Some(d) => -d.as_secs_f64(),
+            None => prof_epoch.duration_since(epoch).as_secs_f64(),
         };
-        let timeline = if opts.trace {
-            Timeline::from_raw(streams)
-        } else {
-            Timeline::empty(p)
-        };
-        let sim_info = sim.map(|params| SimInfo {
-            machine: params.machine.clone(),
-            placement: params.placement,
-            execute_compute: params.execute_compute,
-            makespan_secs: clocks.iter().copied().fold(0.0, f64::max),
-        });
-        let compute = if profiles.iter().any(Option::is_some) {
-            // Rebase profiler timestamps (ns since the profiler's process-wide
-            // epoch) onto this run's epoch. The profiler epoch may pre- or
-            // post-date the run epoch depending on which was touched first.
-            let prof_epoch = dense::prof::epoch();
-            let offset = match epoch.checked_duration_since(prof_epoch) {
-                Some(d) => -d.as_secs_f64(),
-                None => prof_epoch.duration_since(epoch).as_secs_f64(),
-            };
-            profiles
-                .into_iter()
-                .map(|p| {
-                    p.map(|profile| ComputeProfile {
-                        profile,
-                        epoch_offset_secs: offset,
-                    })
+        profiles
+            .into_iter()
+            .map(|p| {
+                p.map(|profile| ComputeProfile {
+                    profile,
+                    epoch_offset_secs: offset,
                 })
-                .collect()
-        } else {
-            Vec::new()
-        };
-        (
-            results,
-            RunReport {
-                traffic,
-                timeline,
-                sim: sim_info,
-                compute,
-            },
-        )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    RunReport {
+        traffic,
+        timeline,
+        sim: sim_info,
+        compute,
     }
 }
 

@@ -39,6 +39,13 @@ if [ "$SIM_ONLY" = 0 ]; then
   # on the terminal and the committed txt stays free of compiler warnings.
   BENCH_JSON_DIR="$PWD/results" BENCH_SAMPLES="${BENCH_SAMPLES:-5}" \
     cargo bench -q -p bench --bench local_gemm > results/local_gemm.txt
+
+  # Grid-search + serving-plan construction cost -> BENCH_grid_search.json.
+  # The plan_build/ entries record what one ca3dmm-serve cache miss costs
+  # (and therefore what every subsequent hit on that shape saves).
+  echo "== grid_search (BENCH_grid_search.json)"
+  BENCH_JSON_DIR="$PWD/results" BENCH_SAMPLES="${BENCH_SAMPLES:-5}" \
+    cargo bench -q -p bench --bench grid_search > results/grid_search.txt
 fi
 
 # Executed (virtual-time) strong scaling; also refreshes the schema-v2
