@@ -21,10 +21,15 @@
 //! was benchmarked at must carry the complete `t1/t2/t4/tauto` thread-tier
 //! sweep, and every multi-thread tier must record `gflops`, `threads`, and
 //! `scaling_efficiency`. This is what stops the artifact from silently
-//! regressing to t1-only entries again. It also requires at least one
-//! `packed_prof/...` entry whose `prof_overhead_pct` (profiled-vs-unprofiled
-//! cost of the `dense::prof` capture path, measured as interleaved pairs
-//! compared min-to-min so shared-host drift cancels) is finite and below 5%.
+//! regressing to t1-only entries again. Every blocked-kernel entry
+//! (`packed…/`) must also carry a non-empty string `kernel` annotation
+//! naming the dispatched microkernel, and a pinned head-to-head entry
+//! (`packed_avx2/…` etc.) must have an annotation matching its label. It
+//! also requires at least one `packed_prof/...` entry whose
+//! `prof_overhead_pct` (profiled-vs-unprofiled cost of the `dense::prof`
+//! capture path, measured as interleaved pairs compared min-to-min with
+//! adaptive extension so shared-host drift cancels) is finite and below
+//! 5%.
 //!
 //! `--run-report` instead validates a `RunReport` artifact (the
 //! `--report-out` output of the fig/bench bins): schema version, full shape,
@@ -84,6 +89,29 @@ fn validate_gemm_tiers(path: &str, entries: &[Json]) -> Result<(), String> {
     for e in entries {
         let label = e.get("label").and_then(Json::as_str).unwrap_or_default();
         let parts: Vec<&str> = label.split('/').collect();
+        // Every blocked-kernel entry (dispatcher-selected tiers, profiled
+        // runs, and pinned head-to-heads alike) must say which microkernel
+        // ran; a pinned entry's annotation must agree with its label.
+        if let [first, _, _, _] = parts.as_slice() {
+            if let Some(pin) = first.strip_prefix("packed") {
+                let kernel = e.get("kernel").and_then(Json::as_str).unwrap_or_default();
+                if kernel.is_empty() {
+                    return Err(format!(
+                        "{path}: entry {label:?} lacks the \"kernel\" annotation \
+                         (which microkernel was dispatched?)"
+                    ));
+                }
+                match pin.strip_prefix('_') {
+                    Some(pinned) if pinned != "prof" && pinned != kernel => {
+                        return Err(format!(
+                            "{path}: entry {label:?} is pinned to {pinned:?} but its \
+                             kernel annotation says {kernel:?}"
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
         let ["packed", shape, ty, tier] = parts.as_slice() else {
             continue;
         };

@@ -134,6 +134,7 @@ struct Entry {
     stats: Stats,
     gflops: Option<f64>,
     extra: Vec<(String, f64)>,
+    extra_str: Vec<(String, String)>,
 }
 
 impl BenchReport {
@@ -152,6 +153,7 @@ impl BenchReport {
             stats,
             gflops: None,
             extra: Vec::new(),
+            extra_str: Vec::new(),
         });
     }
 
@@ -164,6 +166,7 @@ impl BenchReport {
             stats,
             gflops: Some(gflops),
             extra: Vec::new(),
+            extra_str: Vec::new(),
         });
     }
 
@@ -180,6 +183,20 @@ impl BenchReport {
             .expect("annotate_last requires a previously pushed entry")
             .extra
             .push((key.to_owned(), value));
+    }
+
+    /// Like [`annotate_last`](Self::annotate_last) but for string-valued
+    /// fields — the GEMM bench tags every tier with the dispatched
+    /// microkernel name (`kernel`) this way.
+    ///
+    /// # Panics
+    /// If no entry has been pushed yet.
+    pub fn annotate_last_str(&mut self, key: &str, value: &str) {
+        self.entries
+            .last_mut()
+            .expect("annotate_last_str requires a previously pushed entry")
+            .extra_str
+            .push((key.to_owned(), value.to_owned()));
     }
 
     /// The shared JSON shape (see the type docs).
@@ -203,6 +220,11 @@ impl BenchReport {
                     .extra
                     .iter()
                     .map(|(k, v)| (k.as_str(), Json::Num(*v)))
+                    .chain(
+                        e.extra_str
+                            .iter()
+                            .map(|(k, v)| (k.as_str(), Json::Str(v.clone()))),
+                    )
                     .collect();
                 pairs.extend(extra);
                 Json::obj(pairs)
@@ -292,6 +314,7 @@ mod tests {
         rep.push_throughput("tput", s, 4e9);
         rep.annotate_last("threads", 4.0);
         rep.annotate_last("scaling_efficiency", 0.9);
+        rep.annotate_last_str("kernel", "avx2");
         let text = rep.to_json().to_string_pretty();
         let parsed = Json::parse(&text).expect("report must be valid JSON");
         let Json::Obj(top) = &parsed else {
@@ -309,6 +332,7 @@ mod tests {
         assert_eq!(tput.get("p95_s"), Some(&Json::Num(3.0)));
         assert_eq!(tput.get("threads"), Some(&Json::Num(4.0)));
         assert_eq!(tput.get("scaling_efficiency"), Some(&Json::Num(0.9)));
+        assert_eq!(tput.get("kernel"), Some(&Json::Str("avx2".into())));
     }
 
     #[test]

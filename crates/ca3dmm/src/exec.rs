@@ -210,12 +210,12 @@ impl Ca3dmm {
     }
 
     /// [`Ca3dmm::report_meta`] plus plan-construction provenance: the wall
-    /// seconds the grid search took (`grid_search_secs`) and, when the
-    /// caller ran through a plan cache, whether this run reused a cached
-    /// plan. Kept separate from `report_meta` because timings are
-    /// host-dependent — the deterministic figure artifacts (which CI diffs
-    /// byte-for-byte) must not embed them, while serving reports want them
-    /// front and center.
+    /// seconds the grid search took (`grid_search_secs`), whether this run
+    /// reused a cached plan (when the caller ran through a plan cache), and
+    /// the local-GEMM microkernel the dispatcher selected. Kept separate
+    /// from `report_meta` because these are host-dependent — the
+    /// deterministic figure artifacts (which CI diffs byte-for-byte) must
+    /// not embed them, while serving reports want them front and center.
     pub fn report_meta_serving(&self, name: &str, plan_cached: Option<bool>) -> jsonlite::Json {
         let mut meta = self.report_meta(name);
         if let jsonlite::Json::Obj(m) = &mut meta {
@@ -226,6 +226,10 @@ impl Ca3dmm {
             if let Some(hit) = plan_cached {
                 m.insert("plan_cached".to_owned(), jsonlite::Json::Bool(hit));
             }
+            m.insert(
+                "gemm_kernel".to_owned(),
+                jsonlite::Json::Str(dense::kernel::gemm_kernel().name().to_owned()),
+            );
         }
         meta
     }

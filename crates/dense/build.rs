@@ -1,0 +1,24 @@
+//! Detects whether the compiling rustc can use AVX-512 `target_feature`
+//! attributes and intrinsics (stabilized in Rust 1.89). The workspace MSRV
+//! is older, so the AVX-512 microkernel is compiled only when the toolchain
+//! supports it; on older compilers the dispatcher simply never offers it.
+
+use std::process::Command;
+
+fn rustc_minor() -> Option<u32> {
+    let rustc = std::env::var_os("RUSTC")?;
+    let out = Command::new(rustc).arg("--version").output().ok()?;
+    let text = String::from_utf8(out.stdout).ok()?;
+    // "rustc 1.89.0 (hash date)" / "rustc 1.95.0-nightly (…)"
+    let ver = text.split_whitespace().nth(1)?;
+    let minor = ver.split('.').nth(1)?;
+    minor.parse().ok()
+}
+
+fn main() {
+    println!("cargo:rustc-check-cfg=cfg(dense_avx512)");
+    if rustc_minor().is_some_and(|m| m >= 89) {
+        println!("cargo:rustc-cfg=dense_avx512");
+    }
+    println!("cargo:rerun-if-changed=build.rs");
+}

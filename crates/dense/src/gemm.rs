@@ -11,10 +11,15 @@
 //! loop 5  jc over n in steps of NC      (B slab column panel)
 //! loop 4  pc over k in steps of KC      (depth slab; packs Bp = KC×NC)
 //! loop 3  ic over m in steps of MC      (A block;     packs Ap = MC×KC)
-//! loop 2  jr over NC in steps of NR     (B strip, L1-resident)
-//! loop 1  ir over MC in steps of MR     (microkernel: MR×NR registers)
+//! loop 2  jr over NC in steps of nr     (B strip, L1-resident)
+//! loop 1  ir over MC in steps of mr     (microkernel: mr×nr registers)
 //! ```
 //!
+//! * The `mr×nr` register block is *dispatched at runtime*: the
+//!   [`kernel`](crate::kernel) module selects a portable, AVX2+FMA, or
+//!   AVX-512 microkernel (overridable via `DENSE_GEMM_KERNEL` /
+//!   [`kernel::set_gemm_kernel`]), and the selected kernel's geometry
+//!   parameterizes packing, blocking, and the scratch sizes below.
 //! * Only one `KC×NC` slab of `op(B)` and one `MC×KC` block of
 //!   `alpha·op(A)` are ever packed at a time (see [`pack`](crate::pack)) —
 //!   the packed working set is bounded by the cache-derived blocking, not
@@ -31,31 +36,51 @@
 //!   `set_gemm_threads()` / `DENSE_GEMM_THREADS`, divided per rank by
 //!   `msgpass::World::run` so P ranks do not oversubscribe the host.
 //!
+//! # NUMA-aware packing (first cut)
+//!
+//! The per-thread A-block scratch is always first-touched by the thread
+//! that packs (and then consumes) it, so A pages land on the packing
+//! thread's node by construction. The *shared* B slab is different: its
+//! pages fault on whichever thread writes them first. When
+//! [`tune::numa_packing`] is on (default on multi-node hosts,
+//! `DENSE_GEMM_NUMA=1|0` to force), the slab scratch is grown *without*
+//! pre-faulting, so first touch happens inside the cooperative pack phase
+//! — strips are claimed in chunks by all workers, interleaving the slab's
+//! pages across the participating threads' nodes at chunk granularity.
+//! When off, the submitting thread pre-faults the slab at allocation (the
+//! pre-NUMA placement). Values never change either way — only page
+//! placement does — so the toggle is a strict no-op on single-node hosts.
+//!
 //! Every `C` element is accumulated in the same order regardless of the
 //! thread width — depth slabs arrive in ascending `pc` order, each applied
 //! exactly once per element, and the microkernel sums `l` in order within a
-//! slab — so results are bitwise identical for any thread count (pinned by
-//! tests). `MC` is allowed to shrink with the thread width (for scheduling
-//! grain) precisely because the per-element summation order depends only on
-//! `KC`, never on `MC`/`NC`.
+//! slab — so results are bitwise identical for any thread count *for a
+//! given kernel* (pinned by tests per kernel; kernels differ from each
+//! other by FMA rounding). `MC` is allowed to shrink with the thread width
+//! (for scheduling grain) precisely because the per-element summation
+//! order depends only on `KC`, never on `MC`/`NC`.
 
+use crate::kernel::{self, KernelKind};
 use crate::mat::Mat;
-use crate::pack::{self, MR, NR};
+use crate::pack;
 use crate::pool;
 use crate::prof;
 use crate::scalar::Scalar;
 use crate::tune;
 use std::any::Any;
 use std::cell::RefCell;
+use std::mem::MaybeUninit;
 use std::sync::atomic::Ordering;
 
 std::thread_local! {
     /// Reused packed-B slab buffer for the thread *submitting* a GEMM
     /// (type-erased because `gemm` is generic): steady-state iteration
-    /// (e.g. Cannon shifts) never re-allocates it.
+    /// (e.g. Cannon shifts) never re-allocates it. Held as `MaybeUninit`
+    /// so growth can skip pre-faulting under NUMA-aware packing.
     static BP_SCRATCH: RefCell<Option<Box<dyn Any>>> = const { RefCell::new(None) };
     /// Reused packed-A block buffer, one per participating thread (pool
-    /// workers and submitters alike pack their own A blocks).
+    /// workers and submitters alike pack their own A blocks — each buffer
+    /// is first-touched, and therefore NUMA-placed, by its owning thread).
     static AP_SCRATCH: RefCell<Option<Box<dyn Any>>> = const { RefCell::new(None) };
 }
 
@@ -84,6 +109,43 @@ fn with_scratch<T: Scalar, R>(
             buf.resize(len, T::ZERO);
         }
         f(buf)
+    })
+}
+
+/// Runs `f` with a raw pointer to this thread's reusable B-slab scratch,
+/// grown to at least `len` elements. With `prefault` the grown region is
+/// zeroed on the calling (submitting) thread, faulting its pages here;
+/// without it the memory stays untouched until the pack workers write it
+/// (NUMA first-touch — see the module docs). The pointee is only ever
+/// read after the pack phase has written it, so it is never observed
+/// uninitialized.
+fn with_bp_scratch<T: Scalar, R>(len: usize, prefault: bool, f: impl FnOnce(*mut T) -> R) -> R {
+    BP_SCRATCH.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        if slot
+            .as_mut()
+            .and_then(|b| b.downcast_mut::<Vec<MaybeUninit<T>>>())
+            .is_none()
+        {
+            *slot = Some(Box::new(Vec::<MaybeUninit<T>>::new()));
+        }
+        let buf = slot
+            .as_mut()
+            .and_then(|b| b.downcast_mut::<Vec<MaybeUninit<T>>>())
+            .expect("scratch was just installed for this scalar type");
+        if buf.len() < len {
+            let old = buf.len();
+            buf.reserve(len - old);
+            // SAFETY: capacity was just reserved, and `MaybeUninit<T>` is
+            // valid uninitialized.
+            unsafe { buf.set_len(len) };
+            if prefault {
+                for v in &mut buf[old..] {
+                    *v = MaybeUninit::new(T::ZERO);
+                }
+            }
+        }
+        f(buf.as_mut_ptr().cast::<T>())
     })
 }
 
@@ -143,28 +205,12 @@ impl<T> Clone for SendPtr<T> {
 }
 impl<T> Copy for SendPtr<T> {}
 
-/// The `MR×NR` register block: accumulates
-/// `acc[i][j] += apanel[l][i] * bpanel[l][j]` over the packed slab depth.
-/// Panels are `l`-major (see [`pack`](crate::pack)), so both loads are
-/// contiguous and every loop has a fixed trip count.
-#[inline]
-pub(crate) fn microkernel<T: Scalar>(apanel: &[T], bpanel: &[T], acc: &mut [[T; NR]; MR]) {
-    for (al, bl) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
-        let al: &[T; MR] = al.try_into().expect("A panel is MR-aligned");
-        let bl: &[T; NR] = bl.try_into().expect("B panel is NR-aligned");
-        for i in 0..MR {
-            let ai = al[i];
-            for j in 0..NR {
-                acc[i][j] += ai * bl[j];
-            }
-        }
-    }
-}
-
 /// Loops 2 + 1: multiplies one packed `rows×kk` A block against one packed
 /// `kk×nc_here` B slab and folds the result into the `C` tile at
 /// `(i0, jc)`: `C = beta·C + Ap·Bp` (the caller passes `beta` on the first
 /// depth slab and `1` afterwards, so `beta·C` is applied exactly once).
+/// The register block is `mr×nr` — the geometry of the dispatched `kind`
+/// ([`kernel::microkernel`]), which both panels were packed for.
 ///
 /// # Safety
 /// `c` must point at the start of a `ldc`-pitch row-major matrix with at
@@ -173,6 +219,9 @@ pub(crate) fn microkernel<T: Scalar>(apanel: &[T], bpanel: &[T], acc: &mut [[T; 
 /// runs (the compute phase partitions C into disjoint `MC`-row bands).
 #[allow(clippy::too_many_arguments)]
 unsafe fn macro_kernel<T: Scalar>(
+    kind: KernelKind,
+    mr: usize,
+    nr: usize,
     ap: &[T],
     bp: &[T],
     rows: usize,
@@ -184,28 +233,33 @@ unsafe fn macro_kernel<T: Scalar>(
     i0: usize,
     jc: usize,
 ) {
-    let a_strips = rows.div_ceil(MR);
-    let b_strips = nc_here.div_ceil(NR);
+    let a_strips = rows.div_ceil(mr);
+    let b_strips = nc_here.div_ceil(nr);
+    let tile = mr * nr;
+    // One flat mr×nr accumulator, re-zeroed per register tile. MAX_ACC
+    // bounds every kernel geometry, so this lives on the stack.
+    let mut acc = [T::ZERO; kernel::MAX_ACC];
     for jr in 0..b_strips {
-        let bpanel = &bp[jr * kk * NR..(jr + 1) * kk * NR];
-        let j0 = jr * NR;
-        let cols = NR.min(nc_here - j0);
+        let bpanel = &bp[jr * kk * nr..(jr + 1) * kk * nr];
+        let j0 = jr * nr;
+        let cols = nr.min(nc_here - j0);
         for ir in 0..a_strips {
-            let apanel = &ap[ir * kk * MR..(ir + 1) * kk * MR];
-            let mut acc = [[T::ZERO; NR]; MR];
-            microkernel(apanel, bpanel, &mut acc);
+            let apanel = &ap[ir * kk * mr..(ir + 1) * kk * mr];
+            acc[..tile].fill(T::ZERO);
+            kernel::microkernel(kind, apanel, bpanel, kk, &mut acc[..tile]);
             // Clipped store: the zero-padded panels make the kernel
             // edge-free; partial blocks are trimmed only here.
-            let r0 = ir * MR;
-            let rows_here = MR.min(rows - r0);
-            for (i, acc_row) in acc.iter().enumerate().take(rows_here) {
+            let r0 = ir * mr;
+            let rows_here = mr.min(rows - r0);
+            for i in 0..rows_here {
+                let acc_row = &acc[i * nr..i * nr + cols];
                 // SAFETY: rows i0+r0+i < i0+rows and cols jc+j0 .. +cols
                 // <= jc+nc_here are inside C and owned by this tile.
                 let dst = unsafe {
                     std::slice::from_raw_parts_mut(c.get().add((i0 + r0 + i) * ldc + jc + j0), cols)
                 };
                 if beta == T::ZERO {
-                    dst.copy_from_slice(&acc_row[..cols]);
+                    dst.copy_from_slice(acc_row);
                 } else if beta == T::ONE {
                     for (d, s) in dst.iter_mut().zip(acc_row) {
                         *d += *s;
@@ -238,12 +292,12 @@ fn scale_in_place<T: Scalar>(c: &mut Mat<T>, beta: T) {
 /// (dynamic chunk scheduling needs slack to balance). Safe to vary freely:
 /// the per-element summation order depends only on `KC`, so results stay
 /// bitwise identical across widths (and across the `MC` values they pick).
-fn effective_mc(mc: usize, m: usize, width: usize) -> usize {
+fn effective_mc(mc: usize, m: usize, width: usize, mr: usize) -> usize {
     if width <= 1 {
         return mc;
     }
-    let cap = m.div_ceil(3 * width).next_multiple_of(MR);
-    mc.min(cap).max(MR)
+    let cap = m.div_ceil(3 * width).next_multiple_of(mr);
+    mc.min(cap).max(mr)
 }
 
 /// The floating-point operation count of one `m×k · k×n` GEMM — the
@@ -291,7 +345,9 @@ pub fn gemm<T: Scalar>(
         return;
     }
 
-    let bl = tune::blocking::<T>();
+    let kind = kernel::gemm_kernel_for::<T>();
+    let (mr, nr) = kind.geom(std::mem::size_of::<T>());
+    let bl = tune::blocking_for::<T>(kind);
     let width = if m.saturating_mul(n).saturating_mul(k).saturating_mul(2) < PARALLEL_FLOP_CUTOFF {
         1
     } else {
@@ -299,7 +355,7 @@ pub fn gemm<T: Scalar>(
     };
     let kc = bl.kc;
     let nc = bl.nc;
-    let mc = effective_mc(bl.mc, m, width);
+    let mc = effective_mc(bl.mc, m, width, mr);
     let tiles = m.div_ceil(mc);
     let ldc = n;
     let c_ptr = SendPtr(c.as_mut_slice().as_mut_ptr());
@@ -312,14 +368,17 @@ pub fn gemm<T: Scalar>(
     let elem = std::mem::size_of::<T>();
 
     // Largest B slab this call packs; grown once, reused across slabs and
-    // across calls via the thread-local scratch.
-    let bp_cap = nc.min(n.next_multiple_of(NR)) * kc.min(k);
-    with_scratch(&BP_SCRATCH, bp_cap, |bp: &mut Vec<T>| {
-        let bp_ptr = SendPtr(bp.as_mut_ptr());
+    // across calls via the thread-local scratch. The padded-strip count
+    // must round *up* to nr: an override blocking's nc need not be a
+    // multiple of the dispatched kernel's nr.
+    let bp_cap = nc.min(n).next_multiple_of(nr) * kc.min(k);
+    let prefault = !tune::numa_packing();
+    with_bp_scratch(bp_cap, prefault, |bp_raw: *mut T| {
+        let bp_ptr = SendPtr(bp_raw);
         let mut jc = 0;
         while jc < n {
             let nc_here = nc.min(n - jc);
-            let b_strips = nc_here.div_ceil(NR);
+            let b_strips = nc_here.div_ceil(nr);
             let mut pc = 0;
             let mut slab = 0usize;
             while pc < k {
@@ -329,6 +388,8 @@ pub fn gemm<T: Scalar>(
                 // Loop 4 prologue: pack Bp = op(B)[pc.., jc..] (KC×NC)
                 // cooperatively — strips are independent, zero-padded by
                 // the packer, and land in disjoint regions of the slab.
+                // Under NUMA-aware packing this is also where the slab's
+                // pages are first touched, by the claiming workers.
                 let strip_group = b_strips.div_ceil(4 * width).max(1);
                 let pack_chunks = b_strips.div_ceil(strip_group);
                 pool::parallel_chunks(width, pack_chunks, &move |chunk| {
@@ -336,24 +397,25 @@ pub fn gemm<T: Scalar>(
                     let t0 = chunk * strip_group;
                     let t1 = (t0 + strip_group).min(b_strips);
                     for t in t0..t1 {
-                        // SAFETY: strip t owns bp[t*kc_here*NR ..
-                        // (t+1)*kc_here*NR); strips are disjoint and the
-                        // buffer holds b_strips*kc_here*NR <= bp_cap
+                        // SAFETY: strip t owns bp[t*kc_here*nr ..
+                        // (t+1)*kc_here*nr); strips are disjoint and the
+                        // buffer holds b_strips*kc_here*nr <= bp_cap
                         // elements.
                         let strip = unsafe {
                             std::slice::from_raw_parts_mut(
-                                bp_ptr.get().add(t * kc_here * NR),
-                                kc_here * NR,
+                                bp_ptr.get().add(t * kc_here * nr),
+                                kc_here * nr,
                             )
                         };
-                        let j0 = t * NR;
+                        let j0 = t * nr;
                         pack::pack_b_strip_into(
                             op_b,
                             b,
                             pc,
                             jc + j0,
                             kc_here,
-                            NR.min(nc_here - j0),
+                            nr.min(nc_here - j0),
+                            nr,
                             strip,
                         );
                     }
@@ -361,7 +423,7 @@ pub fn gemm<T: Scalar>(
                         let p1 = prof::now_ns();
                         cp.pack_b_ns.fetch_add(p1 - p0, Ordering::Relaxed);
                         cp.pack_bytes
-                            .fetch_add(((t1 - t0) * kc_here * NR * elem) as u64, Ordering::Relaxed);
+                            .fetch_add(((t1 - t0) * kc_here * nr * elem) as u64, Ordering::Relaxed);
                         prof::record_span(&cp.inner, prof::SpanPhase::PackB, p0, p1);
                     }
                 });
@@ -369,11 +431,17 @@ pub fn gemm<T: Scalar>(
                 // Loop 3: claim (jc, ic) macro-tiles dynamically; each
                 // tile packs its own A block into per-thread scratch and
                 // folds Ap·Bp into its private MC-row band of C.
-                let bp_view: &[T] = &bp[..b_strips * kc_here * NR];
+                // SAFETY: the pack phase above fully wrote (and therefore
+                // initialized) exactly this prefix of the slab scratch,
+                // and the barrier at the end of parallel_chunks makes
+                // those writes visible here.
+                let bp_view: &[T] = unsafe {
+                    std::slice::from_raw_parts(bp_ptr.get() as *const T, b_strips * kc_here * nr)
+                };
                 pool::parallel_chunks(width, tiles, &move |tile| {
                     let i0 = tile * mc;
                     let rows = mc.min(m - i0);
-                    let ap_len = rows.div_ceil(MR) * kc_here * MR;
+                    let ap_len = rows.div_ceil(mr) * kc_here * mr;
                     with_scratch(&AP_SCRATCH, ap_len, |ap: &mut Vec<T>| {
                         let prof_t0 = cpr.map(|_| prof::now_ns());
                         pack::pack_a_block_into(
@@ -384,6 +452,7 @@ pub fn gemm<T: Scalar>(
                             pc,
                             rows,
                             kc_here,
+                            mr,
                             &mut ap[..ap_len],
                         );
                         let prof_t1 = cpr.map(|cp| {
@@ -401,6 +470,9 @@ pub fn gemm<T: Scalar>(
                         // contract.
                         unsafe {
                             macro_kernel(
+                                kind,
+                                mr,
+                                nr,
                                 &ap[..ap_len],
                                 bp_view,
                                 rows,
@@ -433,14 +505,15 @@ pub fn gemm<T: Scalar>(
         // at most one padded KC×NC B slab plus `tiles` padded MC×KC A
         // blocks. Measured pack traffic must stay ≤ this.
         let slabs = n.div_ceil(nc) * k.div_ceil(kc);
-        let per_slab = kc.min(k) * nc.min(n.next_multiple_of(NR))
-            + tiles * mc.next_multiple_of(MR) * kc.min(k);
+        let per_slab = kc.min(k) * nc.min(n).next_multiple_of(nr)
+            + tiles * mc.next_multiple_of(mr) * kc.min(k);
         prof::call_end(
             cp,
             width,
             gemm_flops(m, n, k),
             (slabs * per_slab * elem) as u64,
             elem,
+            kind,
         );
     }
 }
@@ -563,6 +636,7 @@ pub fn gemm_naive<T: Scalar>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pack::{MR, NR};
     use crate::random::fill_random;
     use crate::tune::{set_gemm_blocking, Blocking};
 
@@ -717,20 +791,24 @@ mod tests {
     #[test]
     fn effective_mc_preserves_grain_and_alignment() {
         // Serial keeps the tuned value; parallel shrinks to >= 3 tiles per
-        // thread, MR-aligned, never below MR.
-        assert_eq!(effective_mc(512, 1024, 1), 512);
-        let mc4 = effective_mc(512, 1024, 4);
+        // thread, mr-aligned, never below mr.
+        assert_eq!(effective_mc(512, 1024, 1, MR), 512);
+        let mc4 = effective_mc(512, 1024, 4, MR);
         assert!(mc4 <= 512 && mc4.is_multiple_of(MR));
         assert!(1024usize.div_ceil(mc4) >= 3 * 4);
-        assert_eq!(effective_mc(512, 2, 8), MR);
+        assert_eq!(effective_mc(512, 2, 8, MR), MR);
+        // Wider-mr kernels keep their own alignment.
+        assert_eq!(effective_mc(512, 2, 8, 12), 12);
+        assert!(effective_mc(512, 1024, 4, 6).is_multiple_of(6));
     }
 
     #[test]
-    fn forced_parallel_width_matches_serial() {
-        // Pin a width wider than the host and a small blocking so the pool
-        // path and several cache blocks really engage, then check bitwise
-        // equality against width 1. (The matrix clears the parallel flop
-        // cutoff.)
+    fn forced_parallel_width_matches_serial_per_kernel() {
+        // For EVERY available kernel: pin a width wider than the host and a
+        // small blocking so the pool path and several cache blocks really
+        // engage, then check bitwise equality against width 1. (The matrix
+        // clears the parallel flop cutoff.) This is the per-kernel
+        // thread-width determinism contract from the module docs.
         set_gemm_blocking(Some(Blocking {
             mc: 32,
             kc: 16,
@@ -738,18 +816,91 @@ mod tests {
         }));
         let mut a = Mat::<f64>::zeros(130, 70);
         let mut b = Mat::<f64>::zeros(70, 90);
-        let mut c1 = Mat::<f64>::zeros(130, 90);
+        let mut c0 = Mat::<f64>::zeros(130, 90);
         fill_random(&mut a, 11);
         fill_random(&mut b, 12);
-        fill_random(&mut c1, 13);
-        let mut c4 = c1.clone();
+        fill_random(&mut c0, 13);
 
-        crate::pool::set_rank_gemm_threads(Some(1));
-        gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.5, &a, &b, 0.5, &mut c1);
-        crate::pool::set_rank_gemm_threads(Some(4));
-        gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.5, &a, &b, 0.5, &mut c4);
-        crate::pool::set_rank_gemm_threads(None);
+        for kind in KernelKind::ALL {
+            if !kind.available() {
+                continue;
+            }
+            kernel::set_gemm_kernel(Some(kind));
+            let mut c1 = c0.clone();
+            let mut c4 = c0.clone();
+            crate::pool::set_rank_gemm_threads(Some(1));
+            gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.5, &a, &b, 0.5, &mut c1);
+            crate::pool::set_rank_gemm_threads(Some(4));
+            gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.5, &a, &b, 0.5, &mut c4);
+            crate::pool::set_rank_gemm_threads(None);
+            assert_eq!(
+                c1.as_slice(),
+                c4.as_slice(),
+                "thread width changed bits under {} kernel",
+                kind.name()
+            );
+        }
+        kernel::set_gemm_kernel(None);
         set_gemm_blocking(None);
-        assert_eq!(c1.as_slice(), c4.as_slice(), "thread width changed bits");
+    }
+
+    #[test]
+    fn all_kernels_match_naive() {
+        // Odd shapes exercise ragged mr/nr tails of every geometry.
+        let mut a = Mat::<f64>::zeros(29, 31);
+        let mut b = Mat::<f64>::zeros(31, 37);
+        let mut c_ref = Mat::<f64>::zeros(29, 37);
+        fill_random(&mut a, 21);
+        fill_random(&mut b, 22);
+        gemm_naive(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c_ref,
+        );
+        for kind in KernelKind::ALL {
+            if !kind.available() {
+                continue;
+            }
+            kernel::set_gemm_kernel(Some(kind));
+            let mut c = Mat::<f64>::zeros(29, 37);
+            gemm(GemmOp::NoTrans, GemmOp::NoTrans, 1.0, &a, &b, 0.0, &mut c);
+            assert!(
+                c.max_abs_diff(&c_ref) < 1e-11,
+                "{} kernel diverged from naive",
+                kind.name()
+            );
+        }
+        kernel::set_gemm_kernel(None);
+    }
+
+    #[test]
+    fn bp_scratch_grows_with_and_without_prefault() {
+        // Each arm runs on a fresh thread so its thread-local scratch
+        // starts empty and the growth path really executes. Values written
+        // through the pointer must read back identically either way —
+        // prefault is a page-placement knob, not a semantic one.
+        for prefault in [true, false] {
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    with_bp_scratch(257, prefault, |p: *mut f64| {
+                        for i in 0..257 {
+                            unsafe { p.add(i).write(i as f64) };
+                        }
+                    });
+                    // Re-entry reuses (and may grow) the same buffer.
+                    with_bp_scratch(1024, prefault, |p: *mut f64| {
+                        for i in 0..257 {
+                            assert_eq!(unsafe { p.add(i).read() }, i as f64);
+                        }
+                        unsafe { p.add(1023).write(-1.0) };
+                        assert_eq!(unsafe { p.add(1023).read() }, -1.0);
+                    });
+                });
+            });
+        }
     }
 }

@@ -11,11 +11,20 @@
 //!   the persistent [`pool`] worker threads, plus a naive reference kernel
 //!   used to validate it and the frozen pre-packing kernel
 //!   ([`gemm::gemm_unpacked`]) used as the before/after benchmark baseline;
+//! * [`kernel`] — the runtime-dispatched `mr×nr` register microkernels:
+//!   a portable fallback plus AVX2+FMA and AVX-512 intrinsics kernels
+//!   (wider `MR` on the f32 AVX-512 path), selected once per process from
+//!   the CPUID probe (overridable via `DENSE_GEMM_KERNEL=portable|avx2|
+//!   avx512` or [`kernel::set_gemm_kernel`]);
 //! * [`pack`] — operand packing into microkernel panels (where transposes
-//!   and `alpha` are absorbed);
+//!   and `alpha` are absorbed; panel geometry follows the dispatched
+//!   kernel);
 //! * [`tune`] — the one-shot runtime autotuner that derives the KC/MC/NC
-//!   cache blocking from sysfs cache topology (overridable via
-//!   `DENSE_GEMM_TUNE=mc:kc:nc` or [`tune::set_gemm_blocking`]);
+//!   cache blocking from sysfs cache topology *per kernel geometry*
+//!   (overridable via `DENSE_GEMM_TUNE=mc:kc:nc` or
+//!   [`tune::set_gemm_blocking`]), probes each kernel's single-core peak
+//!   for the roofline, and decides NUMA-aware packing
+//!   ([`tune::numa_packing`], `DENSE_GEMM_NUMA`);
 //! * [`pool`] — the lazy global worker pool and the kernel-thread knobs
 //!   (`DENSE_GEMM_THREADS`, [`pool::set_gemm_threads`], and the per-rank cap
 //!   `msgpass::World::run` applies via [`pool::set_rank_gemm_threads`]);
@@ -35,6 +44,7 @@
 //!   serial references.
 
 pub mod gemm;
+pub mod kernel;
 pub mod linalg;
 pub mod mat;
 pub mod pack;
@@ -47,9 +57,13 @@ pub mod testing;
 pub mod tune;
 
 pub use gemm::{gemm, gemm_naive, gemm_unpacked, GemmOp};
+pub use kernel::{gemm_kernel, set_gemm_kernel, KernelKind};
 pub use mat::Mat;
 pub use part::{split_even, Rect};
 pub use pool::{gemm_threads, set_gemm_threads};
 pub use prof::{profiling_enabled, set_gemm_profiling, KernelProfile, PoolTelemetry, ProfSpan};
 pub use scalar::Scalar;
-pub use tune::{probed_peak_gflops, set_gemm_blocking, Blocking};
+pub use tune::{
+    numa_nodes, numa_packing, probed_peak_gflops, probed_peak_gflops_for, set_gemm_blocking,
+    Blocking,
+};

@@ -25,33 +25,44 @@
 //! packers ([`pack_a`] / [`pack_b`]) remain as the degenerate one-block
 //! case for tests and callers that want the full panels.
 //!
-//! Panel layouts (`kk` is the packed depth of the slab):
+//! Since the dispatched-microkernel rewrite the panel geometry is a
+//! *runtime parameter*: the block/strip packers take the `mr`/`nr` of the
+//! [`kernel`](crate::kernel) selected for the call, because each kernel
+//! has its own register-block shape. The [`MR`]/[`NR`] constants remain as
+//! the portable kernel's geometry (and the whole-operand packers' fixed
+//! shape).
 //!
-//! * packed A block: strip `s` holds rows `s*MR .. s*MR+MR` of the block,
-//!   stored `l`-major — element `(i, l)` of the strip at `(s*kk + l)*MR + i`;
-//! * packed B slab: strip `t` holds columns `t*NR .. t*NR+NR` of the slab,
-//!   stored `l`-major — element `(l, j)` of the strip at `(t*kk + l)*NR + j`.
+//! Panel layouts (`kk` is the packed depth of the slab, `mr`/`nr` the
+//! selected kernel's register-block shape):
 //!
-//! Both loads in the microkernel are therefore contiguous `MR`- and
-//! `NR`-wide runs advancing together down `l`.
+//! * packed A block: strip `s` holds rows `s*mr .. s*mr+mr` of the block,
+//!   stored `l`-major — element `(i, l)` of the strip at `(s*kk + l)*mr + i`;
+//! * packed B slab: strip `t` holds columns `t*nr .. t*nr+nr` of the slab,
+//!   stored `l`-major — element `(l, j)` of the strip at `(t*kk + l)*nr + j`.
+//!
+//! Both loads in the microkernel are therefore contiguous `mr`- and
+//! `nr`-wide runs advancing together down `l`.
 
 use crate::gemm::GemmOp;
 use crate::mat::Mat;
 use crate::scalar::Scalar;
 
-/// Rows per A panel strip (microkernel register-block height).
+/// Rows per A panel strip for the *portable* kernel (and the whole-operand
+/// packers). The block/strip packers take the selected kernel's `mr`
+/// instead — see [`kernel::KernelKind::geom`](crate::kernel::KernelKind::geom).
 pub const MR: usize = 4;
-/// Columns per B panel strip (microkernel register-block width).
+/// Columns per B panel strip for the *portable* kernel.
 ///
 /// `4×16` keeps the f64 accumulator block at eight 512-bit registers (or
 /// sixteen 256-bit ones) — the widest shape that stays fully enregistered
-/// on x86-64; anything larger spills and collapses throughput.
+/// on x86-64 when the autovectorizer carries the tile; the intrinsics
+/// kernels use their own shapes.
 pub const NR: usize = 16;
 
 /// Packs the `rows × kk` block of `alpha * op(A)` starting at row `i0`,
-/// depth `p0`, into MR-row panels in `buf`.
+/// depth `p0`, into `mr`-row panels in `buf`.
 ///
-/// `buf` must hold exactly `rows.div_ceil(MR) * kk * MR` elements; every
+/// `buf` must hold exactly `rows.div_ceil(mr) * kk * mr` elements; every
 /// element is written (rows beyond `rows` are zeroed), so the buffer needs
 /// no pre-clearing.
 #[allow(clippy::too_many_arguments)]
@@ -63,37 +74,38 @@ pub fn pack_a_block_into<T: Scalar>(
     p0: usize,
     rows: usize,
     kk: usize,
+    mr: usize,
     buf: &mut [T],
 ) {
-    let strips = rows.div_ceil(MR);
-    assert_eq!(buf.len(), strips * kk * MR, "A pack buffer size mismatch");
+    let strips = rows.div_ceil(mr);
+    assert_eq!(buf.len(), strips * kk * mr, "A pack buffer size mismatch");
     let ld = a.cols();
     let src = a.as_slice();
     for s in 0..strips {
-        let r0 = s * MR;
-        let rows_here = MR.min(rows - r0);
-        let panel = &mut buf[s * kk * MR..(s + 1) * kk * MR];
-        if rows_here < MR {
+        let r0 = s * mr;
+        let rows_here = mr.min(rows - r0);
+        let panel = &mut buf[s * kk * mr..(s + 1) * kk * mr];
+        if rows_here < mr {
             panel.fill(T::ZERO);
         }
         match op {
-            // op(A)[i][l] = a[i][l]: gather MR rows, interleaving them
+            // op(A)[i][l] = a[i][l]: gather mr rows, interleaving them
             // l-major.
             GemmOp::NoTrans => {
                 for di in 0..rows_here {
                     let row = &src[(i0 + r0 + di) * ld + p0..(i0 + r0 + di) * ld + p0 + kk];
                     for (l, &v) in row.iter().enumerate() {
-                        panel[l * MR + di] = alpha * v;
+                        panel[l * mr + di] = alpha * v;
                     }
                 }
             }
             // op(A)[i][l] = a[l][i] (a stored k × m): each source row l
-            // already holds the MR destination values contiguously.
+            // already holds the mr destination values contiguously.
             GemmOp::Trans => {
                 for l in 0..kk {
                     let run = &src[(p0 + l) * ld + i0 + r0..(p0 + l) * ld + i0 + r0 + rows_here];
                     for (di, &v) in run.iter().enumerate() {
-                        panel[l * MR + di] = alpha * v;
+                        panel[l * mr + di] = alpha * v;
                     }
                 }
             }
@@ -101,12 +113,13 @@ pub fn pack_a_block_into<T: Scalar>(
     }
 }
 
-/// Packs one `kk × NR` strip of `op(B)` — columns `j0 .. j0+cols_here`,
-/// depth `p0 .. p0+kk` — into `buf` (`kk * NR` elements, `l`-major).
+/// Packs one `kk × nr` strip of `op(B)` — columns `j0 .. j0+cols_here`,
+/// depth `p0 .. p0+kk` — into `buf` (`kk * nr` elements, `l`-major).
 ///
 /// Every element is written (columns beyond `cols_here` are zeroed), so
 /// strips can be packed independently — and therefore in parallel — into
 /// disjoint regions of one slab buffer.
+#[allow(clippy::too_many_arguments)]
 pub fn pack_b_strip_into<T: Scalar>(
     op: GemmOp,
     b: &Mat<T>,
@@ -114,32 +127,33 @@ pub fn pack_b_strip_into<T: Scalar>(
     j0: usize,
     kk: usize,
     cols_here: usize,
+    nr: usize,
     buf: &mut [T],
 ) {
-    assert_eq!(buf.len(), kk * NR, "B strip buffer size mismatch");
+    assert_eq!(buf.len(), kk * nr, "B strip buffer size mismatch");
     let ld = b.cols();
     let src = b.as_slice();
     match op {
-        // op(B)[l][j] = b[l][j]: each source row l holds the NR destination
+        // op(B)[l][j] = b[l][j]: each source row l holds the nr destination
         // values contiguously.
         GemmOp::NoTrans => {
             for l in 0..kk {
                 let run = &src[(p0 + l) * ld + j0..(p0 + l) * ld + j0 + cols_here];
-                let dst = &mut buf[l * NR..(l + 1) * NR];
+                let dst = &mut buf[l * nr..(l + 1) * nr];
                 dst[..cols_here].copy_from_slice(run);
                 dst[cols_here..].fill(T::ZERO);
             }
         }
-        // op(B)[l][j] = b[j][l] (b stored n × k): gather NR rows,
+        // op(B)[l][j] = b[j][l] (b stored n × k): gather nr rows,
         // interleaving them l-major.
         GemmOp::Trans => {
-            if cols_here < NR {
+            if cols_here < nr {
                 buf.fill(T::ZERO);
             }
             for dj in 0..cols_here {
                 let row = &src[(j0 + dj) * ld + p0..(j0 + dj) * ld + p0 + kk];
                 for (l, &v) in row.iter().enumerate() {
-                    buf[l * NR + dj] = v;
+                    buf[l * nr + dj] = v;
                 }
             }
         }
@@ -170,7 +184,7 @@ pub fn pack_a_into<T: Scalar>(
     let size = m.div_ceil(MR) * k * MR;
     buf.clear();
     buf.resize(size, T::ZERO);
-    pack_a_block_into(op, alpha, a, 0, 0, m, k, buf);
+    pack_a_block_into(op, alpha, a, 0, 0, m, k, MR, buf);
 }
 
 /// Packs all of `op(B)` (`k × n` after the op) into NR-column panels.
@@ -200,6 +214,7 @@ pub fn pack_b_into<T: Scalar>(op: GemmOp, b: &Mat<T>, k: usize, n: usize, buf: &
             j0,
             k,
             cols_here,
+            NR,
             &mut buf[t * k * NR..(t + 1) * k * NR],
         );
     }
@@ -295,7 +310,7 @@ mod tests {
                 GemmOp::Trans => Mat::from_fn(k, m, |i, j| (j * 31 + i) as f64),
             };
             let mut buf = vec![9.0; rows.div_ceil(MR) * kk * MR];
-            pack_a_block_into(op, 2.0, &a, i0, p0, rows, kk, &mut buf);
+            pack_a_block_into(op, 2.0, &a, i0, p0, rows, kk, MR, &mut buf);
             for s in 0..rows.div_ceil(MR) {
                 for l in 0..kk {
                     for di in 0..MR {
@@ -315,6 +330,44 @@ mod tests {
         }
     }
 
+    /// The packers honor a non-default (runtime) kernel geometry: layout
+    /// and zero-padding follow the passed `mr`/`nr`, not the constants.
+    #[test]
+    fn pack_with_runtime_geometry() {
+        let (mr, nr) = (6usize, 12usize);
+        // A: mr+2 rows -> one full strip + a 2-row tail strip.
+        let (rows, kk) = (mr + 2, 5usize);
+        let a = Mat::from_fn(rows, kk, |i, j| (i * 10 + j) as f64);
+        let mut abuf = vec![9.0; rows.div_ceil(mr) * kk * mr];
+        pack_a_block_into(GemmOp::NoTrans, 1.0, &a, 0, 0, rows, kk, mr, &mut abuf);
+        for s in 0..rows.div_ceil(mr) {
+            for l in 0..kk {
+                for di in 0..mr {
+                    let want = if s * mr + di < rows {
+                        ((s * mr + di) * 10 + l) as f64
+                    } else {
+                        0.0
+                    };
+                    assert_eq!(abuf[(s * kk + l) * mr + di], want, "s={s} l={l} i={di}");
+                }
+            }
+        }
+        // B: a ragged strip of 7 of nr=12 columns.
+        let b = Mat::from_fn(kk, nr + 7, |i, j| (i * 100 + j) as f64);
+        let mut bbuf = vec![7.0; kk * nr];
+        pack_b_strip_into(GemmOp::NoTrans, &b, 0, nr, kk, 7, nr, &mut bbuf);
+        for l in 0..kk {
+            for dj in 0..nr {
+                let want = if dj < 7 {
+                    (l * 100 + nr + dj) as f64
+                } else {
+                    0.0
+                };
+                assert_eq!(bbuf[l * nr + dj], want, "l={l} j={dj}");
+            }
+        }
+    }
+
     /// Strip packing at an interior (p0, j0) offset, including the padded
     /// ragged-tail case, for both ops.
     #[test]
@@ -328,7 +381,7 @@ mod tests {
             };
             for (j0, cols_here) in [(NR, NR), (2 * NR, 5)] {
                 let mut buf = vec![7.0; kk * NR];
-                pack_b_strip_into(op, &b, p0, j0, kk, cols_here, &mut buf);
+                pack_b_strip_into(op, &b, p0, j0, kk, cols_here, NR, &mut buf);
                 for l in 0..kk {
                     for dj in 0..NR {
                         let want = if dj < cols_here {

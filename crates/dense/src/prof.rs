@@ -47,10 +47,14 @@
 //! The profile compares achieved arithmetic throughput
 //! (`flops / compute_secs`, a *per-busy-core* rate) against
 //! [`tune::probed_peak_gflops`](crate::tune::probed_peak_gflops) — the
-//! measured single-core rate of the same `MR×NR` register microkernel on
-//! L1-resident panels — and measured pack traffic against the analytic
-//! `O(MC·KC + KC·NC)` packed-working-set bound of the five-loop design.
+//! measured single-core rate of *the dispatched* `mr×nr` register
+//! microkernel on L1-resident panels (the profile records which kernel ran,
+//! and the peak is probed per kernel, so roofline percentages stay ≤ 100%
+//! whichever kernel the dispatcher picked) — and measured pack traffic
+//! against the analytic `O(MC·KC + KC·NC)` packed-working-set bound of the
+//! five-loop design.
 
+use crate::kernel::{self, KernelKind};
 use crate::tune;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -261,6 +265,9 @@ struct Totals {
     pack_bound_bytes: u64,
     max_width: usize,
     elem_bytes: usize,
+    /// The microkernel the folded calls dispatched to (last one wins; a
+    /// capture normally runs a single kernel).
+    kernel: Option<KernelKind>,
 }
 
 struct CaptureState {
@@ -407,7 +414,11 @@ pub fn end_capture() -> Option<KernelProfile> {
         } else {
             0.0
         },
-        peak_gflops: tune::probed_peak_gflops_for_elem(t.elem_bytes),
+        kernel: t.kernel.unwrap_or_else(kernel::gemm_kernel).name(),
+        peak_gflops: tune::probed_peak_gflops_for_elem_kind(
+            t.elem_bytes,
+            t.kernel.unwrap_or_else(kernel::gemm_kernel),
+        ),
         max_width: t.max_width,
         imbalance,
         coverage,
@@ -450,6 +461,7 @@ pub(crate) fn call_end(
     flops: f64,
     pack_bound_bytes: u64,
     elem_bytes: usize,
+    kind: KernelKind,
 ) {
     let wall = cp.started.elapsed().as_secs_f64();
     let pack_a = cp.pack_a_ns.load(Ordering::Relaxed) as f64 * 1e-9;
@@ -476,6 +488,7 @@ pub(crate) fn call_end(
         t.pack_bound_bytes += pack_bound_bytes;
         t.max_width = t.max_width.max(width);
         t.elem_bytes = elem_bytes;
+        t.kernel = Some(kind);
     });
 }
 
@@ -595,8 +608,13 @@ pub struct KernelProfile {
     pub pack_bound_bytes: u64,
     /// `flops / compute_secs / 1e9` — achieved per-busy-core Gflop/s.
     pub achieved_gflops: f64,
-    /// [`tune::probed_peak_gflops`](crate::tune::probed_peak_gflops) for
-    /// the capture's element size (single-core microkernel ceiling).
+    /// Name of the dispatched microkernel the capture's calls ran
+    /// (`"portable"` / `"avx2"` / `"avx512"`; the session-selected kernel
+    /// when the capture folded no calls).
+    pub kernel: &'static str,
+    /// The probed single-core microkernel ceiling for the capture's
+    /// element size *and kernel* (so `achieved/peak` stays ≤ 1 whichever
+    /// kernel the dispatcher picked).
     pub peak_gflops: f64,
     /// Widest thread width any folded call used.
     pub max_width: usize,
@@ -693,6 +711,7 @@ mod tests {
         assert!(p.pack_bytes > 0 && p.pack_bytes <= p.pack_bound_bytes);
         assert!(p.achieved_gflops > 0.0);
         assert!(p.peak_gflops > 0.0);
+        assert_eq!(p.kernel, crate::kernel::gemm_kernel().name());
         assert!((0.0..=1.0).contains(&p.coverage));
         assert_eq!(p.dropped_spans, 0);
         assert!(p.spans.iter().any(|s| s.phase == SpanPhase::Compute));

@@ -22,23 +22,28 @@
 //! Linux) with compiled-in fallbacks (32 KiB / 512 KiB / 8 MiB) elsewhere;
 //! the L3 share divides the package L3 by the number of CPUs listed in its
 //! `shared_cpu_list`. The SIMD register width is probed too
-//! (AVX-512 / AVX2 / SSE2 on x86-64) — it is recorded in [`CacheInfo`] for
-//! reports and sanity checks; the `MR×NR` register block itself is a
-//! compile-time constant chosen to stay enregistered at any of those widths
-//! (see [`pack`](crate::pack)).
+//! (AVX-512 / AVX2 / SSE2 on x86-64) — it drives the microkernel
+//! dispatcher ([`kernel`](crate::kernel)), whose selected `MR×NR` geometry
+//! in turn parameterizes the derivation here: the blocking and the
+//! [`probed_peak_gflops`] roofline ceiling are both computed *for the
+//! dispatched kernel*, cached per `(element size, kernel)`.
 //!
 //! Overrides, in precedence order:
 //!
 //! 1. [`set_gemm_blocking`] — a *per-thread* pin (benches and tests use it
 //!    to force boundary configurations without racing other threads);
 //! 2. `DENSE_GEMM_TUNE=mc:kc:nc` — process-wide env override, read once;
-//! 3. the derived values, computed once per element size and cached in a
-//!    `OnceLock`.
+//! 3. the derived values, computed once per `(element size, kernel)` and
+//!    cached in a `OnceLock`.
 //!
 //! Every source is normalized: `MC` is rounded to a multiple of `MR`, `NC`
-//! to a multiple of `NR`, and all three are clamped to sane ranges, so the
-//! kernel never sees a degenerate blocking.
+//! to a multiple of `NR` (the *selected kernel's* values for derived
+//! blockings, the portable constants for human-specified overrides — a
+//! non-multiple override still runs correctly, the packers absorb ragged
+//! tails), and all three are clamped to sane ranges, so the kernel never
+//! sees a degenerate blocking.
 
+use crate::kernel::{self, KernelKind};
 use crate::pack::{MR, NR};
 use crate::scalar::Scalar;
 use std::sync::OnceLock;
@@ -64,7 +69,8 @@ pub struct CacheInfo {
     /// This core's *share* of the last-level cache in bytes (package size
     /// divided by the number of CPUs sharing it).
     pub l3_share: usize,
-    /// Widest SIMD register in bits (512 / 256 / 128), informational.
+    /// Widest SIMD register in bits (512 / 256 / 128) — the basis of the
+    /// microkernel dispatch in [`kernel`](crate::kernel).
     pub simd_bits: usize,
 }
 
@@ -196,28 +202,36 @@ fn round_down_to(multiple: usize, v: usize) -> usize {
 }
 
 /// The analytic BLIS-style derivation (see the module docs) for elements of
-/// `elem` bytes.
-pub fn derive(ci: CacheInfo, elem: usize) -> Blocking {
-    // KC: the KC×NR packed-B micro-panel should own about 2/3 of L1d,
-    // leaving the rest for the streaming MR×KC A panel and the C tile.
+/// `elem` bytes and a kernel with register-block geometry `mr × nr`.
+pub fn derive(ci: CacheInfo, elem: usize, mr: usize, nr: usize) -> Blocking {
+    // KC: the KC×nr packed-B micro-panel should own about 2/3 of L1d,
+    // leaving the rest for the streaming mr×KC A panel and the C tile.
     // (Half-of-L1 is the textbook figure; measured on AVX-512 hosts the
     // larger panel wins a few percent by amortizing loop overhead — 48K L1
-    // lands on the classic KC = 256 for f64.)
-    let kc = (ci.l1d * 2 / 3 / (NR * elem)).clamp(64, 1024);
+    // lands on the classic KC = 256 for the portable f64 geometry.)
+    let kc = (ci.l1d * 2 / 3 / (nr * elem)).clamp(64, 1024);
     let mc = ci.l2 / 2 / (kc * elem);
     let nc = ci.l3_share / 2 / (kc * elem);
-    normalize(Blocking { mc, kc, nc })
+    normalize_for(Blocking { mc, kc, nc }, mr, nr)
 }
 
-/// Rounds `mc`/`nc` to `MR`/`NR` multiples and clamps everything to sane
-/// ranges. Applied to every source (derived, env, and explicit pins), so
-/// the kernel never sees a zero or pathological blocking.
-pub fn normalize(b: Blocking) -> Blocking {
+/// Rounds `mc`/`nc` to multiples of the given register-block geometry and
+/// clamps everything to sane ranges, so the kernel never sees a zero or
+/// pathological blocking.
+pub fn normalize_for(b: Blocking, mr: usize, nr: usize) -> Blocking {
     Blocking {
-        mc: round_down_to(MR, b.mc.clamp(MR, 1024)),
+        mc: round_down_to(mr, b.mc.clamp(mr, 1024)),
         kc: b.kc.clamp(8, 1024),
-        nc: round_down_to(NR, b.nc.clamp(NR, 8192)),
+        nc: round_down_to(nr, b.nc.clamp(nr, 8192)),
     }
+}
+
+/// [`normalize_for`] with the portable geometry — applied to
+/// human-specified overrides (env and pins), which are kernel-agnostic.
+/// A blocking that is not a multiple of the *selected* kernel's `mr`/`nr`
+/// still runs correctly: the packers zero-pad ragged tails.
+pub fn normalize(b: Blocking) -> Blocking {
+    normalize_for(b, MR, NR)
 }
 
 /// Parses the `DENSE_GEMM_TUNE` value: `"mc:kc:nc"` (decimal). `None` on
@@ -263,74 +277,102 @@ pub fn set_gemm_blocking(b: Option<Blocking>) {
     THREAD_BLOCKING.with(|c| c.set(b.map(normalize)));
 }
 
-/// Derived blocking for `elem`-byte elements, computed once per size.
-fn derived(elem: usize) -> Blocking {
-    static DERIVED_4: OnceLock<Blocking> = OnceLock::new();
-    static DERIVED_8: OnceLock<Blocking> = OnceLock::new();
-    let cell = if elem == 4 { &DERIVED_4 } else { &DERIVED_8 };
-    *cell.get_or_init(|| derive(cache_info(), elem))
+/// Derived blocking for `elem`-byte elements under kernel `kind`, computed
+/// once per `(size, kernel)` pair.
+fn derived(elem: usize, kind: KernelKind) -> Blocking {
+    static CELLS: [[OnceLock<Blocking>; 3]; 2] = [
+        [const { OnceLock::new() }; 3],
+        [const { OnceLock::new() }; 3],
+    ];
+    let ei = usize::from(elem != 4);
+    *CELLS[ei][kind.index()].get_or_init(|| {
+        let (mr, nr) = kind.geom(elem);
+        derive(cache_info(), elem, mr, nr)
+    })
 }
 
-/// The blocking the next GEMM call from this thread will use:
-/// [`set_gemm_blocking`] pin > `DENSE_GEMM_TUNE` > derived-and-cached.
-pub fn blocking<T: Scalar>() -> Blocking {
+/// The blocking a GEMM call dispatching to `kind` will use:
+/// [`set_gemm_blocking`] pin > `DENSE_GEMM_TUNE` > derived-and-cached for
+/// `(element size, kind)`.
+pub fn blocking_for<T: Scalar>(kind: KernelKind) -> Blocking {
     if let Some(b) = THREAD_BLOCKING.with(|c| c.get()) {
         return b;
     }
     if let Some(b) = env_override() {
         return b;
     }
-    derived(std::mem::size_of::<T>())
+    derived(std::mem::size_of::<T>(), kind)
+}
+
+/// [`blocking_for`] resolved against the currently selected kernel — what
+/// the next GEMM call from this thread will use.
+pub fn blocking<T: Scalar>() -> Blocking {
+    blocking_for::<T>(kernel::gemm_kernel_for::<T>())
 }
 
 /// Measures this core's peak arithmetic rate in Gflop/s by timing the
-/// *actual* `MR×NR` register microkernel ([`gemm`](crate::gemm)'s inner
-/// loop) on L1-resident packed panels — the roofline ceiling
-/// [`prof`](crate::prof) reports achieved GEMM throughput against. This is
-/// deliberately a single-core figure: the profile's achieved rate is
-/// per-busy-core too, so the two are directly comparable.
+/// *actual* register microkernel the dispatcher selected — at the selected
+/// kernel's own `MR×NR` geometry, on L1-resident packed panels — the
+/// roofline ceiling [`prof`](crate::prof) reports achieved GEMM throughput
+/// against. Probing the dispatched kernel (not the portable fallback)
+/// keeps the dashboard's `peak%` honest: a SIMD kernel measured against a
+/// portable ceiling would read far above 100%. This is deliberately a
+/// single-core figure: the profile's achieved rate is per-busy-core too,
+/// so the two are directly comparable.
 ///
-/// Probed once per element size (a few milliseconds) and cached.
+/// Probed once per `(element size, kernel)` — the kernel is part of the
+/// cache key — and cached.
 pub fn probed_peak_gflops<T: Scalar>() -> f64 {
-    static PEAK_4: OnceLock<f64> = OnceLock::new();
-    static PEAK_8: OnceLock<f64> = OnceLock::new();
-    match std::mem::size_of::<T>() {
-        4 => *PEAK_4.get_or_init(probe_peak::<T>),
-        8 => *PEAK_8.get_or_init(probe_peak::<T>),
-        _ => probe_peak::<T>(),
+    probed_peak_gflops_for::<T>(kernel::gemm_kernel_for::<T>())
+}
+
+/// [`probed_peak_gflops`] for an explicit kernel (must be
+/// [`available`](KernelKind::available)).
+pub fn probed_peak_gflops_for<T: Scalar>(kind: KernelKind) -> f64 {
+    static CELLS: [[OnceLock<f64>; 3]; 2] = [
+        [const { OnceLock::new() }; 3],
+        [const { OnceLock::new() }; 3],
+    ];
+    let elem = std::mem::size_of::<T>();
+    if elem != 4 && elem != 8 {
+        return probe_peak::<T>(KernelKind::Portable);
     }
+    let ei = usize::from(elem != 4);
+    *CELLS[ei][kind.index()].get_or_init(|| probe_peak::<T>(kind))
 }
 
 /// By-size dispatch for callers that erased the scalar type (the profiler
 /// stores only the element width); 0.0 for widths no kernel uses.
-pub(crate) fn probed_peak_gflops_for_elem(elem: usize) -> f64 {
+pub(crate) fn probed_peak_gflops_for_elem_kind(elem: usize, kind: KernelKind) -> f64 {
     match elem {
-        4 => probed_peak_gflops::<f32>(),
-        8 => probed_peak_gflops::<f64>(),
+        4 => probed_peak_gflops_for::<f32>(kind),
+        8 => probed_peak_gflops_for::<f64>(kind),
         _ => 0.0,
     }
 }
 
-fn probe_peak<T: Scalar>() -> f64 {
+fn probe_peak<T: Scalar>(kind: KernelKind) -> f64 {
+    assert!(kind.available(), "cannot probe unavailable kernel {kind:?}");
     const KK: usize = 128; // panel depth: KC-like, comfortably L1-resident
+    let (mr, nr) = kind.geom(std::mem::size_of::<T>());
     let mut x = T::ONE;
-    let apanel: Vec<T> = (0..KK * MR)
+    let apanel: Vec<T> = (0..KK * mr)
         .map(|_| {
             // Mildly varied values so no multiply folds to a constant.
             x += T::ONE;
             x
         })
         .collect();
-    let bpanel: Vec<T> = apanel.iter().rev().copied().collect();
-    let mut acc = [[T::ZERO; NR]; MR];
-    let flops_per_pass = (2 * MR * NR * KK) as f64;
+    let bpanel: Vec<T> = (0..KK * nr).rev().map(|v| T::from_f64(v as f64)).collect();
+    let mut acc = vec![T::ZERO; mr * nr];
+    let flops_per_pass = (2 * mr * nr * KK) as f64;
     // Calibrate the rep count until one timed pass lasts ≥ 1 ms, then keep
     // the best (least-interrupted) of three measured passes.
     let mut reps = 64usize;
     loop {
         let t0 = std::time::Instant::now();
         for _ in 0..reps {
-            crate::gemm::microkernel(&apanel, &bpanel, &mut acc);
+            kernel::microkernel(kind, &apanel, &bpanel, KK, &mut acc);
             std::hint::black_box(&mut acc);
         }
         if t0.elapsed().as_secs_f64() >= 1e-3 || reps >= (1 << 22) {
@@ -342,12 +384,48 @@ fn probe_peak<T: Scalar>() -> f64 {
     for _ in 0..3 {
         let t0 = std::time::Instant::now();
         for _ in 0..reps {
-            crate::gemm::microkernel(&apanel, &bpanel, &mut acc);
+            kernel::microkernel(kind, &apanel, &bpanel, KK, &mut acc);
             std::hint::black_box(&mut acc);
         }
         best = best.max(flops_per_pass * reps as f64 / t0.elapsed().as_secs_f64() / 1e9);
     }
     best.max(f64::MIN_POSITIVE)
+}
+
+/// Number of NUMA nodes on this host (sysfs; 1 when undetectable), probed
+/// once. Drives the default for NUMA-aware packing.
+pub fn numa_nodes() -> usize {
+    static NODES: OnceLock<usize> = OnceLock::new();
+    *NODES.get_or_init(|| {
+        let Ok(entries) = std::fs::read_dir("/sys/devices/system/node") else {
+            return 1;
+        };
+        let n = entries
+            .flatten()
+            .filter(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name.strip_prefix("node")
+                    .is_some_and(|s| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()))
+            })
+            .count();
+        n.max(1)
+    })
+}
+
+/// Whether the packing path should place packed-B pages by *first touch on
+/// the packing worker* (NUMA-aware) instead of pre-faulting the slab on
+/// the submitting thread. `DENSE_GEMM_NUMA=1`/`0` forces it either way;
+/// unset, it defaults to on exactly when the host has more than one NUMA
+/// node (a strict no-op on single-node hosts — only page placement
+/// changes, never values). Read once.
+pub fn numa_packing() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| match std::env::var("DENSE_GEMM_NUMA") {
+        Ok(v) if v == "0" => false,
+        Ok(v) if !v.is_empty() => true,
+        _ => numa_nodes() > 1,
+    })
 }
 
 #[cfg(test)]
@@ -389,8 +467,8 @@ mod tests {
             simd_bits: 512,
         };
         for elem in [4usize, 8] {
-            let bs = derive(small, elem);
-            let bb = derive(big, elem);
+            let bs = derive(small, elem, MR, NR);
+            let bb = derive(big, elem, MR, NR);
             assert!(bb.kc >= bs.kc, "{elem}: kc not monotone");
             assert!(bb.mc >= bs.mc, "{elem}: mc not monotone");
             assert!(bb.nc >= bs.nc, "{elem}: nc not monotone");
@@ -404,7 +482,7 @@ mod tests {
             }
         }
         // Smaller elements fit more per line: f32 blocking >= f64 blocking.
-        assert!(derive(big, 4).kc >= derive(big, 8).kc);
+        assert!(derive(big, 4, MR, NR).kc >= derive(big, 8, MR, NR).kc);
     }
 
     #[test]
@@ -440,6 +518,49 @@ mod tests {
         set_gemm_blocking(None);
         let b = blocking::<f64>();
         assert!(b.kc >= 8, "cleared pin must fall back to derived/env");
+    }
+
+    #[test]
+    fn derive_follows_kernel_geometry() {
+        let ci = CacheInfo {
+            l1d: 48 * 1024,
+            l2: 1024 * 1024,
+            l3_share: 8 * 1024 * 1024,
+            simd_bits: 512,
+        };
+        for kind in KernelKind::ALL {
+            for elem in [4usize, 8] {
+                let (mr, nr) = kind.geom(elem);
+                let b = derive(ci, elem, mr, nr);
+                assert_eq!(b.mc % mr, 0, "{kind:?}/{elem}: mc {} vs mr {mr}", b.mc);
+                assert_eq!(b.nc % nr, 0, "{kind:?}/{elem}: nc {} vs nr {nr}", b.nc);
+                // A wider NR streams a wider B panel through L1, so KC may
+                // only shrink relative to a narrower geometry.
+                let portable = derive(ci, elem, MR, NR);
+                assert!(b.kc <= portable.kc || nr <= NR, "{kind:?}/{elem}");
+            }
+        }
+    }
+
+    #[test]
+    fn peak_probe_is_cached_per_kernel() {
+        // The selected kernel's probe: must be positive and stable across
+        // calls (cached).
+        let p1 = probed_peak_gflops::<f64>();
+        let p2 = probed_peak_gflops::<f64>();
+        assert!(p1 > 0.0);
+        assert_eq!(p1, p2);
+        // An explicitly keyed probe for the portable kernel works on any
+        // host and is cached under its own key.
+        let pp = probed_peak_gflops_for::<f64>(KernelKind::Portable);
+        assert!(pp > 0.0);
+        assert_eq!(pp, probed_peak_gflops_for::<f64>(KernelKind::Portable));
+    }
+
+    #[test]
+    fn numa_probes_are_sane() {
+        assert!(numa_nodes() >= 1);
+        let _ = numa_packing(); // must resolve without panicking
     }
 
     #[test]

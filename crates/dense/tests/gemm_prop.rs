@@ -7,9 +7,16 @@
 //! single-tile and multi-tile shapes), for both f32 and f64. All four
 //! `op(A)`/`op(B)` combinations appear and alpha/beta sweep the edge cases
 //! 0, 1, and negative values.
+//!
+//! The SIMD-dispatch properties pin each available microkernel in turn:
+//! geometry-boundary shapes per kernel (around its own mr/nr), the
+//! portable-vs-SIMD numerical-equivalence bound (documented at
+//! [`fma_divergence_bound`]), and the exact-agreement pin between the two
+//! FMA kernels (same summation discipline + pinned blocking ⇒ bitwise
+//! identical).
 
 use dense::gemm::GemmOp;
-use dense::{gemm, gemm_naive, Blocking, Mat};
+use dense::{gemm, gemm_naive, Blocking, KernelKind, Mat};
 use proptest::prelude::*;
 
 /// Deterministic value stream for matrix entries in roughly [-1, 1).
@@ -46,6 +53,21 @@ impl BlockingPin {
 impl Drop for BlockingPin {
     fn drop(&mut self) {
         dense::set_gemm_blocking(None);
+    }
+}
+
+/// Pins the dispatched microkernel for the duration of a test case;
+/// restores dispatcher selection on drop (also on assert failure).
+struct KernelPin;
+impl KernelPin {
+    fn new(kind: KernelKind) -> Self {
+        dense::set_gemm_kernel(Some(kind));
+        KernelPin
+    }
+}
+impl Drop for KernelPin {
+    fn drop(&mut self) {
+        dense::set_gemm_kernel(None);
     }
 }
 
@@ -211,6 +233,341 @@ proptest! {
         let n = [15, 16, 31, 32, 33, 65][ni];
         let k = [1, 11, 12, 13, 24, 25][ki];
         check_against_naive_f32(m, n, k, ta, tb, ab_idx, seed);
+    }
+}
+
+/// Upper bound on the portable-vs-FMA divergence for one output element.
+///
+/// Under a pinned blocking both kernels consume the operands in the *same*
+/// order: per (i, j) the depth loop runs l = 0..k sequentially, KC slab by
+/// KC slab, so the two results are the same mathematical expression
+/// evaluated under two rounding disciplines — the portable kernel rounds
+/// the multiply and the add separately (two roundings per step), the FMA
+/// kernels round once per step. Standard forward-error analysis bounds each
+/// evaluation within γ_{2k+2}·S of the exact value, where γ_n =
+/// n·eps/(1−n·eps) ≈ n·eps and S = |alpha|·Σ_l |a_il|·|b_lj| +
+/// |beta·c0_ij|, and the difference between the two evaluations is at most
+/// the sum of their individual errors. We assert the conservative form
+///
+/// ```text
+/// |c_simd − c_portable| ≤ 2·(2k+6)·eps·S + 8·eps
+/// ```
+///
+/// (the +6 absorbs the alpha- and beta-scaling steps, the absolute tail
+/// covers S ≈ 0). At k = 64 this is ~2⁻⁴⁶·S for f64 — about seven decimal
+/// digits tighter than the blanket `1e-13·k` naive-comparison tolerance,
+/// which is why the SIMD-vs-portable property asserts this per-element
+/// bound instead of reusing [`check_against_naive`].
+fn fma_divergence_bound(k: usize, eps: f64, scale: f64) -> f64 {
+    2.0 * (2.0 * k as f64 + 6.0) * eps * scale + 8.0 * eps
+}
+
+/// Runs the same multiply through the portable kernel and through `kind`
+/// under one pinned blocking and asserts the per-element
+/// [`fma_divergence_bound`], f64.
+fn check_simd_vs_portable(
+    kind: KernelKind,
+    m: usize,
+    n: usize,
+    k: usize,
+    (ta, tb): (bool, bool),
+    ab_idx: usize,
+    seed: u64,
+) {
+    // One blocking for both runs: identical KC slab sequence, so the only
+    // difference left is the per-step rounding discipline.
+    let _blk = BlockingPin::new(24, 16, 64);
+    let (op_a, op_b) = (op_of(ta), op_of(tb));
+    let (alpha, beta) = AB_CASES[ab_idx % AB_CASES.len()];
+    let (ar, ac) = storage(op_a, m, k);
+    let (br, bc) = storage(op_b, k, n);
+    let a = fill(seed ^ 0xA5A5, ar, ac);
+    let b = fill(seed ^ 0x5A5A, br, bc);
+    let c0 = fill(seed ^ 0xC3C3, m, n);
+
+    let mut c_port = c0.clone();
+    {
+        let _pin = KernelPin::new(KernelKind::Portable);
+        gemm(op_a, op_b, alpha, &a, &b, beta, &mut c_port);
+    }
+    let mut c_simd = c0.clone();
+    {
+        let _pin = KernelPin::new(kind);
+        gemm(op_a, op_b, alpha, &a, &b, beta, &mut c_simd);
+    }
+
+    // S_ij = |alpha|·Σ_l |a_il|·|b_lj|, via the naive kernel over |A|, |B|.
+    let abs_a = Mat::from_fn(ar, ac, |i, j| a.get(i, j).abs());
+    let abs_b = Mat::from_fn(br, bc, |i, j| b.get(i, j).abs());
+    let mut abs_dot = Mat::from_fn(m, n, |_, _| 0.0f64);
+    gemm_naive(op_a, op_b, alpha.abs(), &abs_a, &abs_b, 0.0, &mut abs_dot);
+
+    for i in 0..m {
+        for j in 0..n {
+            let scale = abs_dot.get(i, j) + (beta * c0.get(i, j)).abs();
+            let bound = fma_divergence_bound(k, f64::EPSILON, scale);
+            let (got, want) = (c_simd.get(i, j), c_port.get(i, j));
+            prop_assert!(
+                (got - want).abs() <= bound,
+                "C[{i}][{j}]: {} {got} vs portable {want}, |d|={:e} > bound {bound:e} \
+                 (m={m} n={n} k={k} ta={ta} tb={tb} alpha={alpha} beta={beta})",
+                kind.name(),
+                (got - want).abs()
+            );
+        }
+    }
+}
+
+/// f32 twin of [`check_simd_vs_portable`].
+fn check_simd_vs_portable_f32(
+    kind: KernelKind,
+    m: usize,
+    n: usize,
+    k: usize,
+    (ta, tb): (bool, bool),
+    ab_idx: usize,
+    seed: u64,
+) {
+    let _blk = BlockingPin::new(24, 16, 64);
+    let (op_a, op_b) = (op_of(ta), op_of(tb));
+    let (alpha64, beta64) = AB_CASES[ab_idx % AB_CASES.len()];
+    let (alpha, beta) = (alpha64 as f32, beta64 as f32);
+    let (ar, ac) = storage(op_a, m, k);
+    let (br, bc) = storage(op_b, k, n);
+    let a = fill32(seed ^ 0xA5A5, ar, ac);
+    let b = fill32(seed ^ 0x5A5A, br, bc);
+    let c0 = fill32(seed ^ 0xC3C3, m, n);
+
+    let mut c_port = c0.clone();
+    {
+        let _pin = KernelPin::new(KernelKind::Portable);
+        gemm(op_a, op_b, alpha, &a, &b, beta, &mut c_port);
+    }
+    let mut c_simd = c0.clone();
+    {
+        let _pin = KernelPin::new(kind);
+        gemm(op_a, op_b, alpha, &a, &b, beta, &mut c_simd);
+    }
+
+    let abs_a = Mat::from_fn(ar, ac, |i, j| a.get(i, j).abs());
+    let abs_b = Mat::from_fn(br, bc, |i, j| b.get(i, j).abs());
+    let mut abs_dot = Mat::from_fn(m, n, |_, _| 0.0f32);
+    gemm_naive(op_a, op_b, alpha.abs(), &abs_a, &abs_b, 0.0, &mut abs_dot);
+
+    for i in 0..m {
+        for j in 0..n {
+            let scale = f64::from(abs_dot.get(i, j)) + f64::from((beta * c0.get(i, j)).abs());
+            let bound = fma_divergence_bound(k, f64::from(f32::EPSILON), scale) as f32;
+            let (got, want) = (c_simd.get(i, j), c_port.get(i, j));
+            prop_assert!(
+                (got - want).abs() <= bound,
+                "C[{i}][{j}]: {} {got} vs portable {want}, |d|={:e} > bound {bound:e} \
+                 (m={m} n={n} k={k} ta={ta} tb={tb} alpha={alpha} beta={beta})",
+                kind.name(),
+                (got - want).abs()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every available SIMD kernel agrees with the portable kernel to
+    /// within the documented FMA rounding-discipline bound
+    /// ([`fma_divergence_bound`]), f64. Not bitwise: portable rounds
+    /// mul-then-add per step, the SIMD kernels fuse — exact agreement is
+    /// instead pinned between the two FMA kernels in
+    /// [`fma_kernels_agree_bitwise`].
+    #[test]
+    fn simd_matches_portable_within_fma_bound_f64(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..64,
+        ta in proptest::bool::ANY,
+        tb in proptest::bool::ANY,
+        ab_idx in 0usize..5,
+        seed in 1u64..u64::MAX,
+    ) {
+        for kind in KernelKind::ALL {
+            if kind == KernelKind::Portable || !kind.available() {
+                continue;
+            }
+            check_simd_vs_portable(kind, m, n, k, (ta, tb), ab_idx, seed);
+        }
+    }
+
+    /// f32 instantiation of the SIMD-vs-portable bound (covers the
+    /// wider-MR f32 geometries).
+    #[test]
+    fn simd_matches_portable_within_fma_bound_f32(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..64,
+        ta in proptest::bool::ANY,
+        tb in proptest::bool::ANY,
+        ab_idx in 0usize..5,
+        seed in 1u64..u64::MAX,
+    ) {
+        for kind in KernelKind::ALL {
+            if kind == KernelKind::Portable || !kind.available() {
+                continue;
+            }
+            check_simd_vs_portable_f32(kind, m, n, k, (ta, tb), ab_idx, seed);
+        }
+    }
+
+    /// MR/NR boundary shapes *per kernel geometry*: each available kernel
+    /// is pinned and driven at m ∈ {mr−1, mr, mr+1, 2mr+1},
+    /// n ∈ {nr−1, nr, nr+1, 2nr+1} for its own (mr, nr) — the
+    /// zero-padded register tails of every geometry, f64.
+    #[test]
+    fn kernel_geometry_boundaries_f64(
+        mi in 0usize..4,
+        ni in 0usize..4,
+        ki in 0usize..3,
+        ta in proptest::bool::ANY,
+        tb in proptest::bool::ANY,
+        ab_idx in 0usize..5,
+        seed in 1u64..u64::MAX,
+    ) {
+        let k = [1, 7, 33][ki];
+        for kind in KernelKind::ALL {
+            if !kind.available() {
+                continue;
+            }
+            let (mr, nr) = kind.geom(std::mem::size_of::<f64>());
+            let m = [mr - 1, mr, mr + 1, 2 * mr + 1][mi].max(1);
+            let n = [nr - 1, nr, nr + 1, 2 * nr + 1][ni].max(1);
+            let _pin = KernelPin::new(kind);
+            check_against_naive(m, n, k, ta, tb, ab_idx, seed);
+        }
+    }
+
+    /// f32 instantiation of the per-geometry boundary sweep — the f32
+    /// geometries have wider MR (6 on avx2, 12 on avx512), so the shape
+    /// sets differ from the f64 ones.
+    #[test]
+    fn kernel_geometry_boundaries_f32(
+        mi in 0usize..4,
+        ni in 0usize..4,
+        ki in 0usize..3,
+        ta in proptest::bool::ANY,
+        tb in proptest::bool::ANY,
+        ab_idx in 0usize..5,
+        seed in 1u64..u64::MAX,
+    ) {
+        let k = [1, 7, 33][ki];
+        for kind in KernelKind::ALL {
+            if !kind.available() {
+                continue;
+            }
+            let (mr, nr) = kind.geom(std::mem::size_of::<f32>());
+            let m = [mr - 1, mr, mr + 1, 2 * mr + 1][mi].max(1);
+            let n = [nr - 1, nr, nr + 1, 2 * nr + 1][ni].max(1);
+            let _pin = KernelPin::new(kind);
+            check_against_naive_f32(m, n, k, ta, tb, ab_idx, seed);
+        }
+    }
+}
+
+/// The "exact where the summation discipline matches" half of the
+/// equivalence contract: any two available kernels with the same
+/// `fused_mul_add()` discipline must produce *bitwise identical* results
+/// under a pinned blocking, because both sum l in-order per (i, j) over
+/// the same KC slab sequence and round identically at every step. On an
+/// AVX-512 host this pins avx2 ≡ avx512 for both element types (despite
+/// their different MR/NR register geometries); on narrower hosts the
+/// qualifying pair set is empty and the test trivially passes.
+#[test]
+fn fma_kernels_agree_bitwise() {
+    let _blk = BlockingPin::new(24, 16, 64);
+    let kernels: Vec<KernelKind> = KernelKind::ALL
+        .into_iter()
+        .filter(|k| k.available())
+        .collect();
+    let (m, n, k) = (37, 41, 45);
+
+    let a64 = fill(1010, m, k);
+    let at64 = fill(1111, k, m); // stored k×m: used as op(A) = Aᵀ
+    let b64 = fill(2020, k, n);
+    let c64 = fill(3030, m, n);
+    let a32 = fill32(4040, m, k);
+    let bt32 = fill32(4141, n, k); // stored n×k: used as op(B) = Bᵀ
+    let b32 = fill32(5050, k, n);
+    let c32 = fill32(6060, m, n);
+
+    for (xi, &kx) in kernels.iter().enumerate() {
+        for &ky in &kernels[xi + 1..] {
+            if kx.fused_mul_add() != ky.fused_mul_add() {
+                continue;
+            }
+            let run64 = |kind: KernelKind| {
+                let _pin = KernelPin::new(kind);
+                let mut c = c64.clone();
+                gemm(
+                    GemmOp::Trans,
+                    GemmOp::NoTrans,
+                    1.5,
+                    &at64,
+                    &b64,
+                    -0.25,
+                    &mut c,
+                );
+                gemm(
+                    GemmOp::NoTrans,
+                    GemmOp::NoTrans,
+                    -0.75,
+                    &a64,
+                    &b64,
+                    2.0,
+                    &mut c,
+                );
+                c
+            };
+            let (cx, cy) = (run64(kx), run64(ky));
+            for (i, (x, y)) in cx.as_slice().iter().zip(cy.as_slice()).enumerate() {
+                assert!(
+                    x.to_bits() == y.to_bits(),
+                    "f64 element {i}: {} {x:?} vs {} {y:?}",
+                    kx.name(),
+                    ky.name()
+                );
+            }
+
+            let run32 = |kind: KernelKind| {
+                let _pin = KernelPin::new(kind);
+                let mut c = c32.clone();
+                gemm(
+                    GemmOp::NoTrans,
+                    GemmOp::Trans,
+                    0.5,
+                    &a32,
+                    &bt32,
+                    1.0,
+                    &mut c,
+                );
+                gemm(
+                    GemmOp::NoTrans,
+                    GemmOp::NoTrans,
+                    1.25,
+                    &a32,
+                    &b32,
+                    -0.5,
+                    &mut c,
+                );
+                c
+            };
+            let (cx, cy) = (run32(kx), run32(ky));
+            for (i, (x, y)) in cx.as_slice().iter().zip(cy.as_slice()).enumerate() {
+                assert!(
+                    x.to_bits() == y.to_bits(),
+                    "f32 element {i}: {} {x:?} vs {} {y:?}",
+                    kx.name(),
+                    ky.name()
+                );
+            }
+        }
     }
 }
 

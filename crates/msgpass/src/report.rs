@@ -222,6 +222,7 @@ impl RunReport {
                                 ("pack_bytes", num_u(k.pack_bytes)),
                                 ("pack_bound_bytes", num_u(k.pack_bound_bytes)),
                                 ("achieved_gflops", num_f(k.achieved_gflops)),
+                                ("kernel", Json::Str(k.kernel.to_owned())),
                                 ("peak_gflops", num_f(k.peak_gflops)),
                                 ("max_width", num_u(k.max_width as u64)),
                                 ("imbalance", num_f(k.imbalance)),
@@ -272,6 +273,10 @@ impl RunReport {
                     (
                         "kernel_thread_budget",
                         num_u(dense::pool::base_gemm_threads() as u64),
+                    ),
+                    (
+                        "gemm_kernel",
+                        Json::Str(dense::kernel::gemm_kernel().name().to_owned()),
                     ),
                 ]),
             ),
@@ -419,7 +424,11 @@ pub struct ComputeRow {
     pub pack_bound_bytes: u64,
     /// `flops / compute_secs / 1e9` — per-busy-core achieved rate.
     pub achieved_gflops: f64,
-    /// The autotuner's probed microkernel peak for the element width.
+    /// The dispatched microkernel's name (`"portable"`/`"avx2"`/`"avx512"`;
+    /// empty for reports written before the field existed).
+    pub kernel: String,
+    /// The autotuner's probed microkernel peak for the element width *and
+    /// dispatched kernel*.
     pub peak_gflops: f64,
     /// Widest parallel region seen during the capture.
     pub max_width: u64,
@@ -843,6 +852,13 @@ impl RunReportDoc {
                                 pack_bytes: field_u64(c, "pack_bytes", &what)?,
                                 pack_bound_bytes: field_u64(c, "pack_bound_bytes", &what)?,
                                 achieved_gflops: field_f64(c, "achieved_gflops", &what)?,
+                                // Lenient: absent in pre-kernel-dispatch
+                                // reports; those parse as "".
+                                kernel: c
+                                    .get("kernel")
+                                    .and_then(Json::as_str)
+                                    .unwrap_or_default()
+                                    .to_owned(),
                                 peak_gflops: field_f64(c, "peak_gflops", &what)?,
                                 max_width: field_u64(c, "max_width", &what)?,
                                 imbalance: field_f64(c, "imbalance", &what)?,
@@ -1023,8 +1039,17 @@ impl RunReportDoc {
             let _ = writeln!(out, "\ncompute attribution (kernel profiler):");
             let _ = writeln!(
                 out,
-                "{:<5} {:>6} {:>9} {:>7} {:>6} {:>6} {:>6} {:>6} {:>9}",
-                "rank", "calls", "gflop/s", "peak%", "pack%", "comp%", "idle%", "imbal", "wake ms"
+                "{:<5} {:>6} {:>8} {:>9} {:>7} {:>6} {:>6} {:>6} {:>6} {:>9}",
+                "rank",
+                "calls",
+                "kernel",
+                "gflop/s",
+                "peak%",
+                "pack%",
+                "comp%",
+                "idle%",
+                "imbal",
+                "wake ms"
             );
             for (rank, row) in compute.iter().enumerate() {
                 match row {
@@ -1033,11 +1058,13 @@ impl RunReportDoc {
                     }
                     Some(c) => {
                         let (pack, comp, idle) = c.pct_split();
+                        let kernel = if c.kernel.is_empty() { "?" } else { &c.kernel };
                         let _ = writeln!(
                             out,
-                            "{:<5} {:>6} {:>9.2} {:>6.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>6.2} {:>9.3}",
+                            "{:<5} {:>6} {:>8} {:>9.2} {:>6.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>6.2} {:>9.3}",
                             rank,
                             c.gemm_calls,
+                            kernel,
                             c.achieved_gflops,
                             100.0 * c.roofline_frac(),
                             pack,
@@ -1692,6 +1719,7 @@ mod tests {
             );
             assert!(row.pack_bytes <= row.pack_bound_bytes);
             assert!(row.peak_gflops > 0.0);
+            assert_eq!(row.kernel, dense::kernel::gemm_kernel().name());
             let (pack, comp, idle) = row.pct_split();
             assert!((pack + comp + idle - 100.0).abs() < 1e-6);
         }

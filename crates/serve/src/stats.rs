@@ -204,6 +204,10 @@ impl ServerStats {
                 "uptime_secs",
                 Json::Num(self.started.elapsed().as_secs_f64()),
             ),
+            (
+                "gemm_kernel",
+                Json::Str(dense::kernel::gemm_kernel().name().to_owned()),
+            ),
             ("queue_depth", Json::Num(self.queue_depth() as f64)),
             (
                 "slots",
@@ -286,6 +290,10 @@ mod tests {
             Some(1.0)
         );
         assert!(j.get("shapes").and_then(|s| s.get("8x8x8/f64")).is_some());
+        assert_eq!(
+            j.get("gemm_kernel").and_then(Json::as_str),
+            Some(dense::kernel::gemm_kernel().name())
+        );
         assert_eq!(
             j.get("requests")
                 .and_then(|r| r.get("avg_batch"))
